@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks: decomposition primitives (block lookup,
+//! bridge search, DCA).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblivion_decomp::{Decomp2, DecompD};
+use oblivion_mesh::{Coord, Mesh};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_dca_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dca_2d");
+    let mut rng = StdRng::seed_from_u64(1);
+    for k in [5u32, 7, 9] {
+        let d = Decomp2::new(k);
+        let side = 1u32 << k;
+        group.bench_function(BenchmarkId::from_parameter(format!("side{side}")), |b| {
+            b.iter(|| {
+                let s = Coord::new(&[rng.gen_range(0..side), rng.gen_range(0..side)]);
+                let mut t = s;
+                while t == s {
+                    t = Coord::new(&[rng.gen_range(0..side), rng.gen_range(0..side)]);
+                }
+                black_box(d.deepest_common_ancestor(&s, &t))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bridge_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_bridge");
+    let mut rng = StdRng::seed_from_u64(2);
+    for (dim, k) in [(2usize, 7u32), (3, 4), (4, 3)] {
+        let dd = DecompD::new(dim, k);
+        let mesh = Mesh::new_mesh(&vec![1u32 << k; dim]);
+        let side = 1u32 << k;
+        group.bench_function(BenchmarkId::from_parameter(format!("d{dim}")), |b| {
+            b.iter(|| {
+                let s =
+                    Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                let mut t = s;
+                while t == s {
+                    t = Coord::new(
+                        &(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>(),
+                    );
+                }
+                black_box(dd.find_bridge(&mesh, &s, &t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dca_2d, bench_bridge_d);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks: the offline congestion minimizer and the
+//! parallel routing front-end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblivion_core::{
+    route_all_parallel, route_all_seeded, route_min_congestion, Busch2D, OfflineConfig,
+};
+use oblivion_mesh::Mesh;
+use oblivion_workloads::transpose;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_min_congestion");
+    group.sample_size(10);
+    for side in [8u32, 16] {
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let w = transpose(&mesh).without_self_loops();
+        group.bench_function(BenchmarkId::from_parameter(format!("side{side}")), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(route_min_congestion(
+                    &mesh,
+                    &w.pairs,
+                    OfflineConfig::default(),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_all_threads");
+    group.sample_size(10);
+    let mesh = Mesh::new_mesh(&[64, 64]);
+    let router = Busch2D::new(mesh.clone());
+    let w = transpose(&mesh).without_self_loops();
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(route_all_seeded(&router, &w.pairs, 7)))
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}thr")), |b| {
+            b.iter(|| black_box(route_all_parallel(&router, &w.pairs, 7, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_parallel_routing);
+criterion_main!(benches);

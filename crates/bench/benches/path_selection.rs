@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: path-selection throughput per router.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblivion_core::{
+    AccessTree, Busch2D, BuschD, BuschPadded, DimOrder, ObliviousRouter, RandomnessMode, Romm,
+    Valiant,
+};
+use oblivion_mesh::{Coord, Mesh};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn routers_2d(side: u32) -> Vec<Box<dyn ObliviousRouter>> {
+    let mesh = Mesh::new_mesh(&[side, side]);
+    vec![
+        Box::new(Busch2D::new(mesh.clone())),
+        Box::new(Busch2D::new(mesh.clone()).with_mode(RandomnessMode::Fresh)),
+        Box::new(BuschD::new(mesh.clone())),
+        Box::new(BuschPadded::new(mesh.clone())),
+        Box::new(AccessTree::new(mesh.clone())),
+        Box::new(Valiant::new(mesh.clone())),
+        Box::new(Romm::new(mesh.clone())),
+        Box::new(DimOrder::new(mesh)),
+    ]
+}
+
+fn bench_select_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_path_64x64");
+    let mut rng = StdRng::seed_from_u64(1);
+    for router in routers_2d(64) {
+        group.bench_function(BenchmarkId::from_parameter(router.name()), |b| {
+            b.iter(|| {
+                let s = Coord::new(&[rng.gen_range(0..64), rng.gen_range(0..64)]);
+                let t = Coord::new(&[rng.gen_range(0..64), rng.gen_range(0..64)]);
+                black_box(router.select_path(&s, &t, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_path_by_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_path_by_dimension");
+    let mut rng = StdRng::seed_from_u64(2);
+    for (d, k) in [(1usize, 12u32), (2, 6), (3, 4), (4, 3)] {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&vec![side; d]);
+        let router = BuschD::new(mesh);
+        group.bench_function(BenchmarkId::from_parameter(format!("d{d}_side{side}")), |b| {
+            b.iter(|| {
+                let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                black_box(router.select_path(&s, &t, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_path, bench_select_path_by_dim);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: simulator step throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblivion_core::{route_all, Busch2D};
+use oblivion_mesh::Mesh;
+use oblivion_sim::{SchedulingPolicy, Simulation};
+use oblivion_workloads::random_permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_random_perm");
+    for side in [16u32, 32] {
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let router = Busch2D::new(mesh.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = random_permutation(&mesh, &mut rng);
+        let paths = route_all(&router, &w.pairs, &mut rng);
+        group.bench_function(BenchmarkId::from_parameter(format!("side{side}")), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(&mesh, paths.clone());
+                black_box(sim.run(SchedulingPolicy::Fifo, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **E7 — Lemma 3.3 / Lemma 4.1**: bridge-height bounds.
+//!
+//! 2-D: exhaustively over all pairs, the deepest common ancestor has
+//! height ≤ ⌈log₂ dist⌉ + 2. d-D: over sampled pairs, the bridge block
+//! side is ≤ 8(d+1)·dist (or the root).
+
+use oblivion_bench::table::{f2, Table};
+use oblivion_decomp::{Decomp2, DecompD};
+use oblivion_mesh::Coord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn two_d() {
+    println!("E7a: 2-D deepest-common-ancestor height (Lemma 3.3: h <= ceil(log2 dist) + 2)\n");
+    let mut table = Table::new(vec![
+        "side", "pairs", "max(h - ceil(log2 dist))", "bound", "bridge usage %",
+    ]);
+    for k in [3u32, 4, 5, 6] {
+        let d = Decomp2::new(k);
+        let mesh = d.mesh();
+        let pts: Vec<Coord> = mesh.coords().collect();
+        let mut worst: i64 = i64::MIN;
+        let mut type2_used = 0u64;
+        let mut total = 0u64;
+        for s in &pts {
+            for t in &pts {
+                if s == t {
+                    continue;
+                }
+                let dist = mesh.dist(s, t);
+                let (blk, h) = d.deepest_common_ancestor(s, t);
+                let lg = (dist as f64).log2().ceil() as i64;
+                worst = worst.max(i64::from(h) - lg);
+                if blk.kind == oblivion_decomp::BlockType2D::Type2 {
+                    type2_used += 1;
+                }
+                total += 1;
+            }
+        }
+        table.row(vec![
+            (1u32 << k).to_string(),
+            total.to_string(),
+            worst.to_string(),
+            "2".into(),
+            f2(100.0 * type2_used as f64 / total as f64),
+        ]);
+        assert!(worst <= 2, "Lemma 3.3 violated");
+    }
+    table.print();
+}
+
+fn d_dim() {
+    println!("\nE7b: d-D bridge side vs distance (Lemma 4.1: side <= 8(d+1)*dist, or root)\n");
+    let mut table = Table::new(vec![
+        "d", "side", "pairs", "max bridge-side/dist", "bound 8(d+1)", "root fallback %",
+    ]);
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    for (dim, k) in [(1usize, 9u32), (2, 6), (3, 4), (4, 3)] {
+        let dd = DecompD::new(dim, k);
+        let mesh = dd.mesh();
+        let side = 1u32 << k;
+        let mut worst = 0f64;
+        let mut roots = 0u64;
+        let trials = 20000u64;
+        for _ in 0..trials {
+            let s = Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            let t = Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            if s == t {
+                continue;
+            }
+            let dist = mesh.dist(&s, &t);
+            let plan = dd.find_bridge(&mesh, &s, &t);
+            if plan.bridge_height == dd.k() {
+                roots += 1;
+                continue;
+            }
+            let bside = f64::from(dd.block_side(dd.k() - plan.bridge_height));
+            worst = worst.max(bside / dist as f64);
+        }
+        let bound = 8.0 * (dim as f64 + 1.0);
+        table.row(vec![
+            dim.to_string(),
+            side.to_string(),
+            trials.to_string(),
+            f2(worst),
+            f2(bound),
+            f2(100.0 * roots as f64 / trials as f64),
+        ]);
+        assert!(worst <= bound, "Lemma 4.1 violated");
+    }
+    table.print();
+    println!(
+        "\nRoot fallback happens only for pairs whose distance is a constant fraction\n\
+         of the diameter, where the root *is* the right bridge."
+    );
+}
+
+fn main() {
+    two_d();
+    d_dim();
+}

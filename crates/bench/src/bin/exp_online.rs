@@ -1,0 +1,77 @@
+//! **E18 — online routing** (Section 1: "packets continuously arrive").
+//!
+//! The classic interconnection-network evaluation: mean packet latency vs
+//! offered load, under continuous Bernoulli injection. Because oblivious
+//! routers fix each path at injection with no global state, they drop
+//! straight into this online setting — the paper's core motivation. The
+//! interesting contrast is adversarial traffic (transpose): deterministic
+//! dimension-order routing saturates early on its hot diagonal band, while
+//! algorithm H sustains higher load at bounded latency.
+
+use oblivion_bench::table::{f2, f3, Table};
+use oblivion_core::{Busch2D, DimOrder, ObliviousRouter, Valiant};
+use oblivion_mesh::{Coord, Mesh, Path};
+use oblivion_sim::{FixedTraffic, OnlineSim, SchedulingPolicy, UniformTraffic, TrafficPattern};
+use rand::rngs::StdRng;
+
+fn run_curve(
+    mesh: &Mesh,
+    router: &dyn ObliviousRouter,
+    pattern: &dyn TrafficPattern,
+    rates: &[f64],
+    table: &mut Table,
+) {
+    let source = |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path {
+        router.select_path(s, t, rng).path
+    };
+    for &rate in rates {
+        let sim = OnlineSim::new(mesh, SchedulingPolicy::Fifo, rate);
+        let r = sim.run(pattern, &source, 600, 0xE18);
+        table.row(vec![
+            router.name(),
+            pattern.name(),
+            f3(rate),
+            r.injected.to_string(),
+            f2(r.mean_latency),
+            f2(r.p95_latency),
+            f3(r.throughput),
+            r.in_flight.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let side = 16u32;
+    println!("E18: online latency vs offered load ({side}x{side}, FIFO, 600-step window)\n");
+    let mesh = Mesh::new_mesh(&[side, side]);
+    let h = Busch2D::new(mesh.clone());
+    let dim = DimOrder::new(mesh.clone());
+    let val = Valiant::new(mesh.clone());
+    let uniform = UniformTraffic::new(mesh.clone());
+    let transpose = FixedTraffic {
+        pattern_name: "transpose".into(),
+        map: |c| Coord::new(&[c[1], c[0]]),
+    };
+
+    let mut table = Table::new(vec![
+        "router", "pattern", "rate", "injected", "mean lat", "p95 lat", "throughput",
+        "in flight",
+    ]);
+    let rates = [0.01, 0.05, 0.1, 0.2];
+    for pattern in [&uniform as &dyn TrafficPattern, &transpose] {
+        run_curve(&mesh, &h, pattern, &rates, &mut table);
+        run_curve(&mesh, &dim, pattern, &rates, &mut table);
+        run_curve(&mesh, &val, pattern, &rates, &mut table);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: at low rates latency ~ mean path length, so dim-order\n\
+         (stretch 1) is lowest and busch-2d tracks it within its constant stretch\n\
+         factor. Near saturation, valiant collapses first on BOTH patterns (its\n\
+         detours burn link capacity: accepted throughput stalls ~0.12), while\n\
+         busch-2d and dim-order degrade gracefully. The worst-case-congestion\n\
+         separation between H and dim-order is a batch phenomenon (see E9/E10);\n\
+         under symmetric steady-state injection dim-order's average case is fine —\n\
+         an honest boundary of the paper's worst-case claims."
+    );
+}

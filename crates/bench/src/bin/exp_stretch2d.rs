@@ -1,0 +1,92 @@
+//! **E3 — Theorem 3.4**: the 2-D algorithm has stretch ≤ 64.
+//!
+//! Measures the maximum and mean stretch of `Busch2D` over exhaustive node
+//! pairs (small meshes) and adversarial + random pairs (large meshes),
+//! sweeping the mesh side. The paper's bound is a worst-case constant; the
+//! measured maxima should sit well below 64 and be flat in `m`.
+
+use oblivion_bench::table::{f2, Table};
+use oblivion_core::{Busch2D, ObliviousRouter, RandomnessMode};
+use oblivion_mesh::{Coord, Mesh};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pairs_for(side: u32, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
+    let mut pairs = Vec::new();
+    if side <= 16 {
+        for x1 in 0..side {
+            for y1 in 0..side {
+                for x2 in 0..side {
+                    for y2 in 0..side {
+                        if (x1, y1) != (x2, y2) {
+                            pairs.push((Coord::new(&[x1, y1]), Coord::new(&[x2, y2])));
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        // Adversarial: neighbors straddling every power-of-two cut.
+        let mut level = side / 2;
+        while level >= 1 {
+            let mut x = level;
+            while x < side {
+                for y in (0..side).step_by((side / 16) as usize) {
+                    pairs.push((Coord::new(&[x - 1, y]), Coord::new(&[x, y])));
+                    pairs.push((Coord::new(&[y, x - 1]), Coord::new(&[y, x])));
+                }
+                x += 2 * level;
+            }
+            level /= 2;
+        }
+        // Random pairs.
+        for _ in 0..4000 {
+            let s = Coord::new(&[rng.gen_range(0..side), rng.gen_range(0..side)]);
+            let t = Coord::new(&[rng.gen_range(0..side), rng.gen_range(0..side)]);
+            if s != t {
+                pairs.push((s, t));
+            }
+        }
+    }
+    pairs
+}
+
+fn main() {
+    println!("E3: 2-D stretch of algorithm H (Theorem 3.4: stretch <= 64)\n");
+    let mut table = Table::new(vec![
+        "side", "mode", "pairs", "samples/pair", "max stretch", "mean stretch", "bound",
+    ]);
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for side in [8u32, 16, 32, 64, 128, 256] {
+        let pairs = pairs_for(side, &mut rng);
+        for mode in [RandomnessMode::Recycled, RandomnessMode::Fresh] {
+            let mesh = Mesh::new_mesh(&[side, side]);
+            let router = Busch2D::new(mesh.clone()).with_mode(mode);
+            let samples = if side <= 16 { 3 } else { 5 };
+            let mut max_stretch = 0f64;
+            let mut sum = 0f64;
+            let mut count = 0usize;
+            for (s, t) in &pairs {
+                for _ in 0..samples {
+                    let p = router.select_path(s, t, &mut rng).path;
+                    let st = p.stretch(&mesh);
+                    max_stretch = max_stretch.max(st);
+                    sum += st;
+                    count += 1;
+                }
+            }
+            table.row(vec![
+                side.to_string(),
+                format!("{mode:?}").to_lowercase(),
+                pairs.len().to_string(),
+                samples.to_string(),
+                f2(max_stretch),
+                f2(sum / count as f64),
+                "64".into(),
+            ]);
+            assert!(max_stretch <= 64.0, "Theorem 3.4 violated!");
+        }
+    }
+    table.print();
+    println!("\nAll measured maxima respect the Theorem 3.4 bound of 64.");
+}

@@ -1,0 +1,170 @@
+//! Shared measurement pipeline for the experiments.
+
+use oblivion_core::{route_all_metered, ObliviousRouter};
+use oblivion_metrics::{congestion_lower_bound, PathSetMetrics, Summary};
+use oblivion_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Distribution of a measurement over independent seeds.
+#[derive(Debug, Clone)]
+pub struct MeasurementStats {
+    /// Router name.
+    pub router: String,
+    /// Workload name.
+    pub workload: String,
+    /// Congestion distribution.
+    pub congestion: Summary,
+    /// Max-stretch distribution.
+    pub max_stretch: Summary,
+    /// `C*` lower-bound estimate (workload property, seed-independent).
+    pub lower_bound: f64,
+}
+
+/// Repeats the measurement over `trials` seeds, returning distribution
+/// summaries — the right way to report the paper's w.h.p. statements.
+pub fn measure_stats(
+    router: &dyn ObliviousRouter,
+    workload: &Workload,
+    seed: u64,
+    trials: u64,
+) -> MeasurementStats {
+    assert!(trials >= 1);
+    let mut cs = Vec::with_capacity(trials as usize);
+    let mut ss = Vec::with_capacity(trials as usize);
+    let mut lb = 0.0;
+    for t in 0..trials {
+        let m = measure(router, workload, seed.wrapping_add(t));
+        cs.push(f64::from(m.metrics.congestion));
+        ss.push(m.metrics.max_stretch);
+        lb = m.lower_bound;
+    }
+    MeasurementStats {
+        router: router.name(),
+        workload: workload.name.clone(),
+        congestion: Summary::of(&cs),
+        max_stretch: Summary::of(&ss),
+        lower_bound: lb,
+    }
+}
+
+/// One measured (router × workload) cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Router name.
+    pub router: String,
+    /// Workload name.
+    pub workload: String,
+    /// Packets routed.
+    pub packets: usize,
+    /// Path-set quality.
+    pub metrics: PathSetMetrics,
+    /// `C*` lower-bound estimate for the workload.
+    pub lower_bound: f64,
+    /// `C / lower_bound` (∞-safe: 0 if no bound).
+    pub competitive: f64,
+    /// Mean random bits per packet.
+    pub mean_bits: f64,
+    /// Maximum random bits over packets.
+    pub max_bits: u64,
+}
+
+/// Routes `workload` with `router` (seeded) and measures everything.
+pub fn measure(router: &dyn ObliviousRouter, workload: &Workload, seed: u64) -> Measurement {
+    let mesh = router.mesh();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (paths, total_bits, max_bits) = route_all_metered(router, &workload.pairs, &mut rng);
+    let metrics = PathSetMetrics::measure(mesh, &paths);
+    let lower_bound = congestion_lower_bound(mesh, &workload.pairs);
+    let competitive = if lower_bound > 0.0 {
+        f64::from(metrics.congestion) / lower_bound
+    } else {
+        0.0
+    };
+    Measurement {
+        router: router.name(),
+        workload: workload.name.clone(),
+        packets: workload.len(),
+        metrics,
+        lower_bound,
+        competitive,
+        mean_bits: if workload.is_empty() {
+            0.0
+        } else {
+            total_bits as f64 / workload.len() as f64
+        },
+        max_bits,
+    }
+}
+
+/// Repeats [`measure`] with `trials` different seeds and keeps the
+/// worst-case congestion/stretch cell (the theorems are worst-case
+/// statements).
+pub fn measure_worst(
+    router: &dyn ObliviousRouter,
+    workload: &Workload,
+    seed: u64,
+    trials: u64,
+) -> Measurement {
+    let mut worst: Option<Measurement> = None;
+    for t in 0..trials.max(1) {
+        let m = measure(router, workload, seed.wrapping_add(t));
+        worst = Some(match worst {
+            None => m,
+            Some(w) => {
+                if m.metrics.congestion > w.metrics.congestion {
+                    m
+                } else {
+                    let mut w = w;
+                    w.metrics.max_stretch = w.metrics.max_stretch.max(m.metrics.max_stretch);
+                    w
+                }
+            }
+        });
+    }
+    worst.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivion_core::DimOrder;
+    use oblivion_mesh::Mesh;
+    use oblivion_workloads::transpose;
+
+    #[test]
+    fn measure_transpose_dim_order() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let router = DimOrder::new(mesh.clone());
+        let w = transpose(&mesh);
+        let m = measure(&router, &w, 1);
+        assert_eq!(m.packets, 64);
+        assert_eq!(m.metrics.max_stretch, 1.0); // shortest paths
+        assert!(m.metrics.congestion >= 7); // XY transpose hot row
+        assert!(m.lower_bound >= 1.0);
+        assert_eq!(m.mean_bits, 0.0);
+    }
+
+    #[test]
+    fn measure_stats_distribution() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let router = oblivion_core::Busch2D::new(mesh.clone());
+        let w = transpose(&mesh).without_self_loops();
+        let st = measure_stats(&router, &w, 1, 10);
+        assert_eq!(st.congestion.count, 10);
+        assert!(st.congestion.min <= st.congestion.median);
+        assert!(st.congestion.median <= st.congestion.max);
+        assert!(st.max_stretch.max <= 64.0);
+        assert!(st.lower_bound >= 1.0);
+    }
+
+    #[test]
+    fn measure_worst_nondecreasing() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let router = oblivion_core::Busch2D::new(mesh.clone());
+        let w = transpose(&mesh);
+        let one = measure(&router, &w, 3);
+        let worst = measure_worst(&router, &w, 3, 5);
+        assert!(worst.metrics.congestion >= one.metrics.congestion.min(worst.metrics.congestion));
+    }
+}

@@ -1,0 +1,17 @@
+//! # oblivion-bench
+//!
+//! The experiment harness regenerating every figure and quantitative claim
+//! of the paper (see DESIGN.md §6 for the experiment index E1–E12 and
+//! EXPERIMENTS.md for recorded results).
+//!
+//! Each experiment is a binary (`cargo run --release -p oblivion-bench
+//! --bin exp_…`) that prints a self-contained table; the
+//! [`harness`] module provides the shared measurement pipeline
+//! (workload → route → measure → compare against lower bounds), and
+//! [`table`] a dependency-free fixed-width table printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;

@@ -1,0 +1,148 @@
+//! Empirical κ-choice analysis (Section 5).
+//!
+//! The paper frames randomized oblivious algorithms as **κ-choice**: for
+//! each `(s, t)` the algorithm picks one of κ candidate paths under some
+//! distribution, paying `log κ` random bits. Lemma 5.3 shows any
+//! algorithm with congestion comparable to H needs
+//! `κ = Ω(ℓ/(d^{1+1/d}))`-many choices on distance-ℓ problems. This module
+//! estimates, by sampling, the *effective* choice count of a router on a
+//! pair: the support size and the Shannon entropy of its empirical path
+//! distribution — the operational side of the paper's counting argument.
+
+use crate::router::ObliviousRouter;
+use oblivion_mesh::Coord;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Empirical path-choice profile of a router on one `(s, t)` pair.
+#[derive(Debug, Clone)]
+pub struct ChoiceProfile {
+    /// Number of sampled paths.
+    pub samples: usize,
+    /// Number of distinct paths observed (a lower bound on κ).
+    pub support: usize,
+    /// Shannon entropy of the empirical distribution, in bits
+    /// (a lower bound estimate of the *useful* random bits spent).
+    pub entropy_bits: f64,
+    /// Empirical probability of the most likely path.
+    pub max_probability: f64,
+}
+
+impl ChoiceProfile {
+    /// Samples `samples` paths for `(s, t)` and summarizes the empirical
+    /// path distribution.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0`.
+    pub fn sample<R: ObliviousRouter + ?Sized>(
+        router: &R,
+        s: &Coord,
+        t: &Coord,
+        samples: usize,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert!(samples > 0);
+        let mut counts: HashMap<Vec<Coord>, usize> = HashMap::new();
+        for _ in 0..samples {
+            let p = router.select_path(s, t, rng).path;
+            *counts.entry(p.nodes().to_vec()).or_insert(0) += 1;
+        }
+        let n = samples as f64;
+        let mut entropy = 0.0;
+        let mut max_p = 0.0f64;
+        for &c in counts.values() {
+            let p = c as f64 / n;
+            entropy -= p * p.log2();
+            max_p = max_p.max(p);
+        }
+        Self {
+            samples,
+            support: counts.len(),
+            entropy_bits: entropy,
+            max_probability: max_p,
+        }
+    }
+
+    /// `log₂(support)`: the bits needed to index the observed choices.
+    pub fn log_support(&self) -> f64 {
+        (self.support as f64).log2()
+    }
+}
+
+/// Lemma 5.3's lower bound on the random bits per packet needed by *any*
+/// algorithm whose congestion matches H, for distance-`ℓ` problems on the
+/// `d`-dimensional mesh: `Ω((ℓ / d^{1+1/d}) → log of that many choices)`.
+/// Returned with unit constants (the paper's Ω hides them).
+pub fn bits_lower_bound(l: u64, d: usize) -> f64 {
+    let d_f = d as f64;
+    let choices = l as f64 / d_f.powf(1.0 + 1.0 / d_f);
+    choices.max(1.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Busch2D, DimOrder};
+    use oblivion_mesh::Mesh;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    #[test]
+    fn deterministic_router_has_one_choice() {
+        let mesh = Mesh::new_mesh(&[16, 16]);
+        let r = DimOrder::new(mesh);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ChoiceProfile::sample(&r, &c(0, 0), &c(9, 9), 100, &mut rng);
+        assert_eq!(p.support, 1);
+        assert_eq!(p.entropy_bits, 0.0);
+        assert_eq!(p.max_probability, 1.0);
+    }
+
+    #[test]
+    fn randomized_router_spreads_choices() {
+        let mesh = Mesh::new_mesh(&[32, 32]);
+        let r = Busch2D::new(mesh);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ChoiceProfile::sample(&r, &c(0, 0), &c(31, 31), 400, &mut rng);
+        assert!(p.support > 50, "support {}", p.support);
+        assert!(p.entropy_bits > 4.0, "entropy {}", p.entropy_bits);
+        assert!(p.max_probability < 0.2);
+    }
+
+    #[test]
+    fn entropy_grows_with_distance() {
+        let mesh = Mesh::new_mesh(&[64, 64]);
+        let r = Busch2D::new(mesh);
+        let mut rng = StdRng::seed_from_u64(3);
+        let near = ChoiceProfile::sample(&r, &c(10, 10), &c(11, 10), 300, &mut rng);
+        let far = ChoiceProfile::sample(&r, &c(0, 0), &c(63, 63), 300, &mut rng);
+        assert!(
+            far.entropy_bits > near.entropy_bits + 1.0,
+            "near {} far {}",
+            near.entropy_bits,
+            far.entropy_bits
+        );
+    }
+
+    #[test]
+    fn entropy_never_exceeds_log_support_or_sample_budget() {
+        let mesh = Mesh::new_mesh(&[16, 16]);
+        let r = Busch2D::new(mesh);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ChoiceProfile::sample(&r, &c(1, 1), &c(14, 2), 200, &mut rng);
+        assert!(p.entropy_bits <= p.log_support() + 1e-9);
+        assert!(p.entropy_bits <= (p.samples as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn lemma_5_3_bound_shape() {
+        // Grows with l, shrinks with d; floor at 0 bits.
+        assert!(bits_lower_bound(64, 2) > bits_lower_bound(8, 2));
+        assert!(bits_lower_bound(64, 2) > bits_lower_bound(64, 4));
+        assert_eq!(bits_lower_bound(1, 3), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline (non-oblivious) congestion-aware routing — the comparator the
+//! paper positions itself against.
+//!
+//! The paper's closing argument (Sections 1 and 6): offline algorithms
+//! [1, 2, 12, 13] can optimize `C + D` with full knowledge of the traffic,
+//! but "for the mesh, distributed and oblivious algorithms are within a
+//! logarithmic factor from the optimal offline performance, hence there is
+//! no significant benefit from using the offline algorithm." To make that
+//! claim measurable we need an actual offline competitor: this module
+//! implements the classic exponential-penalty heuristic (the practical
+//! face of the Raghavan–Thompson randomized-rounding / multiplicative-
+//! weights family): route packets sequentially by Dijkstra under edge
+//! weights that grow exponentially with current load, then locally improve
+//! by re-routing packets through their penalized shortest paths until no
+//! packet moves.
+//!
+//! The result is an *achievable* congestion, so it (upper-)brackets `C*`
+//! from the side the lower bounds cannot: `lb ≤ C* ≤ C(offline)`, and the
+//! oblivious ratio `C(H)/C(offline)` over-estimates the true competitive
+//! ratio by at most `C(offline)/C*`.
+
+use oblivion_mesh::{Coord, Mesh, NodeId, Path};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tuning for the offline heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct OfflineConfig {
+    /// Improvement sweeps after the initial sequential pass.
+    pub improvement_rounds: usize,
+    /// Exponent cap for the load penalty (prevents overflow; loads above
+    /// the cap all look equally terrible).
+    pub max_exponent: u32,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        Self {
+            improvement_rounds: 3,
+            max_exponent: 40,
+        }
+    }
+}
+
+/// Fixed-point edge cost: an edge at load `l` costs `2^min(l, cap)`,
+/// so a path through one hotter edge always costs more than any path
+/// through cooler edges — Dijkstra then greedily levels the load —
+/// plus 1 per hop to prefer short paths among equally-loaded routes.
+#[inline]
+fn edge_cost(load: u32, cap: u32) -> u64 {
+    1 + (1u64 << load.min(cap))
+}
+
+/// Dijkstra under penalized loads from `s` to `t`; returns the node path.
+fn penalized_shortest_path(
+    mesh: &Mesh,
+    loads: &[u32],
+    s: &Coord,
+    t: &Coord,
+    cap: u32,
+) -> Vec<Coord> {
+    let n = mesh.node_count();
+    let src = mesh.node_id(s).0;
+    let dst = mesh.node_id(t).0;
+    let mut dist = vec![u64::MAX; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        let cu = mesh.coord(NodeId(u));
+        for nb in mesh.neighbors(&cu) {
+            let v = mesh.node_id(&nb).0;
+            let e = mesh.edge_id(&cu, &nb).0;
+            let nd = d.saturating_add(edge_cost(loads[e], cap));
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    // Reconstruct.
+    let mut nodes = vec![*t];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        debug_assert_ne!(cur, usize::MAX, "mesh is connected");
+        nodes.push(mesh.coord(NodeId(cur)));
+    }
+    nodes.reverse();
+    nodes
+}
+
+/// Routes a whole problem offline, minimizing congestion greedily.
+///
+/// Returns one path per pair (same order). Not oblivious: every path may
+/// depend on every other packet — this is exactly the knowledge advantage
+/// the paper's oblivious algorithm competes against.
+pub fn route_min_congestion(
+    mesh: &Mesh,
+    pairs: &[(Coord, Coord)],
+    config: OfflineConfig,
+    rng: &mut dyn RngCore,
+) -> Vec<Path> {
+    let mut loads = vec![0u32; mesh.edge_count()];
+    let mut paths: Vec<Option<Path>> = vec![None; pairs.len()];
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.shuffle(rng);
+
+    let add = |p: &Path, loads: &mut [u32], mesh: &Mesh, delta: i64| {
+        for e in p.edge_ids(mesh) {
+            let l = &mut loads[e.0];
+            *l = (i64::from(*l) + delta) as u32;
+        }
+    };
+
+    // Initial sequential pass.
+    for &i in &order {
+        let (s, t) = &pairs[i];
+        if s == t {
+            paths[i] = Some(Path::trivial(*s));
+            continue;
+        }
+        let nodes = penalized_shortest_path(mesh, &loads, s, t, config.max_exponent);
+        let p = Path::new_unchecked(nodes);
+        add(&p, &mut loads, mesh, 1);
+        paths[i] = Some(p);
+    }
+
+    // Local improvement: re-route each packet against the others.
+    for _ in 0..config.improvement_rounds {
+        let mut moved = false;
+        for &i in &order {
+            let (s, t) = &pairs[i];
+            if s == t {
+                continue;
+            }
+            let old = paths[i].take().unwrap();
+            add(&old, &mut loads, mesh, -1);
+            let nodes = penalized_shortest_path(mesh, &loads, s, t, config.max_exponent);
+            let new = Path::new_unchecked(nodes);
+            if new != old {
+                moved = true;
+            }
+            add(&new, &mut loads, mesh, 1);
+            paths[i] = Some(new);
+        }
+        if !moved {
+            break;
+        }
+    }
+    paths.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    fn congestion(mesh: &Mesh, paths: &[Path]) -> u32 {
+        let mut loads = vec![0u32; mesh.edge_count()];
+        for p in paths {
+            for e in p.edge_ids(mesh) {
+                loads[e.0] += 1;
+            }
+        }
+        loads.into_iter().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn paths_are_valid_and_end_to_end() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pairs: Vec<_> = mesh
+            .coords()
+            .map(|p| (p, c(p[1], p[0])))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        assert_eq!(paths.len(), pairs.len());
+        for (p, (s, t)) in paths.iter().zip(&pairs) {
+            assert!(p.is_valid(&mesh));
+            assert_eq!((p.source(), p.target()), (s, t));
+        }
+    }
+
+    #[test]
+    fn beats_deterministic_on_transpose() {
+        let mesh = Mesh::new_mesh(&[16, 16]);
+        let pairs: Vec<_> = mesh
+            .coords()
+            .map(|p| (p, c(p[1], p[0])))
+            .filter(|(s, t)| s != t)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let offline = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        let off_c = congestion(&mesh, &offline);
+
+        let det = crate::DimOrder::new(mesh.clone());
+        let det_paths = crate::route_all(&det, &pairs, &mut rng);
+        let det_c = congestion(&mesh, &det_paths);
+        assert!(
+            off_c < det_c,
+            "offline {off_c} should beat deterministic {det_c} on transpose"
+        );
+    }
+
+    #[test]
+    fn single_packet_takes_shortest_path() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pairs = vec![(c(0, 0), c(5, 3))];
+        let mut rng = StdRng::seed_from_u64(3);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        assert_eq!(paths[0].len() as u64, mesh.dist(&c(0, 0), &c(5, 3)));
+    }
+
+    #[test]
+    fn parallel_disjoint_pairs_get_congestion_one() {
+        // 8 disjoint horizontal hops: the heuristic must not stack them.
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pairs: Vec<_> = (0..8).map(|y| (c(0, y), c(7, y))).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        assert_eq!(congestion(&mesh, &paths), 1);
+    }
+
+    #[test]
+    fn hotspot_spreads_over_all_incoming_links() {
+        // 4 packets into the center of a 5x5: a distinct last edge each.
+        let mesh = Mesh::new_mesh(&[5, 5]);
+        let tgt = c(2, 2);
+        let pairs = vec![
+            (c(0, 2), tgt),
+            (c(4, 2), tgt),
+            (c(2, 0), tgt),
+            (c(2, 4), tgt),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        assert_eq!(congestion(&mesh, &paths), 1);
+    }
+
+    #[test]
+    fn trivial_pairs_are_trivial() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let pairs = vec![(c(1, 1), c(1, 1))];
+        let mut rng = StdRng::seed_from_u64(6);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        assert!(paths[0].is_empty());
+    }
+
+    #[test]
+    fn works_on_torus() {
+        let mesh = Mesh::new_torus(&[8, 8]);
+        let pairs: Vec<_> = (0..8).map(|y| (c(0, y), c(7, y))).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
+        // Wrap links make these distance-1 pairs.
+        assert_eq!(congestion(&mesh, &paths), 1);
+        assert!(paths.iter().all(|p| p.len() == 1));
+    }
+}

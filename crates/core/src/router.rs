@@ -1,0 +1,68 @@
+//! The oblivious-router interface.
+
+use oblivion_mesh::{Coord, Mesh, Path};
+use rand::RngCore;
+
+/// A path together with the number of random bits spent selecting it.
+#[derive(Debug, Clone)]
+pub struct RoutedPath {
+    /// The selected packet path.
+    pub path: Path,
+    /// Random bits consumed (Section 5 accounting; 0 for deterministic
+    /// algorithms).
+    pub random_bits: u64,
+}
+
+/// An oblivious path-selection algorithm.
+///
+/// *Oblivious* means [`Self::select_path`] depends only on the single
+/// source/destination pair (plus private randomness) — never on other
+/// packets. All implementations in this crate uphold that by construction:
+/// they receive nothing but `(s, t, rng)`.
+pub trait ObliviousRouter {
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// The mesh this router routes on.
+    fn mesh(&self) -> &Mesh;
+
+    /// Selects a path from `s` to `t` using `rng` as the only source of
+    /// randomness. Must return a valid walk from `s` to `t`.
+    fn select_path(&self, s: &Coord, t: &Coord, rng: &mut dyn RngCore) -> RoutedPath;
+}
+
+/// Routes every pair of a routing problem, returning the selected paths.
+///
+/// This is the "time zero" moment of the synchronous model: all packets
+/// select paths simultaneously and independently.
+pub fn route_all<R: ObliviousRouter + ?Sized>(
+    router: &R,
+    pairs: &[(Coord, Coord)],
+    rng: &mut dyn RngCore,
+) -> Vec<Path> {
+    pairs
+        .iter()
+        .map(|(s, t)| router.select_path(s, t, rng).path)
+        .collect()
+}
+
+/// Like [`route_all`] but also returns total and maximum per-packet
+/// random-bit usage: `(paths, total_bits, max_bits)`.
+pub fn route_all_metered<R: ObliviousRouter + ?Sized>(
+    router: &R,
+    pairs: &[(Coord, Coord)],
+    rng: &mut dyn RngCore,
+) -> (Vec<Path>, u64, u64) {
+    let mut total = 0u64;
+    let mut max = 0u64;
+    let paths = pairs
+        .iter()
+        .map(|(s, t)| {
+            let rp = router.select_path(s, t, rng);
+            total += rp.random_bits;
+            max = max.max(rp.random_bits);
+            rp.path
+        })
+        .collect();
+    (paths, total, max)
+}

@@ -1,0 +1,261 @@
+//! The explicit **access graph** `G(M)` of Section 3.2.
+//!
+//! A leveled graph with `k+1` node levels; each node corresponds to a
+//! distinct regular submesh, and an edge joins a level-`l` node to a
+//! level-`l+1` node when the former's submesh completely contains the
+//! latter's. The graph is *not* a tree: a block can have two parents
+//! (one type-1, one shifted), which is exactly what enables short bridges.
+//!
+//! The routing algorithms never materialize this graph (they navigate it
+//! implicitly in `O(d)` per step); this module exists so the structural
+//! lemmas (3.1, 3.2) can be checked exhaustively on small meshes, and to
+//! render the paper's Figure 1.
+
+use crate::two_d::{Block2D, BlockType2D, Decomp2};
+use oblivion_mesh::{Coord, Submesh};
+use std::collections::HashMap;
+
+/// Index of a node in the access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgNode(pub usize);
+
+/// The explicit access graph of a 2-D decomposition.
+#[derive(Debug, Clone)]
+pub struct AccessGraph {
+    blocks: Vec<Block2D>,
+    /// children[v] = nodes one level deeper whose submesh v contains.
+    children: Vec<Vec<AgNode>>,
+    /// parents[v] = nodes one level higher containing v.
+    parents: Vec<Vec<AgNode>>,
+    /// Leaf lookup: mesh coordinate -> leaf node.
+    leaf_of: HashMap<Coord, AgNode>,
+    levels: u32,
+}
+
+impl AccessGraph {
+    /// Materializes the access graph for a 2-D decomposition.
+    ///
+    /// Memory is `Θ(n log n)`; intended for `k ≤ 6` (side ≤ 64).
+    pub fn build(decomp: &Decomp2) -> Self {
+        let mut blocks: Vec<Block2D> = Vec::new();
+        let mut by_level: Vec<Vec<AgNode>> = Vec::new();
+        for level in 0..=decomp.k() {
+            let mut ids = Vec::new();
+            for b in decomp.blocks(level) {
+                ids.push(AgNode(blocks.len()));
+                blocks.push(b);
+            }
+            by_level.push(ids);
+        }
+        let mut children = vec![Vec::new(); blocks.len()];
+        let mut parents = vec![Vec::new(); blocks.len()];
+        for level in 0..decomp.k() {
+            for &p in &by_level[level as usize] {
+                for &c in &by_level[level as usize + 1] {
+                    if blocks[p.0].submesh.contains_submesh(&blocks[c.0].submesh) {
+                        children[p.0].push(c);
+                        parents[c.0].push(p);
+                    }
+                }
+            }
+        }
+        let mut leaf_of = HashMap::new();
+        for &v in &by_level[decomp.k() as usize] {
+            leaf_of.insert(*blocks[v.0].submesh.lo(), v);
+        }
+        Self {
+            blocks,
+            children,
+            parents,
+            leaf_of,
+            levels: decomp.k() + 1,
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the graph has no nodes (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of levels (`k + 1`).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The block a node stands for.
+    pub fn block(&self, v: AgNode) -> &Block2D {
+        &self.blocks[v.0]
+    }
+
+    /// Parents (containing blocks one level up) of a node.
+    pub fn parents(&self, v: AgNode) -> &[AgNode] {
+        &self.parents[v.0]
+    }
+
+    /// Children (contained blocks one level down) of a node.
+    pub fn children(&self, v: AgNode) -> &[AgNode] {
+        &self.children[v.0]
+    }
+
+    /// The leaf for a mesh coordinate.
+    pub fn leaf(&self, c: &Coord) -> AgNode {
+        self.leaf_of[c]
+    }
+
+    /// The unique root (the whole mesh).
+    pub fn root(&self) -> AgNode {
+        AgNode(0)
+    }
+
+    /// Walks the **monotonic** type-1 chain from a leaf up to `top_level`,
+    /// returning nodes from the leaf (inclusive) to the level just below
+    /// `top_level`; all returned nodes are type-1.
+    pub fn monotonic_chain(&self, leaf: AgNode, top_level: u32) -> Vec<AgNode> {
+        let mut chain = vec![leaf];
+        let mut cur = leaf;
+        while self.blocks[cur.0].level > top_level + 1 {
+            let up = self
+                .parents(cur)
+                .iter()
+                .copied()
+                .find(|&p| self.blocks[p.0].kind == BlockType2D::Type1)
+                .expect("type-1 parent always exists");
+            chain.push(up);
+            cur = up;
+        }
+        chain
+    }
+
+    /// The **bitonic path** between two leaves: up the type-1 chain from
+    /// `u`, across the deepest common ancestor (the bridge), and down the
+    /// type-1 chain to `v`. Returns the submesh sequence the path
+    /// selection algorithm samples from (Section 3.3, line 3).
+    pub fn bitonic_path(&self, decomp: &Decomp2, s: &Coord, t: &Coord) -> Vec<Submesh> {
+        if s == t {
+            return vec![Submesh::point(*s)];
+        }
+        let (anc, _h) = decomp.deepest_common_ancestor(s, t);
+        let up = self.monotonic_chain(self.leaf(s), anc.level);
+        let down = self.monotonic_chain(self.leaf(t), anc.level);
+        let mut subs: Vec<Submesh> = up.iter().map(|&n| self.block(n).submesh).collect();
+        subs.push(anc.submesh);
+        subs.extend(down.iter().rev().map(|&n| self.block(n).submesh));
+        subs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    #[test]
+    fn build_counts_8x8() {
+        let d = Decomp2::new(3);
+        let g = AccessGraph::build(&d);
+        // type-1: 1 + 4 + 16 + 64 = 85
+        // type-2 level 1: 3x3 - 4 corners = 5; level 2: 5x5 - 4 = 21
+        assert_eq!(g.len(), 85 + 5 + 21);
+        assert_eq!(g.levels(), 4);
+    }
+
+    #[test]
+    fn root_is_whole_mesh_and_has_no_parents() {
+        let d = Decomp2::new(3);
+        let g = AccessGraph::build(&d);
+        let r = g.root();
+        assert_eq!(g.block(r).level, 0);
+        assert!(g.parents(r).is_empty());
+        assert_eq!(g.block(r).submesh.node_count(), 64);
+    }
+
+    /// Lemma 3.1(3) via the graph: every non-root *type-1* node has ≥ 1
+    /// parent (its type-1 parent) and at most 2 (plus at most one type-2
+    /// block, since type-2 blocks of a level are disjoint).
+    #[test]
+    fn parent_multiplicity() {
+        let d = Decomp2::new(4);
+        let g = AccessGraph::build(&d);
+        for v in 0..g.len() {
+            let v = AgNode(v);
+            if g.block(v).level == 0 {
+                continue;
+            }
+            let np = g.parents(v).len();
+            if g.block(v).kind == BlockType2D::Type1 {
+                assert!(np >= 1, "orphan {:?}", g.block(v));
+            }
+            assert!(np <= 2, "too many parents {:?}", g.block(v));
+        }
+    }
+
+    /// Some node must actually have two parents — the graph is not a tree.
+    #[test]
+    fn graph_is_not_a_tree() {
+        let d = Decomp2::new(3);
+        let g = AccessGraph::build(&d);
+        assert!((0..g.len()).any(|v| g.parents(AgNode(v)).len() == 2));
+    }
+
+    /// Lemma 3.2 via the graph: each leaf's type-1 chain reaches the root.
+    #[test]
+    fn monotonic_chain_reaches_root() {
+        let d = Decomp2::new(3);
+        let g = AccessGraph::build(&d);
+        let chain = g.monotonic_chain(g.leaf(&c(5, 6)), 0);
+        assert_eq!(chain.len(), 3); // levels 3, 2, 1
+        assert_eq!(g.block(*chain.last().unwrap()).level, 1);
+        for w in chain.windows(2) {
+            assert!(g
+                .block(w[1])
+                .submesh
+                .contains_submesh(&g.block(w[0]).submesh));
+        }
+    }
+
+    #[test]
+    fn bitonic_path_properties() {
+        let d = Decomp2::new(4);
+        let g = AccessGraph::build(&d);
+        let mesh = d.mesh();
+        let s = c(7, 7);
+        let t = c(8, 8);
+        let subs = g.bitonic_path(&d, &s, &t);
+        // Endpoints are the leaves.
+        assert_eq!(subs.first().unwrap(), &Submesh::point(s));
+        assert_eq!(subs.last().unwrap(), &Submesh::point(t));
+        // Sizes go up then down (bitonic).
+        let sizes: Vec<u64> = subs.iter().map(|b| b.node_count()).collect();
+        let peak = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .unwrap()
+            .0;
+        assert!(sizes[..=peak].windows(2).all(|w| w[0] < w[1]));
+        assert!(sizes[peak..].windows(2).all(|w| w[0] > w[1]));
+        // Consecutive blocks: one contains the other.
+        for w in subs.windows(2) {
+            assert!(w[0].contains_submesh(&w[1]) || w[1].contains_submesh(&w[0]));
+        }
+        // The peak is small thanks to the bridge: dist = 2, so height ≤ 3.
+        assert!(sizes[peak] <= 64, "bridge too large: {}", sizes[peak]);
+        let _ = mesh;
+    }
+
+    #[test]
+    fn bitonic_path_trivial_pair() {
+        let d = Decomp2::new(2);
+        let g = AccessGraph::build(&d);
+        let subs = g.bitonic_path(&d, &c(1, 1), &c(1, 1));
+        assert_eq!(subs.len(), 1);
+    }
+}

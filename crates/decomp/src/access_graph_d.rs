@@ -1,0 +1,209 @@
+//! The explicit access graph for the `d`-dimensional decomposition.
+//!
+//! The d-D analogue of [`crate::AccessGraph`]: one node per (level, shift
+//! type, block), edges by containment between adjacent levels. Used to
+//! validate the d-D structural facts on small meshes (the routers navigate
+//! the hierarchy implicitly and never build this).
+
+use crate::d_dim::DecompD;
+use oblivion_mesh::{Coord, Submesh};
+use std::collections::HashMap;
+
+/// Index of a node in the d-D access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgdNode(pub usize);
+
+/// A block in the d-D access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockD {
+    /// The nodes covered.
+    pub submesh: Submesh,
+    /// Level (0 = whole mesh).
+    pub level: u32,
+    /// Shift type (1 = unshifted).
+    pub shift_type: u32,
+}
+
+/// The materialized access graph of a [`DecompD`].
+#[derive(Debug, Clone)]
+pub struct AccessGraphD {
+    blocks: Vec<BlockD>,
+    children: Vec<Vec<AgdNode>>,
+    parents: Vec<Vec<AgdNode>>,
+    leaf_of: HashMap<Coord, AgdNode>,
+}
+
+impl AccessGraphD {
+    /// Materializes the graph. Memory is `Θ(n·d·log n)`; intended for
+    /// `n ≲ 4096`.
+    pub fn build(decomp: &DecompD) -> Self {
+        let mut blocks: Vec<BlockD> = Vec::new();
+        let mut by_level: Vec<Vec<AgdNode>> = Vec::new();
+        for level in 0..=decomp.k() {
+            let mut ids = Vec::new();
+            let mut seen: HashMap<Submesh, ()> = HashMap::new();
+            for j in 1..=decomp.num_types(level) {
+                for submesh in decomp.blocks_at(level, j) {
+                    // Distinct submeshes only (clipped shifted blocks can
+                    // coincide across types at the borders).
+                    if seen.insert(submesh, ()).is_some() {
+                        continue;
+                    }
+                    ids.push(AgdNode(blocks.len()));
+                    blocks.push(BlockD {
+                        submesh,
+                        level,
+                        shift_type: j,
+                    });
+                }
+            }
+            by_level.push(ids);
+        }
+        let mut children = vec![Vec::new(); blocks.len()];
+        let mut parents = vec![Vec::new(); blocks.len()];
+        for level in 0..decomp.k() {
+            for &p in &by_level[level as usize] {
+                for &c in &by_level[level as usize + 1] {
+                    if blocks[p.0].submesh.contains_submesh(&blocks[c.0].submesh) {
+                        children[p.0].push(c);
+                        parents[c.0].push(p);
+                    }
+                }
+            }
+        }
+        let mut leaf_of = HashMap::new();
+        for &v in &by_level[decomp.k() as usize] {
+            if blocks[v.0].shift_type == 1 {
+                leaf_of.insert(*blocks[v.0].submesh.lo(), v);
+            }
+        }
+        Self {
+            blocks,
+            children,
+            parents,
+            leaf_of,
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when empty (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block a node stands for.
+    pub fn block(&self, v: AgdNode) -> &BlockD {
+        &self.blocks[v.0]
+    }
+
+    /// Parents of a node.
+    pub fn parents(&self, v: AgdNode) -> &[AgdNode] {
+        &self.parents[v.0]
+    }
+
+    /// Children of a node.
+    pub fn children(&self, v: AgdNode) -> &[AgdNode] {
+        &self.children[v.0]
+    }
+
+    /// The leaf node of a mesh coordinate.
+    pub fn leaf(&self, c: &Coord) -> AgdNode {
+        self.leaf_of[c]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = AgdNode> {
+        (0..self.blocks.len()).map(AgdNode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counts_2d_k2() {
+        // 4x4, d=2: tau=4; level 0: types {1..4}, level 1 (side 2):
+        // lambda=1, 2 distinct... num_types = min(2, 4) = 2; level 2 leaves.
+        let dd = DecompD::new(2, 2);
+        let g = AccessGraphD::build(&dd);
+        assert!(g.len() > 16); // at least the leaves
+        // Leaves resolve for every coordinate.
+        let mesh = dd.mesh();
+        for c in mesh.coords() {
+            let leaf = g.leaf(&c);
+            assert_eq!(g.block(leaf).submesh, Submesh::point(c));
+        }
+    }
+
+    /// Every type-1 non-root block has a type-1 parent (the monotonic
+    /// chains of Lemma 3.2 exist), and every node's parent really contains
+    /// it.
+    #[test]
+    fn type1_chain_exists_in_graph() {
+        for (d, k) in [(2usize, 3u32), (3, 2)] {
+            let dd = DecompD::new(d, k);
+            let g = AccessGraphD::build(&dd);
+            for v in g.nodes() {
+                let b = g.block(v);
+                for &p in g.parents(v) {
+                    assert!(g.block(p).submesh.contains_submesh(&b.submesh));
+                    assert_eq!(g.block(p).level + 1, b.level);
+                }
+                if b.shift_type == 1 && b.level > 0 {
+                    assert!(
+                        g.parents(v)
+                            .iter()
+                            .any(|&p| g.block(p).shift_type == 1),
+                        "type-1 block without type-1 parent: {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The graph is a DAG with a unique root and is genuinely not a tree.
+    #[test]
+    fn dag_shape() {
+        let dd = DecompD::new(2, 3);
+        let g = AccessGraphD::build(&dd);
+        let roots: Vec<_> = g.nodes().filter(|&v| g.parents(v).is_empty() && g.block(v).level == 0).collect();
+        assert!(!roots.is_empty());
+        // The unshifted root is the whole mesh.
+        assert!(roots
+            .iter()
+            .any(|&v| g.block(v).submesh.node_count() as usize == dd.mesh().node_count()));
+        // Some node has >= 2 parents.
+        assert!(g.nodes().any(|v| g.parents(v).len() >= 2));
+    }
+
+    /// Children of a type-1 block of the same family tile it exactly.
+    #[test]
+    fn type1_children_partition() {
+        let dd = DecompD::new(2, 3);
+        let g = AccessGraphD::build(&dd);
+        for v in g.nodes() {
+            let b = g.block(v);
+            if b.shift_type != 1 || b.level >= dd.k() {
+                continue;
+            }
+            let covered: u64 = g
+                .children(v)
+                .iter()
+                .filter(|&&c| {
+                    let cb = g.block(c);
+                    // type-1 children aligned to the child grid
+                    cb.submesh.lo().as_slice().iter().all(|&x| {
+                        x % dd.block_side(b.level + 1) == 0
+                    })
+                })
+                .map(|&c| g.block(c).submesh.node_count())
+                .sum();
+            assert!(covered >= b.submesh.node_count(), "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! ASCII renderings of the decompositions — the paper's Figures 1 and 2.
+//!
+//! Each node of (a 2-D slice of) the mesh is drawn as a small cell; block
+//! boundaries are drawn with `+`, `-`, `|`. This is deliberately plain
+//! ASCII so the output can be embedded in docs and diffed in tests.
+
+use crate::d_dim::DecompD;
+use crate::torus::TorusDecomp;
+use crate::two_d::Decomp2;
+use oblivion_mesh::{Coord, Submesh};
+
+/// Renders a set of blocks over an `side × side` grid.
+///
+/// `project` maps a 2-D grid point to the coordinate looked up in the
+/// blocks, letting the caller render an axis-aligned slice of a
+/// higher-dimensional decomposition.
+fn render_blocks(side: u32, blocks: &[Submesh], project: impl Fn(u32, u32) -> Coord) -> String {
+    let find = |x: u32, y: u32| -> Option<usize> {
+        let c = project(x, y);
+        blocks.iter().position(|b| b.contains(&c))
+    };
+    let mut out = String::new();
+    // Each cell is 2 chars wide; borders add 1 char/line per boundary.
+    for y in 0..side {
+        // Top border of row y.
+        out.push('+');
+        for x in 0..side {
+            let here = find(x, y);
+            let above = if y == 0 { None } else { find(x, y.wrapping_sub(1)) };
+            let sep = y == 0 || here != above || here.is_none();
+            out.push_str(if sep { "--" } else { "  " });
+            out.push('+');
+        }
+        out.push('\n');
+        // Cell row.
+        for x in 0..side {
+            let here = find(x, y);
+            let left = if x == 0 { None } else { find(x.wrapping_sub(1), y) };
+            let sep = x == 0 || here != left || here.is_none();
+            out.push(if sep { '|' } else { ' ' });
+            out.push_str(match here {
+                Some(_) => "  ",
+                None => "..",
+            });
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    // Bottom border.
+    out.push('+');
+    for _ in 0..side {
+        out.push_str("--+");
+    }
+    out.push('\n');
+    out
+}
+
+/// Figure 1, left column: type-1 blocks of a 2-D decomposition at `level`.
+pub fn render_2d_type1(decomp: &Decomp2, level: u32) -> String {
+    render_blocks(decomp.side(), &decomp.type1_blocks(level), |x, y| {
+        Coord::new(&[x, y])
+    })
+}
+
+/// Figure 1, right column: type-2 blocks at `level` (`..` marks nodes in
+/// discarded corner regions, which belong to no type-2 block).
+pub fn render_2d_type2(decomp: &Decomp2, level: u32) -> String {
+    render_blocks(decomp.side(), &decomp.type2_blocks(level), |x, y| {
+        Coord::new(&[x, y])
+    })
+}
+
+/// Figure 2: a 2-D slice (fixing all axes beyond the first two at
+/// `slice_coord`) of the type-`j` blocks of a d-D decomposition at `level`.
+pub fn render_d_slice(decomp: &DecompD, level: u32, j: u32, slice_coord: u32) -> String {
+    let d = decomp.d();
+    render_blocks(decomp.side(), &decomp.blocks_at(level, j), move |x, y| {
+        let mut xs = vec![slice_coord; d];
+        xs[0] = x;
+        if d > 1 {
+            xs[1] = y;
+        }
+        Coord::new(&xs)
+    })
+}
+
+/// A 2-D slice of the torus decomposition's type-`j` family at `level`.
+///
+/// Wrapping blocks appear split across the page edges — the give-away
+/// that the family tiles the torus, not the mesh.
+pub fn render_torus_slice(decomp: &TorusDecomp, level: u32, j: u32, slice_coord: u32) -> String {
+    let d = decomp.d();
+    let side = decomp.side();
+    // Identify each cell by its block anchor (blocks are anchor-unique).
+    let block_of = move |x: u32, y: u32| -> Coord {
+        let mut xs = vec![slice_coord; d];
+        xs[0] = x;
+        if d > 1 {
+            xs[1] = y;
+        }
+        *decomp.block(level, j, &Coord::new(&xs)).anchor()
+    };
+    let mut out = String::new();
+    for y in 0..side {
+        out.push('+');
+        for x in 0..side {
+            let sep = y == 0 || block_of(x, y) != block_of(x, y - 1);
+            out.push_str(if sep { "--" } else { "  " });
+            out.push('+');
+        }
+        out.push('\n');
+        for x in 0..side {
+            let sep = x == 0 || block_of(x, y) != block_of(x - 1, y);
+            out.push(if sep { '|' } else { ' ' });
+            out.push_str("  ");
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    out.push('+');
+    for _ in 0..side {
+        out.push_str("--+");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type1_level1_of_4x4_is_quadrants() {
+        let d = Decomp2::new(2);
+        let s = render_2d_type1(&d, 1);
+        let expected = "\
++--+--+--+--+
+|     |     |
++  +  +  +  +
+|     |     |
++--+--+--+--+
+|     |     |
++  +  +  +  +
+|     |     |
++--+--+--+--+
+";
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn type2_level1_of_4x4_shows_corners() {
+        let d = Decomp2::new(2);
+        let s = render_2d_type2(&d, 1);
+        // Corners (0,0), (0,3), (3,0), (3,3) are unowned → drawn "..".
+        assert!(s.contains(".."));
+        let dots = s.matches("..").count();
+        assert_eq!(dots, 4);
+    }
+
+    #[test]
+    fn torus_slice_renders_and_wraps() {
+        let dd = TorusDecomp::new(2, 3);
+        // A shifted family at level 1 (side-4 blocks, lambda 1): type 2
+        // blocks wrap across the page edge.
+        let s = render_torus_slice(&dd, 1, 2, 0);
+        assert!(!s.is_empty());
+        // The first cell row must have an interior opening (a wrapped
+        // block continues over the boundary, so not every border cell
+        // starts a new block).
+        let first_links = s.lines().next().unwrap();
+        assert!(first_links.contains("--"));
+    }
+
+    #[test]
+    fn d_slice_renders() {
+        let dd = DecompD::new(3, 2);
+        for j in 1..=dd.num_types(1) {
+            let s = render_d_slice(&dd, 1, j, 0);
+            assert!(!s.is_empty());
+            // Every cell is owned by some block (d-D keeps clipped blocks).
+            assert!(!s.contains(".."), "type {j}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the hierarchical decompositions — the structural
+//! lemmas of Sections 3.1 and 4.1 under randomized inputs.
+
+use oblivion_decomp::{Decomp2, DecompD};
+use oblivion_mesh::{Coord, Submesh};
+use proptest::prelude::*;
+
+/// Strategy: (k, two distinct points) on the 2^k x 2^k mesh, k in 1..=7.
+fn two_d_points() -> impl Strategy<Value = (u32, Coord, Coord)> {
+    (1u32..=7).prop_flat_map(|k| {
+        let side = 1u32 << k;
+        (Just(k), 0..side, 0..side, 0..side, 0..side).prop_filter_map(
+            "distinct",
+            |(k, x1, y1, x2, y2)| {
+                let s = Coord::new(&[x1, y1]);
+                let t = Coord::new(&[x2, y2]);
+                (s != t).then_some((k, s, t))
+            },
+        )
+    })
+}
+
+/// Strategy: (d, k, two distinct points) with n <= 4^6.
+fn d_dim_points() -> impl Strategy<Value = (usize, u32, Coord, Coord)> {
+    (1usize..=4, 1u32..=6)
+        .prop_filter("size cap", |(d, k)| d * (*k as usize) <= 12)
+        .prop_flat_map(|(d, k)| {
+            let side = 1u32 << k;
+            (
+                Just(d),
+                Just(k),
+                prop::collection::vec(0..side, d),
+                prop::collection::vec(0..side, d),
+            )
+                .prop_filter_map("distinct", |(d, k, a, b)| {
+                    let s = Coord::new(&a);
+                    let t = Coord::new(&b);
+                    (s != t).then_some((d, k, s, t))
+                })
+        })
+}
+
+proptest! {
+    /// Lemma 3.3: DCA height <= ceil(log2 dist) + 2, and the DCA contains
+    /// both endpoints.
+    #[test]
+    fn dca_height_bound((k, s, t) in two_d_points()) {
+        let d = Decomp2::new(k);
+        let mesh = d.mesh();
+        let dist = mesh.dist(&s, &t);
+        let (blk, h) = d.deepest_common_ancestor(&s, &t);
+        prop_assert!(blk.submesh.contains(&s));
+        prop_assert!(blk.submesh.contains(&t));
+        let bound = ((dist as f64).log2().ceil() as u32 + 2).min(k);
+        prop_assert!(h <= bound, "h={h} bound={bound} dist={dist}");
+    }
+
+    /// The type-1 and type-2 lookups return blocks containing the query
+    /// point, with the right side lengths and grid alignment.
+    #[test]
+    fn two_d_lookup_consistent((k, s, _t) in two_d_points(), level_pick in 0u32..8) {
+        let d = Decomp2::new(k);
+        let level = level_pick % (k + 1);
+        let b1 = d.type1_block(level, &s);
+        prop_assert!(b1.contains(&s));
+        prop_assert_eq!(b1.side(0), d.block_side(level));
+        prop_assert_eq!(b1.lo()[0] % d.block_side(level), 0);
+        if let Some(b2) = d.type2_block(level, &s) {
+            prop_assert!(b2.contains(&s));
+            prop_assert!(b2.max_side() <= d.block_side(level));
+            prop_assert!(b2.min_side() >= d.block_side(level) / 2);
+            // Aligned to the level+1 type-1 grid (Lemma 3.1(2)).
+            let child = d.block_side(level + 1);
+            for i in 0..2 {
+                prop_assert_eq!(b2.lo()[i] % child, 0);
+                prop_assert_eq!((b2.hi()[i] + 1) % child, 0);
+            }
+        }
+    }
+
+    /// d-D: every block lookup contains its point; same-type blocks of a
+    /// level are disjoint (two lookups agree or the blocks are equal).
+    #[test]
+    fn d_dim_lookup_consistent((d, k, s, t) in d_dim_points(), level_pick in 0u32..8, j_pick in 0u32..16) {
+        let dd = DecompD::new(d, k);
+        let level = level_pick % (k + 1);
+        let j = 1 + (j_pick % dd.num_types(level));
+        let bs = dd.block(level, j, &s);
+        let bt = dd.block(level, j, &t);
+        prop_assert!(bs.contains(&s));
+        prop_assert!(bt.contains(&t));
+        if bs.contains(&t) {
+            prop_assert_eq!(bs, bt);
+        }
+    }
+
+    /// Lemma 4.1 / find_bridge invariants: the plan's blocks contain what
+    /// they must; bridge side is bounded by 8(d+1)·dist or the root; the
+    /// appendix condition (iii) holds off the root.
+    #[test]
+    fn bridge_plan_invariants((d, k, s, t) in d_dim_points()) {
+        let dd = DecompD::new(d, k);
+        let mesh = dd.mesh();
+        let dist = mesh.dist(&s, &t);
+        let plan = dd.find_bridge(&mesh, &s, &t);
+        prop_assert!(plan.m1.contains(&s));
+        prop_assert!(plan.m3.contains(&t));
+        prop_assert!(plan.bridge.contains_submesh(&plan.m1));
+        prop_assert!(plan.bridge.contains_submesh(&plan.m3));
+        if plan.bridge_height < dd.k() {
+            let bside = u64::from(dd.block_side(dd.k() - plan.bridge_height));
+            prop_assert!(bside <= 8 * (d as u64 + 1) * dist,
+                "bridge side {bside} vs dist {dist}");
+            if plan.m1 != plan.m3 {
+                prop_assert!(u64::from(plan.bridge.min_side())
+                    >= 2 * u64::from(plan.m1.max_side()));
+            }
+        }
+        // M1/M3 side ~ dist: at most 2^{ĥ} <= 2·dist.
+        prop_assert!(u64::from(plan.m1.max_side()) <= 2 * dist.max(1));
+    }
+
+    /// Type-1 blocks nest along levels (monotonic chains exist).
+    #[test]
+    fn type1_blocks_nest((d, k, s, _t) in d_dim_points()) {
+        let dd = DecompD::new(d, k);
+        let mut prev: Option<Submesh> = None;
+        for level in (0..=k).rev() {
+            let b = dd.type1_block(level, &s);
+            if let Some(p) = prev {
+                prop_assert!(b.contains_submesh(&p), "level {level}");
+            }
+            prev = Some(b);
+        }
+    }
+}

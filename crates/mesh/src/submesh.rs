@@ -1,0 +1,372 @@
+//! Axis-aligned submeshes `M' ⊆ M`.
+//!
+//! The paper refers to submeshes by their end points in every dimension,
+//! e.g. `[0,3][2,5]` is the 4×4 submesh with x ∈ [0,3] and y ∈ [2,5]
+//! (Section 2). Bounds here are inclusive, matching that notation.
+
+use crate::coord::Coord;
+use crate::mesh::{Mesh, Topology};
+use rand::Rng;
+
+/// An axis-aligned box of mesh nodes, with inclusive bounds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Submesh {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl std::fmt::Debug for Submesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.lo.dim() {
+            write!(f, "[{},{}]", self.lo[i], self.hi[i])?;
+        }
+        Ok(())
+    }
+}
+
+impl Submesh {
+    /// Creates a submesh from inclusive corner coordinates.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ or `lo[i] > hi[i]` for some axis.
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        assert_eq!(lo.dim(), hi.dim(), "corner dimensions differ");
+        for i in 0..lo.dim() {
+            assert!(lo[i] <= hi[i], "empty extent on axis {i}: [{},{}]", lo[i], hi[i]);
+        }
+        Self { lo, hi }
+    }
+
+    /// The single-node submesh `{c}`.
+    pub fn point(c: Coord) -> Self {
+        Self { lo: c, hi: c }
+    }
+
+    /// The whole mesh as a submesh.
+    pub fn whole(mesh: &Mesh) -> Self {
+        let mut hi = Coord::origin(mesh.dim());
+        for i in 0..mesh.dim() {
+            hi[i] = mesh.side(i) - 1;
+        }
+        Self {
+            lo: Coord::origin(mesh.dim()),
+            hi,
+        }
+    }
+
+    /// Lower (inclusive) corner.
+    #[inline]
+    pub fn lo(&self) -> &Coord {
+        &self.lo
+    }
+
+    /// Upper (inclusive) corner.
+    #[inline]
+    pub fn hi(&self) -> &Coord {
+        &self.hi
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// Side length along `axis` (inclusive extent).
+    #[inline]
+    pub fn side(&self, axis: usize) -> u32 {
+        self.hi[axis] - self.lo[axis] + 1
+    }
+
+    /// Smallest side length over all axes.
+    #[inline]
+    pub fn min_side(&self) -> u32 {
+        (0..self.dim()).map(|i| self.side(i)).min().unwrap()
+    }
+
+    /// Largest side length over all axes.
+    #[inline]
+    pub fn max_side(&self) -> u32 {
+        (0..self.dim()).map(|i| self.side(i)).max().unwrap()
+    }
+
+    /// Number of nodes contained.
+    pub fn node_count(&self) -> u64 {
+        (0..self.dim()).map(|i| u64::from(self.side(i))).product()
+    }
+
+    /// True if the coordinate lies inside.
+    #[inline]
+    pub fn contains(&self, c: &Coord) -> bool {
+        debug_assert_eq!(c.dim(), self.dim());
+        (0..self.dim()).all(|i| self.lo[i] <= c[i] && c[i] <= self.hi[i])
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_submesh(&self, other: &Submesh) -> bool {
+        self.contains(&other.lo) && self.contains(&other.hi)
+    }
+
+    /// Intersection with another submesh, if non-empty.
+    pub fn intersection(&self, other: &Submesh) -> Option<Submesh> {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut lo = Coord::origin(self.dim());
+        let mut hi = Coord::origin(self.dim());
+        for i in 0..self.dim() {
+            let l = self.lo[i].max(other.lo[i]);
+            let h = self.hi[i].min(other.hi[i]);
+            if l > h {
+                return None;
+            }
+            lo[i] = l;
+            hi[i] = h;
+        }
+        Some(Submesh::new(lo, hi))
+    }
+
+    /// A node sampled uniformly at random from the submesh.
+    ///
+    /// This is the raw-`Rng` convenience; the routing algorithms use
+    /// bit-metered sampling from `oblivion-core` instead so that the random
+    /// bit counts of Section 5 can be reported exactly.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Coord {
+        let mut c = self.lo;
+        for i in 0..self.dim() {
+            c[i] = rng.gen_range(self.lo[i]..=self.hi[i]);
+        }
+        c
+    }
+
+    /// Iterator over all contained coordinates, row-major.
+    pub fn nodes(&self) -> SubmeshNodes {
+        SubmeshNodes {
+            sub: *self,
+            next: Some(self.lo),
+        }
+    }
+
+    /// The bounding box of two coordinates: the region `R` of Lemma 4.1.
+    pub fn bounding_box(a: &Coord, b: &Coord) -> Submesh {
+        assert_eq!(a.dim(), b.dim());
+        let mut lo = Coord::origin(a.dim());
+        let mut hi = Coord::origin(a.dim());
+        for i in 0..a.dim() {
+            lo[i] = a[i].min(b[i]);
+            hi[i] = a[i].max(b[i]);
+        }
+        Submesh::new(lo, hi)
+    }
+
+    /// `out(M')`: the number of links connecting a node inside the submesh
+    /// with a node outside it (Section 2).
+    ///
+    /// Computed in closed form per axis: each face that is not flush with a
+    /// mesh boundary (or that has a wrap link, on the torus) contributes
+    /// `∏_{j≠i} side(j)` outgoing links.
+    pub fn out_edges(&self, mesh: &Mesh) -> u64 {
+        debug_assert_eq!(self.dim(), mesh.dim());
+        let mut total = 0u64;
+        for axis in 0..self.dim() {
+            let m = mesh.side(axis);
+            if self.side(axis) == m {
+                // Spans the whole dimension: no crossing links along it.
+                continue;
+            }
+            let face: u64 = (0..self.dim())
+                .filter(|&j| j != axis)
+                .map(|j| u64::from(self.side(j)))
+                .product();
+            let mut faces = 0u64;
+            match mesh.topology() {
+                Topology::Mesh => {
+                    if self.lo[axis] > 0 {
+                        faces += 1;
+                    }
+                    if self.hi[axis] + 1 < m {
+                        faces += 1;
+                    }
+                }
+                Topology::Torus => {
+                    // Not spanning the full dimension, so both directed
+                    // faces leave the submesh. For m == 2 the two faces
+                    // reach the *same* single link, counted once.
+                    faces = if m == 2 { 1 } else { 2 };
+                }
+            }
+            total += faces * face;
+        }
+        total
+    }
+}
+
+/// Row-major iterator over the coordinates of a [`Submesh`].
+pub struct SubmeshNodes {
+    sub: Submesh,
+    next: Option<Coord>,
+}
+
+impl Iterator for SubmeshNodes {
+    type Item = Coord;
+
+    fn next(&mut self) -> Option<Coord> {
+        let cur = self.next?;
+        // Advance like an odometer, last axis fastest (row-major).
+        let mut nxt = cur;
+        let d = self.sub.dim();
+        let mut axis = d;
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            if nxt[axis] < self.sub.hi[axis] {
+                nxt[axis] += 1;
+                for a in axis + 1..d {
+                    nxt[a] = self.sub.lo[a];
+                }
+                self.next = Some(nxt);
+                break;
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sm(lo: &[u32], hi: &[u32]) -> Submesh {
+        Submesh::new(Coord::new(lo), Coord::new(hi))
+    }
+
+    #[test]
+    fn sides_and_counts() {
+        let s = sm(&[0, 2], &[3, 5]);
+        assert_eq!(s.side(0), 4);
+        assert_eq!(s.side(1), 4);
+        assert_eq!(s.node_count(), 16);
+        assert_eq!(s.min_side(), 4);
+    }
+
+    #[test]
+    fn containment() {
+        let s = sm(&[1, 1], &[2, 2]);
+        assert!(s.contains(&Coord::new(&[1, 2])));
+        assert!(!s.contains(&Coord::new(&[0, 2])));
+        assert!(s.contains_submesh(&sm(&[1, 1], &[2, 1])));
+        assert!(!s.contains_submesh(&sm(&[1, 1], &[3, 2])));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = sm(&[0, 0], &[3, 3]);
+        let b = sm(&[2, 2], &[5, 5]);
+        assert_eq!(a.intersection(&b), Some(sm(&[2, 2], &[3, 3])));
+        let c = sm(&[4, 4], &[5, 5]);
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn node_iteration_is_exhaustive_row_major() {
+        let s = sm(&[1, 0], &[2, 1]);
+        let v: Vec<_> = s.nodes().collect();
+        assert_eq!(
+            v,
+            vec![
+                Coord::new(&[1, 0]),
+                Coord::new(&[1, 1]),
+                Coord::new(&[2, 0]),
+                Coord::new(&[2, 1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn point_iteration() {
+        let s = Submesh::point(Coord::new(&[2, 2]));
+        assert_eq!(s.nodes().count(), 1);
+    }
+
+    #[test]
+    fn random_node_is_inside() {
+        let s = sm(&[2, 3, 1], &[5, 9, 1]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(s.contains(&s.random_node(&mut rng)));
+        }
+    }
+
+    /// Brute-force count of outgoing links for cross-checking the formula.
+    fn brute_out(sub: &Submesh, mesh: &Mesh) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        for c in sub.nodes() {
+            for nb in mesh.neighbors(&c) {
+                if !sub.contains(&nb) {
+                    seen.insert(mesh.edge_id(&c, &nb));
+                }
+            }
+        }
+        seen.len() as u64
+    }
+
+    #[test]
+    fn out_edges_matches_brute_force_mesh() {
+        let mesh = Mesh::new_mesh(&[6, 6]);
+        for sub in [
+            sm(&[0, 0], &[2, 2]),
+            sm(&[1, 1], &[4, 4]),
+            sm(&[0, 0], &[5, 5]),
+            sm(&[0, 2], &[5, 3]),
+            sm(&[3, 3], &[3, 3]),
+        ] {
+            assert_eq!(sub.out_edges(&mesh), brute_out(&sub, &mesh), "{sub:?}");
+        }
+    }
+
+    #[test]
+    fn out_edges_matches_brute_force_torus() {
+        let mesh = Mesh::new_torus(&[6, 6]);
+        for sub in [
+            sm(&[0, 0], &[2, 2]),
+            sm(&[1, 1], &[4, 4]),
+            sm(&[0, 0], &[5, 5]),
+            sm(&[0, 2], &[5, 3]),
+        ] {
+            assert_eq!(sub.out_edges(&mesh), brute_out(&sub, &mesh), "{sub:?}");
+        }
+    }
+
+    #[test]
+    fn out_edges_torus_side_two() {
+        let mesh = Mesh::new_torus(&[2, 4]);
+        let sub = sm(&[0, 0], &[0, 3]); // one ring
+        assert_eq!(sub.out_edges(&mesh), brute_out(&sub, &mesh));
+    }
+
+    #[test]
+    fn out_edges_3d() {
+        let mesh = Mesh::new_mesh(&[4, 4, 4]);
+        let sub = sm(&[1, 1, 1], &[2, 2, 2]);
+        assert_eq!(sub.out_edges(&mesh), brute_out(&sub, &mesh));
+        assert_eq!(sub.out_edges(&mesh), 6 * 4); // cube surface
+    }
+
+    #[test]
+    fn bounding_box() {
+        let r = Submesh::bounding_box(&Coord::new(&[5, 1]), &Coord::new(&[2, 4]));
+        assert_eq!(r, sm(&[2, 1], &[5, 4]));
+    }
+
+    #[test]
+    fn whole_mesh() {
+        let mesh = Mesh::new_mesh(&[3, 5]);
+        let w = Submesh::whole(&mesh);
+        assert_eq!(w.node_count() as usize, mesh.node_count());
+        assert_eq!(w.out_edges(&mesh), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Edge-congestion accounting.
+
+use oblivion_mesh::{Mesh, Path};
+
+/// Per-edge load counters for a set of paths.
+#[derive(Debug, Clone)]
+pub struct EdgeLoads {
+    loads: Vec<u32>,
+}
+
+impl EdgeLoads {
+    /// Counts how many paths use each undirected edge.
+    pub fn from_paths<'a>(mesh: &Mesh, paths: impl IntoIterator<Item = &'a Path>) -> Self {
+        let mut loads = vec![0u32; mesh.edge_count()];
+        for p in paths {
+            for e in p.edge_ids(mesh) {
+                loads[e.0] += 1;
+            }
+        }
+        Self { loads }
+    }
+
+    /// The congestion `C`: the maximum load over all edges.
+    pub fn congestion(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean load over all edges (including unused ones).
+    pub fn mean_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            return 0.0;
+        }
+        self.loads.iter().map(|&l| f64::from(l)).sum::<f64>() / self.loads.len() as f64
+    }
+
+    /// Number of edges carrying at least one path.
+    pub fn used_edges(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0).count()
+    }
+
+    /// The raw per-edge loads, indexed by `EdgeId`.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Load histogram: `hist[load] = number of edges with that load`.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.congestion() as usize + 1];
+        for &l in &self.loads {
+            hist[l as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Summary statistics for a routed path set.
+///
+/// ```
+/// use oblivion_mesh::{Coord, Mesh, Path};
+/// use oblivion_metrics::PathSetMetrics;
+///
+/// let mesh = Mesh::new_mesh(&[4, 4]);
+/// let p = Path::new(&mesh, vec![
+///     Coord::new(&[0, 0]), Coord::new(&[0, 1]), Coord::new(&[1, 1]),
+/// ]);
+/// let m = PathSetMetrics::measure(&mesh, &[p]);
+/// assert_eq!(m.congestion, 1);
+/// assert_eq!(m.dilation, 2);
+/// assert_eq!(m.c_plus_d(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSetMetrics {
+    /// Congestion `C` (max edge load).
+    pub congestion: u32,
+    /// Dilation `D` (max path length).
+    pub dilation: usize,
+    /// Maximum stretch over the paths.
+    pub max_stretch: f64,
+    /// Mean stretch over non-trivial paths.
+    pub mean_stretch: f64,
+    /// Total links used, `Σ|p|`.
+    pub total_length: u64,
+    /// Number of paths.
+    pub count: usize,
+}
+
+impl PathSetMetrics {
+    /// Measures a path set.
+    pub fn measure(mesh: &Mesh, paths: &[Path]) -> Self {
+        let congestion = EdgeLoads::from_paths(mesh, paths).congestion();
+        let dilation = paths.iter().map(Path::len).max().unwrap_or(0);
+        let mut max_stretch = 0f64;
+        let mut sum_stretch = 0f64;
+        let mut nontrivial = 0usize;
+        let mut total_length = 0u64;
+        for p in paths {
+            total_length += p.len() as u64;
+            let d = mesh.dist(p.source(), p.target());
+            if d > 0 {
+                let s = p.len() as f64 / d as f64;
+                max_stretch = max_stretch.max(s);
+                sum_stretch += s;
+                nontrivial += 1;
+            }
+        }
+        let mean_stretch = if nontrivial > 0 {
+            sum_stretch / nontrivial as f64
+        } else {
+            1.0
+        };
+        Self {
+            congestion,
+            dilation,
+            max_stretch: if nontrivial > 0 { max_stretch } else { 1.0 },
+            mean_stretch,
+            total_length,
+            count: paths.len(),
+        }
+    }
+
+    /// The trivial `C + D` lower bound on delivery time (Section 1).
+    pub fn c_plus_d(&self) -> u64 {
+        u64::from(self.congestion) + self.dilation as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivion_mesh::Coord;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    #[test]
+    fn loads_count_shared_edges() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let p1 = Path::new(&mesh, vec![c(0, 0), c(0, 1), c(0, 2)]);
+        let p2 = Path::new(&mesh, vec![c(0, 2), c(0, 1)]);
+        let loads = EdgeLoads::from_paths(&mesh, [&p1, &p2]);
+        assert_eq!(loads.congestion(), 2); // edge (0,1)-(0,2) both ways
+        assert_eq!(loads.used_edges(), 2);
+        let hist = loads.histogram();
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[1], 1);
+    }
+
+    #[test]
+    fn empty_paths_zero_metrics() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let m = PathSetMetrics::measure(&mesh, &[]);
+        assert_eq!(m.congestion, 0);
+        assert_eq!(m.dilation, 0);
+        assert_eq!(m.max_stretch, 1.0);
+    }
+
+    #[test]
+    fn metrics_basicfacts() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let p1 = Path::new(&mesh, vec![c(0, 0), c(0, 1), c(1, 1), c(1, 0)]); // stretch 3
+        let p2 = Path::new(&mesh, vec![c(3, 3), c(3, 2)]); // stretch 1
+        let m = PathSetMetrics::measure(&mesh, &[p1, p2]);
+        assert_eq!(m.congestion, 1);
+        assert_eq!(m.dilation, 3);
+        assert_eq!(m.max_stretch, 3.0);
+        assert_eq!(m.mean_stretch, 2.0);
+        assert_eq!(m.total_length, 4);
+        assert_eq!(m.c_plus_d(), 4);
+    }
+
+    #[test]
+    fn trivial_paths_do_not_skew_stretch() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let p = Path::trivial(c(2, 2));
+        let m = PathSetMetrics::measure(&mesh, &[p]);
+        assert_eq!(m.max_stretch, 1.0);
+        assert_eq!(m.mean_stretch, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII congestion heat-maps for 2-D meshes.
+//!
+//! Renders per-link loads spatially: nodes are `+`, links are drawn with a
+//! character ramp from `' '` (unused) to `'@'` (the maximum load). Lets a
+//! human *see* where an algorithm piles packets up — e.g. the hot middle
+//! column of dimension-order transpose vs the even spread of algorithm H.
+
+use crate::congestion::EdgeLoads;
+use oblivion_mesh::{Coord, Mesh};
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn ramp_char(load: u32, max: u32) -> char {
+    if load == 0 || max == 0 {
+        return RAMP[0] as char;
+    }
+    let idx = 1 + (load as usize * (RAMP.len() - 2)) / max.max(1) as usize;
+    RAMP[idx.min(RAMP.len() - 1)] as char
+}
+
+/// Renders the loads of a 2-D mesh as ASCII art.
+///
+/// Layout: x runs down the page (first coordinate), y across, matching the
+/// coordinate convention elsewhere. Horizontal runs of `──`-style load
+/// characters are y-links; the characters between rows are x-links.
+///
+/// # Panics
+/// Panics unless the mesh is 2-dimensional (and not a torus — wrap links
+/// have no natural place on the page).
+pub fn render_heatmap(mesh: &Mesh, loads: &EdgeLoads) -> String {
+    assert_eq!(mesh.dim(), 2, "heat-maps are for 2-D meshes");
+    assert_eq!(
+        mesh.topology(),
+        oblivion_mesh::Topology::Mesh,
+        "torus wrap links cannot be drawn on the page"
+    );
+    let (mx, my) = (mesh.side(0), mesh.side(1));
+    let max = loads.loads().iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    for x in 0..mx {
+        // Row of nodes with y-links between them.
+        for y in 0..my {
+            out.push('+');
+            if y + 1 < my {
+                let e = mesh.edge_id(&Coord::new(&[x, y]), &Coord::new(&[x, y + 1]));
+                let ch = ramp_char(loads.loads()[e.0], max);
+                out.push(ch);
+                out.push(ch);
+            }
+        }
+        out.push('\n');
+        // Row of x-links.
+        if x + 1 < mx {
+            for y in 0..my {
+                let e = mesh.edge_id(&Coord::new(&[x, y]), &Coord::new(&[x + 1, y]));
+                out.push(ramp_char(loads.loads()[e.0], max));
+                if y + 1 < my {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders with a legend line (`max load = N`).
+pub fn render_heatmap_with_legend(mesh: &Mesh, loads: &EdgeLoads) -> String {
+    let max = loads.loads().iter().copied().max().unwrap_or(0);
+    format!(
+        "{}max load = {max}; ramp '{}'\n",
+        render_heatmap(mesh, loads),
+        std::str::from_utf8(RAMP).unwrap()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivion_mesh::Path;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    #[test]
+    fn ramp_extremes() {
+        assert_eq!(ramp_char(0, 10), ' ');
+        assert_eq!(ramp_char(10, 10), '@');
+        assert_eq!(ramp_char(1, 1), '@');
+    }
+
+    #[test]
+    fn empty_mesh_is_blank() {
+        let mesh = Mesh::new_mesh(&[3, 3]);
+        let loads = EdgeLoads::from_paths(&mesh, []);
+        let s = render_heatmap(&mesh, &loads);
+        assert!(!s.contains('@'));
+        assert_eq!(s.lines().count(), 5); // 3 node rows + 2 link rows
+    }
+
+    #[test]
+    fn single_path_lights_its_edges() {
+        let mesh = Mesh::new_mesh(&[3, 3]);
+        let p = Path::new(&mesh, vec![c(0, 0), c(0, 1), c(1, 1)]);
+        let loads = EdgeLoads::from_paths(&mesh, [&p]);
+        let s = render_heatmap(&mesh, &loads);
+        // The y-link is drawn with two characters, the x-link with one.
+        assert_eq!(s.matches('@').count(), 3);
+    }
+
+    #[test]
+    fn legend_reports_max() {
+        let mesh = Mesh::new_mesh(&[3, 3]);
+        let p = Path::new(&mesh, vec![c(0, 0), c(0, 1)]);
+        let loads = EdgeLoads::from_paths(&mesh, [&p, &p]);
+        let s = render_heatmap_with_legend(&mesh, &loads);
+        assert!(s.contains("max load = 2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_3d() {
+        let mesh = Mesh::new_mesh(&[2, 2, 2]);
+        let loads = EdgeLoads::from_paths(&mesh, []);
+        let _ = render_heatmap(&mesh, &loads);
+    }
+}

@@ -1,0 +1,31 @@
+//! # oblivion-metrics
+//!
+//! Measurement machinery for the paper's quality metrics (Section 2):
+//!
+//! * [`EdgeLoads`] / [`PathSetMetrics`] — congestion `C`, dilation `D`,
+//!   per-path stretch, and the `C + D` routing-time lower bound;
+//! * [`boundary_congestion_regular`] / [`congestion_lower_bound`] — the
+//!   boundary-congestion lower bound `B ≤ C*` (maximized over the
+//!   hierarchical submesh family, exactly the family the paper's analysis
+//!   charges), plus the flow bound `⌈Σdist/|E|⌉`;
+//! * [`boundary_congestion_exhaustive`] — all axis-aligned boxes, for
+//!   validating the regular family on tiny meshes.
+//!
+//! Reported ratios `C / lower_bound` thus *upper-bound* the true
+//! competitive ratio `C / C*`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod congestion;
+mod heatmap;
+mod lower_bound;
+mod stats;
+
+pub use congestion::{EdgeLoads, PathSetMetrics};
+pub use heatmap::{render_heatmap, render_heatmap_with_legend};
+pub use stats::{percentile, Summary};
+pub use lower_bound::{
+    boundary_congestion_exhaustive, boundary_congestion_regular, congestion_lower_bound,
+    flow_lower_bound,
+};

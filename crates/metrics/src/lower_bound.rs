@@ -1,0 +1,203 @@
+//! Lower bounds on the optimal congestion `C*` (Section 2).
+//!
+//! Computing `C*` exactly is NP-hard, but the paper's own analysis only
+//! ever compares against the **boundary congestion** `B`: any submesh `M'`
+//! must pass all packets with exactly one endpoint inside it through its
+//! `out(M')` boundary links, so `C* ≥ B(M', Π) = |Π'| / out(M')`.
+//! We maximize `B` over:
+//!
+//! * every *regular* submesh of the hierarchical decomposition (all levels,
+//!   all shift types) — cheap (`O(N·d·log n)` total) and exactly the family
+//!   the paper's upper-bound proof charges against;
+//! * optionally **all** axis-aligned boxes (exhaustive, tiny meshes only);
+//! * plus the flow bound `⌈Σ dist(s,t) / |E|⌉` (every packet must occupy
+//!   at least `dist` links).
+
+use oblivion_decomp::DecompD;
+use oblivion_mesh::{Coord, Mesh, Submesh};
+use std::collections::HashMap;
+
+/// Boundary congestion maximized over the regular (hierarchical) submeshes.
+///
+/// Requires an equal-side power-of-two mesh (the decomposition's domain).
+pub fn boundary_congestion_regular(mesh: &Mesh, pairs: &[(Coord, Coord)]) -> f64 {
+    let decomp = DecompD::for_mesh(mesh);
+    let mut best = 0f64;
+    // Level 0 still contributes: its *shifted* families are clipped half-
+    // diagonal blocks whose boundaries are large cuts.
+    for level in 0..=decomp.k() {
+        for j in 1..=decomp.num_types(level) {
+            let mut crossings: HashMap<Submesh, u64> = HashMap::new();
+            for (s, t) in pairs {
+                let bs = decomp.block(level, j, s);
+                let bt = decomp.block(level, j, t);
+                if bs != bt {
+                    *crossings.entry(bs).or_insert(0) += 1;
+                    *crossings.entry(bt).or_insert(0) += 1;
+                }
+            }
+            for (block, cnt) in crossings {
+                let out = block.out_edges(mesh);
+                if out > 0 {
+                    best = best.max(cnt as f64 / out as f64);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Boundary congestion maximized over **all** axis-aligned boxes.
+///
+/// Exponentially many candidates per axis pair — use only on tiny meshes
+/// (`n ≲ 256`); intended to validate that the regular family is a good
+/// proxy.
+pub fn boundary_congestion_exhaustive(mesh: &Mesh, pairs: &[(Coord, Coord)]) -> f64 {
+    let d = mesh.dim();
+    // Enumerate all [lo, hi] ranges per axis, then all products.
+    let mut axis_ranges: Vec<Vec<(u32, u32)>> = Vec::with_capacity(d);
+    for i in 0..d {
+        let m = mesh.side(i);
+        let mut r = Vec::new();
+        for lo in 0..m {
+            for hi in lo..m {
+                r.push((lo, hi));
+            }
+        }
+        axis_ranges.push(r);
+    }
+    let mut best = 0f64;
+    let mut idx = vec![0usize; d];
+    loop {
+        let mut lo = Coord::origin(d);
+        let mut hi = Coord::origin(d);
+        for i in 0..d {
+            lo[i] = axis_ranges[i][idx[i]].0;
+            hi[i] = axis_ranges[i][idx[i]].1;
+        }
+        let sub = Submesh::new(lo, hi);
+        let out = sub.out_edges(mesh);
+        if out > 0 {
+            let crossing = pairs
+                .iter()
+                .filter(|(s, t)| sub.contains(s) != sub.contains(t))
+                .count();
+            best = best.max(crossing as f64 / out as f64);
+        }
+        // Odometer over axis range indices.
+        let mut axis = d;
+        loop {
+            if axis == 0 {
+                return best;
+            }
+            axis -= 1;
+            if idx[axis] + 1 < axis_ranges[axis].len() {
+                idx[axis] += 1;
+                idx[axis + 1..d].fill(0);
+                break;
+            }
+        }
+    }
+}
+
+/// The flow lower bound `⌈Σ dist(s_i, t_i) / |E|⌉`.
+pub fn flow_lower_bound(mesh: &Mesh, pairs: &[(Coord, Coord)]) -> u64 {
+    let total: u64 = pairs.iter().map(|(s, t)| mesh.dist(s, t)).sum();
+    total.div_ceil(mesh.edge_count() as u64)
+}
+
+/// Combined `C*` lower-bound estimate: `max(B_regular, flow)`, at least 1
+/// when any packet must move.
+pub fn congestion_lower_bound(mesh: &Mesh, pairs: &[(Coord, Coord)]) -> f64 {
+    let flow = flow_lower_bound(mesh, pairs) as f64;
+    let equal_pow2 = mesh
+        .dims()
+        .iter()
+        .all(|&m| m == mesh.side(0) && m.is_power_of_two());
+    let b = if equal_pow2 {
+        boundary_congestion_regular(mesh, pairs)
+    } else {
+        0.0
+    };
+    let any_moving = pairs.iter().any(|(s, t)| s != t);
+    b.max(flow).max(if any_moving { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: u32, y: u32) -> Coord {
+        Coord::new(&[x, y])
+    }
+
+    #[test]
+    fn single_crossing_pair() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let pairs = vec![(c(0, 0), c(3, 3))];
+        let b = boundary_congestion_regular(&mesh, &pairs);
+        assert!(b > 0.0);
+        assert!(congestion_lower_bound(&mesh, &pairs) >= 1.0);
+    }
+
+    #[test]
+    fn no_packets_no_bound() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        assert_eq!(congestion_lower_bound(&mesh, &[]), 0.0);
+        assert_eq!(flow_lower_bound(&mesh, &[]), 0);
+    }
+
+    #[test]
+    fn hotspot_bound_scales_with_fanin() {
+        // 64 packets into one corner node with 2 boundary links → B ≥ 32
+        // at the single-node submesh.
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let tgt = c(0, 0);
+        let pairs: Vec<_> = mesh
+            .coords()
+            .filter(|s| *s != tgt)
+            .map(|s| (s, tgt))
+            .collect();
+        let b = boundary_congestion_regular(&mesh, &pairs);
+        assert!(b >= 63.0 / 2.0, "b = {b}");
+    }
+
+    #[test]
+    fn exhaustive_at_least_regular() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let pairs = vec![
+            (c(0, 0), c(3, 3)),
+            (c(0, 1), c(3, 2)),
+            (c(1, 0), c(2, 3)),
+            (c(0, 3), c(3, 0)),
+        ];
+        let reg = boundary_congestion_regular(&mesh, &pairs);
+        let exh = boundary_congestion_exhaustive(&mesh, &pairs);
+        assert!(exh >= reg - 1e-12, "exhaustive {exh} < regular {reg}");
+    }
+
+    #[test]
+    fn flow_bound_transpose() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pairs: Vec<_> = mesh
+            .coords()
+            .map(|c0| (c0, Coord::new(&[c0[1], c0[0]])))
+            .collect();
+        let f = flow_lower_bound(&mesh, &pairs);
+        assert!(f >= 1);
+    }
+
+    #[test]
+    fn central_cut_bound() {
+        // All 8 rows send across the central cut: a quadrant-style regular
+        // block catches 4 of the 8 crossings over its 8 boundary links.
+        // (The exact half-slab is not in the diagonal-shift family, so the
+        // regular bound is 0.5 while the exhaustive bound reaches 1.0.)
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pairs: Vec<_> = (0..8).map(|y| (c(3, y), c(4, y))).collect();
+        let b = boundary_congestion_regular(&mesh, &pairs);
+        assert!(b >= 0.5, "b = {b}");
+        let exh = boundary_congestion_exhaustive(&mesh, &pairs);
+        assert!(exh >= 1.0, "exhaustive = {exh}");
+    }
+}

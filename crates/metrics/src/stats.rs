@@ -1,0 +1,144 @@
+//! Small summary-statistics helpers for experiment reporting.
+//!
+//! Theorems 3.9 / 4.3 are *with high probability* statements: the
+//! congestion of a fresh random run exceeds its `O(C* log n)` band only
+//! with polynomially small probability. Verifying that needs distribution
+//! summaries over many independent runs, not single numbers — this module
+//! provides them without pulling in a stats dependency.
+
+/// Summary of a sample of `f64` observations.
+///
+/// ```
+/// use oblivion_metrics::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.mean, 3.0);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.max, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Self {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        }
+    }
+
+    /// Summarizes integer observations.
+    pub fn of_u32(values: &[u32]) -> Self {
+        let v: Vec<f64> = values.iter().map(|&x| f64::from(x)).collect();
+        Self::of(&v)
+    }
+
+    /// Coefficient of variation `σ/μ` (0 for a zero mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Percentile by linear interpolation on a pre-sorted slice.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!((0.0..=100.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.p99, 5.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_range() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        assert_eq!(percentile(&[0.0, 10.0], 50.0), 5.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 100.0), 4.0);
+    }
+
+    #[test]
+    fn of_u32_matches() {
+        let s = Summary::of_u32(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

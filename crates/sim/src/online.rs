@@ -1,0 +1,346 @@
+//! Continuous-arrival (online) simulation.
+//!
+//! The paper's opening motivation: "Oblivious algorithms are by their
+//! nature distributed and capable of solving **online** routing problems,
+//! where packets continuously arrive in the network." This module makes
+//! that setting measurable: every node injects packets as a Bernoulli
+//! process of rate `λ` (packets per node per step), destinations drawn
+//! from a traffic pattern; each packet's path is fixed at injection by an
+//! externally supplied path source (the oblivious router); links carry one
+//! packet per step. The classic evaluation is mean latency vs offered
+//! load: a good router's latency stays flat until `λ` approaches the
+//! pattern's capacity limit, then diverges.
+
+use crate::SchedulingPolicy;
+use oblivion_mesh::{Coord, Mesh, Path};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Where an injected packet wants to go.
+pub trait TrafficPattern {
+    /// Draws a destination for a packet injected at `src` (may equal
+    /// `src`; such packets are counted as delivered instantly).
+    fn destination(&self, src: &Coord, rng: &mut StdRng) -> Coord;
+    /// Pattern name for reports.
+    fn name(&self) -> String;
+}
+
+/// Uniformly random destinations.
+pub struct UniformTraffic {
+    mesh: Mesh,
+}
+
+impl UniformTraffic {
+    /// Creates the pattern for a mesh.
+    pub fn new(mesh: Mesh) -> Self {
+        Self { mesh }
+    }
+}
+
+impl TrafficPattern for UniformTraffic {
+    fn destination(&self, _src: &Coord, rng: &mut StdRng) -> Coord {
+        let id = oblivion_mesh::NodeId(rng.gen_range(0..self.mesh.node_count()));
+        self.mesh.coord(id)
+    }
+    fn name(&self) -> String {
+        "uniform".into()
+    }
+}
+
+/// Deterministic per-source destination function (transpose, complement…).
+pub struct FixedTraffic {
+    /// Name for reports.
+    pub pattern_name: String,
+    /// The destination map.
+    pub map: fn(&Coord) -> Coord,
+}
+
+impl TrafficPattern for FixedTraffic {
+    fn destination(&self, src: &Coord, _rng: &mut StdRng) -> Coord {
+        (self.map)(src)
+    }
+    fn name(&self) -> String {
+        self.pattern_name.clone()
+    }
+}
+
+/// A source of paths: called once per injected packet. Implemented by
+/// wrapping an oblivious router; kept as a closure trait so the simulator
+/// does not depend on `oblivion-core`.
+pub trait PathSource {
+    /// Produces the full path a packet injected at `s` for `t` will take.
+    fn path(&self, s: &Coord, t: &Coord, rng: &mut StdRng) -> Path;
+}
+
+impl<F: Fn(&Coord, &Coord, &mut StdRng) -> Path> PathSource for F {
+    fn path(&self, s: &Coord, t: &Coord, rng: &mut StdRng) -> Path {
+        self(s, t, rng)
+    }
+}
+
+/// Result of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// Steps simulated.
+    pub steps: u64,
+    /// Packets injected (excluding self-addressed no-ops).
+    pub injected: usize,
+    /// Packets delivered within the horizon.
+    pub delivered: usize,
+    /// Mean latency (injection → delivery) of delivered packets.
+    pub mean_latency: f64,
+    /// 95th-percentile latency of delivered packets.
+    pub p95_latency: f64,
+    /// Packets still in flight at the horizon.
+    pub in_flight: usize,
+    /// Delivered packets per node per step — the accepted throughput.
+    pub throughput: f64,
+}
+
+/// Configuration of an online run.
+pub struct OnlineSim<'a> {
+    mesh: &'a Mesh,
+    policy: SchedulingPolicy,
+    /// Injection probability per node per step.
+    rate: f64,
+}
+
+struct Flight {
+    path: Path,
+    pos: usize,
+    injected_at: u64,
+    arrived_at: u64,
+    rank: u64,
+}
+
+impl<'a> OnlineSim<'a> {
+    /// Creates an online simulation at injection rate `rate` (packets per
+    /// node per step, `0 ≤ rate ≤ 1`).
+    pub fn new(mesh: &'a Mesh, policy: SchedulingPolicy, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        Self { mesh, policy, rate }
+    }
+
+    /// Runs for `steps` steps (plus a drain phase of up to `steps` more in
+    /// which no new packets are injected), returning latency/throughput
+    /// statistics.
+    pub fn run(
+        &self,
+        pattern: &dyn TrafficPattern,
+        paths: &dyn PathSource,
+        steps: u64,
+        seed: u64,
+    ) -> OnlineResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut route_rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let nodes: Vec<Coord> = self.mesh.coords().collect();
+        let mut flights: Vec<Flight> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut injected = 0usize;
+        let mut contenders: HashMap<usize, Vec<usize>> = HashMap::new();
+
+        let horizon = 2 * steps;
+        let mut t = 0u64;
+        while t < horizon && (t < steps || !active.is_empty()) {
+            // Injection phase (only during the measurement window).
+            if t < steps {
+                for src in &nodes {
+                    if rng.gen_bool(self.rate) {
+                        let dst = pattern.destination(src, &mut rng);
+                        if dst == *src {
+                            continue;
+                        }
+                        let path = paths.path(src, &dst, &mut route_rng);
+                        debug_assert!(path.is_valid(self.mesh));
+                        injected += 1;
+                        if path.is_empty() {
+                            latencies.push(0.0);
+                            continue;
+                        }
+                        flights.push(Flight {
+                            path,
+                            pos: 0,
+                            injected_at: t,
+                            arrived_at: t,
+                            rank: rng.gen(),
+                        });
+                        active.push(flights.len() - 1);
+                    }
+                }
+            }
+            // Movement phase.
+            contenders.clear();
+            for &i in &active {
+                let f = &flights[i];
+                let p = f.path.nodes();
+                let e = self.mesh.edge_id(&p[f.pos], &p[f.pos + 1]);
+                contenders.entry(e.0).or_default().push(i);
+            }
+            for group in contenders.values() {
+                let &winner = group
+                    .iter()
+                    .min_by_key(|&&i| {
+                        let f = &flights[i];
+                        match self.policy {
+                            SchedulingPolicy::Fifo => (f.arrived_at, i as u64),
+                            SchedulingPolicy::FurthestToGo => {
+                                (u64::MAX - (f.path.len() - f.pos) as u64, i as u64)
+                            }
+                            SchedulingPolicy::ClosestToGo => {
+                                ((f.path.len() - f.pos) as u64, i as u64)
+                            }
+                            SchedulingPolicy::RandomRank => (f.rank, i as u64),
+                        }
+                    })
+                    .unwrap();
+                let f = &mut flights[winner];
+                f.pos += 1;
+                f.arrived_at = t + 1;
+                if f.pos == f.path.len() {
+                    latencies.push((t + 1 - f.injected_at) as f64);
+                }
+            }
+            active.retain(|&i| flights[i].pos < flights[i].path.len());
+            t += 1;
+        }
+
+        let delivered = latencies.len();
+        let mean_latency = if delivered > 0 {
+            latencies.iter().sum::<f64>() / delivered as f64
+        } else {
+            0.0
+        };
+        let p95_latency = if delivered > 0 {
+            let mut sorted = latencies.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[((sorted.len() - 1) as f64 * 0.95) as usize]
+        } else {
+            0.0
+        };
+        OnlineResult {
+            steps,
+            injected,
+            delivered,
+            mean_latency,
+            p95_latency,
+            in_flight: active.len(),
+            throughput: delivered as f64 / (self.mesh.node_count() as f64 * steps as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shortest_paths(mesh: &Mesh) -> impl Fn(&Coord, &Coord, &mut StdRng) -> Path + '_ {
+        move |s: &Coord, t: &Coord, _rng: &mut StdRng| {
+            // Dimension-order shortest path.
+            let mut nodes = vec![*s];
+            let mut cur = *s;
+            for axis in 0..mesh.dim() {
+                while let Some(next) = mesh.step_towards(&cur, t[axis], axis) {
+                    nodes.push(next);
+                    cur = next;
+                }
+            }
+            Path::new_unchecked(nodes)
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.0);
+        let r = sim.run(
+            &UniformTraffic::new(mesh.clone()),
+            &shortest_paths(&mesh),
+            100,
+            1,
+        );
+        assert_eq!(r.injected, 0);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.throughput, 0.0);
+    }
+
+    #[test]
+    fn low_rate_latency_near_distance() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.01);
+        let r = sim.run(
+            &UniformTraffic::new(mesh.clone()),
+            &shortest_paths(&mesh),
+            500,
+            2,
+        );
+        assert!(r.injected > 0);
+        // Uncongested: latency ~= mean distance (~16/3 per axis * 2 ≈ 5.3).
+        assert!(r.mean_latency < 12.0, "latency {}", r.mean_latency);
+        assert!(r.delivered + r.in_flight <= r.injected);
+    }
+
+    #[test]
+    fn saturation_grows_latency() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pattern = UniformTraffic::new(mesh.clone());
+        let lat = |rate: f64| {
+            let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, rate);
+            sim.run(&pattern, &shortest_paths(&mesh), 400, 3).mean_latency
+        };
+        let low = lat(0.02);
+        let high = lat(0.9);
+        assert!(
+            high > 2.0 * low,
+            "saturated latency {high} should dwarf unloaded latency {low}"
+        );
+    }
+
+    #[test]
+    fn drain_phase_delivers_everything_at_low_rate() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let sim = OnlineSim::new(&mesh, SchedulingPolicy::FurthestToGo, 0.02);
+        let r = sim.run(
+            &UniformTraffic::new(mesh.clone()),
+            &shortest_paths(&mesh),
+            200,
+            4,
+        );
+        assert_eq!(r.in_flight, 0, "low-rate run should fully drain");
+        assert_eq!(r.delivered, r.injected);
+    }
+
+    #[test]
+    fn fixed_traffic_pattern() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pattern = FixedTraffic {
+            pattern_name: "transpose".into(),
+            map: |c| Coord::new(&[c[1], c[0]]),
+        };
+        assert_eq!(pattern.name(), "transpose");
+        let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.05);
+        let r = sim.run(&pattern, &shortest_paths(&mesh), 300, 5);
+        assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let pattern = UniformTraffic::new(mesh.clone());
+        let run = |seed| {
+            let sim = OnlineSim::new(&mesh, SchedulingPolicy::RandomRank, 0.1);
+            let r = sim.run(&pattern, &shortest_paths(&mesh), 200, seed);
+            (r.injected, r.delivered, r.mean_latency.to_bits())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_rate_rejected() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let _ = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 1.5);
+    }
+}

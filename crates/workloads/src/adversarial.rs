@@ -1,0 +1,197 @@
+//! The paper's adversarial constructions (Section 5.1).
+//!
+//! To lower-bound the randomness any good oblivious algorithm needs, the
+//! paper builds, *from the algorithm `A` itself*, a routing problem `Π_A`:
+//!
+//! 1. take a permutation in which every packet travels distance exactly
+//!    `ℓ` (partition the mesh into side-`ℓ` blocks and exchange adjacent
+//!    blocks);
+//! 2. give every packet its **most probable** path under `A`;
+//! 3. some edge `e` is crossed by `≥ ℓ/d` of these modal paths (averaging
+//!    argument); `Π_A` keeps exactly the packets crossing `e`.
+//!
+//! A κ-choice algorithm then routes each `Π_A` packet across `e` with
+//! probability `≥ 1/κ`, forcing expected congestion `≥ ℓ/(dκ)`
+//! (Lemma 5.1) — so deterministic (κ = 1) algorithms congest, and
+//! comparable-congestion algorithms need `Ω((ℓ/d^{1+1/d}) log d / …)`
+//! random bits (Lemma 5.3).
+//!
+//! For deterministic baselines the modal path is exact (κ = 1). For
+//! randomized algorithms we *estimate* the mode from `samples` draws —
+//! the substitution documented in DESIGN.md §5.
+
+use crate::Workload;
+use oblivion_core::ObliviousRouter;
+use oblivion_mesh::{Coord, Mesh, Path};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A permutation in which every packet travels distance exactly `ℓ`
+/// along axis 0: side-`ℓ` slabs are exchanged pairwise.
+///
+/// This is the base permutation of the `Π_A` construction ("dividing the
+/// network into submeshes of side length ℓ, and then forming pairs of
+/// submeshes which exchange their packets at the respective nodes").
+///
+/// # Panics
+/// Panics unless `ℓ ≥ 1` and `m₀ / ℓ` is a positive even number.
+pub fn distance_permutation(mesh: &Mesh, l: u32) -> Workload {
+    assert!(l >= 1);
+    let m = mesh.side(0);
+    let slabs = m / l;
+    assert!(
+        slabs >= 2 && slabs.is_multiple_of(2) && slabs * l == m,
+        "side {m} must split into an even number of side-{l} slabs"
+    );
+    let pairs = mesh
+        .coords()
+        .map(|c| {
+            let slab = c[0] / l;
+            let partner_slab = if slab.is_multiple_of(2) { slab + 1 } else { slab - 1 };
+            (c, c.with(0, partner_slab * l + (c[0] % l)))
+        })
+        .collect();
+    Workload::new(format!("distance-{l}"), pairs)
+}
+
+/// The result of the `Π_A` construction.
+#[derive(Debug, Clone)]
+pub struct PiA {
+    /// The packets of `Π_A`: all pairs whose modal path crosses the most
+    /// congested edge.
+    pub workload: Workload,
+    /// The modal paths of those packets (one per pair, same order).
+    pub modal_paths: Vec<Path>,
+    /// Modal-path congestion of the chosen edge (`= |Π_A|`).
+    pub edge_load: u32,
+}
+
+/// Builds `Π_A` for a router (Section 5.1).
+///
+/// `samples` controls the modal-path estimate: `1` suffices for
+/// deterministic routers; use ~10–30 for randomized ones.
+pub fn pi_a<A: ObliviousRouter + ?Sized>(
+    router: &A,
+    l: u32,
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> PiA {
+    assert!(samples >= 1);
+    let mesh = router.mesh();
+    let base = distance_permutation(mesh, l);
+
+    // Modal path per pair.
+    let modal: Vec<Path> = base
+        .pairs
+        .iter()
+        .map(|(s, t)| {
+            if samples == 1 {
+                return router.select_path(s, t, rng).path;
+            }
+            let mut counts: HashMap<Vec<Coord>, (u32, Path)> = HashMap::new();
+            for _ in 0..samples {
+                let p = router.select_path(s, t, rng).path;
+                let key = p.nodes().to_vec();
+                counts
+                    .entry(key)
+                    .and_modify(|(c, _)| *c += 1)
+                    .or_insert((1, p));
+            }
+            counts
+                .into_values()
+                .max_by_key(|(c, _)| *c)
+                .map(|(_, p)| p)
+                .unwrap()
+        })
+        .collect();
+
+    // Edge loads of the modal paths.
+    let mut loads = vec![0u32; mesh.edge_count()];
+    for p in &modal {
+        for e in p.edge_ids(mesh) {
+            loads[e.0] += 1;
+        }
+    }
+    let (hot_edge, &edge_load) = loads
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .expect("mesh has edges");
+
+    // Keep the packets crossing the hot edge.
+    let mut pairs = Vec::new();
+    let mut kept_paths = Vec::new();
+    for (p, pair) in modal.iter().zip(&base.pairs) {
+        if p.edge_ids(mesh).any(|e| e.0 == hot_edge) {
+            pairs.push(*pair);
+            kept_paths.push(p.clone());
+        }
+    }
+    PiA {
+        workload: Workload::new(format!("pi-a(l={l}, {})", router.name()), pairs),
+        modal_paths: kept_paths,
+        edge_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivion_core::DimOrder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distance_permutation_properties() {
+        let mesh = Mesh::new_mesh(&[16, 16]);
+        for l in [1u32, 2, 4, 8] {
+            let w = distance_permutation(&mesh, l);
+            assert_eq!(w.len(), 256);
+            assert!(w.pairs.iter().all(|(s, t)| mesh.dist(s, t) == u64::from(l)));
+            let dsts: HashSet<_> = w.pairs.iter().map(|(_, t)| *t).collect();
+            assert_eq!(dsts.len(), 256, "l={l} not a permutation");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn distance_permutation_rejects_odd_slab_count() {
+        let mesh = Mesh::new_mesh(&[12, 12]);
+        let _ = distance_permutation(&mesh, 4); // 3 slabs
+    }
+
+    #[test]
+    fn pi_a_on_deterministic_router_forces_big_load() {
+        // Lemma 5.1 with κ = 1: the average edge sees ≥ l/d packets, and
+        // every Π_A packet *always* crosses the hot edge.
+        let mesh = Mesh::new_mesh(&[16, 16]);
+        let router = DimOrder::new(mesh);
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = 8;
+        let res = pi_a(&router, l, 1, &mut rng);
+        assert!(
+            res.edge_load >= l / 2,
+            "hot edge load {} below l/d = {}",
+            res.edge_load,
+            l / 2
+        );
+        assert_eq!(res.workload.len() as u32, res.edge_load);
+        // Every kept packet has distance l.
+        assert!(res
+            .workload
+            .pairs
+            .iter()
+            .all(|(s, t)| router.mesh().dist(s, t) == u64::from(l)));
+    }
+
+    #[test]
+    fn pi_a_with_sampling_runs_on_randomized_router() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let router = oblivion_core::Busch2D::new(mesh);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = pi_a(&router, 2, 5, &mut rng);
+        assert!(res.edge_load >= 1);
+        assert_eq!(res.workload.len() as u32, res.edge_load);
+    }
+}

@@ -1,0 +1,299 @@
+//! Classic mesh traffic patterns.
+
+use crate::Workload;
+use oblivion_mesh::{Coord, Mesh};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random permutation: every node sources one packet and sinks
+/// one packet.
+pub fn random_permutation<R: Rng + ?Sized>(mesh: &Mesh, rng: &mut R) -> Workload {
+    let mut targets: Vec<Coord> = mesh.coords().collect();
+    targets.shuffle(rng);
+    let pairs = mesh.coords().zip(targets).collect();
+    Workload::new("random-perm", pairs)
+}
+
+/// `count` independent uniform `(s, t)` pairs (not a permutation).
+pub fn random_pairs<R: Rng + ?Sized>(mesh: &Mesh, count: usize, rng: &mut R) -> Workload {
+    let n = mesh.node_count();
+    let pairs = (0..count)
+        .map(|_| {
+            let s = mesh.coord(oblivion_mesh::NodeId(rng.gen_range(0..n)));
+            let t = mesh.coord(oblivion_mesh::NodeId(rng.gen_range(0..n)));
+            (s, t)
+        })
+        .collect();
+    Workload::new("random-pairs", pairs)
+}
+
+/// Matrix transpose, `(x, y) → (y, x)`: the classic adversary for
+/// deterministic XY routing on the 2-D mesh.
+///
+/// # Panics
+/// Panics unless the mesh is 2-D and square.
+pub fn transpose(mesh: &Mesh) -> Workload {
+    assert_eq!(mesh.dim(), 2);
+    assert_eq!(mesh.side(0), mesh.side(1));
+    let pairs = mesh
+        .coords()
+        .map(|c| (c, Coord::new(&[c[1], c[0]])))
+        .collect();
+    Workload::new("transpose", pairs)
+}
+
+/// Bit reversal of the concatenated coordinate bits, `d`-dimensional,
+/// power-of-two sides: reverses the bit string of each coordinate.
+///
+/// # Panics
+/// Panics unless every side is a power of two.
+pub fn bit_reversal(mesh: &Mesh) -> Workload {
+    assert!(mesh.dims().iter().all(|m| m.is_power_of_two()));
+    let pairs = mesh
+        .coords()
+        .map(|c| {
+            let mut t = c;
+            for i in 0..mesh.dim() {
+                let bits = mesh.side(i).trailing_zeros();
+                t[i] = c[i].reverse_bits() >> (32 - bits);
+            }
+            (c, t)
+        })
+        .collect();
+    Workload::new("bit-reversal", pairs)
+}
+
+/// Bit complement: `x_i → (m_i - 1) - x_i` on every axis — every packet
+/// crosses the center of the mesh.
+pub fn bit_complement(mesh: &Mesh) -> Workload {
+    let pairs = mesh
+        .coords()
+        .map(|c| {
+            let mut t = c;
+            for i in 0..mesh.dim() {
+                t[i] = mesh.side(i) - 1 - c[i];
+            }
+            (c, t)
+        })
+        .collect();
+    Workload::new("bit-complement", pairs)
+}
+
+/// Tornado: along axis 0, `x → (x + ⌈m/2⌉ - 1) mod m` — the classic
+/// near-half-way rotation that defeats locally minimal schemes on rings.
+pub fn tornado(mesh: &Mesh) -> Workload {
+    let m = mesh.side(0);
+    // shift = ⌈m/2⌉ - 1, but at least 1 so the pattern is non-trivial.
+    let shift = if m >= 2 { ((m - 1) / 2).max(1) } else { 0 };
+    let pairs = mesh
+        .coords()
+        .map(|c| (c, c.with(0, (c[0] + shift) % m)))
+        .collect();
+    Workload::new("tornado", pairs)
+}
+
+/// Perfect shuffle: rotate the bit string of each coordinate left by one
+/// (power-of-two sides) — the FFT/sorting-network communication pattern.
+///
+/// # Panics
+/// Panics unless every side is a power of two.
+pub fn shuffle(mesh: &Mesh) -> Workload {
+    assert!(mesh.dims().iter().all(|m| m.is_power_of_two()));
+    let pairs = mesh
+        .coords()
+        .map(|c| {
+            let mut t = c;
+            for i in 0..mesh.dim() {
+                let bits = mesh.side(i).trailing_zeros();
+                if bits > 0 {
+                    let x = c[i];
+                    t[i] = ((x << 1) | (x >> (bits - 1))) & (mesh.side(i) - 1);
+                }
+            }
+            (c, t)
+        })
+        .collect();
+    Workload::new("shuffle", pairs)
+}
+
+/// Neighbor exchange along `axis`: nodes swap with their partner in
+/// adjacent pairs (`2i ↔ 2i+1`) — purely local traffic with distance 1.
+///
+/// # Panics
+/// Panics if the side along `axis` is odd.
+pub fn neighbor_exchange(mesh: &Mesh, axis: usize) -> Workload {
+    assert_eq!(mesh.side(axis) % 2, 0, "need an even side for pairing");
+    let pairs = mesh
+        .coords()
+        .map(|c| {
+            let x = c[axis];
+            let partner = if x % 2 == 0 { x + 1 } else { x - 1 };
+            (c, c.with(axis, partner))
+        })
+        .collect();
+    Workload::new("neighbor-exchange", pairs)
+}
+
+/// Pairs straddling the central hyperplane cut along `axis`: for every
+/// position of the other axes, `(center-1, …) ↔ (center, …)` in both
+/// directions. Distance-1 traffic that maximally embarrasses access-tree
+/// routing (every pair's tree LCA is the root).
+pub fn central_cut_neighbors(mesh: &Mesh, axis: usize) -> Workload {
+    let m = mesh.side(axis);
+    assert!(m >= 2);
+    let lo = m / 2 - 1;
+    let hi = m / 2;
+    let mut pairs = Vec::new();
+    for c in mesh.coords() {
+        if c[axis] == lo {
+            pairs.push((c, c.with(axis, hi)));
+        } else if c[axis] == hi {
+            pairs.push((c, c.with(axis, lo)));
+        }
+    }
+    Workload::new("central-cut", pairs)
+}
+
+/// Hotspot traffic: `count` random sources all send to `target`.
+pub fn hotspot<R: Rng + ?Sized>(
+    mesh: &Mesh,
+    target: Coord,
+    count: usize,
+    rng: &mut R,
+) -> Workload {
+    let n = mesh.node_count();
+    let pairs = (0..count)
+        .map(|_| {
+            let s = mesh.coord(oblivion_mesh::NodeId(rng.gen_range(0..n)));
+            (s, target)
+        })
+        .collect();
+    Workload::new("hotspot", pairs)
+}
+
+/// Every node sends to a single sink (complete convergecast).
+pub fn all_to_one(mesh: &Mesh, target: Coord) -> Workload {
+    let pairs = mesh.coords().map(|c| (c, target)).collect();
+    Workload::new("all-to-one", pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn is_permutation(mesh: &Mesh, w: &Workload) -> bool {
+        let srcs: HashSet<_> = w.pairs.iter().map(|(s, _)| *s).collect();
+        let dsts: HashSet<_> = w.pairs.iter().map(|(_, t)| *t).collect();
+        srcs.len() == mesh.node_count() && dsts.len() == mesh.node_count()
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_permutation(&mesh, &mut rng);
+        assert_eq!(w.len(), 64);
+        assert!(is_permutation(&mesh, &w));
+    }
+
+    #[test]
+    fn transpose_fixed_points_on_diagonal() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let w = transpose(&mesh);
+        assert!(is_permutation(&mesh, &w));
+        let diag = w.pairs.iter().filter(|(s, t)| s == t).count();
+        assert_eq!(diag, 4);
+    }
+
+    #[test]
+    fn bit_reversal_is_involution_permutation() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = bit_reversal(&mesh);
+        assert!(is_permutation(&mesh, &w));
+        // Applying twice is the identity.
+        for (s, t) in &w.pairs {
+            let again = w
+                .pairs
+                .iter()
+                .find(|(s2, _)| s2 == t)
+                .map(|(_, t2)| *t2)
+                .unwrap();
+            assert_eq!(again, *s);
+        }
+    }
+
+    #[test]
+    fn bit_complement_distance_is_constant() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = bit_complement(&mesh);
+        assert!(is_permutation(&mesh, &w));
+        // Every pair has |7-2x| + |7-2y| distance; max at corners = 14.
+        assert_eq!(w.max_distance(&mesh), 14);
+    }
+
+    #[test]
+    fn tornado_is_permutation_even_and_odd() {
+        for m in [8u32, 9] {
+            let mesh = Mesh::new_mesh(&[m, m]);
+            let w = tornado(&mesh);
+            assert!(is_permutation(&mesh, &w), "m={m}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_periodic() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = shuffle(&mesh);
+        assert!(is_permutation(&mesh, &w));
+        // Applying the rotation log2(8) = 3 times returns to the start.
+        let step = |c: &Coord| -> Coord {
+            w.pairs.iter().find(|(s, _)| s == c).map(|(_, t)| *t).unwrap()
+        };
+        let start = Coord::new(&[5, 3]);
+        let thrice = step(&step(&step(&start)));
+        assert_eq!(thrice, start);
+    }
+
+    #[test]
+    fn neighbor_exchange_distance_one() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = neighbor_exchange(&mesh, 1);
+        assert!(is_permutation(&mesh, &w));
+        assert!(w.pairs.iter().all(|(s, t)| mesh.dist(s, t) == 1));
+    }
+
+    #[test]
+    fn central_cut_pairs() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = central_cut_neighbors(&mesh, 0);
+        assert_eq!(w.len(), 16); // 8 rows, both directions
+        assert!(w.pairs.iter().all(|(s, t)| mesh.dist(s, t) == 1));
+    }
+
+    #[test]
+    fn hotspot_targets_single_node() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tgt = Coord::new(&[4, 4]);
+        let w = hotspot(&mesh, tgt, 100, &mut rng);
+        assert_eq!(w.len(), 100);
+        assert!(w.pairs.iter().all(|(_, t)| *t == tgt));
+    }
+
+    #[test]
+    fn all_to_one_covers_sources() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let w = all_to_one(&mesh, Coord::new(&[0, 0]));
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn without_self_loops() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let w = transpose(&mesh).without_self_loops();
+        assert_eq!(w.len(), 12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text workload serialization.
+//!
+//! Routing problems are exchanged as a simple line format so they can be
+//! produced by other tools, checked into repositories, and replayed:
+//!
+//! ```text
+//! # optional comment / blank lines
+//! 3,4 -> 28,9
+//! 0,0 -> 31,31
+//! ```
+//!
+//! One pair per line, coordinates comma-separated, `->` between source and
+//! destination. The parser validates dimensionality and bounds against the
+//! mesh it is given.
+
+use crate::Workload;
+use oblivion_mesh::{Coord, Mesh};
+use std::fmt::Write as _;
+
+/// Serializes a workload to the line format.
+pub fn to_text(w: &Workload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# workload: {} ({} pairs)", w.name, w.len());
+    for (s, t) in &w.pairs {
+        let fmt = |c: &Coord| {
+            c.as_slice()
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{} -> {}", fmt(s), fmt(t));
+    }
+    out
+}
+
+/// Parses the line format, validating every coordinate against `mesh`.
+///
+/// Returns a descriptive error naming the offending line on failure.
+pub fn from_text(name: &str, text: &str, mesh: &Mesh) -> Result<Workload, String> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (lhs, rhs) = line
+            .split_once("->")
+            .ok_or_else(|| format!("line {}: missing `->`", lineno + 1))?;
+        let parse = |part: &str| -> Result<Coord, String> {
+            let xs: Result<Vec<u32>, _> =
+                part.trim().split(',').map(str::parse::<u32>).collect();
+            let xs = xs.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if xs.len() != mesh.dim() {
+                return Err(format!(
+                    "line {}: expected {} coordinates, got {}",
+                    lineno + 1,
+                    mesh.dim(),
+                    xs.len()
+                ));
+            }
+            let c = Coord::new(&xs);
+            if !mesh.contains(&c) {
+                return Err(format!("line {}: {c} outside the mesh", lineno + 1));
+            }
+            Ok(c)
+        };
+        pairs.push((parse(lhs)?, parse(rhs)?));
+    }
+    Ok(Workload::new(name, pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::transpose;
+
+    #[test]
+    fn round_trip() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let w = transpose(&mesh).without_self_loops();
+        let text = to_text(&w);
+        let w2 = from_text("replayed", &text, &mesh).unwrap();
+        assert_eq!(w.pairs, w2.pairs);
+        assert_eq!(w2.name, "replayed");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let text = "# header\n\n0,0 -> 3,3\n  # indented comment\n1,2->2,1\n";
+        let w = from_text("t", text, &mesh).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pairs[1].0.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        assert!(from_text("t", "0,0 3,3", &mesh)
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(from_text("t", "0,0 -> 9,9", &mesh)
+            .unwrap_err()
+            .contains("outside"));
+        assert!(from_text("t", "0 -> 1,1", &mesh)
+            .unwrap_err()
+            .contains("expected 2"));
+        assert!(from_text("t", "a,b -> 1,1", &mesh).unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mesh = Mesh::new_mesh(&[4, 4, 4]);
+        let w = from_text("t", "0,1,2 -> 3,2,1", &mesh).unwrap();
+        assert_eq!(w.pairs[0].1.as_slice(), &[3, 2, 1]);
+        let text = to_text(&w);
+        assert!(text.contains("0,1,2 -> 3,2,1"));
+    }
+}

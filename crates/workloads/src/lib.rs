@@ -1,0 +1,84 @@
+//! # oblivion-workloads
+//!
+//! Routing-problem generators for mesh networks: the classic permutation
+//! benchmarks (transpose, bit-reversal, bit-complement, tornado), local
+//! and random traffic, and the paper's adversarial constructions — the
+//! distance-`ℓ` pairing underlying Section 5.1 and the congestion-forcing
+//! subset `Π_A` of Lemma 5.1.
+//!
+//! A routing problem is a list of `(source, destination)` pairs (the
+//! paper's `Π = {(s_i, t_i)}`); generators return a [`Workload`] carrying
+//! a descriptive name for reports.
+//!
+//! ```
+//! use oblivion_mesh::Mesh;
+//! use oblivion_workloads::{transpose, distance_permutation};
+//!
+//! let mesh = Mesh::new_mesh(&[16, 16]);
+//! let w = transpose(&mesh).without_self_loops();
+//! assert_eq!(w.len(), 240); // 256 nodes minus the 16 diagonal fixpoints
+//! assert_eq!(w.max_distance(&mesh), 30);
+//!
+//! // The Section-5 base construction: every packet travels exactly 4.
+//! let d4 = distance_permutation(&mesh, 4);
+//! assert!(d4.pairs.iter().all(|(s, t)| mesh.dist(s, t) == 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversarial;
+mod classic;
+pub mod io;
+
+pub use adversarial::{distance_permutation, pi_a, PiA};
+pub use classic::{
+    all_to_one, bit_complement, bit_reversal, central_cut_neighbors, hotspot,
+    neighbor_exchange, random_pairs, random_permutation, shuffle, tornado, transpose,
+};
+
+use oblivion_mesh::Coord;
+
+/// A named routing problem.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name for tables ("transpose", "random-perm", …).
+    pub name: String,
+    /// The source/destination pairs.
+    pub pairs: Vec<(Coord, Coord)>,
+}
+
+impl Workload {
+    /// Creates a workload from a name and pair list.
+    pub fn new(name: impl Into<String>, pairs: Vec<(Coord, Coord)>) -> Self {
+        Self {
+            name: name.into(),
+            pairs,
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no packets.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Drops pairs with `s == t` (they route trivially).
+    pub fn without_self_loops(mut self) -> Self {
+        self.pairs.retain(|(s, t)| s != t);
+        self
+    }
+
+    /// Maximum shortest-path distance `D'` over the pairs.
+    pub fn max_distance(&self, mesh: &oblivion_mesh::Mesh) -> u64 {
+        self.pairs
+            .iter()
+            .map(|(s, t)| mesh.dist(s, t))
+            .max()
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the workload generators.
+
+use oblivion_mesh::{Coord, Mesh};
+use oblivion_workloads as wl;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn assert_permutation(mesh: &Mesh, w: &wl::Workload) -> Result<(), TestCaseError> {
+    prop_assert_eq!(w.len(), mesh.node_count());
+    let srcs: HashSet<Coord> = w.pairs.iter().map(|(s, _)| *s).collect();
+    let dsts: HashSet<Coord> = w.pairs.iter().map(|(_, t)| *t).collect();
+    prop_assert_eq!(srcs.len(), mesh.node_count());
+    prop_assert_eq!(dsts.len(), mesh.node_count());
+    for (s, t) in &w.pairs {
+        prop_assert!(mesh.contains(s) && mesh.contains(t));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// random_permutation is a permutation on any mesh.
+    #[test]
+    fn random_permutation_is_permutation(dims in prop::collection::vec(1u32..=6, 1..=3), seed in any::<u64>()) {
+        let mesh = Mesh::new_mesh(&dims);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = wl::random_permutation(&mesh, &mut rng);
+        assert_permutation(&mesh, &w)?;
+    }
+
+    /// The structured permutations are permutations and have the claimed
+    /// per-pair distance structure.
+    #[test]
+    fn structured_permutations(k in 1u32..=5) {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        assert_permutation(&mesh, &wl::transpose(&mesh))?;
+        assert_permutation(&mesh, &wl::bit_reversal(&mesh))?;
+        assert_permutation(&mesh, &wl::bit_complement(&mesh))?;
+        assert_permutation(&mesh, &wl::tornado(&mesh))?;
+        let ne = wl::neighbor_exchange(&mesh, 0);
+        assert_permutation(&mesh, &ne)?;
+        for (s, t) in &ne.pairs {
+            prop_assert_eq!(mesh.dist(s, t), 1);
+        }
+    }
+
+    /// distance_permutation: a permutation where every pair is at exactly
+    /// distance l.
+    #[test]
+    fn distance_permutation_structure(k in 2u32..=6, l_exp in 0u32..5) {
+        prop_assume!(l_exp < k); // even number of slabs
+        let side = 1u32 << k;
+        let l = 1u32 << l_exp;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let w = wl::distance_permutation(&mesh, l);
+        assert_permutation(&mesh, &w)?;
+        for (s, t) in &w.pairs {
+            prop_assert_eq!(mesh.dist(s, t), u64::from(l));
+        }
+    }
+
+    /// pi_a on a deterministic router: the workload is exactly the hot-edge
+    /// crossing set, all modal paths cross one common edge.
+    #[test]
+    fn pi_a_consistency(k in 2u32..=5, l_exp in 1u32..4, seed in any::<u64>()) {
+        prop_assume!(l_exp < k);
+        let side = 1u32 << k;
+        let l = 1u32 << l_exp;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let router = oblivion_core::DimOrder::new(mesh.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = wl::pi_a(&router, l, 1, &mut rng);
+        prop_assert_eq!(res.workload.len(), res.modal_paths.len());
+        prop_assert_eq!(res.workload.len() as u32, res.edge_load);
+        prop_assert!(res.edge_load >= 1);
+        // All modal paths share at least one common edge.
+        let mut common: Option<HashSet<usize>> = None;
+        for p in &res.modal_paths {
+            let edges: HashSet<usize> = p.edge_ids(&mesh).map(|e| e.0).collect();
+            common = Some(match common {
+                None => edges,
+                Some(c) => c.intersection(&edges).copied().collect(),
+            });
+        }
+        prop_assert!(!common.unwrap().is_empty());
+    }
+
+    /// hotspot / all_to_one / central_cut invariants.
+    #[test]
+    fn convergecast_invariants(k in 1u32..=5, count in 1usize..200, seed in any::<u64>()) {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tgt = Coord::new(&[side / 2, side / 2]);
+        let h = wl::hotspot(&mesh, tgt, count, &mut rng);
+        prop_assert_eq!(h.len(), count);
+        prop_assert!(h.pairs.iter().all(|(_, t)| *t == tgt));
+        let a = wl::all_to_one(&mesh, tgt);
+        prop_assert_eq!(a.len(), mesh.node_count());
+        let cc = wl::central_cut_neighbors(&mesh, 0);
+        prop_assert_eq!(cc.len(), 2 * side as usize);
+        prop_assert!(cc.pairs.iter().all(|(s, t)| mesh.dist(s, t) == 1));
+    }
+}

@@ -1,0 +1,43 @@
+//! See the congestion: ASCII heat-maps of edge loads under different
+//! routers on the transpose permutation.
+//!
+//! Dimension-order routing concentrates the transpose along the diagonal
+//! band; algorithm H's randomized hierarchy spreads it almost uniformly.
+//!
+//! ```sh
+//! cargo run --release --example congestion_heatmap
+//! ```
+
+use oblivion::metrics::{render_heatmap_with_legend, EdgeLoads, PathSetMetrics};
+use oblivion::prelude::*;
+use oblivion::routing::route_all;
+use oblivion::workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let w = workloads::transpose(&mesh).without_self_loops();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let routers: Vec<Box<dyn ObliviousRouter>> = vec![
+        Box::new(DimOrder::new(mesh.clone())),
+        Box::new(Busch2D::new(mesh.clone())),
+    ];
+    for r in &routers {
+        let paths = route_all(r.as_ref(), &w.pairs, &mut rng);
+        let m = PathSetMetrics::measure(&mesh, &paths);
+        let loads = EdgeLoads::from_paths(&mesh, &paths);
+        println!(
+            "=== {} on transpose (16x16): C = {}, used edges = {} ===",
+            r.name(),
+            m.congestion,
+            loads.used_edges()
+        );
+        println!("{}", render_heatmap_with_legend(&mesh, &loads));
+    }
+    println!(
+        "The dim-order map shows the hot anti-diagonal band; the busch-2d map is a\n\
+         nearly uniform wash — same traffic, same mesh, different fates."
+    );
+}

@@ -1,0 +1,55 @@
+//! E1 + E2: reproduces the paper's Figure 1 and Figure 2 as ASCII art.
+//!
+//! Figure 1: the 8x8 mesh decomposition — type-1 (recursive quadrants) and
+//! type-2 (half-side-shifted bridges) at levels 1 and 2.
+//!
+//! Figure 2: the 3-dimensional decomposition with side 4, where the shift
+//! unit is λ = 1 and there are 4 block types; a 2-D slice of each is shown.
+//!
+//! ```sh
+//! cargo run --release --example decomposition_gallery
+//! ```
+
+use oblivion::decomp::{render, Decomp2, DecompD, TorusDecomp};
+
+fn main() {
+    println!("=== Figure 1: decomposition of the 8x8 mesh ===\n");
+    let d2 = Decomp2::new(3);
+    for level in [1u32, 2] {
+        println!("Level {level}, type 1 (side {}):", d2.block_side(level));
+        println!("{}", render::render_2d_type1(&d2, level));
+        println!(
+            "Level {level}, type 2 (shift {}; '..' marks discarded corner regions):",
+            d2.block_side(level) / 2
+        );
+        println!("{}", render::render_2d_type2(&d2, level));
+    }
+
+    println!("=== Figure 2: 3-D mesh, side 4, lambda = 1 (slice at z = 0) ===\n");
+    let d3 = DecompD::new(3, 2);
+    let level = 0; // block side 4 = 2^k: the paper's m_l = 4 example
+    println!(
+        "block side {}, lambda {}, {} types\n",
+        d3.block_side(level),
+        d3.lambda(level),
+        d3.num_types(level)
+    );
+    for j in 1..=d3.num_types(level) {
+        println!("Type {j} (diagonal shift {}):", (j - 1) * d3.lambda(level));
+        println!("{}", render::render_d_slice(&d3, level, j, 0));
+    }
+
+    println!("=== Bonus: the torus model (8x8, level-1 type-2 family) ===\n");
+    let dt = TorusDecomp::new(2, 3);
+    println!(
+        "On the torus the shifted family tiles perfectly — blocks wrap across\n\
+         the page edges instead of being clipped (the model the proofs use):\n"
+    );
+    println!("{}", render::render_torus_slice(&dt, 1, 2, 0));
+
+    println!(
+        "Note how every type-2/type-j block straddles the boundaries of the type-1\n\
+         grid: two nearby nodes separated by a type-1 cut always share a small\n\
+         shifted block — the 'bridge' that keeps the paper's paths short."
+    );
+}

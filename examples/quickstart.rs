@@ -1,0 +1,60 @@
+//! Quickstart: route packets obliviously on a mesh, with simultaneous
+//! congestion and stretch guarantees.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use oblivion::prelude::*;
+use oblivion::routing::route_all_metered;
+use oblivion::{metrics, sim, workloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 32x32 mesh (sides must be equal powers of two for algorithm H).
+    let mesh = Mesh::new_mesh(&[32, 32]);
+    let router = Busch2D::new(mesh.clone());
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // --- Route a single packet -------------------------------------------
+    let s = Coord::new(&[3, 4]);
+    let t = Coord::new(&[28, 9]);
+    let routed = router.select_path(&s, &t, &mut rng);
+    println!(
+        "single packet {s} -> {t}: length {} (shortest {}), stretch {:.2}, {} random bits",
+        routed.path.len(),
+        mesh.dist(&s, &t),
+        routed.path.stretch(&mesh),
+        routed.random_bits,
+    );
+
+    // --- Route a whole permutation ---------------------------------------
+    let workload = workloads::transpose(&mesh).without_self_loops();
+    let (paths, total_bits, _) = route_all_metered(&router, &workload.pairs, &mut rng);
+    let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+    let lb = metrics::congestion_lower_bound(&mesh, &workload.pairs);
+    println!(
+        "\ntranspose on 32x32: {} packets, congestion C = {} (lower bound {:.1}), \
+         dilation D = {}, max stretch {:.2}, {:.1} bits/packet",
+        workload.len(),
+        m.congestion,
+        lb,
+        m.dilation,
+        m.max_stretch,
+        total_bits as f64 / workload.len() as f64,
+    );
+
+    // --- Deliver the packets through the synchronous network --------------
+    let result =
+        sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::FurthestToGo, 7);
+    println!(
+        "delivered in {} steps (trivial lower bound C + D = {})",
+        result.makespan,
+        m.c_plus_d(),
+    );
+
+    // The guarantees that make this interesting (Theorems 3.4 / 3.9):
+    assert!(m.max_stretch <= 64.0);
+    println!("\nTheorem 3.4 check passed: every path within 64x of shortest.");
+}

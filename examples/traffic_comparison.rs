@@ -1,0 +1,64 @@
+//! Compare all routers on two opposite traffic extremes — global
+//! (transpose) and local (neighbor exchange) — and watch who controls
+//! congestion *and* stretch at the same time.
+//!
+//! ```sh
+//! cargo run --release --example traffic_comparison
+//! ```
+
+use oblivion::prelude::*;
+use oblivion::routing::route_all;
+use oblivion::{metrics, sim, workloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let side = 32u32;
+    let mesh = Mesh::new_mesh(&[side, side]);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let routers: Vec<Box<dyn ObliviousRouter>> = vec![
+        Box::new(Busch2D::new(mesh.clone())),
+        Box::new(AccessTree::new(mesh.clone())),
+        Box::new(Valiant::new(mesh.clone())),
+        Box::new(DimOrder::new(mesh.clone())),
+    ];
+    let workloads = [
+        workloads::transpose(&mesh).without_self_loops(),
+        workloads::neighbor_exchange(&mesh, 0),
+    ];
+
+    for w in &workloads {
+        let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+        println!(
+            "\n=== {} ({} packets, C* lower bound {:.1}) ===",
+            w.name,
+            w.len(),
+            lb
+        );
+        println!(
+            "{:<16} {:>5} {:>5} {:>12} {:>10} {:>10}",
+            "router", "C", "D", "max stretch", "C+D", "makespan"
+        );
+        for r in &routers {
+            let paths = route_all(r.as_ref(), &w.pairs, &mut rng);
+            let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+            let res = sim::Simulation::new(&mesh, paths)
+                .run(sim::SchedulingPolicy::FurthestToGo, 2);
+            println!(
+                "{:<16} {:>5} {:>5} {:>12.2} {:>10} {:>10}",
+                r.name(),
+                m.congestion,
+                m.dilation,
+                m.max_stretch,
+                m.c_plus_d(),
+                res.makespan
+            );
+        }
+    }
+    println!(
+        "\nTranspose: dim-order's C explodes; hierarchical/valiant routers stay near\n\
+         the bound. Neighbor exchange: valiant and the access tree drag distance-1\n\
+         packets across the mesh (huge D and makespan); busch-2d keeps both small."
+    );
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (E1-E20) into results/.
+# Usage: scripts/run_experiments.sh [results-dir]
+set -euo pipefail
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== building =="
+cargo build --release -p oblivion-bench --bins --quiet
+cargo build --release --examples --quiet
+
+run() {
+  echo "== $1 =="
+  cargo run --release --quiet -p oblivion-bench --bin "$1" > "$out/$1.txt"
+}
+
+cargo run --release --quiet --example decomposition_gallery > "$out/e1_e2_figures.txt"
+run exp_stretch2d            # E3
+run exp_congestion2d         # E4
+run exp_stretch_d            # E5
+run exp_congestion_d         # E6
+run exp_bridge_height        # E7
+run exp_randbits             # E8
+run exp_lower_bound          # E9
+run exp_baselines            # E10
+run exp_delivery             # E11
+run exp_ablation_bridges     # E12
+run exp_concentration        # E13
+run exp_torus                # E14
+run exp_choices              # E15
+run exp_delays               # E16
+run exp_scaling              # E17
+run exp_online               # E18
+run exp_expected_congestion  # E19
+run exp_offline_gap          # E20
+
+echo "all experiment outputs written to $out/"

@@ -1,0 +1,33 @@
+//! The `oblivion` command-line tool: route, inspect, and simulate
+//! oblivious mesh routing from the shell.
+//!
+//! ```sh
+//! oblivion route --mesh 64x64 --router busch2d --workload transpose --simulate ftg
+//! oblivion path --mesh 32x32 --router busch2d --from 3,4 --to 28,9
+//! oblivion decompose --mesh 8x8 --level 2 --kind 2
+//! oblivion simulate --mesh 32x32 --router valiant --workload random-perm --policy rank
+//! ```
+
+use oblivion::cli;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let exit = match cli::parse_args(&raw) {
+        Ok(args) => match cli::run(&args) {
+            Ok(out) => {
+                print!("{out}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", cli::help());
+            2
+        }
+    };
+    std::process::exit(exit);
+}

@@ -1,0 +1,757 @@
+//! Argument parsing and command execution for the `oblivion` CLI.
+//!
+//! Hand-rolled (no argument-parsing dependency): the grammar is small and
+//! the parsers are unit-tested below.
+
+use crate::routing::{
+    route_all_metered, AccessTree, Busch2D, BuschD, BuschPadded, BuschTorus, DimOrder,
+    ObliviousRouter, RandomDimOrder, Romm, Valiant,
+};
+use oblivion_mesh::{Coord, Mesh, Topology};
+use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
+use oblivion_sim::{SchedulingPolicy, Simulation};
+use oblivion_workloads as wl;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (`route`, `path`, `decompose`, `simulate`, `list`).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// Grammar: `SUBCOMMAND (--key value)*`.
+pub fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut it = raw.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing subcommand; try `oblivion help`".to_string())?
+        .clone();
+    let mut options = HashMap::new();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got `{key}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .clone();
+        options.insert(key.to_string(), value);
+    }
+    Ok(Args { command, options })
+}
+
+/// Parses a mesh spec like `64x64`, `16x16x16`, or `32` (1-D).
+pub fn parse_mesh_spec(spec: &str, torus: bool) -> Result<Mesh, String> {
+    let dims: Result<Vec<u32>, _> = spec.split('x').map(str::parse::<u32>).collect();
+    let dims = dims.map_err(|e| format!("bad mesh spec `{spec}`: {e}"))?;
+    if dims.is_empty() || dims.len() > oblivion_mesh::MAX_DIM {
+        return Err(format!(
+            "mesh must have 1..={} dimensions",
+            oblivion_mesh::MAX_DIM
+        ));
+    }
+    if dims.contains(&0) {
+        return Err("mesh sides must be positive".into());
+    }
+    let n: u64 = dims.iter().map(|&m| u64::from(m)).product();
+    if n > 1 << 24 {
+        return Err(format!("mesh with {n} nodes is too large for the CLI"));
+    }
+    Ok(Mesh::new(
+        &dims,
+        if torus { Topology::Torus } else { Topology::Mesh },
+    ))
+}
+
+/// Parses a coordinate like `3,4` against a mesh.
+pub fn parse_coord(spec: &str, mesh: &Mesh) -> Result<Coord, String> {
+    let xs: Result<Vec<u32>, _> = spec.split(',').map(str::parse::<u32>).collect();
+    let xs = xs.map_err(|e| format!("bad coordinate `{spec}`: {e}"))?;
+    if xs.len() != mesh.dim() {
+        return Err(format!(
+            "coordinate `{spec}` has {} components, mesh has {} dimensions",
+            xs.len(),
+            mesh.dim()
+        ));
+    }
+    let c = Coord::new(&xs);
+    if !mesh.contains(&c) {
+        return Err(format!("coordinate {c} outside the mesh"));
+    }
+    Ok(c)
+}
+
+/// The router names the CLI accepts.
+pub const ROUTER_NAMES: &[&str] = &[
+    "busch2d",
+    "buschd",
+    "busch-torus",
+    "busch-padded",
+    "access-tree",
+    "valiant",
+    "romm",
+    "dim-order",
+    "random-dim-order",
+];
+
+/// Builds a router by CLI name, validating the mesh shape the algorithm
+/// requires (so the CLI reports an error instead of panicking).
+pub fn make_router(name: &str, mesh: &Mesh) -> Result<Box<dyn ObliviousRouter>, String> {
+    let equal_pow2 = mesh
+        .dims()
+        .iter()
+        .all(|&m| m == mesh.side(0) && m.is_power_of_two());
+    let require = |ok: bool, what: &str| -> Result<(), String> {
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("router `{name}` requires {what}"))
+        }
+    };
+    match name {
+        "busch2d" => require(
+            mesh.dim() == 2 && equal_pow2 && mesh.topology() == Topology::Mesh,
+            "a square power-of-two 2-D mesh",
+        )?,
+        "buschd" | "access-tree" => require(
+            equal_pow2 && mesh.topology() == Topology::Mesh,
+            "an equal-side power-of-two mesh",
+        )?,
+        "busch-torus" => require(
+            equal_pow2 && mesh.topology() == Topology::Torus,
+            "an equal-side power-of-two torus (--torus true)",
+        )?,
+        "busch-padded" => require(
+            mesh.topology() == Topology::Mesh,
+            "a (non-torus) mesh",
+        )?,
+        _ => {}
+    }
+    Ok(match name {
+        "busch2d" => Box::new(Busch2D::new(mesh.clone())),
+        "buschd" => Box::new(BuschD::new(mesh.clone())),
+        "busch-torus" => Box::new(BuschTorus::new(mesh.clone())),
+        "busch-padded" => Box::new(BuschPadded::new(mesh.clone())),
+        "access-tree" => Box::new(AccessTree::new(mesh.clone())),
+        "valiant" => Box::new(Valiant::new(mesh.clone())),
+        "romm" => Box::new(Romm::new(mesh.clone())),
+        "dim-order" => Box::new(DimOrder::new(mesh.clone())),
+        "random-dim-order" => Box::new(RandomDimOrder::new(mesh.clone())),
+        other => {
+            return Err(format!(
+                "unknown router `{other}`; choose one of {ROUTER_NAMES:?}"
+            ))
+        }
+    })
+}
+
+/// The workload names the CLI accepts.
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "transpose",
+    "random-perm",
+    "bit-reversal",
+    "bit-complement",
+    "tornado",
+    "shuffle",
+    "neighbor-exchange",
+    "central-cut",
+    "hotspot",
+];
+
+/// Builds a workload by CLI name.
+pub fn make_workload(
+    name: &str,
+    mesh: &Mesh,
+    rng: &mut StdRng,
+) -> Result<wl::Workload, String> {
+    Ok(match name {
+        "transpose" => wl::transpose(mesh).without_self_loops(),
+        "random-perm" => wl::random_permutation(mesh, rng),
+        "bit-reversal" => wl::bit_reversal(mesh).without_self_loops(),
+        "bit-complement" => wl::bit_complement(mesh),
+        "tornado" => wl::tornado(mesh),
+        "shuffle" => wl::shuffle(mesh).without_self_loops(),
+        "neighbor-exchange" => wl::neighbor_exchange(mesh, 0),
+        "central-cut" => wl::central_cut_neighbors(mesh, 0),
+        "hotspot" => {
+            let mut center = Coord::origin(mesh.dim());
+            for i in 0..mesh.dim() {
+                center[i] = mesh.side(i) / 2;
+            }
+            wl::hotspot(mesh, center, mesh.node_count() / 4, rng)
+        }
+        other => {
+            return Err(format!(
+                "unknown workload `{other}`; choose one of {WORKLOAD_NAMES:?}"
+            ))
+        }
+    })
+}
+
+/// Parses a scheduling policy name.
+pub fn parse_policy(name: &str) -> Result<SchedulingPolicy, String> {
+    Ok(match name {
+        "fifo" => SchedulingPolicy::Fifo,
+        "furthest" | "ftg" => SchedulingPolicy::FurthestToGo,
+        "closest" | "ctg" => SchedulingPolicy::ClosestToGo,
+        "rank" | "random-rank" => SchedulingPolicy::RandomRank,
+        other => return Err(format!("unknown policy `{other}` (fifo|ftg|ctg|rank)")),
+    })
+}
+
+/// Resolves the workload: `--workload-file` (the `oblivion_workloads::io`
+/// line format) takes precedence over the named `--workload`.
+fn workload_from_args(args: &Args, mesh: &Mesh, rng: &mut StdRng) -> Result<wl::Workload, String> {
+    if let Some(path) = args.options.get("workload-file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        return wl::io::from_text(path, &text, mesh);
+    }
+    make_workload(opt(args, "workload", "random-perm"), mesh, rng)
+}
+
+fn opt<'a>(args: &'a Args, key: &str, default: &'a str) -> &'a str {
+    args.options.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn seed_of(args: &Args) -> Result<u64, String> {
+    opt(args, "seed", "42")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))
+}
+
+/// The `help` text.
+pub fn help() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "oblivion — oblivious path selection on the mesh (Busch/Magdon-Ismail/Xi, IPDPS'05)\n\n\
+         USAGE: oblivion <COMMAND> [--option value]...\n\n\
+         COMMANDS:\n\
+         \u{20}  route     route a workload, report C / D / stretch / lower bound\n\
+         \u{20}            --mesh 64x64 [--torus true] --router busch2d --workload transpose\n\
+         \u{20}            [--seed 42] [--simulate fifo|ftg|ctg|rank]\n\
+         \u{20}  path      route one packet and print the hops\n\
+         \u{20}            --mesh 64x64 --router busch2d --from 3,4 --to 60,9 [--seed 42]\n\
+         \u{20}  heatmap   ASCII congestion heat-map of a routed workload (2-D)\n\
+         \u{20}            --mesh 16x16 --router busch2d --workload transpose\n\
+         \u{20}  decompose render the hierarchical decomposition (2-D)\n\
+         \u{20}            --mesh 8x8 --level 1 [--kind 1|2]\n\
+         \u{20}  pia       build the Section-5 adversarial problem Pi_A for a router\n\
+         \u{20}            --mesh 32x32 --router dim-order --l 8 [--out pia.txt]\n\
+         \u{20}  bracket   bracket C*: lower bound vs offline router vs your router\n\
+         \u{20}            --mesh 16x16 --router buschd --workload transpose\n\
+         \u{20}  online    continuous-injection simulation (latency vs load)\n\
+         \u{20}            --mesh 16x16 --router busch2d --rate 0.05 --steps 500\n\
+         \u{20}            [--pattern uniform|transpose] [--policy fifo]\n\
+         \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
+         \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
+         \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
+         \u{20}  list      list routers and workloads\n\
+         \u{20}            (route/simulate/heatmap accept --workload-file FILE with\n\
+         \u{20}             lines \"x1,y1 -> x2,y2\"; see oblivion_workloads::io)\n\
+         \u{20}  help      this text"
+    );
+    let _ = writeln!(s, "\nROUTERS:   {}", ROUTER_NAMES.join(", "));
+    let _ = writeln!(s, "WORKLOADS: {}", WORKLOAD_NAMES.join(", "));
+    s
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(help()),
+        "list" => Ok(format!(
+            "routers:   {}\nworkloads: {}\n",
+            ROUTER_NAMES.join(", "),
+            WORKLOAD_NAMES.join(", ")
+        )),
+        "route" => cmd_route(args),
+        "heatmap" => cmd_heatmap(args),
+        "path" => cmd_path(args),
+        "decompose" => cmd_decompose(args),
+        "simulate" => cmd_simulate(args),
+        "online" => cmd_online(args),
+        "bracket" => cmd_bracket(args),
+        "pia" => cmd_pia(args),
+        other => Err(format!("unknown command `{other}`; try `oblivion help`")),
+    }
+}
+
+fn cmd_route(args: &Args) -> Result<String, String> {
+    let torus = opt(args, "torus", "false") == "true";
+    let mesh = parse_mesh_spec(opt(args, "mesh", "32x32"), torus)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let seed = seed_of(args)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = workload_from_args(args, &mesh, &mut rng)?;
+    let (paths, bits, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
+    let m = PathSetMetrics::measure(&mesh, &paths);
+    let lb = congestion_lower_bound(&mesh, &w.pairs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "router {} on {:?} {:?}, workload {} ({} packets, seed {seed})",
+        router.name(),
+        mesh.dims(),
+        mesh.topology(),
+        w.name,
+        w.len()
+    );
+    let _ = writeln!(out, "  congestion C      = {}", m.congestion);
+    let _ = writeln!(out, "  C* lower bound    = {lb:.2}  (C/lb = {:.2})", f64::from(m.congestion) / lb.max(1e-9));
+    let _ = writeln!(out, "  dilation D        = {}", m.dilation);
+    let _ = writeln!(out, "  C + D             = {}", m.c_plus_d());
+    let _ = writeln!(out, "  max stretch       = {:.2}", m.max_stretch);
+    let _ = writeln!(out, "  mean stretch      = {:.2}", m.mean_stretch);
+    let _ = writeln!(
+        out,
+        "  random bits/packet = {:.1}",
+        bits as f64 / w.len().max(1) as f64
+    );
+    if let Some(policy) = args.options.get("simulate") {
+        let policy = parse_policy(policy)?;
+        let res = Simulation::new(&mesh, paths).run(policy, seed);
+        let _ = writeln!(
+            out,
+            "  makespan ({policy:?}) = {}  ({:.2}x of C+D)",
+            res.makespan,
+            res.makespan as f64 / m.c_plus_d().max(1) as f64
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_heatmap(args: &Args) -> Result<String, String> {
+    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
+    if mesh.dim() != 2 {
+        return Err("heatmap renders 2-D meshes".into());
+    }
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let seed = seed_of(args)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = if args.options.contains_key("workload-file") {
+        workload_from_args(args, &mesh, &mut rng)?
+    } else {
+        make_workload(opt(args, "workload", "transpose"), &mesh, &mut rng)?
+    };
+    let (paths, _, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
+    let loads = oblivion_metrics::EdgeLoads::from_paths(&mesh, &paths);
+    Ok(format!(
+        "{} on {} ({} packets):\n{}",
+        router.name(),
+        w.name,
+        w.len(),
+        oblivion_metrics::render_heatmap_with_legend(&mesh, &loads)
+    ))
+}
+
+fn cmd_path(args: &Args) -> Result<String, String> {
+    let torus = opt(args, "torus", "false") == "true";
+    let mesh = parse_mesh_spec(opt(args, "mesh", "32x32"), torus)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let s = parse_coord(
+        args.options.get("from").ok_or("missing --from")?,
+        &mesh,
+    )?;
+    let t = parse_coord(args.options.get("to").ok_or("missing --to")?, &mesh)?;
+    let mut rng = StdRng::seed_from_u64(seed_of(args)?);
+    let rp = router.select_path(&s, &t, &mut rng);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} -> {}: {} hops (shortest {}), stretch {:.2}, {} random bits",
+        router.name(),
+        s,
+        t,
+        rp.path.len(),
+        mesh.dist(&s, &t),
+        rp.path.stretch(&mesh),
+        rp.random_bits
+    );
+    let hops: Vec<String> = rp.path.nodes().iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(out, "  {}", hops.join(" "));
+    Ok(out)
+}
+
+fn cmd_decompose(args: &Args) -> Result<String, String> {
+    let mesh = parse_mesh_spec(opt(args, "mesh", "8x8"), false)?;
+    if mesh.dim() != 2 || mesh.side(0) != mesh.side(1) || !mesh.side(0).is_power_of_two() {
+        return Err("decompose renders 2-D square power-of-two meshes".into());
+    }
+    let d = crate::decomp::Decomp2::for_mesh(&mesh);
+    let level: u32 = opt(args, "level", "1")
+        .parse()
+        .map_err(|e| format!("bad --level: {e}"))?;
+    if level > d.k() {
+        return Err(format!("level must be 0..={}", d.k()));
+    }
+    let kind = opt(args, "kind", "1");
+    match kind {
+        "1" => Ok(crate::decomp::render::render_2d_type1(&d, level)),
+        "2" => Ok(crate::decomp::render::render_2d_type2(&d, level)),
+        other => Err(format!("--kind must be 1 or 2, got `{other}`")),
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let torus = opt(args, "torus", "false") == "true";
+    let mesh = parse_mesh_spec(opt(args, "mesh", "32x32"), torus)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let seed = seed_of(args)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = workload_from_args(args, &mesh, &mut rng)?;
+    let policy = parse_policy(opt(args, "policy", "ftg"))?;
+    let (paths, _, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
+    let m = PathSetMetrics::measure(&mesh, &paths);
+    let sim = Simulation::new(&mesh, paths);
+    let res = match args.options.get("max-delay") {
+        None => sim.run(policy, seed),
+        Some(d) => {
+            let d: u64 = d.parse().map_err(|e| format!("bad --max-delay: {e}"))?;
+            sim.run_with_random_delays(policy, seed, d)
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} + {:?} on {}: C={} D={} C+D={}",
+        router.name(),
+        policy,
+        w.name,
+        m.congestion,
+        m.dilation,
+        m.c_plus_d()
+    );
+    let _ = writeln!(
+        out,
+        "  makespan {}  ({:.2}x of C+D), mean delivery {:.1}, max contention {}",
+        res.makespan,
+        res.makespan as f64 / m.c_plus_d().max(1) as f64,
+        res.mean_delivery(),
+        res.max_contention
+    );
+    Ok(out)
+}
+
+fn cmd_bracket(args: &Args) -> Result<String, String> {
+    let torus = opt(args, "torus", "false") == "true";
+    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), torus)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let seed = seed_of(args)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = workload_from_args(args, &mesh, &mut rng)?;
+    let lb = congestion_lower_bound(&mesh, &w.pairs);
+    let offline = crate::routing::route_min_congestion(
+        &mesh,
+        &w.pairs,
+        crate::routing::OfflineConfig::default(),
+        &mut rng,
+    );
+    let off_c = PathSetMetrics::measure(&mesh, &offline).congestion;
+    let (paths, _, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
+    let c = PathSetMetrics::measure(&mesh, &paths).congestion;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "C* bracket on {} ({} packets):",
+        w.name,
+        w.len()
+    );
+    let _ = writeln!(out, "  lower bound        lb = {lb:.2}");
+    let _ = writeln!(out, "  offline achievable C(offline) = {off_c}");
+    let _ = writeln!(out, "  {} C = {c}", router.name());
+    let _ = writeln!(
+        out,
+        "  competitive ratio <= C/C(offline) = {:.2}  (vs C/lb = {:.2})",
+        f64::from(c) / f64::from(off_c.max(1)),
+        f64::from(c) / lb.max(1e-9)
+    );
+    Ok(out)
+}
+
+fn cmd_pia(args: &Args) -> Result<String, String> {
+    let mesh = parse_mesh_spec(opt(args, "mesh", "32x32"), false)?;
+    let router = make_router(opt(args, "router", "dim-order"), &mesh)?;
+    let l: u32 = opt(args, "l", "8")
+        .parse()
+        .map_err(|e| format!("bad --l: {e}"))?;
+    let samples: usize = opt(args, "samples", "1")
+        .parse()
+        .map_err(|e| format!("bad --samples: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(seed_of(args)?);
+    if l == 0 || !mesh.side(0).is_multiple_of(l) || !(mesh.side(0) / l).is_multiple_of(2) {
+        return Err(format!(
+            "--l must split side {} into an even number of slabs",
+            mesh.side(0)
+        ));
+    }
+    let res = wl::pi_a(router.as_ref(), l, samples, &mut rng);
+    let text = wl::io::to_text(&res.workload);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Pi_A against {} with l = {l}: {} packets share one edge (modal load {})",
+        router.name(),
+        res.workload.len(),
+        res.edge_load
+    );
+    if let Some(path) = args.options.get("out") {
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "written to {path} (replay with --workload-file {path})");
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+fn cmd_online(args: &Args) -> Result<String, String> {
+    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let seed = seed_of(args)?;
+    let rate: f64 = opt(args, "rate", "0.05")
+        .parse()
+        .map_err(|e| format!("bad --rate: {e}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err("--rate must be in [0, 1]".into());
+    }
+    let steps: u64 = opt(args, "steps", "500")
+        .parse()
+        .map_err(|e| format!("bad --steps: {e}"))?;
+    let policy = parse_policy(opt(args, "policy", "fifo"))?;
+    let pattern_name = opt(args, "pattern", "uniform");
+    use oblivion_mesh::Path;
+    use oblivion_sim::{FixedTraffic, OnlineSim, TrafficPattern, UniformTraffic};
+    let uniform = UniformTraffic::new(mesh.clone());
+    let transpose = FixedTraffic {
+        pattern_name: "transpose".into(),
+        map: |c| Coord::new(&[c[1], c[0]]),
+    };
+    let complement_2d = FixedTraffic {
+        pattern_name: "bit-complement".into(),
+        // Note: the closure captures nothing; complement needs mesh sides,
+        // so it is restricted to square meshes via the lookup below.
+        map: |c| c.with(0, c[0]), // placeholder, replaced below
+    };
+    let pattern: &dyn TrafficPattern = match pattern_name {
+        "uniform" => &uniform,
+        "transpose" => {
+            if mesh.dim() != 2 || mesh.side(0) != mesh.side(1) {
+                return Err("transpose pattern needs a square 2-D mesh".into());
+            }
+            &transpose
+        }
+        other => return Err(format!("unknown pattern `{other}` (uniform|transpose)")),
+    };
+    let _ = complement_2d;
+    let source = |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path {
+        router.select_path(s, t, rng).path
+    };
+    let sim = OnlineSim::new(&mesh, policy, rate);
+    let r = sim.run(pattern, &source, steps, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} online, pattern {}, rate {rate}, {} steps (+drain), policy {:?}:",
+        router.name(),
+        pattern.name(),
+        steps,
+        policy
+    );
+    let _ = writeln!(
+        out,
+        "  injected {}  delivered {}  in-flight {}",
+        r.injected, r.delivered, r.in_flight
+    );
+    let _ = writeln!(
+        out,
+        "  mean latency {:.1}  p95 latency {:.1}  throughput {:.3} pkts/node/step",
+        r.mean_latency, r.p95_latency, r.throughput
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_args_grammar() {
+        let a = args(&["route", "--mesh", "8x8", "--seed", "7"]);
+        assert_eq!(a.command, "route");
+        assert_eq!(a.options["mesh"], "8x8");
+        assert_eq!(a.options["seed"], "7");
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["route".into(), "--mesh".into()]).is_err());
+        assert!(parse_args(&["route".into(), "mesh".into(), "8x8".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_mesh_specs() {
+        assert_eq!(parse_mesh_spec("8x8", false).unwrap().dim(), 2);
+        assert_eq!(parse_mesh_spec("4x4x4", true).unwrap().topology(), Topology::Torus);
+        assert_eq!(parse_mesh_spec("32", false).unwrap().dim(), 1);
+        assert!(parse_mesh_spec("0x4", false).is_err());
+        assert!(parse_mesh_spec("4xx4", false).is_err());
+        assert!(parse_mesh_spec("9999999x9999999", false).is_err());
+    }
+
+    #[test]
+    fn parse_coords() {
+        let mesh = parse_mesh_spec("8x8", false).unwrap();
+        assert!(parse_coord("3,4", &mesh).is_ok());
+        assert!(parse_coord("8,0", &mesh).is_err());
+        assert!(parse_coord("3", &mesh).is_err());
+        assert!(parse_coord("a,b", &mesh).is_err());
+    }
+
+    #[test]
+    fn every_listed_router_constructs() {
+        let mesh = parse_mesh_spec("8x8", false).unwrap();
+        let torus = parse_mesh_spec("8x8", true).unwrap();
+        for name in ROUTER_NAMES {
+            let m = if *name == "busch-torus" { &torus } else { &mesh };
+            assert!(make_router(name, m).is_ok(), "{name}");
+        }
+        assert!(make_router("nope", &mesh).is_err());
+    }
+
+    #[test]
+    fn every_listed_workload_constructs() {
+        let mesh = parse_mesh_spec("8x8", false).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for name in WORKLOAD_NAMES {
+            assert!(make_workload(name, &mesh, &mut rng).is_ok(), "{name}");
+        }
+        assert!(make_workload("nope", &mesh, &mut rng).is_err());
+    }
+
+    #[test]
+    fn route_command_end_to_end() {
+        let a = args(&[
+            "route", "--mesh", "8x8", "--router", "busch2d", "--workload", "transpose",
+            "--simulate", "fifo",
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("congestion C"));
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn path_command_end_to_end() {
+        let a = args(&[
+            "path", "--mesh", "16x16", "--router", "romm", "--from", "1,2", "--to", "9,9",
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("hops"));
+        assert!(out.contains("(1,2)"));
+    }
+
+    #[test]
+    fn decompose_command() {
+        let a = args(&["decompose", "--mesh", "8x8", "--level", "1", "--kind", "2"]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("+"));
+        assert!(run(&args(&["decompose", "--mesh", "8x4"])).is_err());
+        assert!(run(&args(&["decompose", "--mesh", "8x8", "--level", "9"])).is_err());
+    }
+
+    #[test]
+    fn simulate_command_with_delays() {
+        let a = args(&[
+            "simulate", "--mesh", "8x8", "--router", "dim-order", "--workload",
+            "neighbor-exchange", "--policy", "rank", "--max-delay", "4",
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("makespan"));
+    }
+
+    #[test]
+    fn pia_command_pipes_into_route() {
+        let path = std::env::temp_dir().join("oblivion_cli_pia_test.txt");
+        let a = args(&[
+            "pia", "--mesh", "16x16", "--router", "dim-order", "--l", "4", "--out",
+            path.to_str().unwrap(),
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("share one edge"), "{out}");
+        // Replay the file through `route`.
+        let b = args(&[
+            "route", "--mesh", "16x16", "--router", "busch2d", "--workload-file",
+            path.to_str().unwrap(),
+        ]);
+        assert!(run(&b).unwrap().contains("congestion C"));
+        let _ = std::fs::remove_file(&path);
+        // Bad l rejected.
+        assert!(run(&args(&["pia", "--mesh", "16x16", "--l", "5"])).is_err());
+    }
+
+    #[test]
+    fn bracket_command_end_to_end() {
+        let a = args(&[
+            "bracket", "--mesh", "8x8", "--router", "busch2d", "--workload", "transpose",
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("competitive ratio"), "{out}");
+    }
+
+    #[test]
+    fn online_command_end_to_end() {
+        let a = args(&[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--rate", "0.05",
+            "--steps", "100", "--pattern", "transpose",
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("mean latency"), "{out}");
+        assert!(run(&args(&["online", "--mesh", "8x8", "--rate", "2.0"])).is_err());
+        assert!(run(&args(&["online", "--mesh", "8x4", "--pattern", "transpose"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["list"])).unwrap().contains("busch2d"));
+    }
+
+    #[test]
+    fn workload_file_round_trip() {
+        let mesh = parse_mesh_spec("8x8", false).unwrap();
+        let w = wl::transpose(&mesh).without_self_loops();
+        let path = std::env::temp_dir().join("oblivion_cli_wl_test.txt");
+        std::fs::write(&path, wl::io::to_text(&w)).unwrap();
+        let a = args(&[
+            "route", "--mesh", "8x8", "--router", "dim-order", "--workload-file",
+            path.to_str().unwrap(),
+        ]);
+        let out = run(&a).unwrap();
+        assert!(out.contains("56 packets"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn workload_file_errors_are_reported() {
+        let a = args(&[
+            "route", "--mesh", "8x8", "--workload-file", "/nonexistent/definitely.txt",
+        ]);
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = args(&["route", "--mesh", "8x8", "--router", "buschd", "--seed", "9"]);
+        assert_eq!(run(&a).unwrap(), run(&a).unwrap());
+    }
+}

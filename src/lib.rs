@@ -1,0 +1,40 @@
+//! # oblivion
+//!
+//! Umbrella crate for the *oblivion* workspace: a production-quality Rust
+//! reproduction of Busch, Magdon-Ismail & Xi, *"Optimal Oblivious Path
+//! Selection on the Mesh"* (IPDPS 2005).
+//!
+//! Re-exports the member crates under stable names:
+//!
+//! * [`mesh`] — the d-dimensional mesh/torus substrate;
+//! * [`decomp`] — hierarchical decompositions, bridges, the access graph;
+//! * [`routing`] — algorithm H and all baselines;
+//! * [`workloads`] — routing-problem generators;
+//! * [`metrics`] — congestion/dilation/stretch and C* lower bounds;
+//! * [`sim`] — the synchronous store-and-forward packet simulator.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use oblivion_decomp as decomp;
+pub use oblivion_mesh as mesh;
+pub use oblivion_metrics as metrics;
+pub use oblivion_sim as sim;
+pub use oblivion_workloads as workloads;
+
+/// The path-selection algorithms (`oblivion-core`).
+pub mod routing {
+    pub use oblivion_core::*;
+}
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use oblivion_core::{
+        AccessTree, Busch2D, BuschD, BuschPadded, BuschTorus, DimOrder, ObliviousRouter,
+        RandomDimOrder, RandomnessMode, Romm, RoutedPath, Valiant,
+    };
+    pub use oblivion_mesh::{Coord, Mesh, Path, Submesh, Topology};
+}

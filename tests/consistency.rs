@@ -1,0 +1,77 @@
+//! Consistency between the implicit (router-side) and explicit
+//! (materialized access-graph) views of the decomposition: the chain the
+//! router navigates must be exactly the bitonic path in `G(M)`.
+
+use oblivion::decomp::{AccessGraph, Decomp2};
+use oblivion::prelude::*;
+
+#[test]
+fn busch2d_chain_equals_access_graph_bitonic_path() {
+    for k in [2u32, 3, 4] {
+        let decomp = Decomp2::new(k);
+        let graph = AccessGraph::build(&decomp);
+        let mesh = decomp.mesh();
+        let router = Busch2D::new(mesh.clone());
+        let coords: Vec<Coord> = mesh.coords().collect();
+        for s in &coords {
+            for t in &coords {
+                if s == t {
+                    continue;
+                }
+                let implicit = router.chain(s, t);
+                let mut explicit = graph.bitonic_path(&decomp, s, t);
+                explicit.dedup();
+                assert_eq!(
+                    implicit, explicit,
+                    "k={k} {s:?}->{t:?}: implicit chain and access-graph path differ"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn buschd_equals_busch2d_when_bridges_align() {
+    // The two algorithms differ (the 2-D one climbs level by level to the
+    // DCA; the d-D one jumps from height h-hat to the bridge), but both
+    // must produce chains whose first/last blocks and bridge contain the
+    // same endpoints, and both must obey the same envelope: every chain
+    // block contains s or t.
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let r2 = Busch2D::new(mesh.clone());
+    let rd = BuschD::new(mesh.clone());
+    let coords: Vec<Coord> = mesh.coords().collect();
+    for s in &coords {
+        for t in &coords {
+            if s == t {
+                continue;
+            }
+            for chain in [r2.chain(s, t), rd.chain(s, t)] {
+                assert!(chain
+                    .iter()
+                    .all(|b| b.contains(s) || b.contains(t)));
+                // Exactly one block (the peak) contains both — or the
+                // chain's peak is shared.
+                assert!(chain.iter().any(|b| b.contains(s) && b.contains(t)));
+            }
+        }
+    }
+}
+
+#[test]
+fn padded_router_on_power_of_two_equals_buschd_paths() {
+    // With identical RNG streams the padded router on a power-of-two mesh
+    // must be byte-identical to BuschD (the clip is a no-op).
+    use oblivion::routing::route_all_seeded;
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let direct = BuschD::new(mesh.clone());
+    let padded = BuschPadded::new(mesh.clone());
+    let pairs: Vec<(Coord, Coord)> = mesh
+        .coords()
+        .map(|c| (c, Coord::new(&[c[1], c[0]])))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let a = route_all_seeded(&direct, &pairs, 123);
+    let b = route_all_seeded(&padded, &pairs, 123);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate invariants that must hold for *every* router on *every*
+//! workload: the lower bound really lower-bounds, metering is consistent,
+//! and the measured quantities relate the way the definitions say.
+
+use oblivion::prelude::*;
+use oblivion::routing::route_all_metered;
+use oblivion::{metrics, workloads};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn routers(mesh: &Mesh) -> Vec<Box<dyn ObliviousRouter>> {
+    let mut v: Vec<Box<dyn ObliviousRouter>> = vec![
+        Box::new(BuschD::new(mesh.clone())),
+        Box::new(BuschPadded::new(mesh.clone())),
+        Box::new(AccessTree::new(mesh.clone())),
+        Box::new(Valiant::new(mesh.clone())),
+        Box::new(Romm::new(mesh.clone())),
+        Box::new(DimOrder::new(mesh.clone())),
+        Box::new(RandomDimOrder::new(mesh.clone())),
+    ];
+    if mesh.dim() == 2 {
+        v.push(Box::new(Busch2D::new(mesh.clone())));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `C ≥ ⌈lower bound⌉` for every router: the boundary/flow bound is a
+    /// genuine lower bound on the congestion of ANY path assignment.
+    /// Also: dilation ≥ max distance, stretch ≥ 1, C ≤ N.
+    #[test]
+    fn lower_bound_is_dominated(k in 2u32..=4, seed in any::<u64>(), wsel in 0usize..4) {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = match wsel {
+            0 => workloads::transpose(&mesh).without_self_loops(),
+            1 => workloads::random_permutation(&mesh, &mut rng),
+            2 => workloads::neighbor_exchange(&mesh, 0),
+            _ => workloads::random_pairs(&mesh, 40, &mut rng),
+        };
+        let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+        let max_dist = w.max_distance(&mesh);
+        for r in routers(&mesh) {
+            let (paths, total_bits, max_bits) =
+                route_all_metered(r.as_ref(), &w.pairs, &mut rng);
+            let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+            prop_assert!(
+                u64::from(m.congestion) >= lb.ceil() as u64,
+                "{}: C = {} < lb = {lb}", r.name(), m.congestion
+            );
+            prop_assert!(m.dilation as u64 >= max_dist, "{}", r.name());
+            prop_assert!(m.max_stretch >= 1.0 - 1e-9);
+            prop_assert!(m.congestion as usize <= w.len());
+            prop_assert!(max_bits <= total_bits.max(max_bits));
+            // Total length consistency: C * |E| >= total length.
+            prop_assert!(
+                u64::from(m.congestion) * mesh.edge_count() as u64 >= m.total_length
+            );
+        }
+    }
+
+    /// Edge loads from metrics equal a brute-force recount, and the load
+    /// histogram is consistent.
+    #[test]
+    fn edge_loads_match_brute_force(k in 2u32..=3, seed in any::<u64>()) {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = workloads::random_pairs(&mesh, 25, &mut rng);
+        let router = BuschD::new(mesh.clone());
+        let (paths, _, _) = route_all_metered(&router, &w.pairs, &mut rng);
+        let loads = metrics::EdgeLoads::from_paths(&mesh, &paths);
+        // Brute force: count via hops.
+        let mut brute = vec![0u32; mesh.edge_count()];
+        for p in &paths {
+            for (a, b) in p.hops() {
+                brute[mesh.edge_id(a, b).0] += 1;
+            }
+        }
+        prop_assert_eq!(loads.loads(), &brute[..]);
+        let hist = loads.histogram();
+        let total_edges: usize = hist.iter().sum();
+        prop_assert_eq!(total_edges, mesh.edge_count());
+        let weighted: u64 = hist
+            .iter()
+            .enumerate()
+            .map(|(load, &cnt)| load as u64 * cnt as u64)
+            .sum();
+        let total_len: u64 = paths.iter().map(|p| p.len() as u64).sum();
+        prop_assert_eq!(weighted, total_len);
+    }
+
+    /// On the torus, the torus router dominates the flow bound too, and
+    /// never exceeds the mesh diameter by more than the stretch constant.
+    #[test]
+    fn torus_router_invariants(k in 2u32..=5, seed in any::<u64>()) {
+        let side = 1u32 << k;
+        let torus = Mesh::new_torus(&[side, side]);
+        let router = BuschTorus::new(torus.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = workloads::random_pairs(&torus, 30, &mut rng);
+        let (paths, _, _) = route_all_metered(&router, &w.pairs, &mut rng);
+        let m = metrics::PathSetMetrics::measure(&torus, &paths);
+        let flow = metrics::flow_lower_bound(&torus, &w.pairs);
+        prop_assert!(u64::from(m.congestion) >= flow);
+        let bound = oblivion::routing::stretch_bound(2);
+        prop_assert!(m.max_stretch <= bound, "stretch {}", m.max_stretch);
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: workload → oblivious routing → metrics →
+//! synchronous delivery, across every crate of the workspace.
+
+use oblivion::prelude::*;
+use oblivion::routing::{route_all, route_all_metered};
+use oblivion::{metrics, sim, workloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn routers_2d(mesh: &Mesh) -> Vec<Box<dyn ObliviousRouter>> {
+    vec![
+        Box::new(Busch2D::new(mesh.clone())),
+        Box::new(BuschD::new(mesh.clone())),
+        Box::new(AccessTree::new(mesh.clone())),
+        Box::new(Valiant::new(mesh.clone())),
+        Box::new(DimOrder::new(mesh.clone())),
+        Box::new(RandomDimOrder::new(mesh.clone())),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_transpose() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let w = workloads::transpose(&mesh).without_self_loops();
+    let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+    assert!(lb >= 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    for r in routers_2d(&mesh) {
+        let (paths, _, _) = route_all_metered(r.as_ref(), &w.pairs, &mut rng);
+        assert_eq!(paths.len(), w.len());
+        for (p, (s, t)) in paths.iter().zip(&w.pairs) {
+            assert!(p.is_valid(&mesh), "{}", r.name());
+            assert_eq!((p.source(), p.target()), (s, t));
+        }
+        let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+        assert!(f64::from(m.congestion) >= lb.floor(), "{}", r.name());
+
+        let res = sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::Fifo, 2);
+        assert!(res.makespan >= m.dilation as u64);
+        assert!(res.makespan >= u64::from(m.congestion));
+        assert_eq!(res.delivery.len(), w.len());
+    }
+}
+
+#[test]
+fn busch_routers_control_both_metrics_everywhere() {
+    // The paper's claim, as an integration test: on BOTH local and global
+    // traffic, algorithm H keeps congestion within O(log n) of the bound
+    // and stretch below the theorem constants, simultaneously.
+    let mesh = Mesh::new_mesh(&[32, 32]);
+    let mut rng = StdRng::seed_from_u64(3);
+    let router = Busch2D::new(mesh.clone());
+    let log_n = (mesh.node_count() as f64).log2();
+
+    for w in [
+        workloads::transpose(&mesh).without_self_loops(),
+        workloads::neighbor_exchange(&mesh, 0),
+        workloads::central_cut_neighbors(&mesh, 0),
+        workloads::random_permutation(&mesh, &mut rng),
+    ] {
+        let paths = route_all(&router, &w.pairs, &mut rng);
+        let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+        let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+        assert!(m.max_stretch <= 64.0, "{}: stretch {}", w.name, m.max_stretch);
+        // Generous constant: Theorem 3.9's O(C* log n) with constant ~4.
+        assert!(
+            f64::from(m.congestion) <= 4.0 * lb * log_n,
+            "{}: C = {} lb = {lb}",
+            w.name,
+            m.congestion
+        );
+    }
+}
+
+#[test]
+fn three_dimensional_pipeline() {
+    let mesh = Mesh::new_mesh(&[8, 8, 8]);
+    let mut rng = StdRng::seed_from_u64(4);
+    let router = BuschD::new(mesh.clone());
+    let w = workloads::random_permutation(&mesh, &mut rng).without_self_loops();
+    let paths = route_all(&router, &w.pairs, &mut rng);
+    let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+    assert!(m.max_stretch <= oblivion::routing::stretch_bound(3));
+    let res = sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::FurthestToGo, 5);
+    assert!(res.makespan >= m.dilation as u64);
+    assert!(res.makespan <= 8 * m.c_plus_d()); // loose sanity band
+}
+
+#[test]
+fn metered_bits_aggregate_correctly() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let mut rng = StdRng::seed_from_u64(6);
+    let router = Busch2D::new(mesh.clone());
+    let w = workloads::neighbor_exchange(&mesh, 1);
+    let (paths, total, max) = route_all_metered(&router, &w.pairs, &mut rng);
+    assert_eq!(paths.len(), w.len());
+    assert!(total > 0);
+    assert!(max <= total);
+    // Local traffic must stay cheap: far below the naive d*log n budget of
+    // global schemes. (Lemma 5.4: O(d log(D'd)) with D' = 1.)
+    let mean = total as f64 / w.len() as f64;
+    assert!(mean <= 24.0, "mean bits {mean} too high for distance-1 pairs");
+}
+
+#[test]
+fn adversarial_pipeline_pi_a() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let det = DimOrder::new(mesh.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    let adv = workloads::pi_a(&det, 4, 1, &mut rng);
+    // The deterministic router's congestion on Pi_A equals |Pi_A|.
+    let det_paths = route_all(&det, &adv.workload.pairs, &mut rng);
+    let det_c = metrics::PathSetMetrics::measure(&mesh, &det_paths).congestion;
+    assert_eq!(det_c, adv.edge_load);
+    // The randomized router beats it (with margin) on the same instance.
+    let rnd = Busch2D::new(mesh.clone());
+    let rnd_paths = route_all(&rnd, &adv.workload.pairs, &mut rng);
+    let rnd_c = metrics::PathSetMetrics::measure(&mesh, &rnd_paths).congestion;
+    assert!(rnd_c < det_c, "randomized {rnd_c} !< deterministic {det_c}");
+}
+
+#[test]
+fn torus_baselines_work() {
+    // Substrate generality: baselines run on tori and rectangular meshes
+    // (the hierarchical routers require square power-of-two meshes).
+    let torus = Mesh::new_torus(&[6, 10]);
+    let mut rng = StdRng::seed_from_u64(8);
+    let router = Valiant::new(torus.clone());
+    let w = workloads::random_pairs(&torus, 50, &mut rng);
+    let paths = route_all(&router, &w.pairs, &mut rng);
+    for p in &paths {
+        assert!(p.is_valid(&torus));
+    }
+    let res = sim::Simulation::new(&torus, paths).run(sim::SchedulingPolicy::RandomRank, 9);
+    assert_eq!(res.delivery.len(), 50);
+}

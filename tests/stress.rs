@@ -1,0 +1,68 @@
+//! Scale tests (run with `cargo test --release -- --ignored`): the library
+//! must stay usable at sizes a systems evaluation would actually use.
+
+use oblivion::prelude::*;
+use oblivion::routing::{route_all_parallel, stretch_bound};
+use oblivion::{metrics, workloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A quarter-million-node mesh: construction, indexing, and single-path
+/// routing stay fast and correct.
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn large_mesh_single_paths() {
+    let mesh = Mesh::new_mesh(&[512, 512]);
+    assert_eq!(mesh.node_count(), 262_144);
+    let router = Busch2D::new(mesh.clone());
+    let mut rng = StdRng::seed_from_u64(1);
+    use rand::Rng;
+    for _ in 0..2_000 {
+        let s = Coord::new(&[rng.gen_range(0..512), rng.gen_range(0..512)]);
+        let t = Coord::new(&[rng.gen_range(0..512), rng.gen_range(0..512)]);
+        let rp = router.select_path(&s, &t, &mut rng);
+        assert!(rp.path.is_valid(&mesh));
+        if s != t {
+            assert!(rp.path.stretch(&mesh) <= 64.0);
+        }
+    }
+}
+
+/// A full permutation on 16k nodes, routed in parallel, measured, and
+/// bounded — the paper's guarantees at evaluation scale.
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn large_permutation_end_to_end() {
+    let mesh = Mesh::new_mesh(&[128, 128]);
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = workloads::random_permutation(&mesh, &mut rng).without_self_loops();
+    let router = Busch2D::new(mesh.clone());
+    let paths = route_all_parallel(&router, &w.pairs, 3, 8);
+    let m = metrics::PathSetMetrics::measure(&mesh, &paths);
+    let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+    assert!(m.max_stretch <= 64.0);
+    let log_n = (mesh.node_count() as f64).log2();
+    assert!(f64::from(m.congestion) <= 4.0 * lb * log_n);
+}
+
+/// 5-dimensional routing at scale (32^5 would be 33M nodes; 8^5 = 32k is
+/// plenty to exercise the shifted families at d = 5).
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn five_dimensional_routing() {
+    let mesh = Mesh::new_mesh(&[8, 8, 8, 8, 8]);
+    assert_eq!(mesh.node_count(), 32_768);
+    let router = BuschD::new(mesh.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    use rand::Rng;
+    let bound = stretch_bound(5);
+    for _ in 0..3_000 {
+        let s = Coord::new(&(0..5).map(|_| rng.gen_range(0..8)).collect::<Vec<_>>());
+        let t = Coord::new(&(0..5).map(|_| rng.gen_range(0..8)).collect::<Vec<_>>());
+        let rp = router.select_path(&s, &t, &mut rng);
+        assert!(rp.path.is_valid(&mesh));
+        if s != t {
+            assert!(rp.path.stretch(&mesh) <= bound);
+        }
+    }
+}

