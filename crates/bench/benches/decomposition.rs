@@ -36,13 +36,10 @@ fn bench_bridge_d(c: &mut Criterion) {
         let side = 1u32 << k;
         group.bench_function(BenchmarkId::from_parameter(format!("d{dim}")), |b| {
             b.iter(|| {
-                let s =
-                    Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                let s = Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
                 let mut t = s;
                 while t == s {
-                    t = Coord::new(
-                        &(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>(),
-                    );
+                    t = Coord::new(&(0..dim).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
                 }
                 black_box(dd.find_bridge(&mesh, &s, &t))
             })

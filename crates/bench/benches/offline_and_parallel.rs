@@ -37,7 +37,7 @@ fn bench_parallel_routing(c: &mut Criterion) {
     let mesh = Mesh::new_mesh(&[64, 64]);
     let router = Busch2D::new(mesh.clone());
     let w = transpose(&mesh).without_self_loops();
-    group.bench_function("sequential", |b| {
+    group.bench_function(BenchmarkId::from_parameter("sequential"), |b| {
         b.iter(|| black_box(route_all_seeded(&router, &w.pairs, 7)))
     });
     for threads in [2usize, 4] {

@@ -45,13 +45,16 @@ fn bench_select_path_by_dim(c: &mut Criterion) {
         let side = 1u32 << k;
         let mesh = Mesh::new_mesh(&vec![side; d]);
         let router = BuschD::new(mesh);
-        group.bench_function(BenchmarkId::from_parameter(format!("d{d}_side{side}")), |b| {
-            b.iter(|| {
-                let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
-                let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
-                black_box(router.select_path(&s, &t, &mut rng))
-            })
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("d{d}_side{side}")),
+            |b| {
+                b.iter(|| {
+                    let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                    let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                    black_box(router.select_path(&s, &t, &mut rng))
+                })
+            },
+        );
     }
     group.finish();
 }

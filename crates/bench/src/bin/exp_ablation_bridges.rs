@@ -8,10 +8,10 @@
 //! stays constant.
 
 use oblivion_bench::table::{f2, Table};
-use oblivion_core::{AccessTree, Busch2D};
-use oblivion_metrics::PathSetMetrics;
-use oblivion_mesh::{Coord, Mesh};
 use oblivion_core::route_all;
+use oblivion_core::{AccessTree, Busch2D};
+use oblivion_mesh::{Coord, Mesh};
+use oblivion_metrics::PathSetMetrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -46,7 +46,13 @@ fn main() {
     for w in &workloads {
         println!("== workload: {} ({} packets) ==", w.name, w.len());
         let mut table = Table::new(vec![
-            "router", "C", "D", "max stretch", "mean stretch", "C/lb", "bits/packet",
+            "router",
+            "C",
+            "D",
+            "max stretch",
+            "mean stretch",
+            "C/lb",
+            "bits/packet",
         ]);
         for r in &routers {
             let m = measure(r.as_ref(), w, 0xE10);

@@ -13,7 +13,11 @@ use rand::{Rng, SeedableRng};
 fn two_d() {
     println!("E7a: 2-D deepest-common-ancestor height (Lemma 3.3: h <= ceil(log2 dist) + 2)\n");
     let mut table = Table::new(vec![
-        "side", "pairs", "max(h - ceil(log2 dist))", "bound", "bridge usage %",
+        "side",
+        "pairs",
+        "max(h - ceil(log2 dist))",
+        "bound",
+        "bridge usage %",
     ]);
     for k in [3u32, 4, 5, 6] {
         let d = Decomp2::new(k);
@@ -52,7 +56,12 @@ fn two_d() {
 fn d_dim() {
     println!("\nE7b: d-D bridge side vs distance (Lemma 4.1: side <= 8(d+1)*dist, or root)\n");
     let mut table = Table::new(vec![
-        "d", "side", "pairs", "max bridge-side/dist", "bound 8(d+1)", "root fallback %",
+        "d",
+        "side",
+        "pairs",
+        "max bridge-side/dist",
+        "bound 8(d+1)",
+        "root fallback %",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE7);
     for (dim, k) in [(1usize, 9u32), (2, 6), (3, 4), (4, 3)] {

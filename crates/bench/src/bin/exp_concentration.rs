@@ -8,10 +8,10 @@
 //! variation should be small, and max/median close to 1.
 
 use oblivion_bench::table::{f2, f3, Table};
-use oblivion_core::{route_all, Busch2D, BuschD};
 use oblivion_core::ObliviousRouter;
-use oblivion_metrics::{PathSetMetrics, Summary};
+use oblivion_core::{route_all, Busch2D, BuschD};
 use oblivion_mesh::Mesh;
+use oblivion_metrics::{PathSetMetrics, Summary};
 use oblivion_workloads::{random_permutation, transpose, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +36,15 @@ fn main() {
     println!("E13: congestion concentration over independent runs (the 'w.h.p.' of Thm 3.9/4.3)\n");
     let runs = 60;
     let mut table = Table::new(vec![
-        "mesh", "workload", "runs", "min C", "median C", "max C", "mean C", "cv", "max/median",
+        "mesh",
+        "workload",
+        "runs",
+        "min C",
+        "median C",
+        "max C",
+        "mean C",
+        "cv",
+        "max/median",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE13);
 

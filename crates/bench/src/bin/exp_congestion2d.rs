@@ -14,9 +14,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    oblivion_bench::report::start();
     println!("E4: 2-D congestion of algorithm H vs optimal (Theorem 3.9: C = O(C* log n))\n");
     let mut table = Table::new(vec![
-        "side", "n", "workload", "C", "lb(C*)", "C/lb", "C/(lb*log2 n)", "max stretch",
+        "side",
+        "n",
+        "workload",
+        "C",
+        "lb(C*)",
+        "C/lb",
+        "C/(lb*log2 n)",
+        "max stretch",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE4);
     for side in [8u32, 16, 32, 64, 128] {
@@ -47,5 +55,11 @@ fn main() {
     println!(
         "\nExpected shape: C/lb grows ~log n (slowly); C/(lb*log2 n) stays O(1);\n\
          stretch stays <= 64 regardless of workload (Theorems 3.4 + 3.9)."
+    );
+    oblivion_bench::report::finish_and_note(
+        "exp_congestion2d",
+        "E4: 2-D congestion vs the C* lower bound (Theorem 3.9)",
+        &table,
+        &[],
     );
 }

@@ -15,7 +15,14 @@ use rand::SeedableRng;
 fn main() {
     println!("E6: d-dimensional congestion of algorithm H (Theorem 4.3: C = O(d^2 C* log n))\n");
     let mut table = Table::new(vec![
-        "d", "side", "n", "workload", "C", "lb(C*)", "C/lb", "C/(lb*d^2*log2 n)",
+        "d",
+        "side",
+        "n",
+        "workload",
+        "C",
+        "lb(C*)",
+        "C/lb",
+        "C/(lb*d^2*log2 n)",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE6);
     for (d, k) in [(1usize, 10u32), (2, 5), (3, 4), (4, 3)] {

@@ -11,8 +11,8 @@
 
 use oblivion_bench::table::{f2, Table};
 use oblivion_core::{route_all, Busch2D};
-use oblivion_metrics::PathSetMetrics;
 use oblivion_mesh::Mesh;
+use oblivion_metrics::PathSetMetrics;
 use oblivion_sim::{SchedulingPolicy, Simulation};
 use oblivion_workloads::{random_permutation, transpose};
 use rand::rngs::StdRng;
@@ -20,7 +20,9 @@ use rand::SeedableRng;
 
 fn main() {
     let side = 32u32;
-    println!("E16: random initial delays vs online scheduling ({side}x{side}, algorithm H paths)\n");
+    println!(
+        "E16: random initial delays vs online scheduling ({side}x{side}, algorithm H paths)\n"
+    );
     let mesh = Mesh::new_mesh(&[side, side]);
     let router = Busch2D::new(mesh.clone());
     let mut rng = StdRng::seed_from_u64(0xE16);
@@ -40,7 +42,11 @@ fn main() {
         );
         let sim = Simulation::new(&mesh, paths.clone());
         let mut table = Table::new(vec![
-            "schedule", "makespan", "makespan/(C+D)", "mean delivery", "max queue",
+            "schedule",
+            "makespan",
+            "makespan/(C+D)",
+            "mean delivery",
+            "max queue",
         ]);
         for (name, policy) in [
             ("online fifo", SchedulingPolicy::Fifo),

@@ -7,11 +7,9 @@
 //! `makespan / (C + D)`.
 
 use oblivion_bench::table::{f2, Table};
-use oblivion_core::{
-    route_all, AccessTree, Busch2D, DimOrder, ObliviousRouter, Valiant,
-};
-use oblivion_metrics::PathSetMetrics;
+use oblivion_core::{route_all, AccessTree, Busch2D, DimOrder, ObliviousRouter, Valiant};
 use oblivion_mesh::Mesh;
+use oblivion_metrics::PathSetMetrics;
 use oblivion_sim::{SchedulingPolicy, Simulation};
 use oblivion_workloads as wl;
 use rand::rngs::StdRng;
@@ -43,7 +41,13 @@ fn main() {
     for w in &workloads {
         println!("== workload: {} ({} packets) ==", w.name, w.len());
         let mut table = Table::new(vec![
-            "router", "C", "D", "C+D", "makespan(fifo)", "makespan(ftg)", "makespan(rank)",
+            "router",
+            "C",
+            "D",
+            "C+D",
+            "makespan(fifo)",
+            "makespan(ftg)",
+            "makespan(rank)",
             "best/(C+D)",
         ]);
         for r in &routers {

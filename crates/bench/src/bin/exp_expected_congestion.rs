@@ -10,8 +10,8 @@
 
 use oblivion_bench::table::{f2, f3, Table};
 use oblivion_core::{route_all_seeded, Busch2D};
-use oblivion_metrics::{congestion_lower_bound, EdgeLoads};
 use oblivion_mesh::{Coord, Mesh};
+use oblivion_metrics::{congestion_lower_bound, EdgeLoads};
 use oblivion_workloads::{random_permutation, transpose, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,13 +27,26 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE19);
 
     let probes = [
-        ("central-x", Coord::new(&[side / 2 - 1, side / 2]), Coord::new(&[side / 2, side / 2])),
-        ("quadrant-x", Coord::new(&[side / 4 - 1, 5]), Coord::new(&[side / 4, 5])),
+        (
+            "central-x",
+            Coord::new(&[side / 2 - 1, side / 2]),
+            Coord::new(&[side / 2, side / 2]),
+        ),
+        (
+            "quadrant-x",
+            Coord::new(&[side / 4 - 1, 5]),
+            Coord::new(&[side / 4, 5]),
+        ),
         ("corner-y", Coord::new(&[0, 0]), Coord::new(&[0, 1])),
     ];
 
     let mut table = Table::new(vec![
-        "workload", "edge", "mean load E[C(e)]", "max load", "bound 16*lb*(log D'+3)", "ratio",
+        "workload",
+        "edge",
+        "mean load E[C(e)]",
+        "max load",
+        "bound 16*lb*(log D'+3)",
+        "ratio",
     ]);
     let workloads: Vec<Workload> = vec![
         transpose(&mesh).without_self_loops(),

@@ -14,8 +14,8 @@
 
 use oblivion_bench::table::{f2, Table};
 use oblivion_core::{route_all, Busch2D, DimOrder};
-use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
 use oblivion_mesh::Mesh;
+use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
 use oblivion_workloads::pi_a;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +23,14 @@ use rand::SeedableRng;
 fn main() {
     println!("E9: the Pi_A construction vs deterministic routing (Lemmas 5.1-5.3)\n");
     let mut table = Table::new(vec![
-        "side", "l", "|Pi_A|", "C(dim-order)", "l/d", "C(busch-2d)", "lb(C*)", "det/rand ratio",
+        "side",
+        "l",
+        "|Pi_A|",
+        "C(dim-order)",
+        "l/d",
+        "C(busch-2d)",
+        "lb(C*)",
+        "det/rand ratio",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE9);
     for side in [16u32, 32, 64] {

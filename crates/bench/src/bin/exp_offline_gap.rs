@@ -14,8 +14,8 @@
 
 use oblivion_bench::table::{f2, Table};
 use oblivion_core::{route_all, route_min_congestion, Busch2D, DimOrder, OfflineConfig};
-use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
 use oblivion_mesh::Mesh;
+use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
 use oblivion_workloads as wl;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +23,14 @@ use rand::SeedableRng;
 fn main() {
     println!("E20: bracketing C* — oblivious H vs the offline exponential-penalty router\n");
     let mut table = Table::new(vec![
-        "side", "workload", "lb", "C(offline)", "C(H)", "C(dim-order)", "H/offline", "H/lb",
+        "side",
+        "workload",
+        "lb",
+        "C(offline)",
+        "C(H)",
+        "C(dim-order)",
+        "H/offline",
+        "H/lb",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE20);
     for side in [16u32, 32] {
@@ -38,14 +45,16 @@ fn main() {
         ];
         for w in workloads {
             let lb = congestion_lower_bound(&mesh, &w.pairs);
-            let offline =
-                route_min_congestion(&mesh, &w.pairs, OfflineConfig::default(), &mut rng);
+            let offline = route_min_congestion(&mesh, &w.pairs, OfflineConfig::default(), &mut rng);
             let off_c = PathSetMetrics::measure(&mesh, &offline).congestion;
             let h_paths = route_all(&h, &w.pairs, &mut rng);
             let h_c = PathSetMetrics::measure(&mesh, &h_paths).congestion;
             let det_paths = route_all(&det, &w.pairs, &mut rng);
             let det_c = PathSetMetrics::measure(&mesh, &det_paths).congestion;
-            assert!(f64::from(off_c) >= lb.floor(), "offline broke the lower bound?!");
+            assert!(
+                f64::from(off_c) >= lb.floor(),
+                "offline broke the lower bound?!"
+            );
             table.row(vec![
                 side.to_string(),
                 w.name.clone(),

@@ -11,7 +11,7 @@
 use oblivion_bench::table::{f2, f3, Table};
 use oblivion_core::{Busch2D, DimOrder, ObliviousRouter, Valiant};
 use oblivion_mesh::{Coord, Mesh, Path};
-use oblivion_sim::{FixedTraffic, OnlineSim, SchedulingPolicy, UniformTraffic, TrafficPattern};
+use oblivion_sim::{FixedTraffic, OnlineSim, SchedulingPolicy, TrafficPattern, UniformTraffic};
 use rand::rngs::StdRng;
 
 fn run_curve(
@@ -21,9 +21,8 @@ fn run_curve(
     rates: &[f64],
     table: &mut Table,
 ) {
-    let source = |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path {
-        router.select_path(s, t, rng).path
-    };
+    let source =
+        |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { router.select_path(s, t, rng).path };
     for &rate in rates {
         let sim = OnlineSim::new(mesh, SchedulingPolicy::Fifo, rate);
         let r = sim.run(pattern, &source, 600, 0xE18);
@@ -41,6 +40,7 @@ fn run_curve(
 }
 
 fn main() {
+    oblivion_bench::report::start();
     let side = 16u32;
     println!("E18: online latency vs offered load ({side}x{side}, FIFO, 600-step window)\n");
     let mesh = Mesh::new_mesh(&[side, side]);
@@ -54,7 +54,13 @@ fn main() {
     };
 
     let mut table = Table::new(vec![
-        "router", "pattern", "rate", "injected", "mean lat", "p95 lat", "throughput",
+        "router",
+        "pattern",
+        "rate",
+        "injected",
+        "mean lat",
+        "p95 lat",
+        "throughput",
         "in flight",
     ]);
     let rates = [0.01, 0.05, 0.1, 0.2];
@@ -73,5 +79,11 @@ fn main() {
          separation between H and dim-order is a batch phenomenon (see E9/E10);\n\
          under symmetric steady-state injection dim-order's average case is fine —\n\
          an honest boundary of the paper's worst-case claims."
+    );
+    oblivion_bench::report::finish_and_note(
+        "exp_online",
+        "E11: online latency vs offered load",
+        &table,
+        &[],
     );
 }

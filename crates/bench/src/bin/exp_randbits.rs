@@ -25,9 +25,16 @@ fn mean_bits(router: &BuschD, pairs: &[(Coord, Coord)], rng: &mut StdRng) -> f64
 }
 
 fn main() {
+    oblivion_bench::report::start();
     println!("E8: random bits per packet (Lemma 5.4: recycled = O(d log(D'd)))\n");
     let mut table = Table::new(vec![
-        "d", "side", "D'", "bits fresh", "bits recycled", "d*log2(D'd)", "recycled ratio",
+        "d",
+        "side",
+        "D'",
+        "bits fresh",
+        "bits recycled",
+        "d*log2(D'd)",
+        "recycled ratio",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE8);
     for (d, k) in [(2usize, 8u32), (3, 5)] {
@@ -81,5 +88,11 @@ fn main() {
         "\nExpected shape: 'recycled ratio' (= measured / d*log2(D'd)) stays O(1) as D'\n\
          grows, while 'bits fresh' grows with an extra log(D'd) factor — Lemma 5.4 and\n\
          the Theorem 5.5 near-optimality of the bit budget."
+    );
+    oblivion_bench::report::finish_and_note(
+        "exp_randbits",
+        "E8: random bits per packet (Lemma 5.4 / Theorem 5.5)",
+        &table,
+        &[],
     );
 }

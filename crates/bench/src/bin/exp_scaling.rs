@@ -25,10 +25,19 @@ fn main() {
     for _ in 0..4 {
         pairs.extend(random_permutation(&mesh, &mut rng).pairs);
     }
-    println!("routing {} packets, algorithm H (recycled bits)\n", pairs.len());
+    println!(
+        "routing {} packets, algorithm H (recycled bits)\n",
+        pairs.len()
+    );
 
     let reference = route_all_seeded(&router, &pairs, 7);
-    let mut table = Table::new(vec!["threads", "seconds", "paths/sec", "speedup", "identical"]);
+    let mut table = Table::new(vec![
+        "threads",
+        "seconds",
+        "paths/sec",
+        "speedup",
+        "identical",
+    ]);
     let mut base = 0f64;
     for threads in [1usize, 2, 4, 8] {
         let start = Instant::now();

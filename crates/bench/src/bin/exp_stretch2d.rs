@@ -52,9 +52,16 @@ fn pairs_for(side: u32, rng: &mut StdRng) -> Vec<(Coord, Coord)> {
 }
 
 fn main() {
+    oblivion_bench::report::start();
     println!("E3: 2-D stretch of algorithm H (Theorem 3.4: stretch <= 64)\n");
     let mut table = Table::new(vec![
-        "side", "mode", "pairs", "samples/pair", "max stretch", "mean stretch", "bound",
+        "side",
+        "mode",
+        "pairs",
+        "samples/pair",
+        "max stretch",
+        "mean stretch",
+        "bound",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE3);
     for side in [8u32, 16, 32, 64, 128, 256] {
@@ -89,4 +96,10 @@ fn main() {
     }
     table.print();
     println!("\nAll measured maxima respect the Theorem 3.4 bound of 64.");
+    oblivion_bench::report::finish_and_note(
+        "exp_stretch2d",
+        "E3: 2-D stretch of algorithm H (Theorem 3.4)",
+        &table,
+        &[("stretch_bound", 64u64.into())],
+    );
 }

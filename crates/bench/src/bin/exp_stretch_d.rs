@@ -13,7 +13,13 @@ use rand::{Rng, SeedableRng};
 fn main() {
     println!("E5: d-dimensional stretch of algorithm H (Theorem 4.2: stretch = O(d^2))\n");
     let mut table = Table::new(vec![
-        "d", "side", "n", "max stretch", "mean stretch", "max/d^2", "analysis bound",
+        "d",
+        "side",
+        "n",
+        "max stretch",
+        "mean stretch",
+        "max/d^2",
+        "analysis bound",
     ]);
     let mut rng = StdRng::seed_from_u64(0xE5);
     for (d, k) in [(1usize, 12u32), (2, 6), (3, 4), (4, 3), (5, 2)] {
@@ -27,9 +33,7 @@ fn main() {
         let mut pairs: Vec<(Coord, Coord)> = Vec::new();
         for axis in 0..d {
             for _ in 0..200 {
-                let mut s = Coord::new(
-                    &(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>(),
-                );
+                let mut s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
                 s[axis] = side / 2 - 1;
                 let t = s.with(axis, side / 2);
                 pairs.push((s, t));
@@ -59,7 +63,10 @@ fn main() {
             f3(max_stretch / (d * d) as f64),
             f2(stretch_bound(d)),
         ]);
-        assert!(max_stretch <= stretch_bound(d), "Theorem 4.2 bound violated");
+        assert!(
+            max_stretch <= stretch_bound(d),
+            "Theorem 4.2 bound violated"
+        );
     }
     table.print();
     println!(

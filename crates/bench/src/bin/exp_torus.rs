@@ -9,8 +9,8 @@
 
 use oblivion_bench::table::{f2, Table};
 use oblivion_core::{route_all, BuschD, BuschTorus, ObliviousRouter};
-use oblivion_metrics::{flow_lower_bound, PathSetMetrics};
 use oblivion_mesh::{Coord, Mesh};
+use oblivion_metrics::{flow_lower_bound, PathSetMetrics};
 use oblivion_workloads as wl;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +25,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE14);
 
     let mut table = Table::new(vec![
-        "workload", "net", "C", "C/flow-lb", "D", "max stretch", "mean stretch",
+        "workload",
+        "net",
+        "C",
+        "C/flow-lb",
+        "D",
+        "max stretch",
+        "mean stretch",
     ]);
     // Wrap-adjacent pairs: every row exchanges its two border nodes.
     let wrap_pairs: Vec<(Coord, Coord)> = (0..side)

@@ -1,0 +1,98 @@
+//! Machine-readable experiment results (`results/*.json`).
+//!
+//! Every `exp_*` binary prints a human table to stdout; this module lets
+//! it also drop a JSON-lines twin next to the `.txt` capture:
+//! call [`start`] first thing in `main`, and [`finish`] after printing.
+//! The file holds the run's counters, histograms, and span timings
+//! (collected by `oblivion-obs` while the experiment routed packets)
+//! followed by a `report` line embedding the result table itself. Render
+//! one with `oblivion stats results/<exp>.json`.
+
+use crate::table::Table;
+use oblivion_obs::{Json, RunReport};
+use std::path::PathBuf;
+
+/// The directory results are written to: `$OBLIVION_RESULTS_DIR`, or
+/// `results/` under the current directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("OBLIVION_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Starts metrics collection for an experiment binary.
+pub fn start() {
+    oblivion_obs::reset();
+    oblivion_obs::enable();
+}
+
+/// Stops collection and writes `results/<exp>.json`, returning its path.
+///
+/// `extra` fields land in the report line after the standard ones; the
+/// table is embedded under `"table"`.
+pub fn finish(
+    exp: &str,
+    title: &str,
+    table: &Table,
+    extra: &[(&str, Json)],
+) -> std::io::Result<PathBuf> {
+    let snap = oblivion_obs::snapshot();
+    oblivion_obs::disable();
+    let mut report = RunReport::new(exp);
+    report.set("title", title);
+    for (key, value) in extra {
+        report.set(key, value.clone());
+    }
+    report.set("table", table.to_json());
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{exp}.json"));
+    std::fs::write(&path, report.to_jsonl(&snap, true))?;
+    Ok(path)
+}
+
+/// [`finish`] with errors reduced to a stdout note — experiment binaries
+/// should not fail their run because the results dir is unwritable.
+pub fn finish_and_note(exp: &str, title: &str, table: &Table, extra: &[(&str, Json)]) {
+    match finish(exp, title, table, extra) {
+        Ok(path) => println!("(machine-readable results: {})", path.display()),
+        Err(e) => println!("(could not write results json: {e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_writes_a_parsable_document() {
+        let dir = std::env::temp_dir().join("oblivion_bench_report_test");
+        // `finish` honors OBLIVION_RESULTS_DIR; tests must not rely on a
+        // process-global env var (parallel tests share the environment),
+        // so exercise the path logic directly instead.
+        let _ = std::fs::create_dir_all(&dir);
+        let mut table = Table::new(vec!["k", "v"]);
+        table.row(vec!["a", "1"]);
+        start();
+        oblivion_obs::counter_add("bench_test_counter", 3);
+        let snap = oblivion_obs::snapshot();
+        oblivion_obs::disable();
+        let mut report = RunReport::new("exp_test");
+        report.set("title", "t").set("table", table.to_json());
+        let path = dir.join("exp_test.json");
+        std::fs::write(&path, report.to_jsonl(&snap, true)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = oblivion_obs::parse_jsonl(&text).unwrap();
+        assert_eq!(entries.last().unwrap().0, "report");
+        let tbl = entries.last().unwrap().1.get("table").unwrap();
+        assert_eq!(tbl.get("rows").unwrap().as_arr().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn results_dir_defaults() {
+        // Whatever the environment says, the function returns a
+        // non-empty path.
+        assert!(!results_dir().as_os_str().is_empty());
+    }
+}

@@ -69,6 +69,29 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// The table as JSON: `{"header": [...], "rows": [[...], ...]}`.
+    ///
+    /// Cells stay strings — they were formatted for humans; consumers
+    /// that need numbers can parse the relevant columns.
+    pub fn to_json(&self) -> oblivion_obs::Json {
+        use oblivion_obs::Json;
+        let mut obj = Json::obj();
+        obj.set(
+            "header",
+            Json::Arr(self.header.iter().map(|h| Json::from(h.as_str())).collect()),
+        );
+        obj.set(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::from(c.as_str())).collect()))
+                    .collect(),
+            ),
+        );
+        obj
+    }
 }
 
 /// Formats an `f64` with 2 decimals.
@@ -104,5 +127,19 @@ mod tests {
     fn row_width_enforced() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn json_mirrors_the_table() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["b", "2.50"]);
+        let j = t.to_json().to_string();
+        assert_eq!(
+            j,
+            r#"{"header":["name","value"],"rows":[["a","1"],["b","2.50"]]}"#
+        );
+        let back = oblivion_obs::Json::parse(&j).unwrap();
+        assert_eq!(back.get("rows").unwrap().as_arr().unwrap().len(), 2);
     }
 }

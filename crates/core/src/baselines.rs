@@ -295,7 +295,10 @@ mod tests {
         // Mean detour through a uniform random point of a 32×32 mesh is
         // Θ(side); distance is 1, so mean stretch must be large.
         let mean = total_len as f64 / runs as f64;
-        assert!(mean > 8.0, "Valiant mean neighbor path {mean} suspiciously short");
+        assert!(
+            mean > 8.0,
+            "Valiant mean neighbor path {mean} suspiciously short"
+        );
     }
 
     #[test]

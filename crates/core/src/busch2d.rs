@@ -33,6 +33,7 @@ impl Busch2D {
     /// # Panics
     /// Panics if the mesh is not square 2-D with power-of-two side.
     pub fn new(mesh: Mesh) -> Self {
+        let _span = oblivion_obs::span("decomposition");
         let decomp = Decomp2::for_mesh(&mesh);
         Self {
             mesh,
@@ -68,7 +69,15 @@ impl Busch2D {
             return vec![Submesh::point(*s)];
         }
         let k = self.decomp.k();
-        let (anc, _h) = self.decomp.deepest_common_ancestor(s, t);
+        let (anc, h) = self.decomp.deepest_common_ancestor(s, t);
+        oblivion_obs::record("access_height_climbed", h as u64);
+        oblivion_obs::counter_add(
+            match anc.kind {
+                oblivion_decomp::BlockType2D::Type1 => "bridge_tree_hits",
+                oblivion_decomp::BlockType2D::Type2 => "bridge_shifted_hits",
+            },
+            1,
+        );
         let mut chain = Vec::with_capacity(2 * (k - anc.level) as usize + 1);
         chain.push(Submesh::point(*s));
         for level in (anc.level + 1..k).rev() {

@@ -48,6 +48,7 @@ impl BuschD {
     /// # Panics
     /// Panics if sides differ or are not powers of two.
     pub fn new(mesh: Mesh) -> Self {
+        let _span = oblivion_obs::span("decomposition");
         let decomp = DecompD::for_mesh(&mesh);
         Self {
             mesh,
@@ -82,6 +83,15 @@ impl BuschD {
         }
         let k = self.decomp.k();
         let plan = self.decomp.find_bridge(&self.mesh, s, t);
+        oblivion_obs::record("access_height_climbed", plan.h_hat as u64);
+        oblivion_obs::counter_add(
+            if plan.bridge_type == 1 {
+                "bridge_tree_hits"
+            } else {
+                "bridge_shifted_hits"
+            },
+            1,
+        );
         let mut chain = Vec::with_capacity(2 * plan.h_hat as usize + 3);
         chain.push(Submesh::point(*s));
         for height in 1..=plan.h_hat {
@@ -256,8 +266,7 @@ mod tests {
                 }
                 let dist = mesh.dist(&s, &t);
                 let rp = r.select_path(&s, &t, &mut rng);
-                let budget =
-                    8.0 * d as f64 * (((dist * d as u64) as f64).log2() + 1.0).max(1.0);
+                let budget = 8.0 * d as f64 * (((dist * d as u64) as f64).log2() + 1.0).max(1.0);
                 assert!(
                     (rp.random_bits as f64) <= budget,
                     "d={d} dist={dist} bits={} budget={budget}",

@@ -37,7 +37,10 @@ fn donor_or_fresh_node(sub: &Submesh, donor: &DonorNode, meter: &mut BitMeter<'_
     let mut c = *sub.lo();
     for i in 0..sub.dim() {
         let side = sub.side(i);
-        if side.is_power_of_two() && sub.lo()[i].is_multiple_of(side) && side.trailing_zeros() <= donor.width() {
+        if side.is_power_of_two()
+            && sub.lo()[i].is_multiple_of(side)
+            && side.trailing_zeros() <= donor.width()
+        {
             c[i] = sub.lo()[i] + donor.low_bits(i, side.trailing_zeros());
         } else {
             c[i] = meter.range_inclusive(sub.lo()[i], sub.hi()[i]);
@@ -77,7 +80,11 @@ pub fn path_through_chain_clipped(
 ) -> Path {
     assert!(!chain.is_empty());
     debug_assert_eq!(chain[0].node_count(), 1, "chain must start at a leaf");
-    debug_assert_eq!(chain.last().unwrap().node_count(), 1, "chain must end at a leaf");
+    debug_assert_eq!(
+        chain.last().unwrap().node_count(),
+        1,
+        "chain must end at a leaf"
+    );
     let d = mesh.dim();
     let s = *chain[0].lo();
     let t = *chain.last().unwrap().lo();

@@ -55,12 +55,12 @@ pub use baselines::{AccessTree, DimOrder, RandomDimOrder, Valiant};
 pub use busch2d::Busch2D;
 pub use busch_torus::BuschTorus;
 pub use buschd::{stretch_bound, BuschD};
-pub use choices::{bits_lower_bound, ChoiceProfile};
 pub use chain::{path_through_chain, path_through_chain_clipped, RandomnessMode};
+pub use choices::{bits_lower_bound, ChoiceProfile};
 pub use offline::{route_min_congestion, OfflineConfig};
 pub use padded::BuschPadded;
 pub use parallel::{route_all_parallel, route_all_seeded};
-pub use romm::Romm;
 pub use randbits::{BitMeter, DonorNode};
+pub use romm::Romm;
 pub use router::{route_all, route_all_metered, ObliviousRouter, RoutedPath};
 pub use subpath::{dim_by_dim, extend_dim_by_dim};

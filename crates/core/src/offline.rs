@@ -184,10 +184,7 @@ mod tests {
     #[test]
     fn paths_are_valid_and_end_to_end() {
         let mesh = Mesh::new_mesh(&[8, 8]);
-        let pairs: Vec<_> = mesh
-            .coords()
-            .map(|p| (p, c(p[1], p[0])))
-            .collect();
+        let pairs: Vec<_> = mesh.coords().map(|p| (p, c(p[1], p[0]))).collect();
         let mut rng = StdRng::seed_from_u64(1);
         let paths = route_min_congestion(&mesh, &pairs, OfflineConfig::default(), &mut rng);
         assert_eq!(paths.len(), pairs.len());

@@ -134,7 +134,11 @@ impl DonorNode {
     /// The low `s ≤ width` bits of axis `i`: a uniform value in `[0, 2^s)`.
     #[inline]
     pub fn low_bits(&self, i: usize, s: u32) -> u32 {
-        debug_assert!(s <= self.width, "asked for {s} bits, donor has {}", self.width);
+        debug_assert!(
+            s <= self.width,
+            "asked for {s} bits, donor has {}",
+            self.width
+        );
         if s == 0 {
             return 0;
         }

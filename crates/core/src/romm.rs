@@ -140,7 +140,11 @@ mod tests {
         for _ in 0..300 {
             distinct.insert(r.select_path(&s, &t, &mut rng).path.nodes().to_vec());
         }
-        assert!(distinct.len() > 20, "only {} distinct paths", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct paths",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -148,7 +152,10 @@ mod tests {
         let mesh = Mesh::new_mesh(&[8, 8]);
         let r = Romm::new(mesh.clone());
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(r.select_path(&c(&[3, 3]), &c(&[3, 3]), &mut rng).path.is_empty());
+        assert!(r
+            .select_path(&c(&[3, 3]), &c(&[3, 3]), &mut rng)
+            .path
+            .is_empty());
         // Colinear: bounding box is a line; path is the unique segment.
         let rp = r.select_path(&c(&[2, 5]), &c(&[6, 5]), &mut rng);
         assert_eq!(rp.path.len(), 4);
@@ -163,7 +170,9 @@ mod tests {
         let mut near = 0u64;
         let mut far = 0u64;
         for _ in 0..100 {
-            near += r.select_path(&c(&[7, 7]), &c(&[8, 8]), &mut rng).random_bits;
+            near += r
+                .select_path(&c(&[7, 7]), &c(&[8, 8]), &mut rng)
+                .random_bits;
             far += r
                 .select_path(&c(&[0, 0]), &c(&[255, 255]), &mut rng)
                 .random_bits;

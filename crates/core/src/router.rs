@@ -53,16 +53,21 @@ pub fn route_all_metered<R: ObliviousRouter + ?Sized>(
     pairs: &[(Coord, Coord)],
     rng: &mut dyn RngCore,
 ) -> (Vec<Path>, u64, u64) {
+    let _span = oblivion_obs::span("path_selection");
     let mut total = 0u64;
     let mut max = 0u64;
-    let paths = pairs
+    let paths: Vec<Path> = pairs
         .iter()
         .map(|(s, t)| {
             let rp = router.select_path(s, t, rng);
             total += rp.random_bits;
             max = max.max(rp.random_bits);
+            oblivion_obs::counter_add("packets_routed", 1);
+            oblivion_obs::record("random_bits_per_packet", rp.random_bits);
+            oblivion_obs::record("path_hops", rp.path.len() as u64);
             rp.path
         })
         .collect();
+    oblivion_obs::counter_add("random_bits_total", total);
     (paths, total, max)
 }

@@ -11,7 +11,13 @@ use oblivion_mesh::{Coord, Mesh};
 /// Appends to `out` the nodes of the dimension-by-dimension shortest walk
 /// from `*cur` to `to`, visiting dimensions in `order`; `*cur` itself is
 /// **not** appended (callers seed it). Afterwards `*cur == to`.
-pub fn extend_dim_by_dim(mesh: &Mesh, cur: &mut Coord, to: &Coord, order: &[usize], out: &mut Vec<Coord>) {
+pub fn extend_dim_by_dim(
+    mesh: &Mesh,
+    cur: &mut Coord,
+    to: &Coord,
+    order: &[usize],
+    out: &mut Vec<Coord>,
+) {
     debug_assert_eq!(cur.dim(), to.dim());
     debug_assert_eq!(order.len(), cur.dim());
     for &axis in order {

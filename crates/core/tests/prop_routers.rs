@@ -2,8 +2,8 @@
 //! invariants, stretch guarantees, bit accounting.
 
 use oblivion_core::{
-    stretch_bound, AccessTree, Busch2D, BuschD, BuschPadded, BuschTorus, DimOrder,
-    ObliviousRouter, RandomDimOrder, RandomnessMode, Romm, Valiant,
+    stretch_bound, AccessTree, Busch2D, BuschD, BuschPadded, BuschTorus, DimOrder, ObliviousRouter,
+    RandomDimOrder, RandomnessMode, Romm, Valiant,
 };
 use oblivion_mesh::{Coord, Mesh};
 use proptest::prelude::*;

@@ -37,6 +37,7 @@ impl AccessGraph {
     ///
     /// Memory is `Θ(n log n)`; intended for `k ≤ 6` (side ≤ 64).
     pub fn build(decomp: &Decomp2) -> Self {
+        let _span = oblivion_obs::span("access_graph_build");
         let mut blocks: Vec<Block2D> = Vec::new();
         let mut by_level: Vec<Vec<AgNode>> = Vec::new();
         for level in 0..=decomp.k() {
@@ -234,12 +235,7 @@ mod tests {
         assert_eq!(subs.last().unwrap(), &Submesh::point(t));
         // Sizes go up then down (bitonic).
         let sizes: Vec<u64> = subs.iter().map(|b| b.node_count()).collect();
-        let peak = sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &s)| s)
-            .unwrap()
-            .0;
+        let peak = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
         assert!(sizes[..=peak].windows(2).all(|w| w[0] < w[1]));
         assert!(sizes[peak..].windows(2).all(|w| w[0] > w[1]));
         // Consecutive blocks: one contains the other.

@@ -37,6 +37,7 @@ impl AccessGraphD {
     /// Materializes the graph. Memory is `Θ(n·d·log n)`; intended for
     /// `n ≲ 4096`.
     pub fn build(decomp: &DecompD) -> Self {
+        let _span = oblivion_obs::span("access_graph_build");
         let mut blocks: Vec<BlockD> = Vec::new();
         let mut by_level: Vec<Vec<AgdNode>> = Vec::new();
         for level in 0..=decomp.k() {
@@ -132,7 +133,7 @@ mod tests {
         let dd = DecompD::new(2, 2);
         let g = AccessGraphD::build(&dd);
         assert!(g.len() > 16); // at least the leaves
-        // Leaves resolve for every coordinate.
+                               // Leaves resolve for every coordinate.
         let mesh = dd.mesh();
         for c in mesh.coords() {
             let leaf = g.leaf(&c);
@@ -156,9 +157,7 @@ mod tests {
                 }
                 if b.shift_type == 1 && b.level > 0 {
                     assert!(
-                        g.parents(v)
-                            .iter()
-                            .any(|&p| g.block(p).shift_type == 1),
+                        g.parents(v).iter().any(|&p| g.block(p).shift_type == 1),
                         "type-1 block without type-1 parent: {b:?}"
                     );
                 }
@@ -171,7 +170,10 @@ mod tests {
     fn dag_shape() {
         let dd = DecompD::new(2, 3);
         let g = AccessGraphD::build(&dd);
-        let roots: Vec<_> = g.nodes().filter(|&v| g.parents(v).is_empty() && g.block(v).level == 0).collect();
+        let roots: Vec<_> = g
+            .nodes()
+            .filter(|&v| g.parents(v).is_empty() && g.block(v).level == 0)
+            .collect();
         assert!(!roots.is_empty());
         // The unshifted root is the whole mesh.
         assert!(roots
@@ -197,9 +199,11 @@ mod tests {
                 .filter(|&&c| {
                     let cb = g.block(c);
                     // type-1 children aligned to the child grid
-                    cb.submesh.lo().as_slice().iter().all(|&x| {
-                        x % dd.block_side(b.level + 1) == 0
-                    })
+                    cb.submesh
+                        .lo()
+                        .as_slice()
+                        .iter()
+                        .all(|&x| x % dd.block_side(b.level + 1) == 0)
                 })
                 .map(|&c| g.block(c).submesh.node_count())
                 .sum();

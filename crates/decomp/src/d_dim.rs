@@ -129,7 +129,10 @@ impl DecompD {
     /// nicety in 2-D, not needed for correctness).
     pub fn block(&self, level: u32, j: u32, c: &Coord) -> Submesh {
         debug_assert_eq!(c.dim(), self.d);
-        debug_assert!(j >= 1 && j <= self.num_types(level), "type {j} out of range");
+        debug_assert!(
+            j >= 1 && j <= self.num_types(level),
+            "type {j} out of range"
+        );
         let m_l = i64::from(self.block_side(level));
         let sigma = i64::from((j - 1) * self.lambda(level));
         let side = i64::from(self.side());
@@ -319,7 +322,11 @@ mod tests {
             for j in 1..=dd.num_types(level) {
                 let blocks = dd.blocks_at(level, j);
                 let covered: u64 = blocks.iter().map(|b| b.node_count()).sum();
-                assert_eq!(covered as usize, mesh.node_count(), "level {level} type {j}");
+                assert_eq!(
+                    covered as usize,
+                    mesh.node_count(),
+                    "level {level} type {j}"
+                );
             }
         }
     }
@@ -389,12 +396,8 @@ mod tests {
             let mesh = dd.mesh();
             let side = dd.side();
             for _ in 0..500 {
-                let s = Coord::new(
-                    &(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>(),
-                );
-                let t = Coord::new(
-                    &(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>(),
-                );
+                let s = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
+                let t = Coord::new(&(0..d).map(|_| rng.gen_range(0..side)).collect::<Vec<_>>());
                 if s == t {
                     continue;
                 }
@@ -426,8 +429,7 @@ mod tests {
             let plan = dd.find_bridge(&mesh, &s, &t);
             if plan.bridge_height < dd.k() && plan.m1 != plan.m3 {
                 assert!(
-                    u64::from(plan.bridge.min_side())
-                        >= 2 * u64::from(plan.m1.max_side()),
+                    u64::from(plan.bridge.min_side()) >= 2 * u64::from(plan.m1.max_side()),
                     "plan {plan:?}"
                 );
             }

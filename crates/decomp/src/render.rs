@@ -26,7 +26,11 @@ fn render_blocks(side: u32, blocks: &[Submesh], project: impl Fn(u32, u32) -> Co
         out.push('+');
         for x in 0..side {
             let here = find(x, y);
-            let above = if y == 0 { None } else { find(x, y.wrapping_sub(1)) };
+            let above = if y == 0 {
+                None
+            } else {
+                find(x, y.wrapping_sub(1))
+            };
             let sep = y == 0 || here != above || here.is_none();
             out.push_str(if sep { "--" } else { "  " });
             out.push('+');
@@ -35,7 +39,11 @@ fn render_blocks(side: u32, blocks: &[Submesh], project: impl Fn(u32, u32) -> Co
         // Cell row.
         for x in 0..side {
             let here = find(x, y);
-            let left = if x == 0 { None } else { find(x.wrapping_sub(1), y) };
+            let left = if x == 0 {
+                None
+            } else {
+                find(x.wrapping_sub(1), y)
+            };
             let sep = x == 0 || here != left || here.is_none();
             out.push(if sep { '|' } else { ' ' });
             out.push_str(match here {

@@ -342,7 +342,7 @@ mod tests {
     }
 
     #[test]
-    fn type2_block_side_at_least_half(){
+    fn type2_block_side_at_least_half() {
         let d = Decomp2::new(4);
         for level in 1..d.k() {
             let m_l = d.block_side(level);

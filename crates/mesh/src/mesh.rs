@@ -199,11 +199,7 @@ impl Mesh {
     /// True if every coordinate lies within the side lengths.
     #[inline]
     pub fn contains(&self, c: &Coord) -> bool {
-        c.dim() == self.dim()
-            && c.as_slice()
-                .iter()
-                .zip(&self.dims)
-                .all(|(&x, &m)| x < m)
+        c.dim() == self.dim() && c.as_slice().iter().zip(&self.dims).all(|(&x, &m)| x < m)
     }
 
     /// Linear (row-major) node id of a coordinate.
@@ -212,7 +208,11 @@ impl Mesh {
     /// Panics in debug builds if the coordinate lies outside the mesh.
     #[inline]
     pub fn node_id(&self, c: &Coord) -> NodeId {
-        debug_assert!(self.contains(c), "coordinate {c:?} outside mesh {:?}", self.dims);
+        debug_assert!(
+            self.contains(c),
+            "coordinate {c:?} outside mesh {:?}",
+            self.dims
+        );
         let mut idx = 0usize;
         for (i, &x) in c.as_slice().iter().enumerate() {
             idx += x as usize * self.strides[i];
@@ -246,9 +246,7 @@ impl Mesh {
     /// Shortest-path distance `dist(a, b)` between two coordinates.
     #[inline]
     pub fn dist(&self, a: &Coord, b: &Coord) -> u64 {
-        (0..self.dim())
-            .map(|i| self.axis_dist(i, a[i], b[i]))
-            .sum()
+        (0..self.dim()).map(|i| self.axis_dist(i, a[i], b[i])).sum()
     }
 
     /// Shortest-path distance between two node ids.
@@ -347,10 +345,8 @@ impl Mesh {
         // The owner is the lower endpoint, except for a torus wrap link
         // (between 0 and m-1, only present for m > 2) which is owned by
         // the m-1 endpoint.
-        let is_wrap = self.topology == Topology::Torus
-            && m > 2
-            && xa.min(xb) == 0
-            && xa.max(xb) == m - 1;
+        let is_wrap =
+            self.topology == Topology::Torus && m > 2 && xa.min(xb) == 0 && xa.max(xb) == m - 1;
         let owner = if (xa < xb) != is_wrap { a } else { b };
         let st = &self.edge_strides[axis];
         let mut slot = 0usize;
@@ -362,10 +358,7 @@ impl Mesh {
 
     /// The axis an edge runs along, and its owner (lower) endpoint.
     pub fn edge_endpoints(&self, e: EdgeId) -> (Coord, Coord) {
-        let axis = match self
-            .edge_offsets
-            .binary_search(&e.0)
-        {
+        let axis = match self.edge_offsets.binary_search(&e.0) {
             Ok(i) => {
                 // Several axes may share an offset when some have zero edges;
                 // take the last axis whose offset equals e.0 and has edges.
@@ -454,7 +447,11 @@ mod tests {
                     seen[e.0] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "edge ids not dense: {:?}", mesh.dims());
+            assert!(
+                seen.iter().all(|&s| s),
+                "edge ids not dense: {:?}",
+                mesh.dims()
+            );
         }
     }
 

@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn stretch_detour() {
         let m = Mesh::new_mesh(&[4, 4]);
-        let p = Path::new(
-            &m,
-            vec![c(&[0, 0]), c(&[1, 0]), c(&[1, 1]), c(&[0, 1])],
-        );
+        let p = Path::new(&m, vec![c(&[0, 0]), c(&[1, 0]), c(&[1, 1]), c(&[0, 1])]);
         assert_eq!(p.stretch(&m), 3.0);
     }
 
@@ -233,10 +230,7 @@ mod tests {
     #[test]
     fn remove_cycles_immediate_backtrack() {
         let m = Mesh::new_mesh(&[4, 4]);
-        let mut p = Path::new(
-            &m,
-            vec![c(&[0, 0]), c(&[0, 1]), c(&[0, 0]), c(&[1, 0])],
-        );
+        let mut p = Path::new(&m, vec![c(&[0, 0]), c(&[0, 1]), c(&[0, 0]), c(&[1, 0])]);
         p.remove_cycles();
         assert_eq!(p.nodes(), &[c(&[0, 0]), c(&[1, 0])]);
     }

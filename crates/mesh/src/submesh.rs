@@ -32,7 +32,12 @@ impl Submesh {
     pub fn new(lo: Coord, hi: Coord) -> Self {
         assert_eq!(lo.dim(), hi.dim(), "corner dimensions differ");
         for i in 0..lo.dim() {
-            assert!(lo[i] <= hi[i], "empty extent on axis {i}: [{},{}]", lo[i], hi[i]);
+            assert!(
+                lo[i] <= hi[i],
+                "empty extent on axis {i}: [{},{}]",
+                lo[i],
+                hi[i]
+            );
         }
         Self { lo, hi }
     }

@@ -5,20 +5,23 @@ use proptest::prelude::*;
 
 /// Strategy: a mesh with 1–4 dimensions, sides 1–12, ≤ 4096 nodes.
 fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    (
-        prop::collection::vec(1u32..=12, 1..=4),
-        prop::bool::ANY,
-    )
-        .prop_filter_map("node count cap", |(dims, torus)| {
+    (prop::collection::vec(1u32..=12, 1..=4), prop::bool::ANY).prop_filter_map(
+        "node count cap",
+        |(dims, torus)| {
             let n: u64 = dims.iter().map(|&m| u64::from(m)).product();
             if n > 4096 {
                 return None;
             }
             Some(Mesh::new(
                 &dims,
-                if torus { Topology::Torus } else { Topology::Mesh },
+                if torus {
+                    Topology::Torus
+                } else {
+                    Topology::Mesh
+                },
             ))
-        })
+        },
+    )
 }
 
 /// Strategy: a mesh plus one of its coordinates.

@@ -24,8 +24,8 @@ mod stats;
 
 pub use congestion::{EdgeLoads, PathSetMetrics};
 pub use heatmap::{render_heatmap, render_heatmap_with_legend};
-pub use stats::{percentile, Summary};
 pub use lower_bound::{
     boundary_congestion_exhaustive, boundary_congestion_regular, congestion_lower_bound,
     flow_lower_bound,
 };
+pub use stats::{percentile, Summary};

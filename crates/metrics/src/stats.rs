@@ -141,4 +141,57 @@ mod tests {
     fn empty_sample_panics() {
         let _ = Summary::of(&[]);
     }
+
+    #[test]
+    #[should_panic]
+    fn empty_percentile_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn single_element_summary() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn tied_values_summary() {
+        // Ties around the median: interpolation must stay on the tie.
+        let s = Summary::of(&[1.0, 2.0, 2.0, 2.0, 3.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        // An even count with the middle pair tied.
+        let e = Summary::of(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.median, 2.0);
+        // All-tied sample has every percentile equal to the value.
+        let t = Summary::of(&[9.0, 9.0, 9.0]);
+        assert_eq!((t.min, t.median, t.p95, t.max), (9.0, 9.0, 9.0, 9.0));
+        assert_eq!(t.std_dev, 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let shuffled = Summary::of(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        let sorted = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(shuffled, sorted);
+        assert_eq!(percentile(&[10.0, 0.0], 50.0), 5.0);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_zero() {
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert!(s.std_dev > 0.0);
+    }
 }

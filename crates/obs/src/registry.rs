@@ -1,0 +1,376 @@
+//! Global observability registry: counters, fixed-bucket histograms, and
+//! nestable wall-clock spans.
+//!
+//! Everything is gated on one process-wide flag. When disabled (the
+//! default), every instrumentation call is a single relaxed atomic load
+//! and an early return — cheap enough for per-packet hot paths. When
+//! enabled, updates take a global mutex; observability runs are
+//! measurement runs, where microsecond-scale lock overhead is acceptable.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns instrumentation on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns instrumentation off (in-flight spans record nothing).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether instrumentation is on. Inlined into every hot-path call site.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket (power-of-two) histogram of `u64` observations.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index for a value.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive value range `[lo, hi]` covered by a bucket.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 0)
+        } else {
+            (
+                1 << (index - 1),
+                ((1u128 << index) - 1).min(u64::MAX as u128) as u64,
+            )
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStats {
+    /// Times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across closures.
+    pub total_ns: u64,
+    /// Longest single closure in nanoseconds.
+    pub max_ns: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+    events: Vec<String>,
+    capture_events: bool,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Adds `delta` to a named counter. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    *reg.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Records a value into a named histogram. No-op when disabled.
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    reg.histograms
+        .entry(name)
+        .or_insert_with(Histogram::new)
+        .record(value);
+}
+
+/// An RAII span: measures wall-clock time from creation to drop and
+/// records it under the nesting path (`outer/inner`). Created disabled,
+/// it does nothing at all.
+#[must_use = "a span measures until dropped; binding to _ drops immediately"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    depth: usize,
+}
+
+/// Opens a span. No-op (one atomic load) when disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard {
+            start: None,
+            depth: 0,
+        };
+    }
+    let depth = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.len() - 1
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        depth,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut reg = registry().lock().unwrap();
+        let stats = reg.spans.entry(path.clone()).or_default();
+        stats.count += 1;
+        stats.total_ns += elapsed_ns;
+        stats.max_ns = stats.max_ns.max(elapsed_ns);
+        if reg.capture_events {
+            let mut line = crate::json::Json::obj();
+            line.set("type", "span_event")
+                .set("name", path)
+                .set("depth", self.depth)
+                .set("ns", elapsed_ns);
+            let line = line.to_string();
+            reg.events.push(line);
+        }
+    }
+}
+
+/// Starts capturing one JSON-lines event per span closure (implies the
+/// cost of formatting each event; used by `--trace`).
+pub fn capture_events(on: bool) {
+    let mut reg = registry().lock().unwrap();
+    reg.capture_events = on;
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Span timings by nesting path.
+    pub spans: Vec<(String, SpanStats)>,
+    /// Captured span events (JSON lines), if event capture was on.
+    pub events: Vec<String>,
+}
+
+/// Copies the current registry contents (sorted by name — deterministic).
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().unwrap();
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        spans: reg
+            .spans
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+        events: reg.events.clone(),
+    }
+}
+
+/// Clears all counters, histograms, spans, and captured events. The
+/// enabled flag and event-capture setting are unchanged.
+pub fn reset() {
+    let mut reg = registry().lock().unwrap();
+    reg.counters.clear();
+    reg.histograms.clear();
+    reg.spans.clear();
+    reg.events.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests that enable it must not
+    /// run concurrently with each other.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_is_a_noop() {
+        let _guard = serial();
+        disable();
+        reset();
+        counter_add("x", 5);
+        record("h", 3);
+        let _span = span("s");
+        drop(_span);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let _guard = serial();
+        enable();
+        reset();
+        counter_add("pkts", 3);
+        counter_add("pkts", 4);
+        record("bits", 0);
+        record("bits", 1);
+        record("bits", 5);
+        record("bits", 1024);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counters, vec![("pkts".to_string(), 7)]);
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[3], 1); // 4..8
+        assert_eq!(h.buckets[11], 1); // 1024..2048
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(3), (4, 7));
+    }
+
+    #[test]
+    fn spans_nest_by_path() {
+        let _guard = serial();
+        enable();
+        reset();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let snap = snapshot();
+        disable();
+        let names: Vec<&str> = snap.spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["outer", "outer/inner"]);
+        assert!(snap.spans.iter().all(|(_, s)| s.count == 1));
+    }
+
+    #[test]
+    fn event_capture_emits_json_lines() {
+        let _guard = serial();
+        enable();
+        capture_events(true);
+        reset();
+        {
+            let _s = span("phase");
+        }
+        let snap = snapshot();
+        capture_events(false);
+        disable();
+        assert_eq!(snap.events.len(), 1);
+        let parsed = crate::json::Json::parse(&snap.events[0]).unwrap();
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("span_event"));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("phase"));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let _guard = serial();
+        enable();
+        reset();
+        counter_add("c", 1);
+        reset();
+        let snap = snapshot();
+        disable();
+        assert!(snap.counters.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! End-of-run structured reports and the JSON-lines metrics format.
+//!
+//! A metrics file is plain JSONL: one object per line, each tagged with a
+//! `"type"` field — `"counter"`, `"histogram"`, `"span"`, `"span_event"`,
+//! or `"report"`. The final `"report"` line carries run-level summary
+//! fields (command, mesh, congestion, stretch, ...). The same writer
+//! backs `--metrics-out` in the CLI and `results/*.json` in the bench
+//! harness; [`render`] turns a file back into human-readable text for
+//! `oblivion stats`.
+
+use crate::json::Json;
+use crate::registry::{Histogram, Snapshot};
+use std::fmt::Write as _;
+
+/// An ordered, append-only set of run-level summary fields.
+///
+/// Serialization is deterministic: fields appear exactly in insertion
+/// order, so two runs that insert the same keys and values produce
+/// byte-identical JSON.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    fields: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// A new report for the given top-level command/experiment name.
+    pub fn new(command: &str) -> Self {
+        Self {
+            fields: vec![("command".to_string(), Json::from(command))],
+        }
+    }
+
+    /// Appends (or overwrites) a summary field.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// The report as one `{"type":"report",...}` JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.set("type", "report");
+        for (k, v) in &self.fields {
+            obj.set(k, v.clone());
+        }
+        obj
+    }
+
+    /// The full metrics document: counter/histogram/span lines from the
+    /// snapshot followed by the report line, newline-terminated.
+    ///
+    /// With `include_timings` false, span lines (and captured span
+    /// events) are omitted — wall-clock times are the only
+    /// non-deterministic part of a snapshot, so the remainder is
+    /// byte-identical across same-seed runs.
+    pub fn to_jsonl(&self, snap: &Snapshot, include_timings: bool) -> String {
+        let mut out = String::new();
+        for line in snapshot_lines(snap, include_timings) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&self.to_json().to_string());
+        out.push('\n');
+        out
+    }
+}
+
+/// Serializes a snapshot to tagged JSONL lines (no trailing newline per
+/// entry; the caller joins them).
+pub fn snapshot_lines(snap: &Snapshot, include_timings: bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, value) in &snap.counters {
+        let mut obj = Json::obj();
+        obj.set("type", "counter")
+            .set("name", name.as_str())
+            .set("value", *value);
+        lines.push(obj.to_string());
+    }
+    for (name, hist) in &snap.histograms {
+        lines.push(histogram_json(name, hist).to_string());
+    }
+    if include_timings {
+        for (path, stats) in &snap.spans {
+            let mut obj = Json::obj();
+            obj.set("type", "span")
+                .set("name", path.as_str())
+                .set("count", stats.count)
+                .set("total_ns", stats.total_ns)
+                .set("max_ns", stats.max_ns);
+            lines.push(obj.to_string());
+        }
+        lines.extend(snap.events.iter().cloned());
+    }
+    lines
+}
+
+fn histogram_json(name: &str, hist: &Histogram) -> Json {
+    let mut obj = Json::obj();
+    obj.set("type", "histogram")
+        .set("name", name)
+        .set("count", hist.count)
+        .set("sum", hist.sum)
+        .set("min", if hist.count == 0 { 0 } else { hist.min })
+        .set("max", hist.max);
+    let mut buckets = Vec::new();
+    for (i, &count) in hist.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (lo, hi) = Histogram::bucket_range(i);
+        let mut b = Json::obj();
+        b.set("lo", lo).set("hi", hi).set("count", count);
+        buckets.push(b);
+    }
+    obj.set("buckets", Json::Arr(buckets));
+    obj
+}
+
+/// Parses a JSONL metrics document into its typed lines.
+///
+/// Blank lines are skipped; a malformed line or a line without a string
+/// `"type"` field is an error naming the line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("line {}: {}", idx + 1, e))?;
+        let kind = value
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("line {}: missing \"type\" field", idx + 1))?
+            .to_string();
+        entries.push((kind, value));
+    }
+    Ok(entries)
+}
+
+/// Renders a parsed metrics document as human-readable text (the body of
+/// `oblivion stats`).
+pub fn render(entries: &[(String, Json)]) -> String {
+    fn of_kind_in<'a>(
+        entries: &'a [(String, Json)],
+        kind: &'a str,
+    ) -> impl Iterator<Item = &'a Json> + 'a {
+        entries
+            .iter()
+            .filter(move |(t, _)| t == kind)
+            .map(|(_, v)| v)
+    }
+    let mut out = String::new();
+    let of_kind = |k: &'static str| of_kind_in(entries, k);
+
+    for report in of_kind("report") {
+        out.push_str("run report\n");
+        if let Json::Obj(fields) = report {
+            for (key, value) in fields {
+                if key == "type" {
+                    continue;
+                }
+                let _ = writeln!(out, "  {:<24} {}", key, render_scalar(value));
+            }
+        }
+        out.push('\n');
+    }
+
+    if of_kind("counter").next().is_some() {
+        out.push_str("counters\n");
+        for c in of_kind("counter") {
+            let name = c.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let value = c.get("value").and_then(|v| v.as_u64()).unwrap_or(0);
+            let _ = writeln!(out, "  {:<32} {}", name, value);
+        }
+        out.push('\n');
+    }
+
+    for h in of_kind("histogram") {
+        let name = h.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+        let count = h.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+        let sum = h.get("sum").and_then(|v| v.as_u64()).unwrap_or(0);
+        let min = h.get("min").and_then(|v| v.as_u64()).unwrap_or(0);
+        let max = h.get("max").and_then(|v| v.as_u64()).unwrap_or(0);
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        let _ = writeln!(
+            out,
+            "histogram {name}  (count {count}, mean {mean:.2}, min {min}, max {max})"
+        );
+        if let Some(Json::Arr(buckets)) = h.get("buckets") {
+            let peak = buckets
+                .iter()
+                .filter_map(|b| b.get("count").and_then(|c| c.as_u64()))
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            for b in buckets {
+                let lo = b.get("lo").and_then(|v| v.as_u64()).unwrap_or(0);
+                let hi = b.get("hi").and_then(|v| v.as_u64()).unwrap_or(0);
+                let n = b.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+                let width = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
+                let range = if lo == hi {
+                    format!("{lo}")
+                } else {
+                    format!("{lo}..{hi}")
+                };
+                let _ = writeln!(out, "  {:>16}  {:>10}  {}", range, n, "#".repeat(width));
+            }
+        }
+        out.push('\n');
+    }
+
+    if of_kind("span").next().is_some() {
+        out.push_str("spans\n");
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>8} {:>14} {:>14}",
+            "path", "count", "total", "max"
+        );
+        for s in of_kind("span") {
+            let name = s.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let count = s.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+            let total = s.get("total_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+            let max = s.get("max_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<40} {:>8} {:>14} {:>14}",
+                name,
+                count,
+                fmt_ns(total),
+                fmt_ns(max)
+            );
+        }
+        out.push('\n');
+    }
+
+    let n_events = of_kind("span_event").count();
+    if n_events > 0 {
+        let _ = writeln!(out, "({n_events} trace events; view raw file for detail)");
+    }
+
+    if out.is_empty() {
+        out.push_str("(empty metrics file)\n");
+    }
+    out
+}
+
+fn render_scalar(value: &Json) -> String {
+    match value {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SpanStats;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut hist = Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; crate::registry::HISTOGRAM_BUCKETS],
+        };
+        // Mirror Histogram::record without going through the registry.
+        for v in [0u64, 3, 3, 17] {
+            hist.count += 1;
+            hist.sum += v;
+            hist.min = hist.min.min(v);
+            hist.max = hist.max.max(v);
+            hist.buckets[Histogram::bucket_of(v)] += 1;
+        }
+        Snapshot {
+            counters: vec![("packets_routed".to_string(), 42)],
+            histograms: vec![("random_bits_per_packet".to_string(), hist)],
+            spans: vec![(
+                "route/path_selection".to_string(),
+                SpanStats {
+                    count: 42,
+                    total_ns: 1_500_000,
+                    max_ns: 90_000,
+                },
+            )],
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut report = RunReport::new("route");
+        report.set("packets", 42u64).set("max_congestion", 7u64);
+        let doc = report.to_jsonl(&sample_snapshot(), true);
+        let entries = parse_jsonl(&doc).unwrap();
+        let kinds: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(kinds, vec!["counter", "histogram", "span", "report"]);
+        let report_line = &entries[3].1;
+        assert_eq!(report_line.get("command").unwrap().as_str(), Some("route"));
+        assert_eq!(report_line.get("packets").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn timings_excluded_when_asked() {
+        let report = RunReport::new("route");
+        let doc = report.to_jsonl(&sample_snapshot(), false);
+        assert!(!doc.contains("\"span\""));
+        assert!(!doc.contains("total_ns"));
+        let entries = parse_jsonl(&doc).unwrap();
+        assert_eq!(entries.len(), 3); // counter + histogram + report
+    }
+
+    #[test]
+    fn set_overwrites_in_place() {
+        let mut report = RunReport::new("x");
+        report.set("a", 1u64).set("b", 2u64).set("a", 3u64);
+        let json = report.to_json().to_string();
+        assert_eq!(
+            json,
+            "{\"type\":\"report\",\"command\":\"x\",\"a\":3,\"b\":2}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let mut report = RunReport::new("route");
+        report.set("max_congestion", 7u64);
+        let doc = report.to_jsonl(&sample_snapshot(), true);
+        let entries = parse_jsonl(&doc).unwrap();
+        let text = render(&entries);
+        assert!(text.contains("packets_routed"));
+        assert!(text.contains("42"));
+        assert!(text.contains("max_congestion"));
+        assert!(text.contains("random_bits_per_packet"));
+        assert!(text.contains("route/path_selection"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"type\":\"counter\"}\nnot json\n").is_err());
+        assert!(parse_jsonl("{\"notype\":1}\n").is_err());
+        assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+}

@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod online;
-pub use online::{FixedTraffic, OnlineResult, OnlineSim, PathSource, TrafficPattern, UniformTraffic};
+pub use online::{
+    FixedTraffic, OnlineResult, OnlineSim, PathSource, TrafficPattern, UniformTraffic,
+};
 
 use oblivion_mesh::{Mesh, Path};
 use rand::rngs::StdRng;
@@ -132,6 +134,7 @@ impl<'a> Simulation<'a> {
         if let Some(d) = delays {
             assert_eq!(d.len(), self.paths.len(), "one delay per packet");
         }
+        let _span = oblivion_obs::span("simulation");
         let n = self.paths.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let ranks: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
@@ -174,6 +177,14 @@ impl<'a> Simulation<'a> {
                 contenders.entry(e.0).or_default().push(i);
             }
             max_queue = max_queue.max(occupancy.values().copied().max().unwrap_or(0));
+            if oblivion_obs::is_enabled() {
+                oblivion_obs::counter_add("sim_steps", 1);
+                oblivion_obs::record(
+                    "queue_len_per_step",
+                    occupancy.values().copied().max().unwrap_or(0) as u64,
+                );
+                oblivion_obs::record("busy_links_per_step", contenders.len() as u64);
+            }
             for group in contenders.values() {
                 max_contention = max_contention.max(group.len());
                 let &winner = group
@@ -289,8 +300,7 @@ mod tests {
     #[test]
     fn trivial_paths_deliver_instantly() {
         let mesh = Mesh::new_mesh(&[4, 4]);
-        let r = Simulation::new(&mesh, vec![Path::trivial(c(1, 1))])
-            .run(SchedulingPolicy::Fifo, 5);
+        let r = Simulation::new(&mesh, vec![Path::trivial(c(1, 1))]).run(SchedulingPolicy::Fifo, 5);
         assert_eq!(r.makespan, 0);
         assert_eq!(r.delivery, vec![0]);
     }

@@ -132,6 +132,7 @@ impl<'a> OnlineSim<'a> {
         steps: u64,
         seed: u64,
     ) -> OnlineResult {
+        let _span = oblivion_obs::span("online_sim");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut route_rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
         let nodes: Vec<Coord> = self.mesh.coords().collect();
@@ -177,6 +178,14 @@ impl<'a> OnlineSim<'a> {
                 let p = f.path.nodes();
                 let e = self.mesh.edge_id(&p[f.pos], &p[f.pos + 1]);
                 contenders.entry(e.0).or_default().push(i);
+            }
+            if oblivion_obs::is_enabled() {
+                oblivion_obs::counter_add("online_steps", 1);
+                oblivion_obs::record(
+                    "queue_len_per_step",
+                    contenders.values().map(Vec::len).max().unwrap_or(0) as u64,
+                );
+                oblivion_obs::record("busy_links_per_step", contenders.len() as u64);
             }
             for group in contenders.values() {
                 let &winner = group
@@ -287,7 +296,8 @@ mod tests {
         let pattern = UniformTraffic::new(mesh.clone());
         let lat = |rate: f64| {
             let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, rate);
-            sim.run(&pattern, &shortest_paths(&mesh), 400, 3).mean_latency
+            sim.run(&pattern, &shortest_paths(&mesh), 400, 3)
+                .mean_latency
         };
         let low = lat(0.02);
         let high = lat(0.9);

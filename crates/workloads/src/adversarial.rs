@@ -47,7 +47,11 @@ pub fn distance_permutation(mesh: &Mesh, l: u32) -> Workload {
         .coords()
         .map(|c| {
             let slab = c[0] / l;
-            let partner_slab = if slab.is_multiple_of(2) { slab + 1 } else { slab - 1 };
+            let partner_slab = if slab.is_multiple_of(2) {
+                slab + 1
+            } else {
+                slab - 1
+            };
             (c, c.with(0, partner_slab * l + (c[0] % l)))
         })
         .collect();

@@ -155,12 +155,7 @@ pub fn central_cut_neighbors(mesh: &Mesh, axis: usize) -> Workload {
 }
 
 /// Hotspot traffic: `count` random sources all send to `target`.
-pub fn hotspot<R: Rng + ?Sized>(
-    mesh: &Mesh,
-    target: Coord,
-    count: usize,
-    rng: &mut R,
-) -> Workload {
+pub fn hotspot<R: Rng + ?Sized>(mesh: &Mesh, target: Coord, count: usize, rng: &mut R) -> Workload {
     let n = mesh.node_count();
     let pairs = (0..count)
         .map(|_| {
@@ -250,7 +245,11 @@ mod tests {
         assert!(is_permutation(&mesh, &w));
         // Applying the rotation log2(8) = 3 times returns to the start.
         let step = |c: &Coord| -> Coord {
-            w.pairs.iter().find(|(s, _)| s == c).map(|(_, t)| *t).unwrap()
+            w.pairs
+                .iter()
+                .find(|(s, _)| s == c)
+                .map(|(_, t)| *t)
+                .unwrap()
         };
         let start = Coord::new(&[5, 3]);
         let thrice = step(&step(&step(&start)));

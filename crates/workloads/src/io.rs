@@ -48,8 +48,7 @@ pub fn from_text(name: &str, text: &str, mesh: &Mesh) -> Result<Workload, String
             .split_once("->")
             .ok_or_else(|| format!("line {}: missing `->`", lineno + 1))?;
         let parse = |part: &str| -> Result<Coord, String> {
-            let xs: Result<Vec<u32>, _> =
-                part.trim().split(',').map(str::parse::<u32>).collect();
+            let xs: Result<Vec<u32>, _> = part.trim().split(',').map(str::parse::<u32>).collect();
             let xs = xs.map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if xs.len() != mesh.dim() {
                 return Err(format!(
@@ -106,7 +105,9 @@ mod tests {
         assert!(from_text("t", "0 -> 1,1", &mesh)
             .unwrap_err()
             .contains("expected 2"));
-        assert!(from_text("t", "a,b -> 1,1", &mesh).unwrap_err().contains("line 1"));
+        assert!(from_text("t", "a,b -> 1,1", &mesh)
+            .unwrap_err()
+            .contains("line 1"));
     }
 
     #[test]

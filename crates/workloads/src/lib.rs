@@ -33,8 +33,8 @@ pub mod io;
 
 pub use adversarial::{distance_permutation, pi_a, PiA};
 pub use classic::{
-    all_to_one, bit_complement, bit_reversal, central_cut_neighbors, hotspot,
-    neighbor_exchange, random_pairs, random_permutation, shuffle, tornado, transpose,
+    all_to_one, bit_complement, bit_reversal, central_cut_neighbors, hotspot, neighbor_exchange,
+    random_pairs, random_permutation, shuffle, tornado, transpose,
 };
 
 use oblivion_mesh::Coord;

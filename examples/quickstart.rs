@@ -46,8 +46,7 @@ fn main() {
     );
 
     // --- Deliver the packets through the synchronous network --------------
-    let result =
-        sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::FurthestToGo, 7);
+    let result = sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::FurthestToGo, 7);
     println!(
         "delivered in {} steps (trivial lower bound C + D = {})",
         result.makespan,

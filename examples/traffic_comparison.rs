@@ -43,8 +43,8 @@ fn main() {
         for r in &routers {
             let paths = route_all(r.as_ref(), &w.pairs, &mut rng);
             let m = metrics::PathSetMetrics::measure(&mesh, &paths);
-            let res = sim::Simulation::new(&mesh, paths)
-                .run(sim::SchedulingPolicy::FurthestToGo, 2);
+            let res =
+                sim::Simulation::new(&mesh, paths).run(sim::SchedulingPolicy::FurthestToGo, 2);
             println!(
                 "{:<16} {:>5} {:>5} {:>12.2} {:>10} {:>10}",
                 r.name(),

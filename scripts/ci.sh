@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace-wide CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/ci.sh
+# Used locally and as the preflight of scripts/run_experiments.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --offline -q
+
+echo "ci: all checks passed"

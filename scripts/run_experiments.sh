@@ -1,9 +1,21 @@
 #!/usr/bin/env bash
 # Regenerates every experiment table (E1-E20) into results/.
 # Usage: scripts/run_experiments.sh [results-dir]
+#   Set SKIP_CI=1 to bypass the scripts/ci.sh preflight.
+# Fail-fast: the first failing experiment aborts the run with its name.
+# Each experiment also reports its wall-clock time, and binaries wired to
+# oblivion-bench::report drop a machine-readable $out/<exp>.json next to
+# the .txt capture (render with `oblivion stats`).
 set -euo pipefail
+cd "$(dirname "$0")/.."
 out="${1:-results}"
 mkdir -p "$out"
+export OBLIVION_RESULTS_DIR="$out"
+
+if [[ "${SKIP_CI:-0}" != "1" ]]; then
+  echo "== preflight: scripts/ci.sh (SKIP_CI=1 to skip) =="
+  scripts/ci.sh
+fi
 
 echo "== building =="
 cargo build --release -p oblivion-bench --bins --quiet
@@ -11,7 +23,14 @@ cargo build --release --examples --quiet
 
 run() {
   echo "== $1 =="
-  cargo run --release --quiet -p oblivion-bench --bin "$1" > "$out/$1.txt"
+  local start end
+  start=$(date +%s)
+  if ! cargo run --release --quiet -p oblivion-bench --bin "$1" > "$out/$1.txt"; then
+    echo "FAILED: $1 (partial output in $out/$1.txt)" >&2
+    exit 1
+  fi
+  end=$(date +%s)
+  echo "   $1 done in $((end - start))s"
 }
 
 cargo run --release --quiet --example decomposition_gallery > "$out/e1_e2_figures.txt"

@@ -25,9 +25,15 @@ pub struct Args {
     pub options: HashMap<String, String>,
 }
 
+/// Options that are flags: present or absent, never followed by a value.
+/// `--trace` is recorded as `trace = "true"`.
+pub const BOOL_FLAGS: &[&str] = &["trace"];
+
 /// Parses raw arguments (without the program name).
 ///
-/// Grammar: `SUBCOMMAND (--key value)*`.
+/// Grammar: `SUBCOMMAND (--key value | --flag)*`, where `--flag` is one
+/// of [`BOOL_FLAGS`]. The `stats` subcommand additionally accepts one
+/// positional argument (the metrics file), stored as option `file`.
 pub fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut it = raw.iter();
     let command = it
@@ -35,10 +41,18 @@ pub fn parse_args(raw: &[String]) -> Result<Args, String> {
         .ok_or_else(|| "missing subcommand; try `oblivion help`".to_string())?
         .clone();
     let mut options = HashMap::new();
-    while let Some(key) = it.next() {
-        let key = key
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --option, got `{key}`"))?;
+    while let Some(token) = it.next() {
+        let Some(key) = token.strip_prefix("--") else {
+            if command == "stats" && !options.contains_key("file") {
+                options.insert("file".to_string(), token.clone());
+                continue;
+            }
+            return Err(format!("expected --option, got `{token}`"));
+        };
+        if BOOL_FLAGS.contains(&key) {
+            options.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{key} needs a value"))?
@@ -67,7 +81,11 @@ pub fn parse_mesh_spec(spec: &str, torus: bool) -> Result<Mesh, String> {
     }
     Ok(Mesh::new(
         &dims,
-        if torus { Topology::Torus } else { Topology::Mesh },
+        if torus {
+            Topology::Torus
+        } else {
+            Topology::Mesh
+        },
     ))
 }
 
@@ -129,10 +147,7 @@ pub fn make_router(name: &str, mesh: &Mesh) -> Result<Box<dyn ObliviousRouter>, 
             equal_pow2 && mesh.topology() == Topology::Torus,
             "an equal-side power-of-two torus (--torus true)",
         )?,
-        "busch-padded" => require(
-            mesh.topology() == Topology::Mesh,
-            "a (non-torus) mesh",
-        )?,
+        "busch-padded" => require(mesh.topology() == Topology::Mesh, "a (non-torus) mesh")?,
         _ => {}
     }
     Ok(match name {
@@ -167,11 +182,7 @@ pub const WORKLOAD_NAMES: &[&str] = &[
 ];
 
 /// Builds a workload by CLI name.
-pub fn make_workload(
-    name: &str,
-    mesh: &Mesh,
-    rng: &mut StdRng,
-) -> Result<wl::Workload, String> {
+pub fn make_workload(name: &str, mesh: &Mesh, rng: &mut StdRng) -> Result<wl::Workload, String> {
     Ok(match name {
         "transpose" => wl::transpose(mesh).without_self_loops(),
         "random-perm" => wl::random_permutation(mesh, rng),
@@ -211,8 +222,7 @@ pub fn parse_policy(name: &str) -> Result<SchedulingPolicy, String> {
 /// line format) takes precedence over the named `--workload`.
 fn workload_from_args(args: &Args, mesh: &Mesh, rng: &mut StdRng) -> Result<wl::Workload, String> {
     if let Some(path) = args.options.get("workload-file") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return wl::io::from_text(path, &text, mesh);
     }
     make_workload(opt(args, "workload", "random-perm"), mesh, rng)
@@ -220,6 +230,71 @@ fn workload_from_args(args: &Args, mesh: &Mesh, rng: &mut StdRng) -> Result<wl::
 
 fn opt<'a>(args: &'a Args, key: &str, default: &'a str) -> &'a str {
     args.options.get(key).map(String::as_str).unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------
+// Observability plumbing (`--trace`, `--metrics-out`, `oblivion stats`).
+//
+// Commands deposit their headline numbers here via [`report_field`]; when
+// metrics are requested, [`run`] drains them into the final `RunReport`
+// line of the JSONL document. With observability off the deposit is a
+// no-op, so commands stay oblivious (pun intended) to the machinery.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static REPORT_FIELDS: std::cell::RefCell<Vec<(String, oblivion_obs::Json)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn report_field(key: &str, value: impl Into<oblivion_obs::Json>) {
+    if !oblivion_obs::is_enabled() {
+        return;
+    }
+    let value = value.into();
+    REPORT_FIELDS.with(|f| f.borrow_mut().push((key.to_string(), value)));
+}
+
+/// Whether this invocation asked for metrics collection.
+fn wants_metrics(args: &Args) -> bool {
+    args.options.contains_key("metrics-out") || opt(args, "trace", "false") == "true"
+}
+
+/// Finishes a metered invocation: assembles the JSONL document from the
+/// registry snapshot plus the fields commands deposited, writes it to
+/// `--metrics-out` (if given), and prints a span summary to stderr under
+/// `--trace`.
+fn finish_metrics(args: &Args) -> Result<(), String> {
+    let snap = oblivion_obs::snapshot();
+    let mut report = oblivion_obs::RunReport::new(&args.command);
+    for key in ["mesh", "router", "workload", "seed"] {
+        if let Some(v) = args.options.get(key) {
+            report.set(key, v.as_str());
+        }
+    }
+    REPORT_FIELDS.with(|f| {
+        for (k, v) in f.borrow_mut().drain(..) {
+            report.set(&k, v);
+        }
+    });
+    let doc = report.to_jsonl(&snap, true);
+    if let Some(path) = args.options.get("metrics-out") {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if opt(args, "trace", "false") == "true" {
+        let entries = oblivion_obs::parse_jsonl(&doc).expect("own JSONL must parse");
+        eprintln!("{}", oblivion_obs::render(&entries));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args
+        .options
+        .get("file")
+        .ok_or("usage: oblivion stats <metrics.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = oblivion_obs::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(oblivion_obs::render(&entries))
 }
 
 fn seed_of(args: &Args) -> Result<u64, String> {
@@ -255,10 +330,16 @@ pub fn help() -> String {
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
+         \u{20}  stats     render a JSONL metrics file written by --metrics-out\n\
+         \u{20}            oblivion stats results/route.json\n\
          \u{20}  list      list routers and workloads\n\
          \u{20}            (route/simulate/heatmap accept --workload-file FILE with\n\
          \u{20}             lines \"x1,y1 -> x2,y2\"; see oblivion_workloads::io)\n\
-         \u{20}  help      this text"
+         \u{20}  help      this text\n\n\
+         OBSERVABILITY (any command):\n\
+         \u{20}  --metrics-out FILE  write counters/histograms/span timings + run\n\
+         \u{20}                      report as JSON lines (render with `oblivion stats`)\n\
+         \u{20}  --trace             also capture per-span events; summary on stderr"
     );
     let _ = writeln!(s, "\nROUTERS:   {}", ROUTER_NAMES.join(", "));
     let _ = writeln!(s, "WORKLOADS: {}", WORKLOAD_NAMES.join(", "));
@@ -267,6 +348,25 @@ pub fn help() -> String {
 
 /// Executes a parsed command, returning the text to print.
 pub fn run(args: &Args) -> Result<String, String> {
+    let metered = wants_metrics(args);
+    if metered {
+        oblivion_obs::reset();
+        oblivion_obs::capture_events(opt(args, "trace", "false") == "true");
+        oblivion_obs::enable();
+        REPORT_FIELDS.with(|f| f.borrow_mut().clear());
+    }
+    let result = dispatch(args);
+    if metered {
+        oblivion_obs::disable();
+        oblivion_obs::capture_events(false);
+        if result.is_ok() {
+            finish_metrics(args)?;
+        }
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(help()),
         "list" => Ok(format!(
@@ -282,6 +382,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "online" => cmd_online(args),
         "bracket" => cmd_bracket(args),
         "pia" => cmd_pia(args),
+        "stats" => cmd_stats(args),
         other => Err(format!("unknown command `{other}`; try `oblivion help`")),
     }
 }
@@ -293,9 +394,18 @@ fn cmd_route(args: &Args) -> Result<String, String> {
     let seed = seed_of(args)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let w = workload_from_args(args, &mesh, &mut rng)?;
-    let (paths, bits, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
+    let (paths, bits, max_bits) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
     let m = PathSetMetrics::measure(&mesh, &paths);
     let lb = congestion_lower_bound(&mesh, &w.pairs);
+    report_field("router_name", router.name().as_str());
+    report_field("packets", w.len() as u64);
+    report_field("max_congestion", m.congestion as u64);
+    report_field("dilation", m.dilation as u64);
+    report_field("max_stretch", m.max_stretch);
+    report_field("mean_stretch", m.mean_stretch);
+    report_field("congestion_lower_bound", lb);
+    report_field("random_bits_total", bits);
+    report_field("random_bits_max", max_bits);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -307,7 +417,11 @@ fn cmd_route(args: &Args) -> Result<String, String> {
         w.len()
     );
     let _ = writeln!(out, "  congestion C      = {}", m.congestion);
-    let _ = writeln!(out, "  C* lower bound    = {lb:.2}  (C/lb = {:.2})", f64::from(m.congestion) / lb.max(1e-9));
+    let _ = writeln!(
+        out,
+        "  C* lower bound    = {lb:.2}  (C/lb = {:.2})",
+        f64::from(m.congestion) / lb.max(1e-9)
+    );
     let _ = writeln!(out, "  dilation D        = {}", m.dilation);
     let _ = writeln!(out, "  C + D             = {}", m.c_plus_d());
     let _ = writeln!(out, "  max stretch       = {:.2}", m.max_stretch);
@@ -320,6 +434,7 @@ fn cmd_route(args: &Args) -> Result<String, String> {
     if let Some(policy) = args.options.get("simulate") {
         let policy = parse_policy(policy)?;
         let res = Simulation::new(&mesh, paths).run(policy, seed);
+        report_field("makespan", res.makespan);
         let _ = writeln!(
             out,
             "  makespan ({policy:?}) = {}  ({:.2}x of C+D)",
@@ -358,10 +473,7 @@ fn cmd_path(args: &Args) -> Result<String, String> {
     let torus = opt(args, "torus", "false") == "true";
     let mesh = parse_mesh_spec(opt(args, "mesh", "32x32"), torus)?;
     let router = make_router(opt(args, "router", "buschd"), &mesh)?;
-    let s = parse_coord(
-        args.options.get("from").ok_or("missing --from")?,
-        &mesh,
-    )?;
+    let s = parse_coord(args.options.get("from").ok_or("missing --from")?, &mesh)?;
     let t = parse_coord(args.options.get("to").ok_or("missing --to")?, &mesh)?;
     let mut rng = StdRng::seed_from_u64(seed_of(args)?);
     let rp = router.select_path(&s, &t, &mut rng);
@@ -420,6 +532,13 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
             sim.run_with_random_delays(policy, seed, d)
         }
     };
+    report_field("router_name", router.name().as_str());
+    report_field("packets", w.len() as u64);
+    report_field("max_congestion", m.congestion as u64);
+    report_field("dilation", m.dilation as u64);
+    report_field("makespan", res.makespan);
+    report_field("max_contention", res.max_contention as u64);
+    report_field("max_queue", res.max_queue as u64);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -460,12 +579,7 @@ fn cmd_bracket(args: &Args) -> Result<String, String> {
     let (paths, _, _) = route_all_metered(router.as_ref(), &w.pairs, &mut rng);
     let c = PathSetMetrics::measure(&mesh, &paths).congestion;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "C* bracket on {} ({} packets):",
-        w.name,
-        w.len()
-    );
+    let _ = writeln!(out, "C* bracket on {} ({} packets):", w.name, w.len());
     let _ = writeln!(out, "  lower bound        lb = {lb:.2}");
     let _ = writeln!(out, "  offline achievable C(offline) = {off_c}");
     let _ = writeln!(out, "  {} C = {c}", router.name());
@@ -506,7 +620,10 @@ fn cmd_pia(args: &Args) -> Result<String, String> {
     );
     if let Some(path) = args.options.get("out") {
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        let _ = writeln!(out, "written to {path} (replay with --workload-file {path})");
+        let _ = writeln!(
+            out,
+            "written to {path} (replay with --workload-file {path})"
+        );
     } else {
         out.push_str(&text);
     }
@@ -552,11 +669,17 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown pattern `{other}` (uniform|transpose)")),
     };
     let _ = complement_2d;
-    let source = |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path {
-        router.select_path(s, t, rng).path
-    };
+    let source =
+        |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { router.select_path(s, t, rng).path };
     let sim = OnlineSim::new(&mesh, policy, rate);
     let r = sim.run(pattern, &source, steps, seed);
+    report_field("router_name", router.name().as_str());
+    report_field("injected", r.injected as u64);
+    report_field("delivered", r.delivered as u64);
+    report_field("in_flight", r.in_flight as u64);
+    report_field("mean_latency", r.mean_latency);
+    report_field("p95_latency", r.p95_latency);
+    report_field("throughput", r.throughput);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -599,9 +722,84 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_bool_flags_take_no_value() {
+        // --trace between two valued options must not swallow a value.
+        let a = args(&["route", "--trace", "--mesh", "8x8"]);
+        assert_eq!(a.options["trace"], "true");
+        assert_eq!(a.options["mesh"], "8x8");
+        // Trailing flag.
+        let b = args(&["route", "--mesh", "8x8", "--trace"]);
+        assert_eq!(b.options["trace"], "true");
+        // Valued options still require a value even after a flag.
+        assert!(parse_args(&["route".into(), "--trace".into(), "--mesh".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_args_stats_positional() {
+        let a = args(&["stats", "results/run.json"]);
+        assert_eq!(a.command, "stats");
+        assert_eq!(a.options["file"], "results/run.json");
+        // A second positional is rejected, as is one on other commands.
+        assert!(parse_args(&["stats".into(), "a".into(), "b".into()]).is_err());
+        assert!(parse_args(&["route".into(), "a.json".into()]).is_err());
+    }
+
+    #[test]
+    fn metrics_out_writes_jsonl_and_stats_renders_it() {
+        let path = std::env::temp_dir().join("oblivion_cli_metrics_test.json");
+        let a = args(&[
+            "route",
+            "--mesh",
+            "8x8",
+            "--router",
+            "busch2d",
+            "--workload",
+            "transpose",
+            "--seed",
+            "5",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ]);
+        run(&a).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = oblivion_obs::parse_jsonl(&text).unwrap();
+        let kinds: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(kinds.contains(&"counter"), "{kinds:?}");
+        assert!(kinds.contains(&"histogram"));
+        assert!(kinds.contains(&"span"));
+        assert_eq!(kinds.last(), Some(&"report"));
+        let report = &entries.last().unwrap().1;
+        assert_eq!(report.get("command").unwrap().as_str(), Some("route"));
+        assert!(report.get("packets").unwrap().as_u64().unwrap() > 0);
+        assert!(report.get("max_congestion").is_some());
+        assert!(text.contains("random_bits_per_packet"));
+        assert!(text.contains("path_selection"));
+        // And the stats command renders it.
+        let s = args(&["stats", path.to_str().unwrap()]);
+        let rendered = run(&s).unwrap();
+        assert!(rendered.contains("run report"), "{rendered}");
+        assert!(rendered.contains("max_congestion"));
+        assert!(rendered.contains("random_bits_per_packet"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_command_errors() {
+        assert!(run(&args(&["stats"])).is_err());
+        assert!(run(&args(&["stats", "/nonexistent/metrics.json"])).is_err());
+        let bad = std::env::temp_dir().join("oblivion_cli_badstats_test.json");
+        std::fs::write(&bad, "not json at all\n").unwrap();
+        assert!(run(&args(&["stats", bad.to_str().unwrap()])).is_err());
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
     fn parse_mesh_specs() {
         assert_eq!(parse_mesh_spec("8x8", false).unwrap().dim(), 2);
-        assert_eq!(parse_mesh_spec("4x4x4", true).unwrap().topology(), Topology::Torus);
+        assert_eq!(
+            parse_mesh_spec("4x4x4", true).unwrap().topology(),
+            Topology::Torus
+        );
         assert_eq!(parse_mesh_spec("32", false).unwrap().dim(), 1);
         assert!(parse_mesh_spec("0x4", false).is_err());
         assert!(parse_mesh_spec("4xx4", false).is_err());
@@ -622,7 +820,11 @@ mod tests {
         let mesh = parse_mesh_spec("8x8", false).unwrap();
         let torus = parse_mesh_spec("8x8", true).unwrap();
         for name in ROUTER_NAMES {
-            let m = if *name == "busch-torus" { &torus } else { &mesh };
+            let m = if *name == "busch-torus" {
+                &torus
+            } else {
+                &mesh
+            };
             assert!(make_router(name, m).is_ok(), "{name}");
         }
         assert!(make_router("nope", &mesh).is_err());
@@ -641,8 +843,15 @@ mod tests {
     #[test]
     fn route_command_end_to_end() {
         let a = args(&[
-            "route", "--mesh", "8x8", "--router", "busch2d", "--workload", "transpose",
-            "--simulate", "fifo",
+            "route",
+            "--mesh",
+            "8x8",
+            "--router",
+            "busch2d",
+            "--workload",
+            "transpose",
+            "--simulate",
+            "fifo",
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("congestion C"));
@@ -671,8 +880,17 @@ mod tests {
     #[test]
     fn simulate_command_with_delays() {
         let a = args(&[
-            "simulate", "--mesh", "8x8", "--router", "dim-order", "--workload",
-            "neighbor-exchange", "--policy", "rank", "--max-delay", "4",
+            "simulate",
+            "--mesh",
+            "8x8",
+            "--router",
+            "dim-order",
+            "--workload",
+            "neighbor-exchange",
+            "--policy",
+            "rank",
+            "--max-delay",
+            "4",
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("makespan"));
@@ -682,14 +900,26 @@ mod tests {
     fn pia_command_pipes_into_route() {
         let path = std::env::temp_dir().join("oblivion_cli_pia_test.txt");
         let a = args(&[
-            "pia", "--mesh", "16x16", "--router", "dim-order", "--l", "4", "--out",
+            "pia",
+            "--mesh",
+            "16x16",
+            "--router",
+            "dim-order",
+            "--l",
+            "4",
+            "--out",
             path.to_str().unwrap(),
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("share one edge"), "{out}");
         // Replay the file through `route`.
         let b = args(&[
-            "route", "--mesh", "16x16", "--router", "busch2d", "--workload-file",
+            "route",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--workload-file",
             path.to_str().unwrap(),
         ]);
         assert!(run(&b).unwrap().contains("congestion C"));
@@ -701,7 +931,13 @@ mod tests {
     #[test]
     fn bracket_command_end_to_end() {
         let a = args(&[
-            "bracket", "--mesh", "8x8", "--router", "busch2d", "--workload", "transpose",
+            "bracket",
+            "--mesh",
+            "8x8",
+            "--router",
+            "busch2d",
+            "--workload",
+            "transpose",
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("competitive ratio"), "{out}");
@@ -710,13 +946,29 @@ mod tests {
     #[test]
     fn online_command_end_to_end() {
         let a = args(&[
-            "online", "--mesh", "8x8", "--router", "busch2d", "--rate", "0.05",
-            "--steps", "100", "--pattern", "transpose",
+            "online",
+            "--mesh",
+            "8x8",
+            "--router",
+            "busch2d",
+            "--rate",
+            "0.05",
+            "--steps",
+            "100",
+            "--pattern",
+            "transpose",
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("mean latency"), "{out}");
         assert!(run(&args(&["online", "--mesh", "8x8", "--rate", "2.0"])).is_err());
-        assert!(run(&args(&["online", "--mesh", "8x4", "--pattern", "transpose"])).is_err());
+        assert!(run(&args(&[
+            "online",
+            "--mesh",
+            "8x4",
+            "--pattern",
+            "transpose"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -733,7 +985,12 @@ mod tests {
         let path = std::env::temp_dir().join("oblivion_cli_wl_test.txt");
         std::fs::write(&path, wl::io::to_text(&w)).unwrap();
         let a = args(&[
-            "route", "--mesh", "8x8", "--router", "dim-order", "--workload-file",
+            "route",
+            "--mesh",
+            "8x8",
+            "--router",
+            "dim-order",
+            "--workload-file",
             path.to_str().unwrap(),
         ]);
         let out = run(&a).unwrap();
@@ -744,14 +1001,20 @@ mod tests {
     #[test]
     fn workload_file_errors_are_reported() {
         let a = args(&[
-            "route", "--mesh", "8x8", "--workload-file", "/nonexistent/definitely.txt",
+            "route",
+            "--mesh",
+            "8x8",
+            "--workload-file",
+            "/nonexistent/definitely.txt",
         ]);
         assert!(run(&a).is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = args(&["route", "--mesh", "8x8", "--router", "buschd", "--seed", "9"]);
+        let a = args(&[
+            "route", "--mesh", "8x8", "--router", "buschd", "--seed", "9",
+        ]);
         assert_eq!(run(&a).unwrap(), run(&a).unwrap());
     }
 }

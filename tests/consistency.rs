@@ -47,9 +47,7 @@ fn buschd_equals_busch2d_when_bridges_align() {
                 continue;
             }
             for chain in [r2.chain(s, t), rd.chain(s, t)] {
-                assert!(chain
-                    .iter()
-                    .all(|b| b.contains(s) || b.contains(t)));
+                assert!(chain.iter().all(|b| b.contains(s) || b.contains(t)));
                 // Exactly one block (the peak) contains both — or the
                 // chain's peak is shared.
                 assert!(chain.iter().any(|b| b.contains(s) && b.contains(t)));

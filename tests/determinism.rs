@@ -1,0 +1,151 @@
+//! Regression test: observability must not perturb determinism.
+//!
+//! Running the same seeded command twice must produce byte-identical
+//! metrics apart from wall-clock span timings — the counters, the
+//! histograms (including the per-packet random-bit histogram filled by
+//! `route_all_metered`), and the `RunReport` line itself. The CLI is
+//! driven as a subprocess so each run gets a pristine global registry
+//! and no interference from other tests in this process.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_metered(args: &[&str], out: &PathBuf) {
+    let status = Command::new(env!("CARGO_BIN_EXE_oblivion"))
+        .args(args)
+        .arg("--metrics-out")
+        .arg(out)
+        .output()
+        .expect("spawn oblivion");
+    assert!(
+        status.status.success(),
+        "oblivion {args:?} failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+}
+
+/// The deterministic portion of a metrics document: every line except
+/// span timings and trace events, byte-for-byte.
+fn deterministic_lines(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("read metrics file");
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            !l.starts_with("{\"type\":\"span\"") && !l.starts_with("{\"type\":\"span_event\"")
+        })
+        .collect();
+    assert!(
+        !kept.is_empty(),
+        "metrics file {} had no content",
+        path.display()
+    );
+    kept.join("\n")
+}
+
+/// The final `report` line alone.
+fn report_line(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("read metrics file");
+    text.lines()
+        .rfind(|l| l.starts_with("{\"type\":\"report\""))
+        .expect("metrics file must end with a report line")
+        .to_string()
+}
+
+fn check_twice(label: &str, args: &[&str]) {
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("oblivion_det_{label}_a.json"));
+    let b = dir.join(format!("oblivion_det_{label}_b.json"));
+    run_metered(args, &a);
+    run_metered(args, &b);
+    assert_eq!(
+        deterministic_lines(&a),
+        deterministic_lines(&b),
+        "{label}: counters/histograms/report differ between identical seeded runs"
+    );
+    let report = report_line(&a);
+    assert_eq!(
+        report,
+        report_line(&b),
+        "{label}: RunReport JSON not byte-identical"
+    );
+    assert!(
+        report.contains("\"seed\""),
+        "{label}: report should echo the seed"
+    );
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn route_same_seed_is_byte_identical() {
+    // Exercises route_all_metered: packets, random-bit histogram, paths.
+    check_twice(
+        "route",
+        &[
+            "route",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--workload",
+            "random-perm",
+            "--seed",
+            "1234",
+        ],
+    );
+}
+
+#[test]
+fn online_sim_same_seed_is_byte_identical() {
+    // Exercises the online simulator's step loop and its per-step
+    // queue-length / busy-link histograms.
+    check_twice(
+        "online",
+        &[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--rate", "0.05", "--steps", "200",
+            "--seed", "77",
+        ],
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let dir = std::env::temp_dir();
+    let a = dir.join("oblivion_det_seeds_a.json");
+    let b = dir.join("oblivion_det_seeds_b.json");
+    run_metered(
+        &[
+            "route",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--workload",
+            "random-perm",
+            "--seed",
+            "1",
+        ],
+        &a,
+    );
+    run_metered(
+        &[
+            "route",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--workload",
+            "random-perm",
+            "--seed",
+            "2",
+        ],
+        &b,
+    );
+    assert_ne!(
+        deterministic_lines(&a),
+        deterministic_lines(&b),
+        "different seeds should route differently"
+    );
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}

@@ -61,7 +61,12 @@ fn busch_routers_control_both_metrics_everywhere() {
         let paths = route_all(&router, &w.pairs, &mut rng);
         let m = metrics::PathSetMetrics::measure(&mesh, &paths);
         let lb = metrics::congestion_lower_bound(&mesh, &w.pairs);
-        assert!(m.max_stretch <= 64.0, "{}: stretch {}", w.name, m.max_stretch);
+        assert!(
+            m.max_stretch <= 64.0,
+            "{}: stretch {}",
+            w.name,
+            m.max_stretch
+        );
         // Generous constant: Theorem 3.9's O(C* log n) with constant ~4.
         assert!(
             f64::from(m.congestion) <= 4.0 * lb * log_n,
@@ -99,7 +104,10 @@ fn metered_bits_aggregate_correctly() {
     // Local traffic must stay cheap: far below the naive d*log n budget of
     // global schemes. (Lemma 5.4: O(d log(D'd)) with D' = 1.)
     let mean = total as f64 / w.len() as f64;
-    assert!(mean <= 24.0, "mean bits {mean} too high for distance-1 pairs");
+    assert!(
+        mean <= 24.0,
+        "mean bits {mean} too high for distance-1 pairs"
+    );
 }
 
 #[test]

@@ -45,8 +45,8 @@ fn lemma_3_2_ancestry() {
                 while lvl > 0 && !ok {
                     lvl -= 1;
                     cur = d.type1_block(lvl, &node);
-                    ok = blk.submesh.contains_submesh(&cur) && lvl > blk.level
-                        || blk.submesh == cur;
+                    ok =
+                        blk.submesh.contains_submesh(&cur) && lvl > blk.level || blk.submesh == cur;
                     if lvl <= blk.level {
                         break;
                     }

@@ -1,0 +1,76 @@
+//! Offline shim for the slice of `crossbeam` 0.8 the workspace uses:
+//! `crossbeam::thread::scope` + `Scope::spawn`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics match upstream for the success path. On a child panic, std's
+//! scope resumes the panic in the parent instead of returning `Err`, so
+//! callers' `.expect("worker thread panicked")` still terminates with the
+//! panic payload — equivalent for every consumer in this workspace.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle: spawn borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam style), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow local
+    /// state; joins all of them before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let r = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,113 @@
+//! The `prop::` namespace: collection and bool strategies.
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoSizeBounds {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeBounds for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeBounds for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeBounds for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty vec size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                self.min + rng.below((self.max - self.min + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+
+    /// Uniform `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::strategy::Strategy;
+    use super::super::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = super::collection::vec(0u32..5, 2..6);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng).unwrap();
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = super::collection::vec(0u32..5, 3usize);
+        assert_eq!(exact.gen_value(&mut rng).unwrap().len(), 3);
+        let incl = super::collection::vec(0u32..5, 1..=2);
+        let n = incl.gen_value(&mut rng).unwrap().len();
+        assert!((1..=2).contains(&n));
+    }
+
+    #[test]
+    fn bool_any_hits_both() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[usize::from(super::bool::ANY.gen_value(&mut rng).unwrap())] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

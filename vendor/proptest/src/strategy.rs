@@ -1,0 +1,248 @@
+//! The [`Strategy`] trait, primitive strategies, and combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `gen_value` returns `None` when a filter rejected the draw; the runner
+/// (or an enclosing combinator) retries with fresh randomness.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (retrying locally).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Maps values, dropping those mapped to `None` (retrying locally).
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            base: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// How many times filtering combinators retry before bubbling a rejection.
+const LOCAL_RETRIES: u32 = 64;
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        self.base.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let inner = (self.f)(self.base.gen_value(rng)?);
+        inner.gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.base.gen_value(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+        for _ in 0..LOCAL_RETRIES {
+            if let Some(v) = self.base.gen_value(rng) {
+                if let Some(u) = (self.f)(v) {
+                    return Some(u);
+                }
+            }
+        }
+        None
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(width) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                Some((lo as i128 + rng.below(width) as i128) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (3u32..9).gen_value(&mut r).unwrap();
+            assert!((3..9).contains(&x));
+            let y = (1usize..=4).gen_value(&mut r).unwrap();
+            assert!((1..=4).contains(&y));
+            let z = (-5i32..5).gen_value(&mut r).unwrap();
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (0u32..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even cap", |&x| x < 10)
+            .prop_flat_map(|x| (Just(x), 0u32..=x));
+        for _ in 0..200 {
+            let (x, y) = s.gen_value(&mut r).unwrap();
+            assert!(x < 10 && x % 2 == 0 && y <= x);
+        }
+    }
+
+    #[test]
+    fn filter_map_and_tuples() {
+        let mut r = rng();
+        let s = ((0u32..100), (0u32..100))
+            .prop_filter_map("sum cap", |(a, b)| (a + b < 50).then_some(a + b));
+        for _ in 0..100 {
+            assert!(s.gen_value(&mut r).unwrap() < 50);
+        }
+    }
+
+    #[test]
+    fn impossible_filter_rejects() {
+        let mut r = rng();
+        let s = (0u32..10).prop_filter("never", |_| false);
+        assert!(s.gen_value(&mut r).is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! The case runner: deterministic RNG, config, and pass/reject/fail
+//! bookkeeping.
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion.
+    pub fn seed_from_u64(mut state: u64) -> Self {
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`; `n >= 1` (Lemire's method).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n >= 1);
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// How many cases each property runs, mirroring upstream's config struct.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on strategy/assumption rejections across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config with a specific case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was skipped (filter or `prop_assume!`); another is drawn.
+    Reject(String),
+    /// The property was falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection.
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        Self::Reject(reason.into())
+    }
+
+    /// A failure.
+    pub fn fail<S: Into<String>>(reason: S) -> Self {
+        Self::Fail(reason.into())
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes, panicking on the first
+/// failure or when the rejection budget is exhausted.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or_else(|_| fnv1a(name.as_bytes())),
+        Err(_) => fnv1a(name.as_bytes()),
+    };
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejections \
+                         ({rejected} rejects, {passed} passes, seed {seed})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` falsified on case {passed} \
+                     (seed {seed}, no shrinking): {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        for _ in 0..1000 {
+            assert!(a.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_counts_passes() {
+        let mut calls = 0;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejections")]
+    fn runner_panics_on_reject_storm() {
+        let cfg = ProptestConfig {
+            cases: 1,
+            max_global_rejects: 10,
+        };
+        run_cases(&cfg, "t", |_| Err(TestCaseError::reject("always")));
+    }
+}
