@@ -10,13 +10,15 @@
 //! offline algorithm".
 
 use oblivion_bench::table::{f2, Table};
-use oblivion_core::{route_all, Busch2D};
+use oblivion_core::{route_all, route_all_parallel, route_all_seeded, Busch2D};
 use oblivion_mesh::Mesh;
 use oblivion_metrics::PathSetMetrics;
+use oblivion_obs::Json;
 use oblivion_sim::{SchedulingPolicy, Simulation};
 use oblivion_workloads::{random_permutation, transpose};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 fn main() {
     let side = 32u32;
@@ -82,5 +84,32 @@ fn main() {
          delays flatten queues (smaller max queue) at the cost of added latency —\n\
          with near-optimal oblivious paths there is little left for offline scheduling\n\
          to win, which is the paper's closing argument for oblivious routing."
+    );
+
+    // Path-selection wall-clock: sequential vs parallel routing of the
+    // same workload (identical outputs asserted before timing is kept).
+    let threads = oblivion_bench::report::threads_from_env();
+    let w = random_permutation(&mesh, &mut rng);
+    let t0 = Instant::now();
+    let seq = route_all_seeded(&router, &w.pairs, 0xE16);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let par = route_all_parallel(&router, &w.pairs, 0xE16, threads);
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(seq, par, "parallel routing must match sequential");
+    println!(
+        "\nrouting wall-clock ({} pairs): sequential {seq_ms:.0} ms, \
+         {threads}-thread {par_ms:.0} ms ({:.2}x)",
+        w.pairs.len(),
+        seq_ms / par_ms
+    );
+    oblivion_bench::report::write_bench_and_note(
+        "delays",
+        &[
+            ("threads", Json::from(threads)),
+            ("seq_ms", Json::from(seq_ms)),
+            ("par_ms", Json::from(par_ms)),
+            ("speedup", Json::from(seq_ms / par_ms)),
+        ],
     );
 }

@@ -11,21 +11,24 @@
 use oblivion_bench::table::{f2, f3, Table};
 use oblivion_core::{Busch2D, DimOrder, ObliviousRouter, Valiant};
 use oblivion_mesh::{Coord, Mesh, Path};
+use oblivion_obs::Json;
 use oblivion_sim::{FixedTraffic, OnlineSim, SchedulingPolicy, TrafficPattern, UniformTraffic};
 use rand::rngs::StdRng;
+use std::time::Instant;
 
 fn run_curve(
     mesh: &Mesh,
     router: &dyn ObliviousRouter,
     pattern: &dyn TrafficPattern,
     rates: &[f64],
+    threads: usize,
     table: &mut Table,
 ) {
     let source =
         |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { router.select_path(s, t, rng).path };
     for &rate in rates {
         let sim = OnlineSim::new(mesh, SchedulingPolicy::Fifo, rate);
-        let r = sim.run(pattern, &source, 600, 0xE18);
+        let r = sim.run_sharded(pattern, &source, 600, 0xE18, threads);
         table.row(vec![
             router.name(),
             pattern.name(),
@@ -63,11 +66,12 @@ fn main() {
         "throughput",
         "in flight",
     ]);
+    let threads = oblivion_bench::report::threads_from_env();
     let rates = [0.01, 0.05, 0.1, 0.2];
     for pattern in [&uniform as &dyn TrafficPattern, &transpose] {
-        run_curve(&mesh, &h, pattern, &rates, &mut table);
-        run_curve(&mesh, &dim, pattern, &rates, &mut table);
-        run_curve(&mesh, &val, pattern, &rates, &mut table);
+        run_curve(&mesh, &h, pattern, &rates, threads, &mut table);
+        run_curve(&mesh, &dim, pattern, &rates, threads, &mut table);
+        run_curve(&mesh, &val, pattern, &rates, threads, &mut table);
     }
     table.print();
     println!(
@@ -84,6 +88,35 @@ fn main() {
         "exp_online",
         "E11: online latency vs offered load",
         &table,
-        &[],
+        &[("threads", Json::from(threads))],
+    );
+
+    // Sequential vs parallel wall-clock on one heavy configuration; the
+    // two runs are asserted identical before the timings are recorded.
+    let source = |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { h.select_path(s, t, rng).path };
+    let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.1);
+    let t0 = Instant::now();
+    let seq = sim.run(&uniform, &source, 600, 0xE18);
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let par = sim.run_sharded(&uniform, &source, 600, 0xE18, threads);
+    let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        par.same_outcome(&seq),
+        "parallel engine must reproduce the sequential run exactly"
+    );
+    println!(
+        "\nwall-clock (busch-2d, uniform, rate 0.1): sequential {seq_ms:.0} ms, \
+         {threads}-thread sharded {par_ms:.0} ms ({:.2}x)",
+        seq_ms / par_ms
+    );
+    oblivion_bench::report::write_bench_and_note(
+        "online",
+        &[
+            ("threads", Json::from(threads)),
+            ("seq_ms", Json::from(seq_ms)),
+            ("par_ms", Json::from(par_ms)),
+            ("speedup", Json::from(seq_ms / par_ms)),
+        ],
     );
 }

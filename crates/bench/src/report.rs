@@ -60,6 +60,48 @@ pub fn finish_and_note(exp: &str, title: &str, table: &Table, extra: &[(&str, Js
     }
 }
 
+/// Writes wall-clock timing fields to `results/BENCH_<exp>.json`.
+///
+/// Timings are machine-dependent, so they live in their own `BENCH_`
+/// file and never contaminate the deterministic `<exp>.json` results.
+pub fn write_bench(exp: &str, fields: &[(&str, Json)]) -> std::io::Result<PathBuf> {
+    let mut doc = Json::obj();
+    doc.set("type", "bench").set("exp", exp);
+    for (key, value) in fields {
+        doc.set(*key, value.clone());
+    }
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{exp}.json"));
+    let mut text = String::new();
+    doc.write(&mut text);
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// [`write_bench`] with errors reduced to a stdout note.
+pub fn write_bench_and_note(exp: &str, fields: &[(&str, Json)]) {
+    match write_bench(exp, fields) {
+        Ok(path) => println!("(wall-clock timings: {})", path.display()),
+        Err(e) => println!("(could not write bench json: {e})"),
+    }
+}
+
+/// The thread count parallel benches run with: `$OBLIVION_THREADS` if set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("OBLIVION_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +136,26 @@ mod tests {
         // Whatever the environment says, the function returns a
         // non-empty path.
         assert!(!results_dir().as_os_str().is_empty());
+    }
+
+    #[test]
+    fn bench_doc_shape() {
+        // Exercise the document construction `write_bench` performs
+        // (without touching the shared results dir from a parallel test).
+        let mut doc = Json::obj();
+        doc.set("type", "bench").set("exp", "x");
+        for (k, v) in [("threads", Json::from(4u64)), ("seq_ms", Json::from(12.5))] {
+            doc.set(k, v);
+        }
+        let mut text = String::new();
+        doc.write(&mut text);
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("exp").unwrap().as_str(), Some("x"));
+        assert_eq!(parsed.get("threads").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn threads_from_env_is_positive() {
+        assert!(threads_from_env() >= 1);
     }
 }

@@ -19,7 +19,11 @@ pub struct RoutedPath {
 /// source/destination pair (plus private randomness) — never on other
 /// packets. All implementations in this crate uphold that by construction:
 /// they receive nothing but `(s, t, rng)`.
-pub trait ObliviousRouter {
+///
+/// Routers are `Send + Sync`: path selection is stateless per call, so
+/// one router instance can serve packets from many threads at once (see
+/// `route_all_parallel` and the sharded online simulator).
+pub trait ObliviousRouter: Send + Sync {
     /// Human-readable algorithm name for reports.
     fn name(&self) -> String;
 

@@ -117,6 +117,7 @@ pub struct SpanStats {
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
+    runtime_counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<String, SpanStats>,
     events: Vec<String>,
@@ -140,6 +141,24 @@ pub fn counter_add(name: &'static str, delta: u64) {
     }
     let mut reg = registry().lock().unwrap();
     *reg.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Adds `delta` to a named **runtime counter**. No-op when disabled.
+///
+/// Runtime counters are for facts that depend on thread scheduling —
+/// work-steal counts, pool task distribution — rather than on the
+/// simulated computation. They live next to span timings on the
+/// non-deterministic side of the metrics document: serialized only when
+/// timings are (`include_timings`), and excluded from the byte-identical
+/// guarantee that deterministic counters, histograms, and the
+/// [`crate::RunReport`] line carry across same-seed runs.
+#[inline]
+pub fn runtime_counter_add(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    *reg.runtime_counters.entry(name).or_insert(0) += delta;
 }
 
 /// Records a value into a named histogram. No-op when disabled.
@@ -223,6 +242,8 @@ pub fn capture_events(on: bool) {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: Vec<(String, u64)>,
+    /// Runtime (scheduling-dependent) counter values by name.
+    pub runtime_counters: Vec<(String, u64)>,
     /// Histograms by name.
     pub histograms: Vec<(String, Histogram)>,
     /// Span timings by nesting path.
@@ -237,6 +258,11 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         counters: reg
             .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        runtime_counters: reg
+            .runtime_counters
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect(),
@@ -259,6 +285,7 @@ pub fn snapshot() -> Snapshot {
 pub fn reset() {
     let mut reg = registry().lock().unwrap();
     reg.counters.clear();
+    reg.runtime_counters.clear();
     reg.histograms.clear();
     reg.spans.clear();
     reg.events.clear();
@@ -313,6 +340,20 @@ mod tests {
         assert_eq!(h.buckets[1], 1); // 1
         assert_eq!(h.buckets[3], 1); // 4..8
         assert_eq!(h.buckets[11], 1); // 1024..2048
+    }
+
+    #[test]
+    fn runtime_counters_are_separate() {
+        let _guard = serial();
+        enable();
+        reset();
+        counter_add("det", 1);
+        runtime_counter_add("sched", 2);
+        runtime_counter_add("sched", 3);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counters, vec![("det".to_string(), 1)]);
+        assert_eq!(snap.runtime_counters, vec![("sched".to_string(), 5)]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! End-of-run structured reports and the JSON-lines metrics format.
 //!
 //! A metrics file is plain JSONL: one object per line, each tagged with a
-//! `"type"` field — `"counter"`, `"histogram"`, `"span"`, `"span_event"`,
-//! or `"report"`. The final `"report"` line carries run-level summary
+//! `"type"` field — `"counter"`, `"histogram"`, `"runtime_counter"`,
+//! `"span"`, `"span_event"`, or `"report"`. The final `"report"` line carries run-level summary
 //! fields (command, mesh, congestion, stretch, ...). The same writer
 //! backs `--metrics-out` in the CLI and `results/*.json` in the bench
 //! harness; [`render`] turns a file back into human-readable text for
@@ -54,10 +54,11 @@ impl RunReport {
     /// The full metrics document: counter/histogram/span lines from the
     /// snapshot followed by the report line, newline-terminated.
     ///
-    /// With `include_timings` false, span lines (and captured span
-    /// events) are omitted — wall-clock times are the only
-    /// non-deterministic part of a snapshot, so the remainder is
-    /// byte-identical across same-seed runs.
+    /// With `include_timings` false, span lines, captured span events,
+    /// and runtime counters are omitted — wall-clock times and
+    /// scheduling-dependent stats are the only non-deterministic parts of
+    /// a snapshot, so the remainder is byte-identical across same-seed
+    /// runs.
     pub fn to_jsonl(&self, snap: &Snapshot, include_timings: bool) -> String {
         let mut out = String::new();
         for line in snapshot_lines(snap, include_timings) {
@@ -85,6 +86,13 @@ pub fn snapshot_lines(snap: &Snapshot, include_timings: bool) -> Vec<String> {
         lines.push(histogram_json(name, hist).to_string());
     }
     if include_timings {
+        for (name, value) in &snap.runtime_counters {
+            let mut obj = Json::obj();
+            obj.set("type", "runtime_counter")
+                .set("name", name.as_str())
+                .set("value", *value);
+            lines.push(obj.to_string());
+        }
         for (path, stats) in &snap.spans {
             let mut obj = Json::obj();
             obj.set("type", "span")
@@ -219,6 +227,16 @@ pub fn render(entries: &[(String, Json)]) -> String {
         out.push('\n');
     }
 
+    if of_kind("runtime_counter").next().is_some() {
+        out.push_str("runtime counters (scheduling-dependent)\n");
+        for c in of_kind("runtime_counter") {
+            let name = c.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let value = c.get("value").and_then(|v| v.as_u64()).unwrap_or(0);
+            let _ = writeln!(out, "  {:<32} {}", name, value);
+        }
+        out.push('\n');
+    }
+
     if of_kind("span").next().is_some() {
         out.push_str("spans\n");
         let _ = writeln!(
@@ -296,6 +314,7 @@ mod tests {
         }
         Snapshot {
             counters: vec![("packets_routed".to_string(), 42)],
+            runtime_counters: vec![("pool_steals".to_string(), 3)],
             histograms: vec![("random_bits_per_packet".to_string(), hist)],
             spans: vec![(
                 "route/path_selection".to_string(),
@@ -316,8 +335,11 @@ mod tests {
         let doc = report.to_jsonl(&sample_snapshot(), true);
         let entries = parse_jsonl(&doc).unwrap();
         let kinds: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(kinds, vec!["counter", "histogram", "span", "report"]);
-        let report_line = &entries[3].1;
+        assert_eq!(
+            kinds,
+            vec!["counter", "histogram", "runtime_counter", "span", "report"]
+        );
+        let report_line = &entries[4].1;
         assert_eq!(report_line.get("command").unwrap().as_str(), Some("route"));
         assert_eq!(report_line.get("packets").unwrap().as_u64(), Some(42));
     }
@@ -328,6 +350,7 @@ mod tests {
         let doc = report.to_jsonl(&sample_snapshot(), false);
         assert!(!doc.contains("\"span\""));
         assert!(!doc.contains("total_ns"));
+        assert!(!doc.contains("runtime_counter"));
         let entries = parse_jsonl(&doc).unwrap();
         assert_eq!(entries.len(), 3); // counter + histogram + report
     }

@@ -24,9 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod online;
+pub mod pool;
+pub mod sharded;
 pub use online::{
-    FixedTraffic, OnlineResult, OnlineSim, PathSource, TrafficPattern, UniformTraffic,
+    FixedTraffic, OnlineResult, OnlineSim, PathSource, ShardSummary, TrafficPattern, UniformTraffic,
 };
+pub use sharded::ShardMap;
 
 use oblivion_mesh::{Mesh, Path};
 use rand::rngs::StdRng;

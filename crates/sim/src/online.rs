@@ -10,6 +10,15 @@
 //! packet per step. The classic evaluation is mean latency vs offered
 //! load: a good router's latency stays flat until `λ` approaches the
 //! pattern's capacity limit, then diverges.
+//!
+//! Two engines share one contract. [`OnlineSim::run`] is the sequential
+//! reference; [`OnlineSim::run_sharded`] partitions the mesh's links into
+//! spatial shards and simulates them on a thread pool (see
+//! [`crate::sharded`]). Both draw injections from the same main RNG
+//! stream and give packet `k` a private path-selection RNG derived from
+//! `(seed, k)`, so they produce **identical results** — the differential
+//! tests in `tests/parallel_online.rs` hold them to that, field for
+//! field, for any thread count.
 
 use crate::SchedulingPolicy;
 use oblivion_mesh::{Coord, Mesh, Path};
@@ -79,8 +88,56 @@ impl<F: Fn(&Coord, &Coord, &mut StdRng) -> Path> PathSource for F {
     }
 }
 
+/// SplitMix64 mix, the standard seed expander (same constants as
+/// `oblivion_core`'s parallel router driver).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The private path-selection RNG of the `idx`-th injected packet. A pure
+/// function of `(seed, idx)`, so path selection can run in any order — or
+/// in parallel — without changing the outcome.
+pub(crate) fn route_rng_for(seed: u64, idx: u64) -> StdRng {
+    let base = seed ^ 0xDEAD_BEEF;
+    StdRng::seed_from_u64(splitmix64(base ^ splitmix64(idx)))
+}
+
+/// Contention key of packet `id` for the one-packet-per-link rule: the
+/// minimum key wins. Appending the packet id makes keys unique, so the
+/// winner is independent of the order contenders are examined in.
+pub(crate) fn policy_key(
+    policy: SchedulingPolicy,
+    arrived_at: u64,
+    rank: u64,
+    remaining: u64,
+    id: u64,
+) -> (u64, u64) {
+    match policy {
+        SchedulingPolicy::Fifo => (arrived_at, id),
+        SchedulingPolicy::FurthestToGo => (u64::MAX - remaining, id),
+        SchedulingPolicy::ClosestToGo => (remaining, id),
+        SchedulingPolicy::RandomRank => (rank, id),
+    }
+}
+
+/// Deterministic statistics of a sharded run (identical for every thread
+/// count; see [`crate::sharded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Number of spatial shards the mesh's links were partitioned into.
+    pub shards: usize,
+    /// Total cross-shard packet handoffs over the run.
+    pub handoffs: u64,
+    /// Largest per-step spread between the busiest and idlest shard's
+    /// live packet count.
+    pub max_imbalance: u64,
+}
+
 /// Result of an online run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineResult {
     /// Steps simulated.
     pub steps: u64,
@@ -96,6 +153,67 @@ pub struct OnlineResult {
     pub in_flight: usize,
     /// Delivered packets per node per step — the accepted throughput.
     pub throughput: f64,
+    /// Total traversals of each link over the run, indexed by `EdgeId` —
+    /// the online analogue of the offline congestion map.
+    pub link_loads: Vec<u64>,
+    /// Shard statistics when the sharded engine ran; `None` for
+    /// [`OnlineSim::run`].
+    pub sharding: Option<ShardSummary>,
+}
+
+impl OnlineResult {
+    /// Builds the result from raw per-run tallies. Latencies are integer
+    /// step counts summed exactly in `u64`, so the derived means are
+    /// bit-identical no matter what order deliveries were recorded in —
+    /// the property the sharded engine's determinism contract rests on.
+    pub(crate) fn assemble(
+        mesh: &Mesh,
+        steps: u64,
+        injected: usize,
+        mut latencies: Vec<u64>,
+        in_flight: usize,
+        link_loads: Vec<u64>,
+        sharding: Option<ShardSummary>,
+    ) -> Self {
+        let delivered = latencies.len();
+        let mean_latency = if delivered > 0 {
+            latencies.iter().sum::<u64>() as f64 / delivered as f64
+        } else {
+            0.0
+        };
+        let p95_latency = if delivered > 0 {
+            latencies.sort_unstable();
+            latencies[((delivered - 1) as f64 * 0.95) as usize] as f64
+        } else {
+            0.0
+        };
+        Self {
+            steps,
+            injected,
+            delivered,
+            mean_latency,
+            p95_latency,
+            in_flight,
+            throughput: delivered as f64 / (mesh.node_count() as f64 * steps as f64),
+            link_loads,
+            sharding,
+        }
+    }
+
+    /// `true` when two runs produced the same simulation outcome —
+    /// every field except [`Self::sharding`], which records *how* the
+    /// work was organized rather than *what* happened. Used by the
+    /// differential tests comparing the sequential and sharded engines.
+    pub fn same_outcome(&self, other: &Self) -> bool {
+        self.steps == other.steps
+            && self.injected == other.injected
+            && self.delivered == other.delivered
+            && self.mean_latency.to_bits() == other.mean_latency.to_bits()
+            && self.p95_latency.to_bits() == other.p95_latency.to_bits()
+            && self.in_flight == other.in_flight
+            && self.throughput.to_bits() == other.throughput.to_bits()
+            && self.link_loads == other.link_loads
+    }
 }
 
 /// Configuration of an online run.
@@ -122,9 +240,25 @@ impl<'a> OnlineSim<'a> {
         Self { mesh, policy, rate }
     }
 
+    /// The mesh being simulated.
+    pub fn mesh(&self) -> &'a Mesh {
+        self.mesh
+    }
+
+    /// The link-contention policy.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// The per-node Bernoulli injection rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
     /// Runs for `steps` steps (plus a drain phase of up to `steps` more in
     /// which no new packets are injected), returning latency/throughput
-    /// statistics.
+    /// statistics. Sequential reference engine; produces the same result
+    /// as [`Self::run_sharded`] at any thread count.
     pub fn run(
         &self,
         pattern: &dyn TrafficPattern,
@@ -134,12 +268,13 @@ impl<'a> OnlineSim<'a> {
     ) -> OnlineResult {
         let _span = oblivion_obs::span("online_sim");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut route_rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
         let nodes: Vec<Coord> = self.mesh.coords().collect();
         let mut flights: Vec<Flight> = Vec::new();
         let mut active: Vec<usize> = Vec::new();
-        let mut latencies: Vec<f64> = Vec::new();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut link_loads = vec![0u64; self.mesh.edge_count()];
         let mut injected = 0usize;
+        let mut inj_idx = 0u64;
         let mut contenders: HashMap<usize, Vec<usize>> = HashMap::new();
 
         let horizon = 2 * steps;
@@ -153,11 +288,14 @@ impl<'a> OnlineSim<'a> {
                         if dst == *src {
                             continue;
                         }
-                        let path = paths.path(src, &dst, &mut route_rng);
-                        debug_assert!(path.is_valid(self.mesh));
                         injected += 1;
+                        let rank: u64 = rng.gen();
+                        let mut prng = route_rng_for(seed, inj_idx);
+                        inj_idx += 1;
+                        let path = paths.path(src, &dst, &mut prng);
+                        debug_assert!(path.is_valid(self.mesh));
                         if path.is_empty() {
-                            latencies.push(0.0);
+                            latencies.push(0);
                             continue;
                         }
                         flights.push(Flight {
@@ -165,7 +303,7 @@ impl<'a> OnlineSim<'a> {
                             pos: 0,
                             injected_at: t,
                             arrived_at: t,
-                            rank: rng.gen(),
+                            rank,
                         });
                         active.push(flights.len() - 1);
                     }
@@ -187,56 +325,63 @@ impl<'a> OnlineSim<'a> {
                 );
                 oblivion_obs::record("busy_links_per_step", contenders.len() as u64);
             }
-            for group in contenders.values() {
+            for (&e, group) in &contenders {
                 let &winner = group
                     .iter()
                     .min_by_key(|&&i| {
                         let f = &flights[i];
-                        match self.policy {
-                            SchedulingPolicy::Fifo => (f.arrived_at, i as u64),
-                            SchedulingPolicy::FurthestToGo => {
-                                (u64::MAX - (f.path.len() - f.pos) as u64, i as u64)
-                            }
-                            SchedulingPolicy::ClosestToGo => {
-                                ((f.path.len() - f.pos) as u64, i as u64)
-                            }
-                            SchedulingPolicy::RandomRank => (f.rank, i as u64),
-                        }
+                        policy_key(
+                            self.policy,
+                            f.arrived_at,
+                            f.rank,
+                            (f.path.len() - f.pos) as u64,
+                            i as u64,
+                        )
                     })
                     .unwrap();
                 let f = &mut flights[winner];
                 f.pos += 1;
                 f.arrived_at = t + 1;
+                link_loads[e] += 1;
                 if f.pos == f.path.len() {
-                    latencies.push((t + 1 - f.injected_at) as f64);
+                    latencies.push(t + 1 - f.injected_at);
                 }
             }
             active.retain(|&i| flights[i].pos < flights[i].path.len());
             t += 1;
         }
 
-        let delivered = latencies.len();
-        let mean_latency = if delivered > 0 {
-            latencies.iter().sum::<f64>() / delivered as f64
-        } else {
-            0.0
-        };
-        let p95_latency = if delivered > 0 {
-            let mut sorted = latencies.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            sorted[((sorted.len() - 1) as f64 * 0.95) as usize]
-        } else {
-            0.0
-        };
-        OnlineResult {
+        OnlineResult::assemble(
+            self.mesh,
             steps,
             injected,
-            delivered,
-            mean_latency,
-            p95_latency,
-            in_flight: active.len(),
-            throughput: delivered as f64 / (self.mesh.node_count() as f64 * steps as f64),
-        }
+            latencies,
+            active.len(),
+            link_loads,
+            None,
+        )
+    }
+
+    /// Runs the same simulation on the sharded parallel engine with
+    /// `threads` worker threads (`1` runs inline with no threads spawned).
+    ///
+    /// Deterministic: the outcome — every [`OnlineResult`] field,
+    /// including [`OnlineResult::sharding`] — is a pure function of the
+    /// configuration, `steps`, and `seed`; the thread count only changes
+    /// wall-clock time. The outcome also matches [`Self::run`] (see
+    /// [`OnlineResult::same_outcome`]).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn run_sharded(
+        &self,
+        pattern: &dyn TrafficPattern,
+        paths: &(dyn PathSource + Sync),
+        steps: u64,
+        seed: u64,
+        threads: usize,
+    ) -> OnlineResult {
+        crate::sharded::run_sharded(self, pattern, paths, steps, seed, threads)
     }
 }
 
@@ -244,7 +389,7 @@ impl<'a> OnlineSim<'a> {
 mod tests {
     use super::*;
 
-    fn shortest_paths(mesh: &Mesh) -> impl Fn(&Coord, &Coord, &mut StdRng) -> Path + '_ {
+    fn shortest_paths(mesh: &Mesh) -> impl Fn(&Coord, &Coord, &mut StdRng) -> Path + Sync + '_ {
         move |s: &Coord, t: &Coord, _rng: &mut StdRng| {
             // Dimension-order shortest path.
             let mut nodes = vec![*s];
@@ -272,6 +417,7 @@ mod tests {
         assert_eq!(r.injected, 0);
         assert_eq!(r.delivered, 0);
         assert_eq!(r.throughput, 0.0);
+        assert!(r.link_loads.iter().all(|&l| l == 0));
     }
 
     #[test]
@@ -319,6 +465,9 @@ mod tests {
         );
         assert_eq!(r.in_flight, 0, "low-rate run should fully drain");
         assert_eq!(r.delivered, r.injected);
+        // Every delivered packet traversed at least one link (or was an
+        // instant delivery), so the load map accounts for the traffic.
+        assert!(r.link_loads.iter().sum::<u64>() >= r.delivered as u64 / 2);
     }
 
     #[test]
@@ -345,6 +494,20 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn per_packet_route_rng_is_stable() {
+        // The k-th packet's route RNG must not depend on how many packets
+        // came before it in the same step — only on (seed, k).
+        let mut a = route_rng_for(42, 7);
+        let mut b = route_rng_for(42, 7);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = route_rng_for(42, 8);
+        let mut d = route_rng_for(43, 7);
+        let x = route_rng_for(42, 7).gen::<u64>();
+        assert_ne!(c.gen::<u64>(), x);
+        assert_ne!(d.gen::<u64>(), x);
     }
 
     #[test]

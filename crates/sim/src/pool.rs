@@ -1,0 +1,182 @@
+//! A hand-rolled scoped thread pool for barrier-synchronized round
+//! execution (no external dependencies, no unsafe).
+//!
+//! The sharded online simulator runs thousands of short parallel phases
+//! — far too many to spawn threads per phase. [`run_rounds`] spawns
+//! `threads - 1` workers once (scoped, so the job may borrow local
+//! state), then repeatedly executes a *round*: the coordinator (the
+//! calling thread) decides whether another round is needed, every thread
+//! runs the shared job closure once, and a barrier joins them before the
+//! next decision. All coordination state — which phase the round
+//! executes, which work items remain — lives in the job's captured
+//! environment (atomics, mutex-protected shards), not in the pool.
+//!
+//! Determinism contract: the pool never decides *what* is computed, only
+//! *who* computes it. As long as the job partitions work into
+//! self-contained tasks whose results land in per-task slots, the
+//! outcome is a pure function of the inputs for any thread count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Runs barrier-synchronized rounds of `job` on `threads` threads.
+///
+/// Repeatedly calls `next()` on the calling thread (the coordinator).
+/// When it returns `true`, every thread — the `threads - 1` spawned
+/// workers plus the coordinator — invokes `job(worker_index)` once, and
+/// all of them rendezvous before `next()` is consulted again; worker
+/// index 0 is the coordinator. When `next()` returns `false`, the
+/// workers shut down and `run_rounds` returns.
+///
+/// `next()` runs strictly between rounds: it may freely mutate state the
+/// job reads, set up the next round's work queue, and harvest the
+/// previous round's results.
+///
+/// With `threads == 1` no threads are spawned at all; the coordinator
+/// alternates `next()` and `job(0)` inline.
+///
+/// # Panics
+/// Panics if `threads == 0`. A panic inside `job` on a worker thread
+/// propagates to the caller when the scope joins.
+pub fn run_rounds<J, N>(threads: usize, job: J, mut next: N)
+where
+    J: Fn(usize) + Sync,
+    N: FnMut() -> bool,
+{
+    assert!(threads >= 1, "pool needs at least one thread");
+    if threads == 1 {
+        while next() {
+            job(0);
+        }
+        return;
+    }
+    // Barrier pairs delimit each round: one release (coordinator has
+    // published the round's work) and one join (all results visible).
+    let barrier = Barrier::new(threads);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            let (job, barrier, stop) = (&job, &barrier, &stop);
+            scope.spawn(move || loop {
+                barrier.wait();
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                job(w);
+                barrier.wait();
+            });
+        }
+        loop {
+            if !next() {
+                stop.store(true, Ordering::SeqCst);
+                barrier.wait();
+                break;
+            }
+            barrier.wait();
+            job(0);
+            barrier.wait();
+        }
+    });
+}
+
+/// The worker expected to claim task `task` of `tasks` under a static
+/// block partition across `threads` workers — the "home" assignment the
+/// steal counter in the sharded simulator compares dynamic claims
+/// against.
+pub fn home_of(task: usize, tasks: usize, threads: usize) -> usize {
+    if tasks == 0 {
+        return 0;
+    }
+    (task * threads / tasks).min(threads - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// Sums 0..n over several rounds, any thread count → same result.
+    fn sum_with(threads: usize, rounds: usize, tasks: usize) -> u64 {
+        let total = AtomicUsize::new(0);
+        let cursor = AtomicUsize::new(0);
+        let mut round = 0usize;
+        run_rounds(
+            threads,
+            |_w| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                total.fetch_add(t, Ordering::Relaxed);
+            },
+            || {
+                if round == rounds {
+                    return false;
+                }
+                round += 1;
+                cursor.store(0, Ordering::SeqCst);
+                true
+            },
+        );
+        total.load(Ordering::SeqCst) as u64
+    }
+
+    #[test]
+    fn rounds_produce_identical_totals_for_any_thread_count() {
+        let expected = sum_with(1, 3, 100);
+        assert_eq!(expected, 3 * (100 * 99 / 2));
+        for threads in [2, 3, 8] {
+            assert_eq!(sum_with(threads, 3, 100), expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn coordinator_sees_results_between_rounds() {
+        // Each round appends one entry per task; next() checks the count
+        // grew by exactly the task count — i.e. the barrier joined.
+        let log = Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+        let mut round = 0usize;
+        run_rounds(
+            4,
+            |_w| loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= 10 {
+                    break;
+                }
+                log.lock().unwrap().push(t);
+            },
+            || {
+                assert_eq!(log.lock().unwrap().len(), round * 10);
+                if round == 5 {
+                    return false;
+                }
+                round += 1;
+                cursor.store(0, Ordering::SeqCst);
+                true
+            },
+        );
+        assert_eq!(log.lock().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn zero_rounds_spawns_and_joins_cleanly() {
+        run_rounds(8, |_| panic!("no round was requested"), || false);
+    }
+
+    #[test]
+    fn home_partition_is_balanced_and_monotone() {
+        assert_eq!(home_of(0, 16, 4), 0);
+        assert_eq!(home_of(15, 16, 4), 3);
+        assert_eq!(home_of(0, 0, 4), 0);
+        let homes: Vec<usize> = (0..12).map(|t| home_of(t, 12, 3)).collect();
+        assert_eq!(homes, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        run_rounds(0, |_| {}, || false);
+    }
+}

@@ -1,0 +1,566 @@
+//! Deterministic sharded parallel online simulation.
+//!
+//! The mesh's links are partitioned into **spatial shards** — contiguous
+//! bands along axis 0, a pure function of the mesh, never of the thread
+//! count — and every simulation step runs as a deterministic two-phase
+//! protocol on the hand-rolled scoped pool of [`crate::pool`]:
+//!
+//! 1. **Route** (parallel): packets injected this step select their
+//!    oblivious paths, each from a private RNG derived from
+//!    `(seed, injection index)` — the same SplitMix64 derivation as
+//!    `oblivion_core::route_all_parallel`, so the paths are a pure
+//!    function of the inputs.
+//! 2. **Contend + commit** (parallel, per shard): every shard resolves
+//!    link contention for the packets it owns against an immutable
+//!    snapshot of the fleet, then commits its winners. A packet is owned
+//!    by exactly one shard (the shard of the link it waits on), and a
+//!    shard's winners are packets it owns, so commits are disjoint by
+//!    construction. Cross-shard handoffs land in the destination shard's
+//!    parity-buffered inbox and are drained at the start of the *next*
+//!    step, in whatever order shards happened to finish — harmless,
+//!    because winner selection per link uses a totally ordered key
+//!    (policy priority, then packet id) and every reported metric is an
+//!    order-free aggregate.
+//!
+//! The result is byte-for-byte identical to [`OnlineSim::run`] for any
+//! thread count: the pool decides *who* computes, never *what*.
+
+use crate::online::{
+    policy_key, route_rng_for, OnlineResult, OnlineSim, PathSource, ShardSummary, TrafficPattern,
+};
+use crate::pool;
+use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Maximum number of spatial shards (bands along axis 0).
+pub const MAX_SHARDS: usize = 16;
+
+/// A spatial partition of a mesh's links into contiguous axis-0 bands.
+///
+/// Depends only on the mesh — the same map serves any thread count, so
+/// per-shard statistics (handoffs, imbalance) are deterministic.
+pub struct ShardMap {
+    shards: usize,
+    /// Shard of each edge, indexed by `EdgeId`.
+    shard_of_edge: Vec<u32>,
+    /// Dense slot of each edge within its shard, indexed by `EdgeId`.
+    slot_of_edge: Vec<u32>,
+    /// Edges per shard.
+    slots: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Builds the shard map for a mesh: `min(side(0), MAX_SHARDS)` bands,
+    /// each edge assigned by the axis-0 coordinate of its lower endpoint.
+    pub fn new(mesh: &Mesh) -> Self {
+        let side = u64::from(mesh.side(0).max(1));
+        let shards = (side as usize).min(MAX_SHARDS);
+        let ec = mesh.edge_count();
+        let mut shard_of_edge = vec![0u32; ec];
+        let mut slot_of_edge = vec![0u32; ec];
+        let mut slots = vec![0usize; shards];
+        for e in 0..ec {
+            let (a, b) = mesh.edge_endpoints(EdgeId(e));
+            let x = u64::from(a[0].min(b[0]));
+            let s = ((x * shards as u64) / side) as usize;
+            shard_of_edge[e] = s as u32;
+            slot_of_edge[e] = slots[s] as u32;
+            slots[s] += 1;
+        }
+        Self {
+            shards,
+            shard_of_edge,
+            slot_of_edge,
+            slots,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning an edge.
+    pub fn shard_of(&self, e: EdgeId) -> usize {
+        self.shard_of_edge[e.0] as usize
+    }
+}
+
+/// Immutable-per-step packet state, structure-of-arrays. `pos`,
+/// `arrived`, and `cur_edge` are atomics so disjoint per-shard commits
+/// can write them under a shared read lock; the `RwLock` around the
+/// arena is taken for write only when the coordinator appends newly
+/// injected packets between parallel rounds.
+#[derive(Default)]
+struct Arena {
+    path: Vec<Path>,
+    injected_at: Vec<u64>,
+    rank: Vec<u64>,
+    pos: Vec<AtomicUsize>,
+    arrived: Vec<AtomicU64>,
+    cur_edge: Vec<AtomicUsize>,
+}
+
+/// Tombstone marker in a shard's active list: the packet left the shard
+/// (delivered or handed off) and is skipped at the next scan.
+const GONE: usize = usize::MAX;
+
+/// Per-shard mutable state. Locked by whichever worker claims the shard
+/// this step (uncontended: each shard is claimed exactly once per step).
+struct ShardState {
+    /// Packets owned by this shard (`GONE` entries are compacted lazily).
+    active: Vec<usize>,
+    /// Live packet count after the last step (excludes tombstones).
+    live: usize,
+    /// Per-slot winner key `(policy priority, packet id)` this step.
+    best: Vec<(u64, u64)>,
+    /// Per-slot winner position in `active` (for tombstoning).
+    best_pos: Vec<u32>,
+    /// Per-slot contender count this step.
+    count: Vec<u32>,
+    /// Slots touched this step (insertion order).
+    touched: Vec<u32>,
+    /// Per-slot traversal totals (the shard's slice of the link loads).
+    loads: Vec<u64>,
+    /// Delivery latencies of packets that completed in this shard.
+    latencies: Vec<u64>,
+    step_max_group: u32,
+    step_busy: u32,
+    step_handoffs: u64,
+    step_delivered: u64,
+}
+
+impl ShardState {
+    fn new(slots: usize) -> Self {
+        Self {
+            active: Vec::new(),
+            live: 0,
+            best: vec![(0, 0); slots],
+            best_pos: vec![0; slots],
+            count: vec![0; slots],
+            touched: Vec::new(),
+            loads: vec![0; slots],
+            latencies: Vec::new(),
+            step_max_group: 0,
+            step_busy: 0,
+            step_handoffs: 0,
+            step_delivered: 0,
+        }
+    }
+}
+
+/// A packet drawn for injection this step, awaiting parallel routing.
+struct Pending {
+    src: Coord,
+    dst: Coord,
+    rank: u64,
+    /// Global injection index — seeds the packet's private route RNG.
+    idx: u64,
+}
+
+/// A routed pending packet: its path and first edge (`GONE` if the path
+/// is empty, i.e. delivered instantly).
+type Staged = (Path, usize);
+
+const ROUTE_PHASE: usize = 0;
+const STEP_PHASE: usize = 1;
+/// Injections claimed per atomic fetch in the route phase.
+const ROUTE_CHUNK: usize = 8;
+
+/// Runs the sharded simulation. See [`OnlineSim::run_sharded`] for the
+/// public contract; `sim` carries the mesh, policy, and injection rate.
+pub(crate) fn run_sharded(
+    sim: &OnlineSim<'_>,
+    pattern: &dyn TrafficPattern,
+    paths: &(dyn PathSource + Sync),
+    steps: u64,
+    seed: u64,
+    threads: usize,
+) -> OnlineResult {
+    assert!(threads >= 1, "need at least one thread");
+    let _span = oblivion_obs::span("online_sim_sharded");
+    let mesh = sim.mesh();
+    let (policy, rate) = (sim.policy(), sim.rate());
+    let map = ShardMap::new(mesh);
+    let shards_n = map.shards();
+
+    let arena: RwLock<Arena> = RwLock::new(Arena::default());
+    let shards: Vec<Mutex<ShardState>> = map
+        .slots
+        .iter()
+        .map(|&slots| Mutex::new(ShardState::new(slots)))
+        .collect();
+    // Parity-buffered handoff inboxes: step `t` drains `[s][t % 2]` while
+    // commits push into `[s][(t + 1) % 2]`.
+    let inboxes: Vec<[Mutex<Vec<usize>>; 2]> = (0..shards_n)
+        .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+        .collect();
+    let pending: RwLock<Vec<Pending>> = RwLock::new(Vec::new());
+    let staging: RwLock<Vec<Mutex<Option<Staged>>>> = RwLock::new(Vec::new());
+
+    let phase = AtomicUsize::new(STEP_PHASE);
+    let cursor = AtomicUsize::new(0);
+    let cur_t = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+
+    // ------------------------------------------------------------------
+    // The parallel job: route pending injections, or contend-and-commit
+    // one shard, depending on the phase the coordinator selected.
+    // ------------------------------------------------------------------
+    let job = |w: usize| {
+        let mut local_steals = 0u64;
+        match phase.load(Ordering::SeqCst) {
+            ROUTE_PHASE => {
+                let pend = pending.read().unwrap();
+                let stage = staging.read().unwrap();
+                let chunks = pend.len().div_ceil(ROUTE_CHUNK);
+                loop {
+                    let base = cursor.fetch_add(ROUTE_CHUNK, Ordering::Relaxed);
+                    if base >= pend.len() {
+                        break;
+                    }
+                    if pool::home_of(base / ROUTE_CHUNK, chunks, threads) != w {
+                        local_steals += 1;
+                    }
+                    for k in base..(base + ROUTE_CHUNK).min(pend.len()) {
+                        let pj = &pend[k];
+                        let mut prng = route_rng_for(seed, pj.idx);
+                        let path = paths.path(&pj.src, &pj.dst, &mut prng);
+                        debug_assert!(path.is_valid(mesh), "path source produced invalid walk");
+                        let edge0 = if path.is_empty() {
+                            GONE
+                        } else {
+                            let nodes = path.nodes();
+                            mesh.edge_id(&nodes[0], &nodes[1]).0
+                        };
+                        *stage[k].lock().unwrap() = Some((path, edge0));
+                    }
+                }
+            }
+            _ => {
+                let t = cur_t.load(Ordering::SeqCst);
+                let arena = arena.read().unwrap();
+                loop {
+                    let s = cursor.fetch_add(1, Ordering::Relaxed);
+                    if s >= shards_n {
+                        break;
+                    }
+                    if pool::home_of(s, shards_n, threads) != w {
+                        local_steals += 1;
+                    }
+                    step_shard(&arena, &map, &shards[s], &inboxes, mesh, policy, s, t);
+                }
+            }
+        }
+        if local_steals > 0 {
+            steals.fetch_add(local_steals, Ordering::Relaxed);
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // The coordinator: injection draws, arena growth, per-step metric
+    // aggregation, termination. Runs strictly between parallel rounds.
+    // ------------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes: Vec<Coord> = mesh.coords().collect();
+    let horizon = 2 * steps;
+    let mut t = 0u64;
+    let mut injected = 0usize;
+    let mut inj_idx = 0u64;
+    let mut alive = 0usize;
+    let mut delivered_instant = 0usize;
+    let mut handoffs_total = 0u64;
+    let mut max_imbalance = 0u64;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Stage {
+        Begin,
+        Routed,
+        Stepped,
+    }
+    let mut stage = Stage::Begin;
+
+    let next = || -> bool {
+        loop {
+            match stage {
+                Stage::Begin => {
+                    if !(t < horizon && (t < steps || alive > 0)) {
+                        return false;
+                    }
+                    // Clear unconditionally: drain steps must not replay
+                    // the final injection step's pending list.
+                    let mut pend = pending.write().unwrap();
+                    pend.clear();
+                    if t < steps {
+                        for src in &nodes {
+                            if rng.gen_bool(rate) {
+                                let dst = pattern.destination(src, &mut rng);
+                                if dst == *src {
+                                    continue;
+                                }
+                                injected += 1;
+                                let rank: u64 = rng.gen();
+                                pend.push(Pending {
+                                    src: *src,
+                                    dst,
+                                    rank,
+                                    idx: inj_idx,
+                                });
+                                inj_idx += 1;
+                            }
+                        }
+                        if !pend.is_empty() {
+                            let mut stage_slots = staging.write().unwrap();
+                            stage_slots.clear();
+                            stage_slots.resize_with(pend.len(), || Mutex::new(None));
+                            drop(stage_slots);
+                            drop(pend);
+                            phase.store(ROUTE_PHASE, Ordering::SeqCst);
+                            cursor.store(0, Ordering::SeqCst);
+                            stage = Stage::Routed;
+                            return true;
+                        }
+                    }
+                    stage = Stage::Routed;
+                }
+                Stage::Routed => {
+                    // Commit routed injections into the arena in draw
+                    // order (deterministic), then run the step phase.
+                    let pend = pending.read().unwrap();
+                    if !pend.is_empty() {
+                        let stage_slots = staging.read().unwrap();
+                        let mut arena = arena.write().unwrap();
+                        for (k, pj) in pend.iter().enumerate() {
+                            let (path, edge0) =
+                                stage_slots[k].lock().unwrap().take().expect("routed slot");
+                            if edge0 == GONE {
+                                delivered_instant += 1;
+                                continue;
+                            }
+                            let id = arena.path.len();
+                            arena.path.push(path);
+                            arena.injected_at.push(t);
+                            arena.rank.push(pj.rank);
+                            arena.pos.push(AtomicUsize::new(0));
+                            arena.arrived.push(AtomicU64::new(t));
+                            arena.cur_edge.push(AtomicUsize::new(edge0));
+                            let s = map.shard_of_edge[edge0] as usize;
+                            shards[s].lock().unwrap().active.push(id);
+                            alive += 1;
+                        }
+                    }
+                    drop(pend);
+                    cur_t.store(t, Ordering::SeqCst);
+                    phase.store(STEP_PHASE, Ordering::SeqCst);
+                    cursor.store(0, Ordering::SeqCst);
+                    stage = Stage::Stepped;
+                    return true;
+                }
+                Stage::Stepped => {
+                    // Harvest the step: order-free aggregates over shards.
+                    let mut max_group = 0u64;
+                    let mut busy = 0u64;
+                    let mut step_handoffs = 0u64;
+                    let mut delivered_step = 0u64;
+                    let (mut live_max, mut live_min) = (0u64, u64::MAX);
+                    for shard in &shards {
+                        let st = shard.lock().unwrap();
+                        max_group = max_group.max(u64::from(st.step_max_group));
+                        busy += u64::from(st.step_busy);
+                        step_handoffs += st.step_handoffs;
+                        delivered_step += st.step_delivered;
+                        live_max = live_max.max(st.live as u64);
+                        live_min = live_min.min(st.live as u64);
+                    }
+                    let imbalance = live_max.saturating_sub(live_min);
+                    alive -= delivered_step as usize;
+                    handoffs_total += step_handoffs;
+                    max_imbalance = max_imbalance.max(imbalance);
+                    if oblivion_obs::is_enabled() {
+                        oblivion_obs::counter_add("online_steps", 1);
+                        oblivion_obs::record("queue_len_per_step", max_group);
+                        oblivion_obs::record("busy_links_per_step", busy);
+                        oblivion_obs::counter_add("online_shard_handoffs", step_handoffs);
+                        oblivion_obs::record("shard_imbalance_per_step", imbalance);
+                    }
+                    t += 1;
+                    stage = Stage::Begin;
+                }
+            }
+        }
+    };
+
+    pool::run_rounds(threads, job, next);
+
+    if oblivion_obs::is_enabled() {
+        oblivion_obs::counter_add("online_shards", shards_n as u64);
+        oblivion_obs::runtime_counter_add("online_pool_steals", steals.load(Ordering::Relaxed));
+    }
+
+    // ------------------------------------------------------------------
+    // Assemble the result: per-shard pieces concatenated in shard order.
+    // ------------------------------------------------------------------
+    let mut latencies: Vec<u64> = vec![0; delivered_instant];
+    let mut link_loads = vec![0u64; mesh.edge_count()];
+    for shard in &shards {
+        latencies.extend_from_slice(&shard.lock().unwrap().latencies);
+    }
+    for (e, load) in link_loads.iter_mut().enumerate() {
+        let s = map.shard_of_edge[e] as usize;
+        *load = shards[s].lock().unwrap().loads[map.slot_of_edge[e] as usize];
+    }
+    OnlineResult::assemble(
+        mesh,
+        steps,
+        injected,
+        latencies,
+        alive,
+        link_loads,
+        Some(ShardSummary {
+            shards: shards_n,
+            handoffs: handoffs_total,
+            max_imbalance,
+        }),
+    )
+}
+
+/// One shard's contend-and-commit for step `t`: drain the parity inbox,
+/// scan the active list (compacting tombstones), pick the winner per
+/// link, and commit winners — advancing positions, recording loads and
+/// latencies, and pushing cross-shard handoffs into the next-parity
+/// inbox of the destination shard.
+#[allow(clippy::too_many_arguments)]
+fn step_shard(
+    arena: &Arena,
+    map: &ShardMap,
+    shard: &Mutex<ShardState>,
+    inboxes: &[[Mutex<Vec<usize>>; 2]],
+    mesh: &Mesh,
+    policy: crate::SchedulingPolicy,
+    s: usize,
+    t: u64,
+) {
+    let mut st = shard.lock().unwrap();
+    let st = &mut *st;
+    {
+        let mut ib = inboxes[s][(t % 2) as usize].lock().unwrap();
+        st.active.append(&mut ib);
+    }
+    // Contention scan.
+    let mut w = 0usize;
+    for r in 0..st.active.len() {
+        let i = st.active[r];
+        if i == GONE {
+            continue;
+        }
+        st.active[w] = i;
+        let pos = arena.pos[i].load(Ordering::Relaxed);
+        let e = arena.cur_edge[i].load(Ordering::Relaxed);
+        let slot = map.slot_of_edge[e] as usize;
+        let remaining = (arena.path[i].len() - pos) as u64;
+        let key = policy_key(
+            policy,
+            arena.arrived[i].load(Ordering::Relaxed),
+            arena.rank[i],
+            remaining,
+            i as u64,
+        );
+        let c = st.count[slot];
+        if c == 0 {
+            st.touched.push(slot as u32);
+            st.best[slot] = key;
+            st.best_pos[slot] = w as u32;
+        } else if key < st.best[slot] {
+            st.best[slot] = key;
+            st.best_pos[slot] = w as u32;
+        }
+        st.count[slot] = c + 1;
+        w += 1;
+    }
+    st.active.truncate(w);
+    // Commit winners in touch order (order-free outcomes: one winner per
+    // link, keys totally ordered).
+    st.step_busy = st.touched.len() as u32;
+    st.step_max_group = 0;
+    st.step_handoffs = 0;
+    st.step_delivered = 0;
+    for ti in 0..st.touched.len() {
+        let slot = st.touched[ti] as usize;
+        st.step_max_group = st.step_max_group.max(st.count[slot]);
+        st.count[slot] = 0;
+        let (_, pid) = st.best[slot];
+        let i = pid as usize;
+        let r = st.best_pos[slot] as usize;
+        let pos = arena.pos[i].load(Ordering::Relaxed) + 1;
+        arena.pos[i].store(pos, Ordering::Relaxed);
+        arena.arrived[i].store(t + 1, Ordering::Relaxed);
+        st.loads[slot] += 1;
+        if pos == arena.path[i].len() {
+            st.latencies.push(t + 1 - arena.injected_at[i]);
+            st.step_delivered += 1;
+            st.active[r] = GONE;
+        } else {
+            let nodes = arena.path[i].nodes();
+            let e2 = mesh.edge_id(&nodes[pos], &nodes[pos + 1]);
+            arena.cur_edge[i].store(e2.0, Ordering::Relaxed);
+            let s2 = map.shard_of_edge[e2.0] as usize;
+            if s2 != s {
+                st.step_handoffs += 1;
+                inboxes[s2][((t + 1) % 2) as usize].lock().unwrap().push(i);
+                st.active[r] = GONE;
+            }
+        }
+    }
+    st.touched.clear();
+    st.live = w - (st.step_delivered + st.step_handoffs) as usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_covers_every_edge_exactly_once() {
+        for mesh in [
+            Mesh::new_mesh(&[8, 8]),
+            Mesh::new_mesh(&[4, 4, 4]),
+            Mesh::new_mesh(&[32]),
+            Mesh::new_torus(&[8, 8]),
+        ] {
+            let map = ShardMap::new(&mesh);
+            assert!(map.shards() >= 1 && map.shards() <= MAX_SHARDS);
+            let mut seen = vec![false; mesh.edge_count()];
+            let mut per_shard = vec![0usize; map.shards()];
+            for (e, seen_edge) in seen.iter_mut().enumerate() {
+                let s = map.shard_of(EdgeId(e));
+                let slot = map.slot_of_edge[e] as usize;
+                assert!(s < map.shards());
+                assert!(slot < map.slots[s]);
+                assert!(!*seen_edge);
+                *seen_edge = true;
+                per_shard[s] += 1;
+            }
+            assert_eq!(per_shard, map.slots, "{:?}", mesh.dims());
+            assert_eq!(per_shard.iter().sum::<usize>(), mesh.edge_count());
+        }
+    }
+
+    #[test]
+    fn shard_map_is_spatial() {
+        // Edges wholly inside the same band share a shard; shard index
+        // is monotone in the axis-0 coordinate.
+        let mesh = Mesh::new_mesh(&[32, 4]);
+        let map = ShardMap::new(&mesh);
+        let mut last = 0;
+        for x in 0..31u32 {
+            let e = mesh.edge_id(&Coord::new(&[x, 0]), &Coord::new(&[x + 1, 0]));
+            let s = map.shard_of(e);
+            assert!(s >= last);
+            last = s;
+        }
+        assert_eq!(last, map.shards() - 1);
+    }
+}

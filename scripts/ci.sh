@@ -1,17 +1,40 @@
 #!/usr/bin/env bash
-# Workspace-wide CI gate: formatting, lints, and the full test suite.
+# Workspace-wide CI gate: formatting, lints, docs, and the full test suite.
 # Usage: scripts/ci.sh
-# Used locally and as the preflight of scripts/run_experiments.sh.
+# Used locally, by .github/workflows/ci.yml, and as the preflight of
+# scripts/run_experiments.sh. Per-stage wall-clock times are echoed at
+# the end so slow stages are visible in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
-cargo fmt --all --check
+stage_names=()
+stage_secs=()
+timed() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  local start end
+  start=$(date +%s)
+  "$@"
+  end=$(date +%s)
+  stage_names+=("$name")
+  stage_secs+=($((end - start)))
+}
 
-echo "== cargo clippy (workspace, -D warnings) =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+timed "cargo fmt --check" \
+  cargo fmt --all --check
 
-echo "== cargo test (workspace) =="
-cargo test --workspace --offline -q
+timed "cargo clippy (workspace, -D warnings)" \
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+
+timed "cargo doc (no deps, warnings denied)" \
+  env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+timed "cargo test (workspace)" \
+  cargo test --workspace --offline -q
 
 echo "ci: all checks passed"
+echo "stage timings:"
+for i in "${!stage_names[@]}"; do
+  printf '  %-45s %3ss\n' "${stage_names[$i]}" "${stage_secs[$i]}"
+done

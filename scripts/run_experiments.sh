@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E20) into results/.
+# Regenerates every experiment table (E1-E21) into results/.
 # Usage: scripts/run_experiments.sh [results-dir]
 #   Set SKIP_CI=1 to bypass the scripts/ci.sh preflight.
+#   Set OBLIVION_THREADS=N to pin the thread count the parallel benches
+#   (exp_online, exp_delays, exp_online_threads) run with; the default is
+#   the machine's available parallelism.
 # Fail-fast: the first failing experiment aborts the run with its name.
 # Each experiment also reports its wall-clock time, and binaries wired to
 # oblivion-bench::report drop a machine-readable $out/<exp>.json next to
@@ -11,6 +14,15 @@ cd "$(dirname "$0")/.."
 out="${1:-results}"
 mkdir -p "$out"
 export OBLIVION_RESULTS_DIR="$out"
+
+# Regression check: with `set -o pipefail`, a failing producer must fail
+# the whole pipeline even though the consumer (tee, below) succeeds. If
+# this branch is ever taken, experiment failures would be silently
+# swallowed by the capture pipeline.
+if (exit 9) | cat; then
+  echo "pipefail is not active: experiment failures would be masked" >&2
+  exit 1
+fi
 
 if [[ "${SKIP_CI:-0}" != "1" ]]; then
   echo "== preflight: scripts/ci.sh (SKIP_CI=1 to skip) =="
@@ -25,7 +37,9 @@ run() {
   echo "== $1 =="
   local start end
   start=$(date +%s)
-  if ! cargo run --release --quiet -p oblivion-bench --bin "$1" > "$out/$1.txt"; then
+  # tee keeps a capture in $out while pipefail (verified above) still
+  # propagates the experiment's exit code through the pipeline.
+  if ! cargo run --release --quiet -p oblivion-bench --bin "$1" | tee "$out/$1.txt" > /dev/null; then
     echo "FAILED: $1 (partial output in $out/$1.txt)" >&2
     exit 1
   fi
@@ -52,5 +66,6 @@ run exp_scaling              # E17
 run exp_online               # E18
 run exp_expected_congestion  # E19
 run exp_offline_gap          # E20
+run exp_online_threads       # E21
 
 echo "all experiment outputs written to $out/"

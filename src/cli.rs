@@ -326,7 +326,9 @@ pub fn help() -> String {
          \u{20}            --mesh 16x16 --router buschd --workload transpose\n\
          \u{20}  online    continuous-injection simulation (latency vs load)\n\
          \u{20}            --mesh 16x16 --router busch2d --rate 0.05 --steps 500\n\
-         \u{20}            [--pattern uniform|transpose] [--policy fifo]\n\
+         \u{20}            [--pattern uniform|transpose] [--policy fifo] [--threads N]\n\
+         \u{20}            (--threads parallelizes across link shards; the results\n\
+         \u{20}             are identical for every thread count)\n\
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
@@ -644,6 +646,12 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         .parse()
         .map_err(|e| format!("bad --steps: {e}"))?;
     let policy = parse_policy(opt(args, "policy", "fifo"))?;
+    let threads: usize = opt(args, "threads", "1")
+        .parse()
+        .map_err(|e| format!("bad --threads: {e}"))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let pattern_name = opt(args, "pattern", "uniform");
     use oblivion_mesh::Path;
     use oblivion_sim::{FixedTraffic, OnlineSim, TrafficPattern, UniformTraffic};
@@ -672,7 +680,10 @@ fn cmd_online(args: &Args) -> Result<String, String> {
     let source =
         |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { router.select_path(s, t, rng).path };
     let sim = OnlineSim::new(&mesh, policy, rate);
-    let r = sim.run(pattern, &source, steps, seed);
+    // The sharded engine is deterministic in the thread count, so it is
+    // the only engine the CLI runs; `--threads 1` executes it inline.
+    let r = sim.run_sharded(pattern, &source, steps, seed, threads);
+    let sharding = r.sharding.expect("sharded run reports a summary");
     report_field("router_name", router.name().as_str());
     report_field("injected", r.injected as u64);
     report_field("delivered", r.delivered as u64);
@@ -680,6 +691,11 @@ fn cmd_online(args: &Args) -> Result<String, String> {
     report_field("mean_latency", r.mean_latency);
     report_field("p95_latency", r.p95_latency);
     report_field("throughput", r.throughput);
+    // Deterministic shard facts only — deliberately NOT the thread count,
+    // so reports stay byte-identical across --threads values.
+    report_field("shards", sharding.shards as u64);
+    report_field("shard_handoffs", sharding.handoffs);
+    report_field("shard_max_imbalance", sharding.max_imbalance);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -698,6 +714,11 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         out,
         "  mean latency {:.1}  p95 latency {:.1}  throughput {:.3} pkts/node/step",
         r.mean_latency, r.p95_latency, r.throughput
+    );
+    let _ = writeln!(
+        out,
+        "  shards {}  handoffs {}  max imbalance {}",
+        sharding.shards, sharding.handoffs, sharding.max_imbalance
     );
     Ok(out)
 }
@@ -960,6 +981,7 @@ mod tests {
         ]);
         let out = run(&a).unwrap();
         assert!(out.contains("mean latency"), "{out}");
+        assert!(out.contains("shards"), "{out}");
         assert!(run(&args(&["online", "--mesh", "8x8", "--rate", "2.0"])).is_err());
         assert!(run(&args(&[
             "online",
@@ -969,6 +991,23 @@ mod tests {
             "transpose"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn online_threads_flag_does_not_change_output() {
+        let base = [
+            "online", "--mesh", "8x8", "--router", "busch2d", "--rate", "0.1", "--steps", "80",
+        ];
+        let with = |threads: &str| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(&["--threads", threads]);
+            run(&args(&v)).unwrap()
+        };
+        let one = with("1");
+        assert_eq!(one, with("2"));
+        assert_eq!(one, with("8"));
+        assert!(run(&args(&["online", "--mesh", "8x8", "--threads", "0"])).is_err());
+        assert!(run(&args(&["online", "--mesh", "8x8", "--threads", "x"])).is_err());
     }
 
     #[test]

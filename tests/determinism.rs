@@ -25,13 +25,16 @@ fn run_metered(args: &[&str], out: &PathBuf) {
 }
 
 /// The deterministic portion of a metrics document: every line except
-/// span timings and trace events, byte-for-byte.
+/// span timings, trace events, and runtime counters (scheduling-dependent
+/// tallies such as work-steal counts), byte-for-byte.
 fn deterministic_lines(path: &PathBuf) -> String {
     let text = std::fs::read_to_string(path).expect("read metrics file");
     let kept: Vec<&str> = text
         .lines()
         .filter(|l| {
-            !l.starts_with("{\"type\":\"span\"") && !l.starts_with("{\"type\":\"span_event\"")
+            !l.starts_with("{\"type\":\"span\"")
+                && !l.starts_with("{\"type\":\"span_event\"")
+                && !l.starts_with("{\"type\":\"runtime_counter\"")
         })
         .collect();
     assert!(
@@ -106,6 +109,60 @@ fn online_sim_same_seed_is_byte_identical() {
             "--seed", "77",
         ],
     );
+}
+
+/// Runs `online` with a given `--threads` value and returns the
+/// deterministic metrics lines and the report line.
+fn online_with_threads(label: &str, base: &[&str], threads: &str) -> (String, String) {
+    let out = std::env::temp_dir().join(format!("oblivion_det_thr_{label}_{threads}.json"));
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend_from_slice(&["--threads", threads]);
+    run_metered(&args, &out);
+    let lines = (deterministic_lines(&out), report_line(&out));
+    let _ = std::fs::remove_file(&out);
+    lines
+}
+
+/// The tentpole guarantee: the online simulator's metrics and RunReport
+/// are byte-identical for every thread count — the pool decides who
+/// computes, never what.
+#[test]
+fn online_metrics_identical_across_thread_counts_2d() {
+    let base = [
+        "online", "--mesh", "16x16", "--router", "busch2d", "--rate", "0.05", "--steps", "200",
+        "--seed", "99",
+    ];
+    let one = online_with_threads("2d", &base, "1");
+    assert!(
+        one.1.contains("\"shards\""),
+        "report should include shard facts: {}",
+        one.1
+    );
+    for threads in ["2", "8"] {
+        let other = online_with_threads("2d", &base, threads);
+        assert_eq!(
+            one.0, other.0,
+            "--threads {threads} changed deterministic metrics lines"
+        );
+        assert_eq!(
+            one.1, other.1,
+            "--threads {threads} changed the RunReport byte-for-byte"
+        );
+    }
+}
+
+#[test]
+fn online_metrics_identical_across_thread_counts_3d() {
+    let base = [
+        "online", "--mesh", "8x8x8", "--router", "buschd", "--rate", "0.02", "--steps", "150",
+        "--seed", "5",
+    ];
+    let one = online_with_threads("3d", &base, "1");
+    for threads in ["2", "8"] {
+        let other = online_with_threads("3d", &base, threads);
+        assert_eq!(one.0, other.0, "--threads {threads} changed metrics");
+        assert_eq!(one.1, other.1, "--threads {threads} changed the report");
+    }
 }
 
 #[test]
