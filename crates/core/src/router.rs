@@ -33,6 +33,19 @@ pub trait ObliviousRouter: Send + Sync {
     /// Selects a path from `s` to `t` using `rng` as the only source of
     /// randomness. Must return a valid walk from `s` to `t`.
     fn select_path(&self, s: &Coord, t: &Coord, rng: &mut dyn RngCore) -> RoutedPath;
+
+    /// Redraws the path of an in-flight packet from its `current` node to
+    /// `t` with fresh random bits — the fault-recovery entry point used by
+    /// the online simulators' `resample` policy.
+    ///
+    /// Because the router is oblivious, the redraw is just another
+    /// independent `(current, t)` selection: the new path is independent
+    /// of the failed one, which is exactly why a handful of resamples
+    /// route around any non-disconnecting fault set. Routers whose
+    /// selection is position-dependent can override this.
+    fn resample_path(&self, current: &Coord, t: &Coord, rng: &mut dyn RngCore) -> RoutedPath {
+        self.select_path(current, t, rng)
+    }
 }
 
 /// Routes every pair of a routing problem, returning the selected paths.

@@ -1,0 +1,568 @@
+//! # oblivion-faults
+//!
+//! Deterministic fault injection for mesh routing simulations.
+//!
+//! Oblivious routing is attractive precisely for large distributed
+//! systems where central reconfiguration is impractical, so the
+//! simulators must be able to answer: *what happens when links fail and
+//! packets are lost?* This crate supplies the failure model as a
+//! [`FaultPlan`] — which links are down when, which nodes are dead, and
+//! which traversals silently drop a packet — as a **pure function of
+//! `(mesh, fault seed)`**. The plan is materialized once and then only
+//! *read* during simulation, so the sequential and sharded engines can
+//! query it concurrently at contention time and still produce
+//! bit-identical results for any thread count.
+//!
+//! The model:
+//!
+//! * **Link failures.** Each edge is independently fault-prone with
+//!   probability [`FaultConfig::link_fail_prob`]. A permanent fault takes
+//!   the link down at a seed-derived step and never repairs it; a
+//!   transient fault alternates up/down periods with mean up time
+//!   [`FaultConfig::mtbf`] and mean down time (MTTR)
+//!   [`FaultConfig::mttr`], a classic renewal process.
+//! * **Node failures.** Each node is dead for the whole run with
+//!   probability [`FaultConfig::node_fail_prob`]; a dead node's incident
+//!   links are down from step 0 and it neither injects nor receives.
+//! * **Packet loss.** Every successful link traversal is dropped with
+//!   probability [`FaultConfig::drop_prob`], decided by a stateless hash
+//!   of `(fault seed, edge, step, packet)` so the decision is identical
+//!   no matter which thread, or engine, asks.
+//!
+//! Recovery — what a packet does when its next hop is down — is the
+//! simulator's job; [`RecoveryPolicy`] names the options and this crate
+//! supplies the derived randomness ([`FaultPlan::resample_rng`]) that
+//! makes `resample` recovery deterministic. Resampling exploits the
+//! structure of oblivious routers: redrawing the random intermediate
+//! choices from the packet's current node yields a fresh path that is
+//! independent of the failed one, so a handful of redraws route around
+//! any non-disconnecting fault set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oblivion_mesh::{EdgeId, Mesh, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 mix, the standard seed expander (same constants as the
+/// simulator's per-packet RNG derivation).
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const LINK_SALT: u64 = 0x4C49_4E4B_5F46_4C54; // "LINK_FLT"
+const NODE_SALT: u64 = 0x4E4F_4445_5F46_4C54; // "NODE_FLT"
+const DROP_SALT: u64 = 0x4452_4F50_5F46_4C54; // "DROP_FLT"
+const RESAMPLE_SALT: u64 = 0x5245_5341_4D50_4C45; // "RESAMPLE"
+
+/// Whether a failed link stays down or repairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// A failed link goes down at a seed-derived step and stays down.
+    Permanent,
+    /// A failed link alternates up/down periods (renewal process).
+    Transient,
+}
+
+impl FaultMode {
+    /// Parses a CLI name (`permanent` | `transient`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "permanent" => Ok(Self::Permanent),
+            "transient" => Ok(Self::Transient),
+            other => Err(format!(
+                "unknown fault mode `{other}` (permanent|transient)"
+            )),
+        }
+    }
+}
+
+/// What a packet does when its next hop's link is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Retry the same hop with bounded exponential backoff; dead-letter
+    /// once the retry budget is exhausted.
+    Wait,
+    /// Redraw the oblivious path from the current node with fresh random
+    /// bits (one independent redraw per consumed budget unit);
+    /// dead-letter once the budget is exhausted.
+    Resample,
+    /// Retry every step without backoff, then dead-letter after the
+    /// budget — the "drop after budget" accounting policy.
+    DropAfterBudget,
+}
+
+impl RecoveryPolicy {
+    /// Parses a CLI name (`wait` | `resample` | `drop`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "wait" => Ok(Self::Wait),
+            "resample" => Ok(Self::Resample),
+            "drop" | "drop-after-budget" => Ok(Self::DropAfterBudget),
+            other => Err(format!(
+                "unknown recovery policy `{other}` (wait|resample|drop)"
+            )),
+        }
+    }
+
+    /// The CLI name (inverse of [`Self::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Wait => "wait",
+            Self::Resample => "resample",
+            Self::DropAfterBudget => "drop",
+        }
+    }
+}
+
+/// The fault model's parameters. All probabilities are in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a link is fault-prone at all.
+    pub link_fail_prob: f64,
+    /// Permanent or transient link failures.
+    pub mode: FaultMode,
+    /// Mean down time (steps) of a transient failure; ignored for
+    /// permanent faults. Clamped to at least 1.
+    pub mttr: u64,
+    /// Mean up time (steps) between transient failures of a fault-prone
+    /// link. Clamped to at least 1.
+    pub mtbf: u64,
+    /// Probability that a node is dead for the whole run.
+    pub node_fail_prob: f64,
+    /// Probability that any single link traversal drops the packet.
+    pub drop_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            link_fail_prob: 0.0,
+            mode: FaultMode::Permanent,
+            mttr: 20,
+            mtbf: 200,
+            node_fail_prob: 0.0,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// `true` when the configuration can never produce a fault: no link
+    /// or node failures and no packet loss.
+    pub fn is_trivial(&self) -> bool {
+        self.link_fail_prob <= 0.0 && self.node_fail_prob <= 0.0 && self.drop_prob <= 0.0
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("link_fail_prob", self.link_fail_prob),
+            ("node_fail_prob", self.node_fail_prob),
+            ("drop_prob", self.drop_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
+        }
+    }
+}
+
+/// A materialized fault schedule: per-edge down intervals, the dead-node
+/// set, and the packet-loss hash parameters. Pure function of
+/// `(mesh, config, seed)`; the `horizon` only bounds how far transient
+/// schedules are materialized — the schedule for any step below a given
+/// horizon is the same no matter how much larger the horizon is.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Per-edge sorted, disjoint down intervals `[start, end)`.
+    down: Vec<Vec<(u64, u64)>>,
+    node_down: Vec<bool>,
+    /// Inclusive drop threshold: a traversal drops when the decision
+    /// hash is `<= drop_threshold`. 0 with `drop_prob == 0` means never
+    /// (the comparison is skipped entirely).
+    drop_threshold: u64,
+    drop_salt: u64,
+    seed: u64,
+    failed_links: usize,
+    failed_nodes: usize,
+}
+
+impl FaultPlan {
+    /// Materializes the plan for `mesh` from `seed`, with transient
+    /// schedules generated up to `horizon` steps.
+    ///
+    /// # Panics
+    /// Panics if a probability in `config` is outside `[0, 1]`.
+    pub fn new(mesh: &Mesh, config: &FaultConfig, seed: u64, horizon: u64) -> Self {
+        config.validate();
+        let mttr = config.mttr.max(1);
+        let mtbf = config.mtbf.max(1);
+        let mut down: Vec<Vec<(u64, u64)>> = vec![Vec::new(); mesh.edge_count()];
+        let mut failed_links = 0usize;
+        if config.link_fail_prob > 0.0 {
+            for (e, schedule) in down.iter_mut().enumerate() {
+                let mut rng = StdRng::seed_from_u64(mix64(seed ^ LINK_SALT ^ mix64(e as u64)));
+                if !rng.gen_bool(config.link_fail_prob) {
+                    continue;
+                }
+                failed_links += 1;
+                match config.mode {
+                    FaultMode::Permanent => {
+                        let start = rng.gen_range(0..horizon.max(1));
+                        schedule.push((start, u64::MAX));
+                    }
+                    FaultMode::Transient => {
+                        let mut t = sample_duration(&mut rng, mtbf);
+                        while t < horizon {
+                            let outage = sample_duration(&mut rng, mttr);
+                            schedule.push((t, t.saturating_add(outage)));
+                            t = t
+                                .saturating_add(outage)
+                                .saturating_add(sample_duration(&mut rng, mtbf));
+                        }
+                    }
+                }
+            }
+        }
+        let mut node_down = vec![false; mesh.node_count()];
+        let mut failed_nodes = 0usize;
+        if config.node_fail_prob > 0.0 {
+            for (n, slot) in node_down.iter_mut().enumerate() {
+                let mut rng = StdRng::seed_from_u64(mix64(seed ^ NODE_SALT ^ mix64(n as u64)));
+                if rng.gen_bool(config.node_fail_prob) {
+                    *slot = true;
+                    failed_nodes += 1;
+                    let c = mesh.coord(NodeId(n));
+                    for nb in mesh.neighbors(&c) {
+                        // A dead endpoint takes the link down for good;
+                        // any finer schedule it had is subsumed.
+                        down[mesh.edge_id(&c, &nb).0] = vec![(0, u64::MAX)];
+                    }
+                }
+            }
+            failed_links = down.iter().filter(|iv| !iv.is_empty()).count();
+        }
+        let drop_threshold = if config.drop_prob <= 0.0 {
+            0
+        } else if config.drop_prob >= 1.0 {
+            u64::MAX
+        } else {
+            (config.drop_prob * u64::MAX as f64) as u64
+        };
+        Self {
+            down,
+            node_down,
+            drop_threshold,
+            drop_salt: mix64(seed ^ DROP_SALT),
+            seed,
+            failed_links,
+            failed_nodes,
+        }
+    }
+
+    /// A plan with no faults at all (what `--fault-links 0` means).
+    pub fn trivial(mesh: &Mesh) -> Self {
+        Self::new(mesh, &FaultConfig::default(), 0, 0)
+    }
+
+    /// `true` when no fault can ever occur under this plan.
+    pub fn is_trivial(&self) -> bool {
+        self.failed_links == 0 && self.failed_nodes == 0 && self.drop_threshold == 0
+    }
+
+    /// Is link `e` down at step `t`?
+    pub fn link_down(&self, e: EdgeId, t: u64) -> bool {
+        let iv = &self.down[e.0];
+        if iv.is_empty() {
+            return false;
+        }
+        let i = iv.partition_point(|&(start, _)| start <= t);
+        i > 0 && iv[i - 1].1 > t
+    }
+
+    /// Is link `e` down for the entire run (an interval `[0, ∞)`)?
+    pub fn link_always_down(&self, e: EdgeId) -> bool {
+        self.down[e.0].first() == Some(&(0, u64::MAX))
+    }
+
+    /// Is node `n` dead?
+    pub fn node_down(&self, n: NodeId) -> bool {
+        self.node_down[n.0]
+    }
+
+    /// Does the traversal of `e` at step `t` by the packet with
+    /// injection index `inj` drop the packet? A stateless hash decision:
+    /// identical for every thread and engine.
+    pub fn drops(&self, e: EdgeId, t: u64, inj: u64) -> bool {
+        if self.drop_threshold == 0 {
+            return false;
+        }
+        let h = mix64(self.drop_salt ^ mix64(e.0 as u64) ^ mix64(t).rotate_left(17) ^ mix64(inj));
+        h <= self.drop_threshold
+    }
+
+    /// The private RNG of the `attempt`-th path resample of the packet
+    /// with injection index `inj` — a pure function of
+    /// `(fault seed, inj, attempt)`, so resample recovery stays
+    /// deterministic in any execution order.
+    pub fn resample_rng(&self, inj: u64, attempt: u32) -> StdRng {
+        StdRng::seed_from_u64(mix64(
+            mix64(self.seed ^ RESAMPLE_SALT) ^ mix64(inj).rotate_left(1) ^ mix64(attempt.into()),
+        ))
+    }
+
+    /// Number of links with at least one down interval.
+    pub fn failed_links(&self) -> usize {
+        self.failed_links
+    }
+
+    /// Number of dead nodes.
+    pub fn failed_nodes(&self) -> usize {
+        self.failed_nodes
+    }
+}
+
+/// A geometric-ish duration with the given mean: the exponential inverse
+/// CDF, rounded up, clamped to at least one step.
+fn sample_duration(rng: &mut StdRng, mean: u64) -> u64 {
+    let u: f64 = rng.gen();
+    let d = (-(1.0 - u).ln() * mean as f64).ceil();
+    (d as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblivion_mesh::Coord;
+
+    fn cfg(link: f64, mode: FaultMode) -> FaultConfig {
+        FaultConfig {
+            link_fail_prob: link,
+            mode,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn trivial_plan_never_faults() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let plan = FaultPlan::trivial(&mesh);
+        assert!(plan.is_trivial());
+        assert_eq!(plan.failed_links(), 0);
+        for e in 0..mesh.edge_count() {
+            for t in [0u64, 1, 100, u64::MAX - 1] {
+                assert!(!plan.link_down(EdgeId(e), t));
+                assert!(!plan.drops(EdgeId(e), t, 7));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_in_seed() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let c = FaultConfig {
+            link_fail_prob: 0.3,
+            mode: FaultMode::Transient,
+            mttr: 5,
+            mtbf: 20,
+            node_fail_prob: 0.05,
+            drop_prob: 0.1,
+        };
+        let a = FaultPlan::new(&mesh, &c, 42, 500);
+        let b = FaultPlan::new(&mesh, &c, 42, 500);
+        let other = FaultPlan::new(&mesh, &c, 43, 500);
+        let mut differs = false;
+        for e in 0..mesh.edge_count() {
+            for t in 0..500 {
+                assert_eq!(a.link_down(EdgeId(e), t), b.link_down(EdgeId(e), t));
+                differs |= a.link_down(EdgeId(e), t) != other.link_down(EdgeId(e), t);
+            }
+        }
+        assert!(differs, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn schedule_prefix_is_horizon_independent() {
+        // Growing the horizon must not change any step below the smaller
+        // horizon — the property that lets callers size the horizon to
+        // their run length without changing the plan semantics.
+        let mesh = Mesh::new_mesh(&[6, 6]);
+        let c = FaultConfig {
+            link_fail_prob: 0.5,
+            mode: FaultMode::Transient,
+            mttr: 4,
+            mtbf: 15,
+            ..FaultConfig::default()
+        };
+        let small = FaultPlan::new(&mesh, &c, 9, 200);
+        let large = FaultPlan::new(&mesh, &c, 9, 1000);
+        for e in 0..mesh.edge_count() {
+            for t in 0..200 {
+                assert_eq!(
+                    small.link_down(EdgeId(e), t),
+                    large.link_down(EdgeId(e), t),
+                    "edge {e} step {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_faults_never_repair() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let plan = FaultPlan::new(&mesh, &cfg(0.4, FaultMode::Permanent), 7, 300);
+        assert!(plan.failed_links() > 0);
+        for e in 0..mesh.edge_count() {
+            let mut was_down = false;
+            for t in 0..600 {
+                let d = plan.link_down(EdgeId(e), t);
+                assert!(!was_down || d, "edge {e} repaired at {t}");
+                was_down = d;
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_repair() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let c = FaultConfig {
+            link_fail_prob: 1.0,
+            mode: FaultMode::Transient,
+            mttr: 3,
+            mtbf: 10,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&mesh, &c, 11, 400);
+        assert_eq!(plan.failed_links(), mesh.edge_count());
+        // Some link must be seen both down and up within the horizon.
+        let e = EdgeId(0);
+        let downs = (0..400).filter(|&t| plan.link_down(e, t)).count();
+        assert!(downs > 0 && downs < 400, "downs = {downs}");
+    }
+
+    #[test]
+    fn dead_nodes_take_incident_links_down() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        let c = FaultConfig {
+            node_fail_prob: 0.2,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(&mesh, &c, 3, 100);
+        assert!(plan.failed_nodes() > 0);
+        for n in mesh.node_ids() {
+            if plan.node_down(n) {
+                let coord = mesh.coord(n);
+                for nb in mesh.neighbors(&coord) {
+                    let e = mesh.edge_id(&coord, &nb);
+                    assert!(plan.link_always_down(e));
+                    assert!(plan.link_down(e, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_hash_extremes_and_determinism() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let never = FaultPlan::new(
+            &mesh,
+            &FaultConfig {
+                drop_prob: 0.0,
+                ..FaultConfig::default()
+            },
+            1,
+            10,
+        );
+        let always = FaultPlan::new(
+            &mesh,
+            &FaultConfig {
+                drop_prob: 1.0,
+                ..FaultConfig::default()
+            },
+            1,
+            10,
+        );
+        let half = FaultPlan::new(
+            &mesh,
+            &FaultConfig {
+                drop_prob: 0.5,
+                ..FaultConfig::default()
+            },
+            1,
+            10,
+        );
+        let mut dropped = 0;
+        for e in 0..mesh.edge_count() {
+            for t in 0..50 {
+                for inj in 0..4 {
+                    assert!(!never.drops(EdgeId(e), t, inj));
+                    assert!(always.drops(EdgeId(e), t, inj));
+                    assert_eq!(half.drops(EdgeId(e), t, inj), half.drops(EdgeId(e), t, inj));
+                    dropped += u64::from(half.drops(EdgeId(e), t, inj));
+                }
+            }
+        }
+        let total = (mesh.edge_count() * 50 * 4) as u64;
+        assert!(
+            dropped > total / 4 && dropped < 3 * total / 4,
+            "half-rate drops wildly off: {dropped}/{total}"
+        );
+    }
+
+    #[test]
+    fn resample_rng_is_a_pure_function() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let plan = FaultPlan::new(&mesh, &FaultConfig::default(), 5, 10);
+        let x: u64 = plan.resample_rng(3, 1).gen();
+        assert_eq!(x, plan.resample_rng(3, 1).gen());
+        assert_ne!(x, plan.resample_rng(3, 2).gen::<u64>());
+        assert_ne!(x, plan.resample_rng(4, 1).gen::<u64>());
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(FaultMode::parse("permanent"), Ok(FaultMode::Permanent));
+        assert_eq!(FaultMode::parse("transient"), Ok(FaultMode::Transient));
+        assert!(FaultMode::parse("flaky").is_err());
+        assert_eq!(RecoveryPolicy::parse("wait"), Ok(RecoveryPolicy::Wait));
+        assert_eq!(
+            RecoveryPolicy::parse("resample"),
+            Ok(RecoveryPolicy::Resample)
+        );
+        assert_eq!(
+            RecoveryPolicy::parse("drop"),
+            Ok(RecoveryPolicy::DropAfterBudget)
+        );
+        assert!(RecoveryPolicy::parse("pray").is_err());
+        assert_eq!(RecoveryPolicy::DropAfterBudget.name(), "drop");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_probability_rejected() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let _ = FaultPlan::new(
+            &mesh,
+            &FaultConfig {
+                link_fail_prob: 1.5,
+                ..FaultConfig::default()
+            },
+            0,
+            10,
+        );
+    }
+
+    #[test]
+    fn node_coord_round_trip_for_plan_queries() {
+        // Regression guard: node ids used for node_down must match the
+        // mesh's row-major ids.
+        let mesh = Mesh::new_mesh(&[3, 5]);
+        let c = Coord::new(&[2, 4]);
+        assert_eq!(mesh.coord(mesh.node_id(&c)), c);
+    }
+}

@@ -44,4 +44,4 @@ pub use registry::{
     capture_events, counter_add, disable, enable, is_enabled, record, reset, runtime_counter_add,
     snapshot, span, Histogram, Snapshot, SpanGuard, SpanStats, HISTOGRAM_BUCKETS,
 };
-pub use report::{parse_jsonl, render, snapshot_lines, RunReport};
+pub use report::{parse_jsonl, parse_jsonl_lossy, render, snapshot_lines, RunReport};

@@ -151,6 +151,32 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<(String, Json)>, String> {
     Ok(entries)
 }
 
+/// Skipped lines from a lossy parse: `(1-based line number, error)`.
+pub type SkippedLines = Vec<(usize, String)>;
+
+/// Lossy variant of [`parse_jsonl`] for corrupt metrics files: every
+/// unparseable line (bad JSON, or no string `"type"` field) is skipped
+/// and reported as `(line number, error)` instead of aborting the parse.
+/// The good entries come back in file order.
+pub fn parse_jsonl_lossy(text: &str) -> (Vec<(String, Json)>, SkippedLines) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Err(e) => bad.push((idx + 1, e)),
+            Ok(value) => match value.get("type").and_then(|t| t.as_str()) {
+                None => bad.push((idx + 1, "missing \"type\" field".to_string())),
+                Some(kind) => entries.push((kind.to_string(), value)),
+            },
+        }
+    }
+    (entries, bad)
+}
+
 /// Renders a parsed metrics document as human-readable text (the body of
 /// `oblivion stats`).
 pub fn render(entries: &[(String, Json)]) -> String {
@@ -385,5 +411,25 @@ mod tests {
         assert!(parse_jsonl("{\"type\":\"counter\"}\nnot json\n").is_err());
         assert!(parse_jsonl("{\"notype\":1}\n").is_err());
         assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossy_parse_skips_bad_lines_with_context() {
+        let text = "{\"type\":\"counter\",\"name\":\"a\",\"value\":1}\n\
+                    not json at all\n\
+                    {\"notype\":1}\n\
+                    {\"type\":\"report\",\"command\":\"x\"}\n";
+        let (entries, bad) = parse_jsonl_lossy(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "counter");
+        assert_eq!(entries[1].0, "report");
+        assert_eq!(bad.len(), 2);
+        assert_eq!(bad[0].0, 2);
+        assert_eq!(bad[1].0, 3);
+        assert!(bad[1].1.contains("type"));
+        // A clean document parses with no complaints.
+        let (ok, none) = parse_jsonl_lossy("{\"type\":\"counter\"}\n");
+        assert_eq!(ok.len(), 1);
+        assert!(none.is_empty());
     }
 }

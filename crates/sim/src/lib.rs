@@ -27,7 +27,8 @@ pub mod online;
 pub mod pool;
 pub mod sharded;
 pub use online::{
-    FixedTraffic, OnlineResult, OnlineSim, PathSource, ShardSummary, TrafficPattern, UniformTraffic,
+    FaultStats, Faults, FixedTraffic, OnlineResult, OnlineSim, PathSource, ShardSummary,
+    TrafficPattern, UniformTraffic,
 };
 pub use sharded::ShardMap;
 

@@ -21,7 +21,8 @@
 //! field, for any thread count.
 
 use crate::SchedulingPolicy;
-use oblivion_mesh::{Coord, Mesh, Path};
+use oblivion_faults::{FaultPlan, RecoveryPolicy};
+use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -80,11 +81,113 @@ impl TrafficPattern for FixedTraffic {
 pub trait PathSource {
     /// Produces the full path a packet injected at `s` for `t` will take.
     fn path(&self, s: &Coord, t: &Coord, rng: &mut StdRng) -> Path;
+
+    /// Redraws a path for an in-flight packet stranded at `current` by a
+    /// fault (the `resample` recovery policy). For an oblivious source a
+    /// redraw is just another independent selection, so this defaults to
+    /// [`Self::path`]; wrappers over `ObliviousRouter` forward to its
+    /// `resample_path` entry point instead.
+    fn resample(&self, current: &Coord, t: &Coord, rng: &mut StdRng) -> Path {
+        self.path(current, t, rng)
+    }
 }
 
 impl<F: Fn(&Coord, &Coord, &mut StdRng) -> Path> PathSource for F {
     fn path(&self, s: &Coord, t: &Coord, rng: &mut StdRng) -> Path {
         self(s, t, rng)
+    }
+}
+
+/// Fault setup for an online run: the materialized plan plus what a
+/// packet does when its next hop is down. `Copy` (it only borrows the
+/// plan), so both engines can pass it around freely.
+#[derive(Clone, Copy)]
+pub struct Faults<'a> {
+    /// The read-only fault schedule, queried at contention time.
+    pub plan: &'a FaultPlan,
+    /// What a blocked packet does.
+    pub recovery: RecoveryPolicy,
+    /// Adverse events (budget-consuming retries, resamples, dropped
+    /// traversals) a packet survives before it is dead-lettered.
+    pub retry_budget: u32,
+}
+
+/// Graceful-degradation tallies of a faulted run; `None` on
+/// [`OnlineResult::faults`] when no fault plan was attached. All fields
+/// are order-free sums, so they are bit-identical between the sequential
+/// and sharded engines at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Packets abandoned after exhausting their retry budget, plus those
+    /// addressed to a dead node.
+    pub dead_letters: u64,
+    /// Dead letters charged at injection (destination node was dead).
+    pub dead_on_injection: u64,
+    /// Path redraws performed by the `resample` recovery policy.
+    pub resamples: u64,
+    /// Traversals lost to per-link packet drop.
+    pub drops: u64,
+    /// Packet-steps spent blocked behind a down link.
+    pub blocked: u64,
+    /// Injection attempts skipped because the source node was dead.
+    pub src_down_skips: u64,
+    /// Links with at least one down interval in the plan.
+    pub failed_links: u64,
+    /// Dead nodes in the plan.
+    pub failed_nodes: u64,
+}
+
+impl FaultStats {
+    pub(crate) fn for_plan(plan: &FaultPlan) -> Self {
+        Self {
+            failed_links: plan.failed_links() as u64,
+            failed_nodes: plan.failed_nodes() as u64,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a packet whose progress was interrupted by a fault does next.
+/// Pure function of `(policy, budget, attempts so far, backoff deadline,
+/// now)` — shared verbatim by both engines so their recovery behaviour
+/// cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultDecision {
+    /// Still inside a backoff window: do nothing this step.
+    Hold,
+    /// Consume one budget unit and sleep until `until`.
+    Backoff { attempts: u32, until: u64 },
+    /// Consume one budget unit and redraw the path (resample policy).
+    Resample { attempts: u32 },
+    /// Budget exhausted: abandon the packet.
+    DeadLetter,
+}
+
+pub(crate) fn fault_decision(
+    recovery: RecoveryPolicy,
+    retry_budget: u32,
+    attempts: u32,
+    backoff_until: u64,
+    now: u64,
+) -> FaultDecision {
+    if now < backoff_until {
+        return FaultDecision::Hold;
+    }
+    let attempts = attempts + 1;
+    if attempts > retry_budget {
+        return FaultDecision::DeadLetter;
+    }
+    match recovery {
+        RecoveryPolicy::Wait => FaultDecision::Backoff {
+            attempts,
+            // Bounded exponential backoff: 1, 2, 4, … capped at 64 steps.
+            until: now + (1u64 << (attempts - 1).min(6)),
+        },
+        RecoveryPolicy::DropAfterBudget => FaultDecision::Backoff {
+            attempts,
+            until: now + 1,
+        },
+        RecoveryPolicy::Resample => FaultDecision::Resample { attempts },
     }
 }
 
@@ -159,6 +262,8 @@ pub struct OnlineResult {
     /// Shard statistics when the sharded engine ran; `None` for
     /// [`OnlineSim::run`].
     pub sharding: Option<ShardSummary>,
+    /// Fault tallies when a fault plan was attached; `None` otherwise.
+    pub faults: Option<FaultStats>,
 }
 
 impl OnlineResult {
@@ -166,6 +271,7 @@ impl OnlineResult {
     /// step counts summed exactly in `u64`, so the derived means are
     /// bit-identical no matter what order deliveries were recorded in —
     /// the property the sharded engine's determinism contract rests on.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         mesh: &Mesh,
         steps: u64,
@@ -174,6 +280,7 @@ impl OnlineResult {
         in_flight: usize,
         link_loads: Vec<u64>,
         sharding: Option<ShardSummary>,
+        faults: Option<FaultStats>,
     ) -> Self {
         let delivered = latencies.len();
         let mean_latency = if delivered > 0 {
@@ -197,6 +304,17 @@ impl OnlineResult {
             throughput: delivered as f64 / (mesh.node_count() as f64 * steps as f64),
             link_loads,
             sharding,
+            faults,
+        }
+    }
+
+    /// Fraction of injected packets delivered within the horizon — the
+    /// headline graceful-degradation metric. `1.0` for an empty run.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
         }
     }
 
@@ -213,6 +331,7 @@ impl OnlineResult {
             && self.in_flight == other.in_flight
             && self.throughput.to_bits() == other.throughput.to_bits()
             && self.link_loads == other.link_loads
+            && self.faults == other.faults
     }
 }
 
@@ -222,6 +341,7 @@ pub struct OnlineSim<'a> {
     policy: SchedulingPolicy,
     /// Injection probability per node per step.
     rate: f64,
+    faults: Option<Faults<'a>>,
 }
 
 struct Flight {
@@ -230,6 +350,36 @@ struct Flight {
     injected_at: u64,
     arrived_at: u64,
     rank: u64,
+    /// Injection index: the packet's run-global identity for fault
+    /// decisions (drop hashes, resample RNGs).
+    inj: u64,
+    /// Budget units consumed so far by fault recovery.
+    attempts: u32,
+    /// Step before which recovery makes no further decision.
+    backoff_until: u64,
+    dead: bool,
+}
+
+/// Installs a freshly resampled path on `f`, drawn from the plan's
+/// derived RNG for `(f.inj, attempts)`. The packet restarts at position
+/// 0 of the new path and may not act again before `t + 1`.
+fn resample_flight(
+    f: &mut Flight,
+    fx: &Faults<'_>,
+    paths: &dyn PathSource,
+    mesh: &Mesh,
+    attempts: u32,
+    t: u64,
+) {
+    let cur = f.path.nodes()[f.pos];
+    let dst = *f.path.nodes().last().expect("non-empty path");
+    let mut rng = fx.plan.resample_rng(f.inj, attempts);
+    let np = paths.resample(&cur, &dst, &mut rng);
+    debug_assert!(np.is_valid(mesh), "resampled path invalid");
+    f.path = np;
+    f.pos = 0;
+    f.attempts = attempts;
+    f.backoff_until = t + 1;
 }
 
 impl<'a> OnlineSim<'a> {
@@ -237,7 +387,26 @@ impl<'a> OnlineSim<'a> {
     /// node per step, `0 ≤ rate ≤ 1`).
     pub fn new(mesh: &'a Mesh, policy: SchedulingPolicy, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
-        Self { mesh, policy, rate }
+        Self {
+            mesh,
+            policy,
+            rate,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault plan and recovery policy. Fault decisions never
+    /// touch the main injection RNG stream (they use the plan's own
+    /// derived randomness), so a run with a trivial plan is bit-identical
+    /// to a run with no plan at all — except that the result then carries
+    /// `Some(FaultStats)`.
+    pub fn with_faults(mut self, faults: Faults<'a>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    pub(crate) fn fault_setup(&self) -> Option<Faults<'a>> {
+        self.faults
     }
 
     /// The mesh being simulated.
@@ -276,6 +445,7 @@ impl<'a> OnlineSim<'a> {
         let mut injected = 0usize;
         let mut inj_idx = 0u64;
         let mut contenders: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut fstats = self.faults.map(|fx| FaultStats::for_plan(fx.plan));
 
         let horizon = 2 * steps;
         let mut t = 0u64;
@@ -288,10 +458,31 @@ impl<'a> OnlineSim<'a> {
                         if dst == *src {
                             continue;
                         }
+                        // A dead source injects nothing. Checked before
+                        // any further state changes so the main RNG
+                        // stream matches the no-fault run exactly.
+                        if let Some(fx) = &self.faults {
+                            if fx.plan.node_down(self.mesh.node_id(src)) {
+                                fstats.as_mut().unwrap().src_down_skips += 1;
+                                continue;
+                            }
+                        }
                         injected += 1;
                         let rank: u64 = rng.gen();
                         let mut prng = route_rng_for(seed, inj_idx);
+                        let inj = inj_idx;
                         inj_idx += 1;
+                        // A packet addressed to a dead node can never be
+                        // delivered: dead-letter it at injection (it still
+                        // counts as injected and consumes its index).
+                        if let Some(fx) = &self.faults {
+                            if fx.plan.node_down(self.mesh.node_id(&dst)) {
+                                let fs = fstats.as_mut().unwrap();
+                                fs.dead_letters += 1;
+                                fs.dead_on_injection += 1;
+                                continue;
+                            }
+                        }
                         let path = paths.path(src, &dst, &mut prng);
                         debug_assert!(path.is_valid(self.mesh));
                         if path.is_empty() {
@@ -304,17 +495,54 @@ impl<'a> OnlineSim<'a> {
                             injected_at: t,
                             arrived_at: t,
                             rank,
+                            inj,
+                            attempts: 0,
+                            backoff_until: 0,
+                            dead: false,
                         });
                         active.push(flights.len() - 1);
                     }
                 }
             }
-            // Movement phase.
+            // Movement phase. A packet whose next link is down does not
+            // contend this step; its recovery policy decides what it
+            // does instead.
             contenders.clear();
             for &i in &active {
-                let f = &flights[i];
-                let p = f.path.nodes();
-                let e = self.mesh.edge_id(&p[f.pos], &p[f.pos + 1]);
+                let e = {
+                    let f = &flights[i];
+                    let p = f.path.nodes();
+                    self.mesh.edge_id(&p[f.pos], &p[f.pos + 1])
+                };
+                if let Some(fx) = &self.faults {
+                    if fx.plan.link_down(e, t) {
+                        let fs = fstats.as_mut().unwrap();
+                        fs.blocked += 1;
+                        let f = &mut flights[i];
+                        match fault_decision(
+                            fx.recovery,
+                            fx.retry_budget,
+                            f.attempts,
+                            f.backoff_until,
+                            t,
+                        ) {
+                            FaultDecision::Hold => {}
+                            FaultDecision::Backoff { attempts, until } => {
+                                f.attempts = attempts;
+                                f.backoff_until = until;
+                            }
+                            FaultDecision::DeadLetter => {
+                                f.dead = true;
+                                fs.dead_letters += 1;
+                            }
+                            FaultDecision::Resample { attempts } => {
+                                fs.resamples += 1;
+                                resample_flight(f, fx, paths, self.mesh, attempts, t);
+                            }
+                        }
+                        continue;
+                    }
+                }
                 contenders.entry(e.0).or_default().push(i);
             }
             if oblivion_obs::is_enabled() {
@@ -340,6 +568,40 @@ impl<'a> OnlineSim<'a> {
                     })
                     .unwrap();
                 let f = &mut flights[winner];
+                // The winning traversal can still lose the packet to
+                // per-link drop; the recovery policy then decides
+                // whether it is re-sent (from the same node) or dies.
+                if let Some(fx) = &self.faults {
+                    if fx.plan.drops(EdgeId(e), t, f.inj) {
+                        let fs = fstats.as_mut().unwrap();
+                        fs.drops += 1;
+                        match fault_decision(
+                            fx.recovery,
+                            fx.retry_budget,
+                            f.attempts,
+                            f.backoff_until,
+                            t,
+                        ) {
+                            FaultDecision::Hold => {}
+                            FaultDecision::Backoff { attempts, until } => {
+                                f.attempts = attempts;
+                                f.backoff_until = until;
+                            }
+                            FaultDecision::DeadLetter => {
+                                f.dead = true;
+                                fs.dead_letters += 1;
+                            }
+                            FaultDecision::Resample { attempts } => {
+                                fs.resamples += 1;
+                                resample_flight(f, fx, paths, self.mesh, attempts, t);
+                            }
+                        }
+                        continue;
+                    }
+                    // A completed hop clears the recovery state.
+                    f.attempts = 0;
+                    f.backoff_until = 0;
+                }
                 f.pos += 1;
                 f.arrived_at = t + 1;
                 link_loads[e] += 1;
@@ -347,10 +609,16 @@ impl<'a> OnlineSim<'a> {
                     latencies.push(t + 1 - f.injected_at);
                 }
             }
-            active.retain(|&i| flights[i].pos < flights[i].path.len());
+            active.retain(|&i| !flights[i].dead && flights[i].pos < flights[i].path.len());
             t += 1;
         }
 
+        if let (Some(fs), true) = (&fstats, oblivion_obs::is_enabled()) {
+            oblivion_obs::counter_add("online_fault_blocked", fs.blocked);
+            oblivion_obs::counter_add("online_fault_resamples", fs.resamples);
+            oblivion_obs::counter_add("online_fault_drops", fs.drops);
+            oblivion_obs::counter_add("online_dead_letters", fs.dead_letters);
+        }
         OnlineResult::assemble(
             self.mesh,
             steps,
@@ -359,6 +627,7 @@ impl<'a> OnlineSim<'a> {
             active.len(),
             link_loads,
             None,
+            fstats,
         )
     }
 

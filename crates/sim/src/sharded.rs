@@ -26,13 +26,14 @@
 //! thread count: the pool decides *who* computes, never *what*.
 
 use crate::online::{
-    policy_key, route_rng_for, OnlineResult, OnlineSim, PathSource, ShardSummary, TrafficPattern,
+    fault_decision, policy_key, route_rng_for, FaultDecision, FaultStats, Faults, OnlineResult,
+    OnlineSim, PathSource, ShardSummary, TrafficPattern,
 };
 use crate::pool;
 use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 /// Maximum number of spatial shards (bands along axis 0).
@@ -96,12 +97,22 @@ impl ShardMap {
 /// injected packets between parallel rounds.
 #[derive(Default)]
 struct Arena {
-    path: Vec<Path>,
+    /// Each path sits behind its own (uncontended) mutex: a packet is
+    /// owned by exactly one shard per step, and only that shard ever
+    /// locks it — needed so `resample` recovery can swap the path in
+    /// place without `unsafe`.
+    path: Vec<Mutex<Path>>,
     injected_at: Vec<u64>,
     rank: Vec<u64>,
+    /// Global injection index — identity for fault decisions.
+    inj: Vec<u64>,
     pos: Vec<AtomicUsize>,
     arrived: Vec<AtomicU64>,
     cur_edge: Vec<AtomicUsize>,
+    /// Fault-recovery budget units consumed so far.
+    attempts: Vec<AtomicU32>,
+    /// Step before which fault recovery makes no further decision.
+    backoff: Vec<AtomicU64>,
 }
 
 /// Tombstone marker in a shard's active list: the packet left the shard
@@ -131,6 +142,10 @@ struct ShardState {
     step_busy: u32,
     step_handoffs: u64,
     step_delivered: u64,
+    step_dead: u64,
+    step_blocked: u64,
+    step_resamples: u64,
+    step_drops: u64,
 }
 
 impl ShardState {
@@ -148,6 +163,10 @@ impl ShardState {
             step_busy: 0,
             step_handoffs: 0,
             step_delivered: 0,
+            step_dead: 0,
+            step_blocked: 0,
+            step_resamples: 0,
+            step_drops: 0,
         }
     }
 }
@@ -184,6 +203,7 @@ pub(crate) fn run_sharded(
     let _span = oblivion_obs::span("online_sim_sharded");
     let mesh = sim.mesh();
     let (policy, rate) = (sim.policy(), sim.rate());
+    let faults = sim.fault_setup();
     let map = ShardMap::new(mesh);
     let shards_n = map.shards();
 
@@ -251,7 +271,9 @@ pub(crate) fn run_sharded(
                     if pool::home_of(s, shards_n, threads) != w {
                         local_steals += 1;
                     }
-                    step_shard(&arena, &map, &shards[s], &inboxes, mesh, policy, s, t);
+                    step_shard(
+                        &arena, &map, &shards[s], &inboxes, mesh, paths, policy, faults, s, t,
+                    );
                 }
             }
         }
@@ -274,6 +296,7 @@ pub(crate) fn run_sharded(
     let mut delivered_instant = 0usize;
     let mut handoffs_total = 0u64;
     let mut max_imbalance = 0u64;
+    let mut fstats = faults.map(|fx| FaultStats::for_plan(fx.plan));
 
     #[derive(Clone, Copy, PartialEq)]
     enum Stage {
@@ -301,15 +324,32 @@ pub(crate) fn run_sharded(
                                 if dst == *src {
                                     continue;
                                 }
+                                // Same fault gating, in the same order, as
+                                // the sequential engine's injection loop.
+                                if let Some(fx) = &faults {
+                                    if fx.plan.node_down(mesh.node_id(src)) {
+                                        fstats.as_mut().unwrap().src_down_skips += 1;
+                                        continue;
+                                    }
+                                }
                                 injected += 1;
                                 let rank: u64 = rng.gen();
+                                let idx = inj_idx;
+                                inj_idx += 1;
+                                if let Some(fx) = &faults {
+                                    if fx.plan.node_down(mesh.node_id(&dst)) {
+                                        let fs = fstats.as_mut().unwrap();
+                                        fs.dead_letters += 1;
+                                        fs.dead_on_injection += 1;
+                                        continue;
+                                    }
+                                }
                                 pend.push(Pending {
                                     src: *src,
                                     dst,
                                     rank,
-                                    idx: inj_idx,
+                                    idx,
                                 });
-                                inj_idx += 1;
                             }
                         }
                         if !pend.is_empty() {
@@ -341,12 +381,15 @@ pub(crate) fn run_sharded(
                                 continue;
                             }
                             let id = arena.path.len();
-                            arena.path.push(path);
+                            arena.path.push(Mutex::new(path));
                             arena.injected_at.push(t);
                             arena.rank.push(pj.rank);
+                            arena.inj.push(pj.idx);
                             arena.pos.push(AtomicUsize::new(0));
                             arena.arrived.push(AtomicU64::new(t));
                             arena.cur_edge.push(AtomicUsize::new(edge0));
+                            arena.attempts.push(AtomicU32::new(0));
+                            arena.backoff.push(AtomicU64::new(0));
                             let s = map.shard_of_edge[edge0] as usize;
                             shards[s].lock().unwrap().active.push(id);
                             alive += 1;
@@ -365,6 +408,7 @@ pub(crate) fn run_sharded(
                     let mut busy = 0u64;
                     let mut step_handoffs = 0u64;
                     let mut delivered_step = 0u64;
+                    let mut dead_step = 0u64;
                     let (mut live_max, mut live_min) = (0u64, u64::MAX);
                     for shard in &shards {
                         let st = shard.lock().unwrap();
@@ -372,11 +416,18 @@ pub(crate) fn run_sharded(
                         busy += u64::from(st.step_busy);
                         step_handoffs += st.step_handoffs;
                         delivered_step += st.step_delivered;
+                        dead_step += st.step_dead;
+                        if let Some(fs) = fstats.as_mut() {
+                            fs.blocked += st.step_blocked;
+                            fs.resamples += st.step_resamples;
+                            fs.drops += st.step_drops;
+                            fs.dead_letters += st.step_dead;
+                        }
                         live_max = live_max.max(st.live as u64);
                         live_min = live_min.min(st.live as u64);
                     }
                     let imbalance = live_max.saturating_sub(live_min);
-                    alive -= delivered_step as usize;
+                    alive -= (delivered_step + dead_step) as usize;
                     handoffs_total += step_handoffs;
                     max_imbalance = max_imbalance.max(imbalance);
                     if oblivion_obs::is_enabled() {
@@ -398,6 +449,12 @@ pub(crate) fn run_sharded(
     if oblivion_obs::is_enabled() {
         oblivion_obs::counter_add("online_shards", shards_n as u64);
         oblivion_obs::runtime_counter_add("online_pool_steals", steals.load(Ordering::Relaxed));
+        if let Some(fs) = &fstats {
+            oblivion_obs::counter_add("online_fault_blocked", fs.blocked);
+            oblivion_obs::counter_add("online_fault_resamples", fs.resamples);
+            oblivion_obs::counter_add("online_fault_drops", fs.drops);
+            oblivion_obs::counter_add("online_dead_letters", fs.dead_letters);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -424,6 +481,7 @@ pub(crate) fn run_sharded(
             handoffs: handoffs_total,
             max_imbalance,
         }),
+        fstats,
     )
 }
 
@@ -432,6 +490,37 @@ pub(crate) fn run_sharded(
 /// link, and commit winners — advancing positions, recording loads and
 /// latencies, and pushing cross-shard handoffs into the next-parity
 /// inbox of the destination shard.
+/// Swaps packet `i`'s path for a freshly resampled one drawn from the
+/// plan's derived RNG, restarting it at position 0, and returns the new
+/// first edge. Mirrors the sequential engine's `resample_flight`.
+#[allow(clippy::too_many_arguments)]
+fn resample_arena(
+    arena: &Arena,
+    paths: &(dyn PathSource + Sync),
+    mesh: &Mesh,
+    fx: &Faults<'_>,
+    i: usize,
+    pos: usize,
+    attempts: u32,
+    t: u64,
+) -> usize {
+    let mut path = arena.path[i].lock().unwrap();
+    let cur = path.nodes()[pos];
+    let dst = *path.nodes().last().expect("non-empty path");
+    let mut rng = fx.plan.resample_rng(arena.inj[i], attempts);
+    let np = paths.resample(&cur, &dst, &mut rng);
+    debug_assert!(np.is_valid(mesh), "resampled path invalid");
+    let nodes = np.nodes();
+    let e2 = mesh.edge_id(&nodes[0], &nodes[1]).0;
+    *path = np;
+    drop(path);
+    arena.pos[i].store(0, Ordering::Relaxed);
+    arena.attempts[i].store(attempts, Ordering::Relaxed);
+    arena.backoff[i].store(t + 1, Ordering::Relaxed);
+    arena.cur_edge[i].store(e2, Ordering::Relaxed);
+    e2
+}
+
 #[allow(clippy::too_many_arguments)]
 fn step_shard(
     arena: &Arena,
@@ -439,28 +528,75 @@ fn step_shard(
     shard: &Mutex<ShardState>,
     inboxes: &[[Mutex<Vec<usize>>; 2]],
     mesh: &Mesh,
+    paths: &(dyn PathSource + Sync),
     policy: crate::SchedulingPolicy,
+    faults: Option<Faults<'_>>,
     s: usize,
     t: u64,
 ) {
     let mut st = shard.lock().unwrap();
     let st = &mut *st;
+    st.step_handoffs = 0;
+    st.step_delivered = 0;
+    st.step_dead = 0;
+    st.step_blocked = 0;
+    st.step_resamples = 0;
+    st.step_drops = 0;
     {
         let mut ib = inboxes[s][(t % 2) as usize].lock().unwrap();
         st.active.append(&mut ib);
     }
-    // Contention scan.
+    // Contention scan. A packet whose next link is down does not
+    // contend; its recovery decision runs here instead (mirroring the
+    // sequential engine's movement-phase scan).
     let mut w = 0usize;
     for r in 0..st.active.len() {
         let i = st.active[r];
         if i == GONE {
             continue;
         }
-        st.active[w] = i;
         let pos = arena.pos[i].load(Ordering::Relaxed);
         let e = arena.cur_edge[i].load(Ordering::Relaxed);
+        if let Some(fx) = &faults {
+            if fx.plan.link_down(EdgeId(e), t) {
+                st.step_blocked += 1;
+                match fault_decision(
+                    fx.recovery,
+                    fx.retry_budget,
+                    arena.attempts[i].load(Ordering::Relaxed),
+                    arena.backoff[i].load(Ordering::Relaxed),
+                    t,
+                ) {
+                    FaultDecision::Hold => {}
+                    FaultDecision::Backoff { attempts, until } => {
+                        arena.attempts[i].store(attempts, Ordering::Relaxed);
+                        arena.backoff[i].store(until, Ordering::Relaxed);
+                    }
+                    FaultDecision::DeadLetter => {
+                        st.step_dead += 1;
+                        continue; // drops out of the active list
+                    }
+                    FaultDecision::Resample { attempts } => {
+                        st.step_resamples += 1;
+                        let e2 = resample_arena(arena, paths, mesh, fx, i, pos, attempts, t);
+                        let s2 = map.shard_of_edge[e2] as usize;
+                        if s2 != s {
+                            st.step_handoffs += 1;
+                            inboxes[s2][((t + 1) % 2) as usize].lock().unwrap().push(i);
+                            continue; // now owned by the other shard
+                        }
+                    }
+                }
+                // Blocked (or resampled in place): stays active, does
+                // not contend this step.
+                st.active[w] = i;
+                w += 1;
+                continue;
+            }
+        }
+        st.active[w] = i;
         let slot = map.slot_of_edge[e] as usize;
-        let remaining = (arena.path[i].len() - pos) as u64;
+        let remaining = (arena.path[i].lock().unwrap().len() - pos) as u64;
         let key = policy_key(
             policy,
             arena.arrived[i].load(Ordering::Relaxed),
@@ -485,8 +621,7 @@ fn step_shard(
     // link, keys totally ordered).
     st.step_busy = st.touched.len() as u32;
     st.step_max_group = 0;
-    st.step_handoffs = 0;
-    st.step_delivered = 0;
+    let mut tombstoned = 0usize;
     for ti in 0..st.touched.len() {
         let slot = st.touched[ti] as usize;
         st.step_max_group = st.step_max_group.max(st.count[slot]);
@@ -494,28 +629,75 @@ fn step_shard(
         let (_, pid) = st.best[slot];
         let i = pid as usize;
         let r = st.best_pos[slot] as usize;
+        if let Some(fx) = &faults {
+            // The winning traversal can still lose the packet to
+            // per-link drop (same check, in the same order, as the
+            // sequential engine's commit).
+            let e = arena.cur_edge[i].load(Ordering::Relaxed);
+            if fx.plan.drops(EdgeId(e), t, arena.inj[i]) {
+                st.step_drops += 1;
+                match fault_decision(
+                    fx.recovery,
+                    fx.retry_budget,
+                    arena.attempts[i].load(Ordering::Relaxed),
+                    arena.backoff[i].load(Ordering::Relaxed),
+                    t,
+                ) {
+                    FaultDecision::Hold => {}
+                    FaultDecision::Backoff { attempts, until } => {
+                        arena.attempts[i].store(attempts, Ordering::Relaxed);
+                        arena.backoff[i].store(until, Ordering::Relaxed);
+                    }
+                    FaultDecision::DeadLetter => {
+                        st.step_dead += 1;
+                        st.active[r] = GONE;
+                        tombstoned += 1;
+                    }
+                    FaultDecision::Resample { attempts } => {
+                        st.step_resamples += 1;
+                        let pos = arena.pos[i].load(Ordering::Relaxed);
+                        let e2 = resample_arena(arena, paths, mesh, fx, i, pos, attempts, t);
+                        let s2 = map.shard_of_edge[e2] as usize;
+                        if s2 != s {
+                            st.step_handoffs += 1;
+                            inboxes[s2][((t + 1) % 2) as usize].lock().unwrap().push(i);
+                            st.active[r] = GONE;
+                            tombstoned += 1;
+                        }
+                    }
+                }
+                continue; // no advance, no load
+            }
+            arena.attempts[i].store(0, Ordering::Relaxed);
+            arena.backoff[i].store(0, Ordering::Relaxed);
+        }
         let pos = arena.pos[i].load(Ordering::Relaxed) + 1;
         arena.pos[i].store(pos, Ordering::Relaxed);
         arena.arrived[i].store(t + 1, Ordering::Relaxed);
         st.loads[slot] += 1;
-        if pos == arena.path[i].len() {
+        let path = arena.path[i].lock().unwrap();
+        if pos == path.len() {
+            drop(path);
             st.latencies.push(t + 1 - arena.injected_at[i]);
             st.step_delivered += 1;
             st.active[r] = GONE;
+            tombstoned += 1;
         } else {
-            let nodes = arena.path[i].nodes();
+            let nodes = path.nodes();
             let e2 = mesh.edge_id(&nodes[pos], &nodes[pos + 1]);
+            drop(path);
             arena.cur_edge[i].store(e2.0, Ordering::Relaxed);
             let s2 = map.shard_of_edge[e2.0] as usize;
             if s2 != s {
                 st.step_handoffs += 1;
                 inboxes[s2][((t + 1) % 2) as usize].lock().unwrap().push(i);
                 st.active[r] = GONE;
+                tombstoned += 1;
             }
         }
     }
     st.touched.clear();
-    st.live = w - (st.step_delivered + st.step_handoffs) as usize;
+    st.live = w - tombstoned;
 }
 
 #[cfg(test)]

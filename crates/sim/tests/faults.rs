@@ -1,0 +1,218 @@
+//! Differential and property tests for deterministic fault injection.
+//!
+//! The contract under test:
+//!
+//! * the sharded engine produces the exact same outcome (including every
+//!   fault tally) as the sequential reference, for every thread count,
+//!   fault mode, and recovery policy;
+//! * attaching a trivial plan changes nothing but the presence of the
+//!   (all-zero) fault statistics;
+//! * no delivered packet ever traverses a permanently-down link; and
+//! * packets are conserved: every injected packet is delivered, dead, or
+//!   still in flight at the horizon.
+
+use oblivion_faults::{FaultConfig, FaultMode, FaultPlan, RecoveryPolicy};
+use oblivion_mesh::{Coord, Mesh, Path};
+use oblivion_sim::{Faults, OnlineResult, OnlineSim, SchedulingPolicy, UniformTraffic};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// A randomized dimension-order path source: each draw picks a fresh
+/// random axis order, so resampling genuinely redraws the path — the
+/// property the `resample` recovery policy relies on.
+fn random_dim_order(mesh: &Mesh) -> impl Fn(&Coord, &Coord, &mut StdRng) -> Path + Sync + '_ {
+    move |s: &Coord, t: &Coord, rng: &mut StdRng| {
+        let mut axes: Vec<usize> = (0..mesh.dim()).collect();
+        for i in (1..axes.len()).rev() {
+            axes.swap(i, rng.gen_range(0..=i));
+        }
+        let mut nodes = vec![*s];
+        let mut cur = *s;
+        for &axis in &axes {
+            while let Some(next) = mesh.step_towards(&cur, t[axis], axis) {
+                nodes.push(next);
+                cur = next;
+            }
+        }
+        Path::new_unchecked(nodes)
+    }
+}
+
+fn run_pair(
+    mesh: &Mesh,
+    cfg: &FaultConfig,
+    recovery: RecoveryPolicy,
+    steps: u64,
+    seed: u64,
+    fault_seed: u64,
+) -> (OnlineResult, Vec<OnlineResult>) {
+    let plan = FaultPlan::new(mesh, cfg, fault_seed, 2 * steps);
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(mesh);
+    let sim = OnlineSim::new(mesh, SchedulingPolicy::Fifo, 0.15).with_faults(Faults {
+        plan: &plan,
+        recovery,
+        retry_budget: 8,
+    });
+    let reference = sim.run(&pattern, &paths, steps, seed);
+    let sharded = THREADS
+        .iter()
+        .map(|&threads| sim.run_sharded(&pattern, &paths, steps, seed, threads))
+        .collect();
+    (reference, sharded)
+}
+
+#[test]
+fn fault_runs_match_sequential_for_every_mode_and_policy() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    for mode in [FaultMode::Permanent, FaultMode::Transient] {
+        for recovery in [
+            RecoveryPolicy::Wait,
+            RecoveryPolicy::Resample,
+            RecoveryPolicy::DropAfterBudget,
+        ] {
+            let cfg = FaultConfig {
+                link_fail_prob: 0.08,
+                mode,
+                drop_prob: 0.01,
+                ..FaultConfig::default()
+            };
+            let (reference, sharded) = run_pair(&mesh, &cfg, recovery, 120, 0xFA_07, 0xBAD);
+            let fs = reference.faults.expect("fault stats present");
+            assert!(
+                fs.blocked > 0,
+                "{mode:?}/{recovery:?}: plan never blocked anything — test is vacuous"
+            );
+            for (r, &threads) in sharded.iter().zip(&THREADS) {
+                assert!(
+                    r.same_outcome(&reference),
+                    "{mode:?}/{recovery:?} threads={threads}:\n sharded {r:?}\n  vs seq {reference:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn node_faults_match_sequential_across_threads() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let cfg = FaultConfig {
+        node_fail_prob: 0.05,
+        link_fail_prob: 0.03,
+        ..FaultConfig::default()
+    };
+    let (reference, sharded) = run_pair(&mesh, &cfg, RecoveryPolicy::Resample, 120, 3, 4);
+    let fs = reference.faults.expect("fault stats present");
+    assert!(fs.failed_nodes > 0, "no node failed — test is vacuous");
+    assert!(
+        fs.src_down_skips > 0 || fs.dead_on_injection > 0,
+        "dead nodes never touched injection"
+    );
+    for (r, &threads) in sharded.iter().zip(&THREADS) {
+        assert!(r.same_outcome(&reference), "threads={threads}");
+    }
+}
+
+#[test]
+fn trivial_plan_is_bit_identical_to_no_plan() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let plan = FaultPlan::trivial(&mesh);
+    assert!(plan.is_trivial());
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(&mesh);
+    let bare = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.2);
+    let faulted = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.2).with_faults(Faults {
+        plan: &plan,
+        recovery: RecoveryPolicy::Resample,
+        retry_budget: 8,
+    });
+    let a = bare.run(&pattern, &paths, 150, 9);
+    let b = faulted.run(&pattern, &paths, 150, 9);
+    assert!(a.faults.is_none());
+    let fs = b.faults.expect("stats attached even for a trivial plan");
+    assert_eq!(fs, Default::default(), "trivial plan must tally nothing");
+    // Everything the simulation computed is unchanged.
+    assert_eq!(a.injected, b.injected);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
+    assert_eq!(a.p95_latency.to_bits(), b.p95_latency.to_bits());
+    assert_eq!(a.link_loads, b.link_loads);
+    // And the sharded engine agrees with itself under the trivial plan.
+    let c = faulted.run_sharded(&pattern, &paths, 150, 9, 8);
+    assert!(c.same_outcome(&b));
+}
+
+#[test]
+fn dead_letters_appear_under_permanent_faults_with_finite_budget() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let cfg = FaultConfig {
+        link_fail_prob: 0.15,
+        mode: FaultMode::Permanent,
+        ..FaultConfig::default()
+    };
+    let (reference, _) = run_pair(&mesh, &cfg, RecoveryPolicy::DropAfterBudget, 150, 1, 2);
+    let fs = reference.faults.unwrap();
+    assert!(
+        fs.dead_letters > 0,
+        "15% permanent link faults with a finite budget must dead-letter"
+    );
+    assert!(reference.delivered_fraction() < 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No delivered packet traverses a down link: every link the plan
+    /// holds down for the whole run records zero traversals — in both
+    /// engines — and packets are conserved.
+    #[test]
+    fn down_links_carry_no_traffic(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        link_fail_pct in 2u32..25,
+        node_fail_pct in 0u32..8,
+        recovery_ix in 0usize..3,
+    ) {
+        let mesh = Mesh::new_mesh(&[6, 6]);
+        let cfg = FaultConfig {
+            link_fail_prob: f64::from(link_fail_pct) / 100.0,
+            node_fail_prob: f64::from(node_fail_pct) / 100.0,
+            mode: FaultMode::Permanent,
+            ..FaultConfig::default()
+        };
+        let recovery = [
+            RecoveryPolicy::Wait,
+            RecoveryPolicy::Resample,
+            RecoveryPolicy::DropAfterBudget,
+        ][recovery_ix];
+        let plan = FaultPlan::new(&mesh, &cfg, fault_seed, 160);
+        let pattern = UniformTraffic::new(mesh.clone());
+        let paths = random_dim_order(&mesh);
+        let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.1).with_faults(Faults {
+            plan: &plan,
+            recovery,
+            retry_budget: 6,
+        });
+        let seq = sim.run(&pattern, &paths, 80, seed);
+        let par = sim.run_sharded(&pattern, &paths, 80, seed, 4);
+        prop_assert!(par.same_outcome(&seq), "sharded diverged from sequential");
+        for e in 0..mesh.edge_count() {
+            if plan.link_always_down(oblivion_mesh::EdgeId(e)) {
+                prop_assert_eq!(
+                    seq.link_loads[e], 0,
+                    "edge {} is down for the whole run but carried traffic", e
+                );
+            }
+        }
+        // Conservation: every injected packet is accounted for.
+        let fs = seq.faults.unwrap();
+        prop_assert_eq!(
+            seq.injected as u64,
+            seq.delivered as u64 + seq.in_flight as u64 + fs.dead_letters,
+            "injected != delivered + in_flight + dead_letters"
+        );
+    }
+}

@@ -11,11 +11,76 @@
 //!
 //! One pair per line, coordinates comma-separated, `->` between source and
 //! destination. The parser validates dimensionality and bounds against the
-//! mesh it is given.
+//! mesh it is given, and failures come back as a typed
+//! [`WorkloadIoError`] carrying the file and line — never a panic — so
+//! callers (the CLI in particular) can print a clean message and exit.
 
 use crate::Workload;
 use oblivion_mesh::{Coord, Mesh};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Why a workload file failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadIoErrorKind {
+    /// The file could not be read at all.
+    Io(String),
+    /// A pair line has no `->` separator.
+    MissingArrow,
+    /// A coordinate component is not a number.
+    BadNumber(String),
+    /// A coordinate has the wrong number of components for the mesh.
+    WrongDim {
+        /// Components the mesh requires.
+        expected: usize,
+        /// Components the line supplied.
+        got: usize,
+    },
+    /// A coordinate lies outside the mesh.
+    OutOfBounds(String),
+}
+
+/// A typed workload-loading failure with file/line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadIoError {
+    /// The file (or logical source name) being read.
+    pub file: String,
+    /// 1-based line of the offending text; `None` for whole-file I/O
+    /// failures.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub kind: WorkloadIoErrorKind,
+}
+
+impl WorkloadIoError {
+    fn at(file: &str, line: usize, kind: WorkloadIoErrorKind) -> Self {
+        Self {
+            file: file.to_string(),
+            line: Some(line),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "{}: line {}: ", self.file, n)?,
+            None => write!(f, "{}: ", self.file)?,
+        }
+        match &self.kind {
+            WorkloadIoErrorKind::Io(e) => write!(f, "{e}"),
+            WorkloadIoErrorKind::MissingArrow => write!(f, "missing `->`"),
+            WorkloadIoErrorKind::BadNumber(e) => write!(f, "{e}"),
+            WorkloadIoErrorKind::WrongDim { expected, got } => {
+                write!(f, "expected {expected} coordinates, got {got}")
+            }
+            WorkloadIoErrorKind::OutOfBounds(c) => write!(f, "{c} outside the mesh"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadIoError {}
 
 /// Serializes a workload to the line format.
 pub fn to_text(w: &Workload) -> String {
@@ -34,33 +99,58 @@ pub fn to_text(w: &Workload) -> String {
     out
 }
 
+/// Reads and parses a workload file, validating against `mesh`.
+///
+/// All failure modes — unreadable file, truncated or malformed lines,
+/// out-of-range coordinates — come back as a [`WorkloadIoError`].
+pub fn read_file(path: &str, mesh: &Mesh) -> Result<Workload, WorkloadIoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| WorkloadIoError {
+        file: path.to_string(),
+        line: None,
+        kind: WorkloadIoErrorKind::Io(e.to_string()),
+    })?;
+    from_text(path, &text, mesh)
+}
+
 /// Parses the line format, validating every coordinate against `mesh`.
 ///
-/// Returns a descriptive error naming the offending line on failure.
-pub fn from_text(name: &str, text: &str, mesh: &Mesh) -> Result<Workload, String> {
+/// Returns a typed error naming the offending line on failure.
+pub fn from_text(name: &str, text: &str, mesh: &Mesh) -> Result<Workload, WorkloadIoError> {
     let mut pairs = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (lhs, rhs) = line
-            .split_once("->")
-            .ok_or_else(|| format!("line {}: missing `->`", lineno + 1))?;
-        let parse = |part: &str| -> Result<Coord, String> {
+        let (lhs, rhs) = line.split_once("->").ok_or_else(|| {
+            WorkloadIoError::at(name, lineno + 1, WorkloadIoErrorKind::MissingArrow)
+        })?;
+        let parse = |part: &str| -> Result<Coord, WorkloadIoError> {
             let xs: Result<Vec<u32>, _> = part.trim().split(',').map(str::parse::<u32>).collect();
-            let xs = xs.map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            if xs.len() != mesh.dim() {
-                return Err(format!(
-                    "line {}: expected {} coordinates, got {}",
+            let xs = xs.map_err(|e| {
+                WorkloadIoError::at(
+                    name,
                     lineno + 1,
-                    mesh.dim(),
-                    xs.len()
+                    WorkloadIoErrorKind::BadNumber(e.to_string()),
+                )
+            })?;
+            if xs.len() != mesh.dim() {
+                return Err(WorkloadIoError::at(
+                    name,
+                    lineno + 1,
+                    WorkloadIoErrorKind::WrongDim {
+                        expected: mesh.dim(),
+                        got: xs.len(),
+                    },
                 ));
             }
             let c = Coord::new(&xs);
             if !mesh.contains(&c) {
-                return Err(format!("line {}: {c} outside the mesh", lineno + 1));
+                return Err(WorkloadIoError::at(
+                    name,
+                    lineno + 1,
+                    WorkloadIoErrorKind::OutOfBounds(c.to_string()),
+                ));
             }
             Ok(c)
         };
@@ -94,20 +184,45 @@ mod tests {
     }
 
     #[test]
-    fn errors_name_the_line() {
+    fn errors_name_the_file_and_line() {
         let mesh = Mesh::new_mesh(&[4, 4]);
-        assert!(from_text("t", "0,0 3,3", &mesh)
-            .unwrap_err()
-            .contains("line 1"));
-        assert!(from_text("t", "0,0 -> 9,9", &mesh)
-            .unwrap_err()
-            .contains("outside"));
-        assert!(from_text("t", "0 -> 1,1", &mesh)
-            .unwrap_err()
-            .contains("expected 2"));
-        assert!(from_text("t", "a,b -> 1,1", &mesh)
-            .unwrap_err()
-            .contains("line 1"));
+        let e = from_text("w.txt", "0,0 3,3", &mesh).unwrap_err();
+        assert_eq!(e.line, Some(1));
+        assert_eq!(e.kind, WorkloadIoErrorKind::MissingArrow);
+        assert!(e.to_string().contains("w.txt: line 1"), "{e}");
+        let e = from_text("t", "0,0 -> 9,9", &mesh).unwrap_err();
+        assert!(matches!(e.kind, WorkloadIoErrorKind::OutOfBounds(_)));
+        assert!(e.to_string().contains("outside"));
+        let e = from_text("t", "0 -> 1,1", &mesh).unwrap_err();
+        assert_eq!(
+            e.kind,
+            WorkloadIoErrorKind::WrongDim {
+                expected: 2,
+                got: 1
+            }
+        );
+        let e = from_text("t", "0,0 -> 1,1\na,b -> 1,1", &mesh).unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(matches!(e.kind, WorkloadIoErrorKind::BadNumber(_)));
+    }
+
+    #[test]
+    fn read_file_reports_io_errors() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let e = read_file("/nonexistent/definitely.txt", &mesh).unwrap_err();
+        assert_eq!(e.line, None);
+        assert!(matches!(e.kind, WorkloadIoErrorKind::Io(_)));
+        assert!(e.to_string().starts_with("/nonexistent/definitely.txt:"));
+    }
+
+    #[test]
+    fn read_file_round_trip() {
+        let mesh = Mesh::new_mesh(&[4, 4]);
+        let path = std::env::temp_dir().join("oblivion_workloads_io_test.txt");
+        std::fs::write(&path, "0,0 -> 3,3\n").unwrap();
+        let w = read_file(path.to_str().unwrap(), &mesh).unwrap();
+        assert_eq!(w.len(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

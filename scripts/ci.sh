@@ -33,6 +33,59 @@ timed "cargo doc (no deps, warnings denied)" \
 timed "cargo test (workspace)" \
   cargo test --workspace --offline -q
 
+# Fault-injected runs must be byte-identical across thread counts: run the
+# same faulted online simulation at --threads 1 and 8 and compare every
+# deterministic metrics line (wall-clock spans and scheduling-dependent
+# runtime counters excluded).
+fault_differential() {
+  local tmp
+  tmp=$(mktemp -d)
+  local base=(online --mesh 16x16 --router busch2d --rate 0.05 --steps 200
+    --seed 99 --fault-links 0.08 --fault-mode transient --recovery resample)
+  for threads in 1 8; do
+    cargo run --offline --quiet --bin oblivion -- "${base[@]}" \
+      --threads "$threads" --metrics-out "$tmp/t$threads.json" > /dev/null
+    grep -v '"type":"span' "$tmp/t$threads.json" \
+      | grep -v '"type":"runtime_counter"' > "$tmp/t$threads.det"
+  done
+  if ! cmp -s "$tmp/t1.det" "$tmp/t8.det"; then
+    echo "fault differential: metrics differ between --threads 1 and 8" >&2
+    diff "$tmp/t1.det" "$tmp/t8.det" | head >&2 || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  rm -rf "$tmp"
+}
+
+timed "fault differential (--threads 1 vs 8)" \
+  fault_differential
+
+# The error-path crates must not grow panicking shortcuts: any new
+# .unwrap()/.expect( in non-test code needs an explicit
+# `// ci-allow-unwrap: why` justification on the same line.
+unwrap_gate() {
+  local bad=0 file
+  while IFS= read -r file; do
+    awk '
+      /#\[cfg\(test\)\]/ { intest = 1 }
+      intest { next }
+      /\.unwrap\(\)|\.expect\(/ && !/ci-allow-unwrap/ {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+        found = 1
+      }
+      END { exit found ? 1 : 0 }
+    ' "$file" || bad=1
+  done < <(find crates/workloads/src crates/faults/src -name '*.rs' | sort)
+  if [[ $bad -ne 0 ]]; then
+    echo "unannotated unwrap()/expect( in error-path crates;" \
+      "add \`// ci-allow-unwrap: <why>\` only if provably unreachable" >&2
+    return 1
+  fi
+}
+
+timed "unwrap/expect gate (workloads, faults)" \
+  unwrap_gate
+
 echo "ci: all checks passed"
 echo "stage timings:"
 for i in "${!stage_names[@]}"; do

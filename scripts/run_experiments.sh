@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E21) into results/.
+# Regenerates every experiment table (E1-E22) into results/.
 # Usage: scripts/run_experiments.sh [results-dir]
 #   Set SKIP_CI=1 to bypass the scripts/ci.sh preflight.
 #   Set OBLIVION_THREADS=N to pin the thread count the parallel benches
@@ -67,5 +67,6 @@ run exp_online               # E18
 run exp_expected_congestion  # E19
 run exp_offline_gap          # E20
 run exp_online_threads       # E21
+run exp_faults               # E22
 
 echo "all experiment outputs written to $out/"

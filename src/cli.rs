@@ -222,8 +222,7 @@ pub fn parse_policy(name: &str) -> Result<SchedulingPolicy, String> {
 /// line format) takes precedence over the named `--workload`.
 fn workload_from_args(args: &Args, mesh: &Mesh, rng: &mut StdRng) -> Result<wl::Workload, String> {
     if let Some(path) = args.options.get("workload-file") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        return wl::io::from_text(path, &text, mesh);
+        return wl::io::read_file(path, mesh).map_err(|e| e.to_string());
     }
     make_workload(opt(args, "workload", "random-perm"), mesh, rng)
 }
@@ -293,7 +292,24 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
         .get("file")
         .ok_or("usage: oblivion stats <metrics.json>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let entries = oblivion_obs::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Corrupt files are rendered best-effort: bad lines are skipped with
+    // a warning on stderr, and only a file with no usable line at all is
+    // an error.
+    let (entries, bad) = oblivion_obs::parse_jsonl_lossy(&text);
+    for (lineno, err) in &bad {
+        eprintln!("warning: {path}: line {lineno}: {err} (skipped)");
+    }
+    if !bad.is_empty() {
+        eprintln!(
+            "warning: {path}: skipped {} unparseable line{} of {}",
+            bad.len(),
+            if bad.len() == 1 { "" } else { "s" },
+            bad.len() + entries.len()
+        );
+    }
+    if entries.is_empty() && !bad.is_empty() {
+        return Err(format!("{path}: no parseable metrics lines"));
+    }
     Ok(oblivion_obs::render(&entries))
 }
 
@@ -329,6 +345,11 @@ pub fn help() -> String {
          \u{20}            [--pattern uniform|transpose] [--policy fifo] [--threads N]\n\
          \u{20}            (--threads parallelizes across link shards; the results\n\
          \u{20}             are identical for every thread count)\n\
+         \u{20}            fault injection: [--fault-links P] [--fault-nodes P]\n\
+         \u{20}            [--drop-prob P] [--fault-mode permanent|transient]\n\
+         \u{20}            [--mttr T] [--mtbf T] [--recovery wait|resample|drop]\n\
+         \u{20}            [--retry-budget K] [--fault-seed S]  (deterministic:\n\
+         \u{20}             the fault schedule is a pure function of mesh + seed)\n\
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
@@ -653,8 +674,41 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         return Err("--threads must be at least 1".into());
     }
     let pattern_name = opt(args, "pattern", "uniform");
+    use oblivion_faults::{FaultConfig, FaultMode, FaultPlan, RecoveryPolicy};
     use oblivion_mesh::Path;
-    use oblivion_sim::{FixedTraffic, OnlineSim, TrafficPattern, UniformTraffic};
+    use oblivion_sim::{
+        Faults, FixedTraffic, OnlineSim, PathSource, TrafficPattern, UniformTraffic,
+    };
+
+    let parse_prob = |key: &str| -> Result<f64, String> {
+        let p: f64 = opt(args, key, "0")
+            .parse()
+            .map_err(|e| format!("bad --{key}: {e}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{key} must be in [0, 1]"));
+        }
+        Ok(p)
+    };
+    let fault_cfg = FaultConfig {
+        link_fail_prob: parse_prob("fault-links")?,
+        mode: FaultMode::parse(opt(args, "fault-mode", "permanent"))?,
+        mttr: opt(args, "mttr", "20")
+            .parse()
+            .map_err(|e| format!("bad --mttr: {e}"))?,
+        mtbf: opt(args, "mtbf", "200")
+            .parse()
+            .map_err(|e| format!("bad --mtbf: {e}"))?,
+        node_fail_prob: parse_prob("fault-nodes")?,
+        drop_prob: parse_prob("drop-prob")?,
+    };
+    let recovery = RecoveryPolicy::parse(opt(args, "recovery", "resample"))?;
+    let retry_budget: u32 = opt(args, "retry-budget", "16")
+        .parse()
+        .map_err(|e| format!("bad --retry-budget: {e}"))?;
+    let fault_seed: u64 = match args.options.get("fault-seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --fault-seed: {e}"))?,
+        None => seed,
+    };
     let uniform = UniformTraffic::new(mesh.clone());
     let transpose = FixedTraffic {
         pattern_name: "transpose".into(),
@@ -677,9 +731,31 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown pattern `{other}` (uniform|transpose)")),
     };
     let _ = complement_2d;
-    let source =
-        |s: &Coord, t: &Coord, rng: &mut StdRng| -> Path { router.select_path(s, t, rng).path };
-    let sim = OnlineSim::new(&mesh, policy, rate);
+    /// Adapts a router to the simulator's path source, forwarding fault
+    /// resamples to the router's dedicated entry point.
+    struct RouterSource<'a>(&'a dyn ObliviousRouter);
+    impl PathSource for RouterSource<'_> {
+        fn path(&self, s: &Coord, t: &Coord, rng: &mut StdRng) -> Path {
+            self.0.select_path(s, t, rng).path
+        }
+        fn resample(&self, current: &Coord, t: &Coord, rng: &mut StdRng) -> Path {
+            self.0.resample_path(current, t, rng).path
+        }
+    }
+    let source = RouterSource(router.as_ref());
+    // The fault plan (when any fault knob is nonzero) is materialized
+    // once up front; `--fault-links 0` etc. attaches nothing at all, so
+    // such runs are byte-identical to a fault-unaware build.
+    let plan =
+        (!fault_cfg.is_trivial()).then(|| FaultPlan::new(&mesh, &fault_cfg, fault_seed, 2 * steps));
+    let mut sim = OnlineSim::new(&mesh, policy, rate);
+    if let Some(p) = &plan {
+        sim = sim.with_faults(Faults {
+            plan: p,
+            recovery,
+            retry_budget,
+        });
+    }
     // The sharded engine is deterministic in the thread count, so it is
     // the only engine the CLI runs; `--threads 1` executes it inline.
     let r = sim.run_sharded(pattern, &source, steps, seed, threads);
@@ -696,6 +772,19 @@ fn cmd_online(args: &Args) -> Result<String, String> {
     report_field("shards", sharding.shards as u64);
     report_field("shard_handoffs", sharding.handoffs);
     report_field("shard_max_imbalance", sharding.max_imbalance);
+    if let Some(fs) = &r.faults {
+        report_field("delivered_fraction", r.delivered_fraction());
+        report_field("recovery", recovery.name());
+        report_field("retry_budget", u64::from(retry_budget));
+        report_field("failed_links", fs.failed_links);
+        report_field("failed_nodes", fs.failed_nodes);
+        report_field("dead_letters", fs.dead_letters);
+        report_field("dead_on_injection", fs.dead_on_injection);
+        report_field("fault_blocked", fs.blocked);
+        report_field("fault_resamples", fs.resamples);
+        report_field("fault_drops", fs.drops);
+        report_field("src_down_skips", fs.src_down_skips);
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -720,6 +809,28 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         "  shards {}  handoffs {}  max imbalance {}",
         sharding.shards, sharding.handoffs, sharding.max_imbalance
     );
+    if let Some(fs) = &r.faults {
+        let _ = writeln!(
+            out,
+            "  faults: {} links / {} nodes down, recovery {} (budget {})",
+            fs.failed_links,
+            fs.failed_nodes,
+            recovery.name(),
+            retry_budget
+        );
+        let _ = writeln!(
+            out,
+            "  delivered fraction {:.4}  dead letters {} ({} at injection)",
+            r.delivered_fraction(),
+            fs.dead_letters,
+            fs.dead_on_injection
+        );
+        let _ = writeln!(
+            out,
+            "  blocked pkt-steps {}  resamples {}  drops {}",
+            fs.blocked, fs.resamples, fs.drops
+        );
+    }
     Ok(out)
 }
 

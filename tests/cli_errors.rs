@@ -1,0 +1,163 @@
+//! Subprocess tests for graceful CLI failure: malformed inputs must
+//! produce a clean `error:` line and a nonzero exit — never a panic
+//! backtrace — and `oblivion stats` must tolerate partially corrupt
+//! metrics files instead of aborting on the first bad line.
+
+use std::process::{Command, Output};
+
+fn oblivion(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_oblivion"))
+        .args(args)
+        .output()
+        .expect("spawn oblivion")
+}
+
+fn assert_clean_failure(out: &Output, context: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{context}: expected exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{context}: stderr missing `error:` line: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{context}: CLI panicked instead of reporting cleanly: {stderr}"
+    );
+}
+
+#[test]
+fn truncated_workload_file_fails_cleanly_with_line_number() {
+    let path = std::env::temp_dir().join("oblivion_cli_err_truncated.txt");
+    std::fs::write(&path, "0,0 -> 3,3\n1,1 -> 2,\n").unwrap();
+    let out = oblivion(&[
+        "route",
+        "--mesh",
+        "4x4",
+        "--router",
+        "busch2d",
+        "--workload-file",
+        path.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, "truncated pair line");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2"),
+        "error should name the offending line: {stderr}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn out_of_bounds_workload_file_fails_cleanly() {
+    let path = std::env::temp_dir().join("oblivion_cli_err_oob.txt");
+    std::fs::write(&path, "0,0 -> 9,9\n").unwrap();
+    let out = oblivion(&[
+        "simulate",
+        "--mesh",
+        "4x4",
+        "--router",
+        "valiant",
+        "--workload-file",
+        path.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, "out-of-bounds coordinate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("outside the mesh"),
+        "error should say the coordinate is out of bounds: {stderr}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_workload_file_fails_cleanly() {
+    let out = oblivion(&[
+        "route",
+        "--mesh",
+        "4x4",
+        "--router",
+        "busch2d",
+        "--workload-file",
+        "/nonexistent/oblivion_missing.txt",
+    ]);
+    assert_clean_failure(&out, "missing workload file");
+}
+
+#[test]
+fn invalid_fault_flags_fail_cleanly() {
+    for (flag, value) in [
+        ("--fault-links", "1.5"),
+        ("--fault-links", "-0.1"),
+        ("--fault-links", "lots"),
+        ("--drop-prob", "2"),
+        ("--fault-mode", "sometimes"),
+        ("--recovery", "pray"),
+    ] {
+        let out = oblivion(&[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--steps", "10", flag, value,
+        ]);
+        assert_clean_failure(&out, &format!("{flag} {value}"));
+    }
+}
+
+#[test]
+fn stats_tolerates_partially_corrupt_metrics() {
+    let metrics = std::env::temp_dir().join("oblivion_cli_err_metrics.json");
+    let run_out = std::env::temp_dir().join("oblivion_cli_err_metrics_src.json");
+    // Produce a real metrics file, then corrupt the middle of it.
+    let out = oblivion(&[
+        "online",
+        "--mesh",
+        "8x8",
+        "--router",
+        "busch2d",
+        "--rate",
+        "0.05",
+        "--steps",
+        "50",
+        "--seed",
+        "5",
+        "--metrics-out",
+        run_out.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let good = std::fs::read_to_string(&run_out).unwrap();
+    let mut lines: Vec<&str> = good.lines().collect();
+    let mid = lines.len() / 2;
+    lines.insert(mid, "{ this is not json");
+    lines.insert(0, "neither is this");
+    std::fs::write(&metrics, lines.join("\n")).unwrap();
+
+    let out = oblivion(&["stats", metrics.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "stats should survive corrupt lines: {stderr}"
+    );
+    assert!(
+        stderr.contains("skipped 2 unparseable lines"),
+        "stderr should tally the skipped lines: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "stats panicked on corrupt input: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("online_steps") || stdout.contains("report"),
+        "stats should still render the parseable lines: {stdout}"
+    );
+
+    // A file with no parseable line at all is still an error.
+    std::fs::write(&metrics, "not json at all\nstill not json\n").unwrap();
+    let out = oblivion(&["stats", metrics.to_str().unwrap()]);
+    assert_clean_failure(&out, "fully corrupt metrics file");
+
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&run_out);
+}

@@ -165,6 +165,82 @@ fn online_metrics_identical_across_thread_counts_3d() {
     }
 }
 
+/// Fault-injected runs obey the same thread-count contract: the fault
+/// plan is a pure function of (mesh, fault seed), recovery decisions are
+/// made identically in both engines, and every tally is an order-free
+/// sum — so the metrics document is byte-identical at any `--threads`.
+#[test]
+fn faulted_online_metrics_identical_across_thread_counts() {
+    for (label, recovery, mode) in [
+        ("fw", "wait", "transient"),
+        ("fr", "resample", "transient"),
+        ("fd", "drop", "permanent"),
+    ] {
+        let base = [
+            "online",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--rate",
+            "0.05",
+            "--steps",
+            "200",
+            "--seed",
+            "99",
+            "--fault-links",
+            "0.08",
+            "--fault-mode",
+            mode,
+            "--recovery",
+            recovery,
+        ];
+        let one = online_with_threads(label, &base, "1");
+        assert!(
+            one.1.contains("\"delivered_fraction\""),
+            "faulted report should carry degradation metrics: {}",
+            one.1
+        );
+        for threads in ["2", "8"] {
+            let other = online_with_threads(label, &base, threads);
+            assert_eq!(
+                one.0, other.0,
+                "{recovery}/{mode}: --threads {threads} changed faulted metrics"
+            );
+            assert_eq!(
+                one.1, other.1,
+                "{recovery}/{mode}: --threads {threads} changed the faulted RunReport"
+            );
+        }
+    }
+}
+
+/// `--fault-links 0` must reproduce today's metrics byte-for-byte: fault
+/// bookkeeping only engages when a non-trivial plan is attached, and
+/// fault decisions never consume the main injection RNG.
+#[test]
+fn zero_fault_rate_reproduces_faultless_metrics() {
+    let base = [
+        "online", "--mesh", "8x8", "--router", "busch2d", "--rate", "0.05", "--steps", "200",
+        "--seed", "77",
+    ];
+    let dir = std::env::temp_dir();
+    let plain = dir.join("oblivion_det_zf_plain.json");
+    let zeroed = dir.join("oblivion_det_zf_zero.json");
+    run_metered(&base, &plain);
+    let mut with_flag: Vec<&str> = base.to_vec();
+    with_flag.extend_from_slice(&["--fault-links", "0"]);
+    run_metered(&with_flag, &zeroed);
+    assert_eq!(
+        deterministic_lines(&plain),
+        deterministic_lines(&zeroed),
+        "--fault-links 0 perturbed the metrics of a faultless run"
+    );
+    assert_eq!(report_line(&plain), report_line(&zeroed));
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&zeroed);
+}
+
 #[test]
 fn different_seeds_differ() {
     let dir = std::env::temp_dir();
