@@ -1,0 +1,315 @@
+//! A tiny little-endian byte codec for checkpoint payloads.
+//!
+//! Serde-free by design (the workspace is dependency-free): writers emit
+//! fixed-width little-endian integers and length-prefixed sequences;
+//! readers validate every length against the remaining buffer so a
+//! truncated or corrupted payload surfaces as a typed [`CkptError`]
+//! instead of a panic or an out-of-bounds slice.
+
+use std::fmt;
+
+/// Errors surfaced while encoding, decoding, or storing snapshots.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Payload ended before a field could be read.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        field: &'static str,
+    },
+    /// A decoded value is structurally impossible (e.g. a length larger
+    /// than the remaining payload).
+    Malformed {
+        /// What was being decoded.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The snapshot checksum or magic/version header did not match.
+    Integrity(String),
+    /// The snapshot was written for a different run configuration.
+    ConfigMismatch {
+        /// Hash stored in the snapshot.
+        found: u64,
+        /// Hash of the current run configuration.
+        expected: u64,
+    },
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated { field } => {
+                write!(f, "checkpoint payload truncated while reading {field}")
+            }
+            CkptError::Malformed { field, detail } => {
+                write!(f, "checkpoint payload malformed at {field}: {detail}")
+            }
+            CkptError::Integrity(msg) => write!(f, "checkpoint integrity check failed: {msg}"),
+            CkptError::ConfigMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different run configuration \
+                 (snapshot config hash {found:#018x}, current {expected:#018x})"
+            ),
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as a u64 (checkpoints are portable across word sizes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed slice of u64s.
+    pub fn u64_slice(&mut self, vs: &[u64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed slice of usizes (as u64s).
+    pub fn usize_slice(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Validating little-endian decoder over a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed — catches trailing
+    /// garbage that a length-prefixed format would otherwise ignore.
+    pub fn finish(self, field: &'static str) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::Malformed {
+                field,
+                detail: format!("{} trailing bytes", self.remaining()),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated { field });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, CkptError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, CkptError> {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(self.take(4, field)?);
+        Ok(u32::from_le_bytes(w))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, CkptError> {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.take(8, field)?);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// Reads a usize stored as u64, rejecting values over the platform's
+    /// address range.
+    pub fn usize(&mut self, field: &'static str) -> Result<usize, CkptError> {
+        let v = self.u64(field)?;
+        usize::try_from(v).map_err(|_| CkptError::Malformed {
+            field,
+            detail: format!("value {v} exceeds usize"),
+        })
+    }
+
+    /// Reads a length prefix, rejecting lengths that could not possibly
+    /// fit in the remaining payload (each element is at least
+    /// `min_elem_bytes` wide). This bounds allocations on corrupt input.
+    pub fn len_prefix(
+        &mut self,
+        min_elem_bytes: usize,
+        field: &'static str,
+    ) -> Result<usize, CkptError> {
+        let n = self.usize(field)?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(CkptError::Malformed {
+                field,
+                detail: format!(
+                    "length {n} exceeds remaining payload ({})",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed slice of u64s.
+    pub fn u64_vec(&mut self, field: &'static str) -> Result<Vec<u64>, CkptError> {
+        let n = self.len_prefix(8, field)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64(field)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed slice of usizes.
+    pub fn usize_vec(&mut self, field: &'static str) -> Result<Vec<usize>, CkptError> {
+        let n = self.len_prefix(8, field)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.usize(field)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, field: &'static str) -> Result<String, CkptError> {
+        let n = self.len_prefix(1, field)?;
+        let bytes = self.take(n, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CkptError::Malformed {
+            field,
+            detail: "invalid utf-8".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_kinds() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.usize(123_456);
+        w.u64_slice(&[1, 2, 3]);
+        w.usize_slice(&[9, 8]);
+        w.str("hello ✓");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.usize("d").unwrap(), 123_456);
+        assert_eq!(r.u64_vec("e").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.usize_vec("f").unwrap(), vec![9, 8]);
+        assert_eq!(r.str("g").unwrap(), "hello ✓");
+        r.finish("end").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.u64_slice(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.u64_vec("xs").is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // length prefix claiming 2^64-1 elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.u64_vec("xs"), Err(CkptError::Malformed { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u8("a").unwrap();
+        assert!(r.finish("end").is_err());
+    }
+}

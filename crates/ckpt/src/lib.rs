@@ -1,0 +1,36 @@
+//! `oblivion-ckpt`: crash-consistent checkpoint/restore for long online
+//! simulation runs, with no external dependencies.
+//!
+//! A production-scale router simulation can run for hours; an OOM-kill or
+//! preemption should not discard the run. This crate provides the three
+//! pieces the online engines need to make a killed run resumable with
+//! **byte-identical** final metrics:
+//!
+//! * [`bytes`] — a validating little-endian codec ([`ByteWriter`] /
+//!   [`ByteReader`]) so engine state serializes without serde and corrupt
+//!   payloads decode to typed errors, never panics.
+//! * [`mod@crc32`] — standard CRC-32 (IEEE) with a const-built table; every
+//!   snapshot carries a checksum over its metadata and payload.
+//! * [`store`] — a two-generation atomic snapshot [`Store`]: saves go
+//!   write-temp → fsync → rename → fsync-dir, and the previous generation
+//!   is kept so a torn or bit-flipped newest snapshot falls back cleanly.
+//! * [`signal`] — SIGINT/SIGTERM handlers that set a flag engines poll at
+//!   step boundaries, so a polite kill writes a final checkpoint.
+//!
+//! The format is versioned ([`store::MAGIC`], [`store::VERSION`]) and
+//! config-hashed: a snapshot only resumes a run with the same mesh,
+//! workload, policy, seed, and fault plan.
+
+#![warn(missing_docs)]
+// `signal` declares and calls `signal(2)` directly (see module docs);
+// everything else in the crate is safe code.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bytes;
+pub mod crc32;
+pub mod signal;
+pub mod store;
+
+pub use bytes::{ByteReader, ByteWriter, CkptError};
+pub use crc32::crc32;
+pub use store::{LoadOutcome, Snapshot, Store};

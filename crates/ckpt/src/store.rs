@@ -1,0 +1,382 @@
+//! Two-generation atomic snapshot store.
+//!
+//! Layout on disk: a checkpoint directory holds two slot files,
+//! `snap-a.ckpt` and `snap-b.ckpt`, selected by generation parity.
+//! Writing generation *g* always targets the slot the *older* surviving
+//! generation does not occupy, so the previous good snapshot is never
+//! overwritten until the new one is durably in place. Each save goes
+//! through write-temp → fsync → rename → fsync-dir, and the file carries
+//! a magic/version header plus a CRC-32 over everything after the
+//! checksum field — a torn or bit-flipped write at any byte is detected
+//! on load and the store falls back to the other slot.
+//!
+//! Deliberate chaos hooks (env var `OBLIVION_CKPT_CRASH`) let tests and
+//! CI simulate `kill -9` at the two interesting instants:
+//!
+//! * `mid-write:<gen>` — the save of generation `<gen>` leaves a torn
+//!   file at the final slot path and aborts the process.
+//! * `after-gen:<gen>` — the save of generation `<gen>` completes
+//!   durably, then the process aborts.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::bytes::CkptError;
+use crate::crc32::crc32;
+
+/// File magic: "OBLCKPT" plus a format byte.
+pub const MAGIC: [u8; 8] = *b"OBLCKPT\x01";
+/// Bump when the header or payload framing changes incompatibly.
+pub const VERSION: u32 = 1;
+/// Header bytes before the payload: magic + version + crc + generation +
+/// step + config hash + payload length.
+const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+/// Environment variable holding a crash-injection directive.
+pub const CRASH_ENV: &str = "OBLIVION_CKPT_CRASH";
+
+/// A decoded, integrity-checked snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic save counter; higher wins on load.
+    pub generation: u64,
+    /// Simulation step the state was captured at.
+    pub step: u64,
+    /// Hash of the run configuration the snapshot belongs to.
+    pub config_hash: u64,
+    /// Engine-defined state bytes.
+    pub payload: Vec<u8>,
+    /// CRC-32 recorded in the file (over header tail + payload).
+    pub checksum: u32,
+}
+
+/// Result of scanning the checkpoint directory.
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// Newest valid snapshot, if any slot decoded cleanly.
+    pub snapshot: Option<Snapshot>,
+    /// One human-readable line per slot that existed but was rejected
+    /// (torn, corrupt, wrong config) — callers surface these on stderr so
+    /// a fallback to the previous generation is visible.
+    pub warnings: Vec<String>,
+}
+
+/// A checkpoint directory holding up to two snapshot generations.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the checkpoint directory.
+    pub fn open(dir: &Path) -> Result<Self, CkptError> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Slot path for a generation (parity-selected).
+    pub fn slot_path(&self, generation: u64) -> PathBuf {
+        let name = if generation.is_multiple_of(2) {
+            "snap-a.ckpt"
+        } else {
+            "snap-b.ckpt"
+        };
+        self.dir.join(name)
+    }
+
+    /// Encodes header + payload into the exact bytes a slot file holds.
+    fn encode(generation: u64, step: u64, config_hash: u64, payload: &[u8]) -> (Vec<u8>, u32) {
+        // CRC covers everything after the checksum field so the checksum
+        // protects the metadata (generation/step/hash/len) too.
+        let mut tail = Vec::with_capacity(32 + payload.len());
+        tail.extend_from_slice(&generation.to_le_bytes());
+        tail.extend_from_slice(&step.to_le_bytes());
+        tail.extend_from_slice(&config_hash.to_le_bytes());
+        tail.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        tail.extend_from_slice(payload);
+        let crc = crc32(&tail);
+
+        let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
+        file.extend_from_slice(&MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        file.extend_from_slice(&crc.to_le_bytes());
+        file.extend_from_slice(&tail);
+        (file, crc)
+    }
+
+    /// Durably writes one snapshot generation; returns its CRC-32.
+    ///
+    /// Honors [`CRASH_ENV`] chaos directives (tests/CI only).
+    pub fn save(
+        &self,
+        generation: u64,
+        step: u64,
+        config_hash: u64,
+        payload: &[u8],
+    ) -> Result<u32, CkptError> {
+        let (bytes, crc) = Self::encode(generation, step, config_hash, payload);
+        let final_path = self.slot_path(generation);
+
+        if let Some(directive) = crash_directive() {
+            if directive == format!("mid-write:{generation}") {
+                // Simulate a kill -9 mid-write: a torn file sits at the
+                // slot path (as if rename landed but the data did not, or
+                // the writer bypassed the temp file) and the process dies.
+                let torn = &bytes[..bytes.len() / 2];
+                let mut f = File::create(&final_path)?;
+                f.write_all(torn)?;
+                f.sync_all()?;
+                std::process::abort();
+            }
+        }
+
+        let tmp_path = final_path.with_extension("ckpt.tmp");
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // fsync the directory so the rename itself survives power loss.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        if let Some(directive) = crash_directive() {
+            if directive == format!("after-gen:{generation}") {
+                // Simulate a kill -9 immediately after a durable save.
+                std::process::abort();
+            }
+        }
+        Ok(crc)
+    }
+
+    /// Decodes and verifies one slot file.
+    fn read_slot(path: &Path, expected_config_hash: u64) -> Result<Snapshot, CkptError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_LEN {
+            return Err(CkptError::Integrity(format!(
+                "file is {} bytes, shorter than the {HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(CkptError::Integrity("bad magic".into()));
+        }
+        let word = |off: usize| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&bytes[off..off + 4]);
+            u32::from_le_bytes(w)
+        };
+        let dword = |off: usize| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[off..off + 8]);
+            u64::from_le_bytes(w)
+        };
+        let version = word(8);
+        if version != VERSION {
+            return Err(CkptError::Integrity(format!(
+                "snapshot format version {version}, this build reads {VERSION}"
+            )));
+        }
+        let stored_crc = word(12);
+        let tail = &bytes[16..];
+        let actual_crc = crc32(tail);
+        if stored_crc != actual_crc {
+            return Err(CkptError::Integrity(format!(
+                "CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )));
+        }
+        let generation = dword(16);
+        let step = dword(24);
+        let config_hash = dword(32);
+        let payload_len = dword(40) as usize;
+        if bytes.len() != HEADER_LEN + payload_len {
+            return Err(CkptError::Integrity(format!(
+                "payload length field says {payload_len} bytes, file holds {}",
+                bytes.len() - HEADER_LEN
+            )));
+        }
+        if config_hash != expected_config_hash {
+            return Err(CkptError::ConfigMismatch {
+                found: config_hash,
+                expected: expected_config_hash,
+            });
+        }
+        Ok(Snapshot {
+            generation,
+            step,
+            config_hash,
+            payload: bytes[HEADER_LEN..].to_vec(),
+            checksum: stored_crc,
+        })
+    }
+
+    /// Scans both slots and returns the newest valid snapshot for this
+    /// configuration, with a warning line for every slot that existed but
+    /// failed validation.
+    pub fn load_latest(&self, expected_config_hash: u64) -> LoadOutcome {
+        let mut out = LoadOutcome::default();
+        for name in ["snap-a.ckpt", "snap-b.ckpt"] {
+            let path = self.dir.join(name);
+            if !path.exists() {
+                continue;
+            }
+            match Self::read_slot(&path, expected_config_hash) {
+                Ok(snap) => {
+                    let newer = out
+                        .snapshot
+                        .as_ref()
+                        .is_none_or(|best| snap.generation > best.generation);
+                    if newer {
+                        out.snapshot = Some(snap);
+                    }
+                }
+                Err(e) => out
+                    .warnings
+                    .push(format!("checkpoint slot {} rejected: {e}", path.display())),
+            }
+        }
+        out
+    }
+
+    /// Deletes all snapshot slots and leftover temp files. Called when a
+    /// run completes so a finished experiment is never resumed by accident.
+    pub fn clear(&self) -> Result<(), CkptError> {
+        for name in [
+            "snap-a.ckpt",
+            "snap-b.ckpt",
+            "snap-a.ckpt.tmp",
+            "snap-b.ckpt.tmp",
+        ] {
+            let path = self.dir.join(name);
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn crash_directive() -> Option<String> {
+    std::env::var(CRASH_ENV).ok().filter(|s| !s.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("oblivion-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        let crc = store.save(1, 100, 0xABCD, b"payload-one").unwrap();
+        let out = store.load_latest(0xABCD);
+        assert!(out.warnings.is_empty());
+        let snap = out.snapshot.unwrap();
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.step, 100);
+        assert_eq!(snap.payload, b"payload-one");
+        assert_eq!(snap.checksum, crc);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_generation_wins_and_two_survive() {
+        let dir = tmp_dir("twogen");
+        let store = Store::open(&dir).unwrap();
+        store.save(1, 10, 7, b"g1").unwrap();
+        store.save(2, 20, 7, b"g2").unwrap();
+        store.save(3, 30, 7, b"g3").unwrap();
+        // Generation 3 (odd slot) replaced 1; generation 2 (even slot) remains.
+        let out = store.load_latest(7);
+        assert_eq!(out.snapshot.unwrap().generation, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_falls_back_to_previous_generation() {
+        let dir = tmp_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        store.save(2, 20, 7, b"older-but-good").unwrap();
+        store.save(3, 30, 7, b"newest").unwrap();
+        let newest = store.slot_path(3);
+        let good = fs::read(&newest).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            fs::write(&newest, &bad).unwrap();
+            let out = store.load_latest(7);
+            let snap = out.snapshot.expect("previous generation must survive");
+            assert_eq!(snap.generation, 2, "byte {i}: should fall back to gen 2");
+            assert_eq!(snap.payload, b"older-but-good");
+            assert!(!out.warnings.is_empty(), "byte {i}: corruption must warn");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_length_falls_back() {
+        let dir = tmp_dir("torn");
+        let store = Store::open(&dir).unwrap();
+        store.save(2, 20, 9, b"previous").unwrap();
+        store.save(3, 30, 9, b"current-current").unwrap();
+        let newest = store.slot_path(3);
+        let good = fs::read(&newest).unwrap();
+        for cut in 0..good.len() {
+            fs::write(&newest, &good[..cut]).unwrap();
+            let out = store.load_latest(9);
+            assert_eq!(
+                out.snapshot.expect("fallback").generation,
+                2,
+                "torn at {cut} bytes"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected_with_warning() {
+        let dir = tmp_dir("config");
+        let store = Store::open(&dir).unwrap();
+        store.save(1, 10, 111, b"x").unwrap();
+        let out = store.load_latest(222);
+        assert!(out.snapshot.is_none());
+        assert_eq!(out.warnings.len(), 1);
+        assert!(out.warnings[0].contains("different run configuration"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_all_slots() {
+        let dir = tmp_dir("clear");
+        let store = Store::open(&dir).unwrap();
+        store.save(1, 10, 5, b"x").unwrap();
+        store.save(2, 20, 5, b"y").unwrap();
+        store.clear().unwrap();
+        assert!(store.load_latest(5).snapshot.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

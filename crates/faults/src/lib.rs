@@ -316,6 +316,37 @@ impl FaultPlan {
         ))
     }
 
+    /// A 64-bit digest of the materialized schedule — every down
+    /// interval, the dead-node set, and the drop-hash parameters.
+    ///
+    /// Because the plan is a pure function of `(mesh, config, seed,
+    /// horizon prefix)`, two processes that materialize "the same" plan
+    /// can verify it cheaply by comparing digests. The checkpoint layer
+    /// folds this into its config hash so a snapshot never resumes under
+    /// a different fault schedule.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix64(self.seed ^ 0x4641_554C_5453_4447); // "FAULTSDG"
+        h = mix64(h ^ self.drop_threshold);
+        h = mix64(h ^ self.drop_salt);
+        h = mix64(h ^ self.failed_links as u64);
+        h = mix64(h ^ self.failed_nodes as u64);
+        for (e, iv) in self.down.iter().enumerate() {
+            if iv.is_empty() {
+                continue;
+            }
+            h = mix64(h ^ e as u64);
+            for &(start, end) in iv {
+                h = mix64(h ^ start.rotate_left(1) ^ mix64(end));
+            }
+        }
+        for (n, &dead) in self.node_down.iter().enumerate() {
+            if dead {
+                h = mix64(h ^ mix64(n as u64).rotate_left(7));
+            }
+        }
+        h
+    }
+
     /// Number of links with at least one down interval.
     pub fn failed_links(&self) -> usize {
         self.failed_links
@@ -522,6 +553,31 @@ mod tests {
         assert_eq!(x, plan.resample_rng(3, 1).gen());
         assert_ne!(x, plan.resample_rng(3, 2).gen::<u64>());
         assert_ne!(x, plan.resample_rng(4, 1).gen::<u64>());
+    }
+
+    #[test]
+    fn digest_tracks_schedule_identity() {
+        let mesh = Mesh::new_mesh(&[6, 6]);
+        let c = FaultConfig {
+            link_fail_prob: 0.3,
+            mode: FaultMode::Transient,
+            mttr: 5,
+            mtbf: 20,
+            node_fail_prob: 0.05,
+            drop_prob: 0.1,
+        };
+        let a = FaultPlan::new(&mesh, &c, 42, 500);
+        let b = FaultPlan::new(&mesh, &c, 42, 500);
+        assert_eq!(a.digest(), b.digest(), "same inputs, same digest");
+        let other_seed = FaultPlan::new(&mesh, &c, 43, 500);
+        assert_ne!(a.digest(), other_seed.digest());
+        let other_horizon = FaultPlan::new(&mesh, &c, 42, 2000);
+        assert_ne!(
+            a.digest(),
+            other_horizon.digest(),
+            "longer horizon extends transient schedules"
+        );
+        assert_ne!(a.digest(), FaultPlan::trivial(&mesh).digest());
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod report;
 
 pub use json::Json;
 pub use registry::{
-    capture_events, counter_add, disable, enable, is_enabled, record, reset, runtime_counter_add,
-    snapshot, span, Histogram, Snapshot, SpanGuard, SpanStats, HISTOGRAM_BUCKETS,
+    capture_events, counter_add, disable, enable, is_enabled, record, reset, restore_deterministic,
+    runtime_counter_add, snapshot, span, Histogram, Snapshot, SpanGuard, SpanStats,
+    HISTOGRAM_BUCKETS,
 };
 pub use report::{parse_jsonl, parse_jsonl_lossy, render, snapshot_lines, RunReport};

@@ -280,6 +280,29 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
+/// Replaces the **deterministic** registry contents — counters and
+/// histograms — with the given values, wholesale. Runtime counters,
+/// spans, and captured events (the scheduling/wall-clock side) are left
+/// untouched.
+///
+/// This is the restore half of checkpoint/resume: a resumed run
+/// reinstates the counters and histograms the interrupted run had
+/// accumulated, so its final metrics are identical to an uninterrupted
+/// run's. Counter and histogram names are `&'static str` keys; restored
+/// names are interned with `Box::leak` (bounded — at most one restore
+/// per process resume).
+pub fn restore_deterministic(counters: &[(String, u64)], histograms: &[(String, Histogram)]) {
+    let mut reg = registry().lock().unwrap();
+    reg.counters = counters
+        .iter()
+        .map(|(k, v)| (&*Box::leak(k.clone().into_boxed_str()), *v))
+        .collect();
+    reg.histograms = histograms
+        .iter()
+        .map(|(k, v)| (&*Box::leak(k.clone().into_boxed_str()), v.clone()))
+        .collect();
+}
+
 /// Clears all counters, histograms, spans, and captured events. The
 /// enabled flag and event-capture setting are unchanged.
 pub fn reset() {
@@ -401,6 +424,35 @@ mod tests {
         let parsed = crate::json::Json::parse(&snap.events[0]).unwrap();
         assert_eq!(parsed.get("type").unwrap().as_str(), Some("span_event"));
         assert_eq!(parsed.get("name").unwrap().as_str(), Some("phase"));
+    }
+
+    #[test]
+    fn restore_replaces_deterministic_state_only() {
+        let _guard = serial();
+        enable();
+        reset();
+        counter_add("stale", 99);
+        record("stale_h", 1);
+        runtime_counter_add("sched", 4);
+        let mut h = Histogram::new();
+        h.record(8);
+        h.record(8);
+        restore_deterministic(
+            &[("restored".to_string(), 42)],
+            &[("restored_h".to_string(), h)],
+        );
+        // Accumulation continues on top of the restored values.
+        counter_add("restored", 1);
+        record("restored_h", 8);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counters, vec![("restored".to_string(), 43)]);
+        assert_eq!(snap.runtime_counters, vec![("sched".to_string(), 4)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let (name, rh) = &snap.histograms[0];
+        assert_eq!(name, "restored_h");
+        assert_eq!(rh.count, 3);
+        assert_eq!(rh.sum, 24);
     }
 
     #[test]

@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod online;
 pub mod pool;
 pub mod sharded;
+pub use checkpoint::{CheckpointCfg, EngineState, Interrupted, StopReason};
 pub use online::{
     FaultStats, Faults, FixedTraffic, OnlineResult, OnlineSim, PathSource, ShardSummary,
     TrafficPattern, UniformTraffic,

@@ -20,6 +20,7 @@
 //! tests in `tests/parallel_online.rs` hold them to that, field for
 //! field, for any thread count.
 
+use crate::checkpoint::{capture_obs, CheckpointCfg, Driver, EngineState, PacketState, StopReason};
 use crate::SchedulingPolicy;
 use oblivion_faults::{FaultPlan, RecoveryPolicy};
 use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
@@ -435,6 +436,25 @@ impl<'a> OnlineSim<'a> {
         steps: u64,
         seed: u64,
     ) -> OnlineResult {
+        match self.run_ckpt(pattern, paths, steps, seed, None, None) {
+            Ok(r) => r,
+            Err(stop) => unreachable!("uncheckpointed run cannot stop early: {stop}"),
+        }
+    }
+
+    /// [`Self::run`] with checkpoint/restore: `ckpt` enables periodic and
+    /// shutdown snapshots, `resume` continues from a decoded snapshot. A
+    /// resumed run produces an [`OnlineResult`] identical to an
+    /// uninterrupted run of the same configuration.
+    pub fn run_ckpt(
+        &self,
+        pattern: &dyn TrafficPattern,
+        paths: &dyn PathSource,
+        steps: u64,
+        seed: u64,
+        ckpt: Option<&CheckpointCfg<'_>>,
+        resume: Option<&EngineState>,
+    ) -> Result<OnlineResult, StopReason> {
         let _span = oblivion_obs::span("online_sim");
         let mut rng = StdRng::seed_from_u64(seed);
         let nodes: Vec<Coord> = self.mesh.coords().collect();
@@ -449,7 +469,74 @@ impl<'a> OnlineSim<'a> {
 
         let horizon = 2 * steps;
         let mut t = 0u64;
+        if let Some(st) = resume {
+            st.restore_obs();
+            rng = StdRng::from_state(st.rng);
+            t = st.t;
+            injected = st.injected as usize;
+            inj_idx = st.inj_idx;
+            latencies = st.latencies.clone();
+            link_loads.clone_from(&st.link_loads);
+            if fstats.is_some() {
+                if let Some(fs) = st.fstats {
+                    fstats = Some(fs);
+                }
+            }
+            // Rebuild the flight arena at its pre-stop length: live
+            // packets in place, inert dummies where delivered/dead ones
+            // sat, so post-resume packets get identical indices (ids).
+            let mut live = st.packets.iter().peekable();
+            for id in 0..st.arena_len as usize {
+                if live.peek().is_some_and(|p| p.id as usize == id) {
+                    let p = live.next().expect("peeked");
+                    flights.push(Flight {
+                        path: p.to_path(self.mesh),
+                        pos: p.pos as usize,
+                        injected_at: p.injected_at,
+                        arrived_at: p.arrived,
+                        rank: p.rank,
+                        inj: p.inj,
+                        attempts: p.attempts,
+                        backoff_until: p.backoff_until,
+                        dead: false,
+                    });
+                    active.push(id);
+                } else {
+                    flights.push(Flight {
+                        path: Path::trivial(self.mesh.coord(oblivion_mesh::NodeId(0))),
+                        pos: 0,
+                        injected_at: 0,
+                        arrived_at: 0,
+                        rank: 0,
+                        inj: 0,
+                        attempts: 0,
+                        backoff_until: 0,
+                        dead: true,
+                    });
+                }
+            }
+        }
+        let mut driver = ckpt.map(Driver::new);
         while t < horizon && (t < steps || !active.is_empty()) {
+            if let Some(d) = driver.as_mut() {
+                let stop = d.at_step(t, || {
+                    capture_sequential(
+                        self.mesh,
+                        t,
+                        &rng,
+                        injected,
+                        inj_idx,
+                        &flights,
+                        &active,
+                        &latencies,
+                        &link_loads,
+                        &fstats,
+                    )
+                });
+                if let Some(stop) = stop {
+                    return Err(stop);
+                }
+            }
             // Injection phase (only during the measurement window).
             if t < steps {
                 for src in &nodes {
@@ -619,7 +706,7 @@ impl<'a> OnlineSim<'a> {
             oblivion_obs::counter_add("online_fault_drops", fs.drops);
             oblivion_obs::counter_add("online_dead_letters", fs.dead_letters);
         }
-        OnlineResult::assemble(
+        Ok(OnlineResult::assemble(
             self.mesh,
             steps,
             injected,
@@ -628,7 +715,7 @@ impl<'a> OnlineSim<'a> {
             link_loads,
             None,
             fstats,
-        )
+        ))
     }
 
     /// Runs the same simulation on the sharded parallel engine with
@@ -650,7 +737,87 @@ impl<'a> OnlineSim<'a> {
         seed: u64,
         threads: usize,
     ) -> OnlineResult {
-        crate::sharded::run_sharded(self, pattern, paths, steps, seed, threads)
+        match self.run_sharded_ckpt(pattern, paths, steps, seed, threads, None, None) {
+            Ok(r) => r,
+            Err(stop) => unreachable!("uncheckpointed run cannot stop early: {stop}"),
+        }
+    }
+
+    /// [`Self::run_sharded`] with checkpoint/restore. Snapshots are
+    /// captured at step boundaries, where the coordinator has exclusive
+    /// access, and their bytes are canonical: the same configuration
+    /// stopped at the same step yields the same snapshot (and CRC) at any
+    /// thread count — and the same final result after resume.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_ckpt(
+        &self,
+        pattern: &dyn TrafficPattern,
+        paths: &(dyn PathSource + Sync),
+        steps: u64,
+        seed: u64,
+        threads: usize,
+        ckpt: Option<&CheckpointCfg<'_>>,
+        resume: Option<&EngineState>,
+    ) -> Result<OnlineResult, StopReason> {
+        crate::sharded::run_sharded_ckpt(self, pattern, paths, steps, seed, threads, ckpt, resume)
+    }
+}
+
+/// Builds the canonical [`EngineState`] of the sequential engine at the
+/// start of step `t`. Latencies are sorted (their order is immaterial to
+/// the result) so that, with observability disabled, the bytes match the
+/// sharded engine's capture at the same step (the sharded engine keeps
+/// two extra obs counters and real handoff/imbalance totals).
+#[allow(clippy::too_many_arguments)]
+fn capture_sequential(
+    mesh: &Mesh,
+    t: u64,
+    rng: &StdRng,
+    injected: usize,
+    inj_idx: u64,
+    flights: &[Flight],
+    active: &[usize],
+    latencies: &[u64],
+    link_loads: &[u64],
+    fstats: &Option<FaultStats>,
+) -> EngineState {
+    let packets = active
+        .iter()
+        .map(|&i| {
+            let f = &flights[i];
+            PacketState {
+                id: i as u64,
+                inj: f.inj,
+                injected_at: f.injected_at,
+                arrived: f.arrived_at,
+                rank: f.rank,
+                pos: f.pos as u64,
+                attempts: f.attempts,
+                backoff_until: f.backoff_until,
+                path: f
+                    .path
+                    .nodes()
+                    .iter()
+                    .map(|c| mesh.node_id(c).0 as u64)
+                    .collect(),
+            }
+        })
+        .collect();
+    let mut sorted_latencies = latencies.to_vec();
+    sorted_latencies.sort_unstable();
+    EngineState {
+        t,
+        rng: rng.state(),
+        injected: injected as u64,
+        inj_idx,
+        arena_len: flights.len() as u64,
+        handoffs_total: 0,
+        max_imbalance: 0,
+        latencies: sorted_latencies,
+        link_loads: link_loads.to_vec(),
+        packets,
+        fstats: *fstats,
+        obs: capture_obs(),
     }
 }
 

@@ -25,6 +25,7 @@
 //! The result is byte-for-byte identical to [`OnlineSim::run`] for any
 //! thread count: the pool decides *who* computes, never *what*.
 
+use crate::checkpoint::{capture_obs, CheckpointCfg, Driver, EngineState, PacketState, StopReason};
 use crate::online::{
     fault_decision, policy_key, route_rng_for, FaultDecision, FaultStats, Faults, OnlineResult,
     OnlineSim, PathSource, ShardSummary, TrafficPattern,
@@ -191,14 +192,20 @@ const ROUTE_CHUNK: usize = 8;
 
 /// Runs the sharded simulation. See [`OnlineSim::run_sharded`] for the
 /// public contract; `sim` carries the mesh, policy, and injection rate.
-pub(crate) fn run_sharded(
+/// `ckpt`/`resume` implement [`OnlineSim::run_sharded_ckpt`]: snapshots
+/// are captured (and restored) at step boundaries, between parallel
+/// rounds, where the coordinator has exclusive access to all state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded_ckpt(
     sim: &OnlineSim<'_>,
     pattern: &dyn TrafficPattern,
     paths: &(dyn PathSource + Sync),
     steps: u64,
     seed: u64,
     threads: usize,
-) -> OnlineResult {
+    ckpt: Option<&CheckpointCfg<'_>>,
+    resume: Option<&EngineState>,
+) -> Result<OnlineResult, StopReason> {
     assert!(threads >= 1, "need at least one thread");
     let _span = oblivion_obs::span("online_sim_sharded");
     let mesh = sim.mesh();
@@ -298,6 +305,78 @@ pub(crate) fn run_sharded(
     let mut max_imbalance = 0u64;
     let mut fstats = faults.map(|fx| FaultStats::for_plan(fx.plan));
 
+    // Latencies carried over from a resumed snapshot (includes the zeros
+    // of pre-resume instant deliveries); `delivered_instant` counts only
+    // post-resume ones.
+    let mut base_latencies: Vec<u64> = Vec::new();
+    if let Some(st) = resume {
+        st.restore_obs();
+        rng = StdRng::from_state(st.rng);
+        t = st.t;
+        injected = st.injected as usize;
+        inj_idx = st.inj_idx;
+        alive = st.packets.len();
+        handoffs_total = st.handoffs_total;
+        max_imbalance = st.max_imbalance;
+        if fstats.is_some() {
+            if let Some(fs) = st.fstats {
+                fstats = Some(fs);
+            }
+        }
+        base_latencies = st.latencies.clone();
+        // Rebuild the arena at its pre-stop length: live packets in
+        // place, inert dummies where delivered/dead ones sat, so
+        // post-resume packets get identical ids. Live packets join the
+        // active list of the shard owning their current edge.
+        let mut a = arena.write().unwrap();
+        let mut live = st.packets.iter().peekable();
+        for id in 0..st.arena_len as usize {
+            if live.peek().is_some_and(|p| p.id as usize == id) {
+                let p = live.next().expect("peeked");
+                let path = p.to_path(mesh);
+                let pos = p.pos as usize;
+                let nodes = path.nodes();
+                let e0 = mesh.edge_id(&nodes[pos], &nodes[pos + 1]).0;
+                a.path.push(Mutex::new(path));
+                a.injected_at.push(p.injected_at);
+                a.rank.push(p.rank);
+                a.inj.push(p.inj);
+                a.pos.push(AtomicUsize::new(pos));
+                a.arrived.push(AtomicU64::new(p.arrived));
+                a.cur_edge.push(AtomicUsize::new(e0));
+                a.attempts.push(AtomicU32::new(p.attempts));
+                a.backoff.push(AtomicU64::new(p.backoff_until));
+                let s = map.shard_of_edge[e0] as usize;
+                shards[s].lock().unwrap().active.push(id);
+            } else {
+                a.path.push(Mutex::new(Path::trivial(
+                    mesh.coord(oblivion_mesh::NodeId(0)),
+                )));
+                a.injected_at.push(0);
+                a.rank.push(0);
+                a.inj.push(0);
+                a.pos.push(AtomicUsize::new(0));
+                a.arrived.push(AtomicU64::new(0));
+                a.cur_edge.push(AtomicUsize::new(0));
+                a.attempts.push(AtomicU32::new(0));
+                a.backoff.push(AtomicU64::new(0));
+            }
+        }
+        drop(a);
+        for shard in &shards {
+            let mut st = shard.lock().unwrap();
+            st.live = st.active.len();
+        }
+        // Re-seed each shard's load slots with the pre-stop traversal
+        // totals, so final link loads span the whole run.
+        let mut locked: Vec<_> = shards.iter().map(|s| s.lock().unwrap()).collect();
+        for (e, &load) in st.link_loads.iter().enumerate() {
+            locked[map.shard_of_edge[e] as usize].loads[map.slot_of_edge[e] as usize] = load;
+        }
+    }
+    let mut driver = ckpt.map(Driver::new);
+    let mut stopped: Option<StopReason> = None;
+
     #[derive(Clone, Copy, PartialEq)]
     enum Stage {
         Begin,
@@ -312,6 +391,30 @@ pub(crate) fn run_sharded(
                 Stage::Begin => {
                     if !(t < horizon && (t < steps || alive > 0)) {
                         return false;
+                    }
+                    if let Some(d) = driver.as_mut() {
+                        let stop = d.at_step(t, || {
+                            capture_sharded(
+                                mesh,
+                                &map,
+                                &arena,
+                                &shards,
+                                &inboxes,
+                                t,
+                                &rng,
+                                injected,
+                                inj_idx,
+                                &base_latencies,
+                                delivered_instant,
+                                handoffs_total,
+                                max_imbalance,
+                                &fstats,
+                            )
+                        });
+                        if let Some(stop) = stop {
+                            stopped = Some(stop);
+                            return false;
+                        }
                     }
                     // Clear unconditionally: drain steps must not replay
                     // the final injection step's pending list.
@@ -446,6 +549,10 @@ pub(crate) fn run_sharded(
 
     pool::run_rounds(threads, job, next);
 
+    if let Some(stop) = stopped {
+        return Err(stop);
+    }
+
     if oblivion_obs::is_enabled() {
         oblivion_obs::counter_add("online_shards", shards_n as u64);
         oblivion_obs::runtime_counter_add("online_pool_steals", steals.load(Ordering::Relaxed));
@@ -460,7 +567,8 @@ pub(crate) fn run_sharded(
     // ------------------------------------------------------------------
     // Assemble the result: per-shard pieces concatenated in shard order.
     // ------------------------------------------------------------------
-    let mut latencies: Vec<u64> = vec![0; delivered_instant];
+    let mut latencies: Vec<u64> = base_latencies;
+    latencies.resize(latencies.len() + delivered_instant, 0);
     let mut link_loads = vec![0u64; mesh.edge_count()];
     for shard in &shards {
         latencies.extend_from_slice(&shard.lock().unwrap().latencies);
@@ -469,7 +577,7 @@ pub(crate) fn run_sharded(
         let s = map.shard_of_edge[e] as usize;
         *load = shards[s].lock().unwrap().loads[map.slot_of_edge[e] as usize];
     }
-    OnlineResult::assemble(
+    Ok(OnlineResult::assemble(
         mesh,
         steps,
         injected,
@@ -482,7 +590,89 @@ pub(crate) fn run_sharded(
             max_imbalance,
         }),
         fstats,
-    )
+    ))
+}
+
+/// Captures the full sharded-engine state at a step boundary into a
+/// canonical [`EngineState`]: live packet ids are the union of shard
+/// active lists and the current-parity inboxes, sorted ascending, and
+/// latencies are sorted — so the bytes are independent of shard finish
+/// order and (with observability off) identical to the sequential
+/// engine's capture at the same step.
+#[allow(clippy::too_many_arguments)]
+fn capture_sharded(
+    mesh: &Mesh,
+    map: &ShardMap,
+    arena: &RwLock<Arena>,
+    shards: &[Mutex<ShardState>],
+    inboxes: &[[Mutex<Vec<usize>>; 2]],
+    t: u64,
+    rng: &StdRng,
+    injected: usize,
+    inj_idx: u64,
+    base_latencies: &[u64],
+    delivered_instant: usize,
+    handoffs_total: u64,
+    max_imbalance: u64,
+    fstats: &Option<FaultStats>,
+) -> EngineState {
+    let arena = arena.read().unwrap();
+    let mut ids: Vec<usize> = Vec::new();
+    for (s, shard) in shards.iter().enumerate() {
+        let st = shard.lock().unwrap();
+        ids.extend(st.active.iter().copied().filter(|&i| i != GONE));
+        drop(st);
+        ids.extend(inboxes[s][(t % 2) as usize].lock().unwrap().iter().copied());
+    }
+    ids.sort_unstable();
+    let packets: Vec<PacketState> = ids
+        .iter()
+        .map(|&i| {
+            let path = arena.path[i].lock().unwrap();
+            PacketState {
+                id: i as u64,
+                inj: arena.inj[i],
+                injected_at: arena.injected_at[i],
+                arrived: arena.arrived[i].load(Ordering::Relaxed),
+                rank: arena.rank[i],
+                pos: arena.pos[i].load(Ordering::Relaxed) as u64,
+                attempts: arena.attempts[i].load(Ordering::Relaxed),
+                backoff_until: arena.backoff[i].load(Ordering::Relaxed),
+                path: path
+                    .nodes()
+                    .iter()
+                    .map(|c| mesh.node_id(c).0 as u64)
+                    .collect(),
+            }
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(base_latencies.len() + delivered_instant);
+    latencies.extend_from_slice(base_latencies);
+    latencies.resize(latencies.len() + delivered_instant, 0);
+    for shard in shards {
+        latencies.extend_from_slice(&shard.lock().unwrap().latencies);
+    }
+    latencies.sort_unstable();
+    let link_loads: Vec<u64> = (0..mesh.edge_count())
+        .map(|e| {
+            let s = map.shard_of_edge[e] as usize;
+            shards[s].lock().unwrap().loads[map.slot_of_edge[e] as usize]
+        })
+        .collect();
+    EngineState {
+        t,
+        rng: rng.state(),
+        injected: injected as u64,
+        inj_idx,
+        arena_len: arena.path.len() as u64,
+        handoffs_total,
+        max_imbalance,
+        latencies,
+        link_loads,
+        packets,
+        fstats: *fstats,
+        obs: capture_obs(),
+    }
 }
 
 /// One shard's contend-and-commit for step `t`: drain the parity inbox,

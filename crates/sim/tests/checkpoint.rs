@@ -1,0 +1,417 @@
+//! Differential tests for checkpoint/resume: a run that is killed at a
+//! step boundary and resumed from its newest snapshot must finish with
+//! the *exact* outcome of an uninterrupted run — for every engine,
+//! thread count, and fault plan — and a corrupted newest snapshot must
+//! fall back to the previous generation with the same guarantee.
+
+use oblivion_ckpt::Store;
+use oblivion_faults::{FaultConfig, FaultMode, FaultPlan, RecoveryPolicy};
+use oblivion_mesh::{Coord, Mesh, Path};
+use oblivion_sim::{
+    CheckpointCfg, EngineState, Faults, OnlineResult, OnlineSim, SchedulingPolicy, StopReason,
+    UniformTraffic,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const STEPS: u64 = 160;
+const EVERY: u64 = 30;
+const KILL_AT: u64 = 100;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "oblivion_ckpt_test_{tag}_{}_{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A randomized dimension-order path source (resampling redraws).
+fn random_dim_order(mesh: &Mesh) -> impl Fn(&Coord, &Coord, &mut StdRng) -> Path + Sync + '_ {
+    move |s: &Coord, t: &Coord, rng: &mut StdRng| {
+        let mut axes: Vec<usize> = (0..mesh.dim()).collect();
+        for i in (1..axes.len()).rev() {
+            axes.swap(i, rng.gen_range(0..=i));
+        }
+        let mut nodes = vec![*s];
+        let mut cur = *s;
+        for &axis in &axes {
+            while let Some(next) = mesh.step_towards(&cur, t[axis], axis) {
+                nodes.push(next);
+                cur = next;
+            }
+        }
+        Path::new_unchecked(nodes)
+    }
+}
+
+fn transient_cfg() -> FaultConfig {
+    FaultConfig {
+        link_fail_prob: 0.08,
+        mode: FaultMode::Transient,
+        mttr: 12,
+        mtbf: 70,
+        node_fail_prob: 0.02,
+        drop_prob: 0.01,
+    }
+}
+
+/// Runs the kill-at-boundary + resume protocol for one configuration and
+/// asserts the final outcome matches the uninterrupted reference.
+fn assert_resume_identical(mesh: &Mesh, plan: Option<&FaultPlan>, seed: u64, threads: usize) {
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(mesh);
+    let mut sim = OnlineSim::new(mesh, SchedulingPolicy::Fifo, 0.15);
+    if let Some(p) = plan {
+        sim = sim.with_faults(Faults {
+            plan: p,
+            recovery: RecoveryPolicy::Resample,
+            retry_budget: 8,
+        });
+    }
+    let reference: OnlineResult = sim.run_sharded(&pattern, &paths, STEPS, seed, threads);
+
+    let dir = tmp_dir("resume");
+    let store = Store::open(&dir).unwrap();
+    let config_hash = 0xC0FF_EE00 ^ seed;
+    let killed = sim.run_sharded_ckpt(
+        &pattern,
+        &paths,
+        STEPS,
+        seed,
+        threads,
+        Some(&CheckpointCfg {
+            store: &store,
+            every: EVERY,
+            stop_at: Some(KILL_AT),
+            config_hash,
+            resume_generation: 0,
+            resume_step: None,
+        }),
+        None,
+    );
+    match killed {
+        Err(StopReason::Interrupted(i)) => {
+            assert_eq!(i.step, KILL_AT);
+            assert_eq!(i.generation, None, "stop_at must simulate a kill, not save");
+        }
+        other => panic!("expected interruption, got {other:?}"),
+    }
+
+    let outcome = store.load_latest(config_hash);
+    assert!(outcome.warnings.is_empty(), "{:?}", outcome.warnings);
+    let snap = outcome.snapshot.expect("periodic snapshot exists");
+    assert_eq!(snap.step, (KILL_AT / EVERY) * EVERY);
+    let state = EngineState::decode(&snap.payload, mesh).unwrap();
+    assert_eq!(state.t, snap.step);
+
+    let resumed = sim
+        .run_sharded_ckpt(
+            &pattern,
+            &paths,
+            STEPS,
+            seed,
+            threads,
+            Some(&CheckpointCfg {
+                store: &store,
+                every: EVERY,
+                stop_at: None,
+                config_hash,
+                resume_generation: snap.generation,
+                resume_step: Some(state.t),
+            }),
+            Some(&state),
+        )
+        .expect("resumed run completes");
+    assert!(
+        resumed.same_outcome(&reference),
+        "seed={seed} threads={threads} faults={}:\n resumed {resumed:?}\n  vs ref {reference:?}",
+        plan.is_some(),
+    );
+    assert_eq!(resumed.sharding, reference.sharding);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_and_resumed_matches_uninterrupted_for_every_thread_count() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    for seed in [3, 11] {
+        for threads in THREADS {
+            assert_resume_identical(&mesh, None, seed, threads);
+        }
+    }
+}
+
+#[test]
+fn killed_and_resumed_matches_under_transient_faults() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let cfg = transient_cfg();
+    for seed in [3, 11] {
+        // The plan is a pure function of (mesh, cfg, seed, horizon); the
+        // resumed process rematerializes it exactly as the killed one did.
+        let plan = FaultPlan::new(&mesh, &cfg, seed ^ 0x5EED, 2 * STEPS);
+        for threads in THREADS {
+            assert_resume_identical(&mesh, Some(&plan), seed, threads);
+        }
+    }
+}
+
+#[test]
+fn sequential_engine_resumes_identically_too() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(&mesh);
+    let cfg = transient_cfg();
+    let plan = FaultPlan::new(&mesh, &cfg, 77, 2 * STEPS);
+    for plan in [None, Some(&plan)] {
+        let mut sim = OnlineSim::new(&mesh, SchedulingPolicy::RandomRank, 0.12);
+        if let Some(p) = plan {
+            sim = sim.with_faults(Faults {
+                plan: p,
+                recovery: RecoveryPolicy::DropAfterBudget,
+                retry_budget: 4,
+            });
+        }
+        let reference = sim.run(&pattern, &paths, STEPS, 5);
+        let dir = tmp_dir("seq");
+        let store = Store::open(&dir).unwrap();
+        let killed = sim.run_ckpt(
+            &pattern,
+            &paths,
+            STEPS,
+            5,
+            Some(&CheckpointCfg {
+                store: &store,
+                every: EVERY,
+                stop_at: Some(KILL_AT),
+                config_hash: 9,
+                resume_generation: 0,
+                resume_step: None,
+            }),
+            None,
+        );
+        assert!(killed.is_err());
+        let snap = store.load_latest(9).snapshot.unwrap();
+        let state = EngineState::decode(&snap.payload, &mesh).unwrap();
+        let resumed = sim
+            .run_ckpt(
+                &pattern,
+                &paths,
+                STEPS,
+                5,
+                Some(&CheckpointCfg {
+                    store: &store,
+                    every: EVERY,
+                    stop_at: None,
+                    config_hash: 9,
+                    resume_generation: snap.generation,
+                    resume_step: Some(state.t),
+                }),
+                Some(&state),
+            )
+            .unwrap();
+        assert!(
+            resumed.same_outcome(&reference),
+            "faults={}:\n resumed {resumed:?}\n  vs ref {reference:?}",
+            plan.is_some(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The snapshot payload is canonical: the sharded engine produces
+/// byte-identical snapshots (same CRC) at every thread count, and the
+/// sequential engine's snapshot of the same run matches field-for-field
+/// except the sharded-only statistics it reports as zero.
+#[test]
+fn snapshot_bytes_are_engine_and_thread_invariant() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(&mesh);
+    let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.2);
+    let mut crcs = Vec::new();
+    let mut run = |threads: Option<usize>| {
+        let dir = tmp_dir("canon");
+        let store = Store::open(&dir).unwrap();
+        let cfg = CheckpointCfg {
+            store: &store,
+            every: 60,
+            stop_at: Some(90),
+            config_hash: 1,
+            resume_generation: 0,
+            resume_step: None,
+        };
+        let res = match threads {
+            None => sim.run_ckpt(&pattern, &paths, STEPS, 13, Some(&cfg), None),
+            Some(n) => sim.run_sharded_ckpt(&pattern, &paths, STEPS, 13, n, Some(&cfg), None),
+        };
+        assert!(res.is_err(), "stop_at must interrupt");
+        let snap = store.load_latest(1).snapshot.unwrap();
+        assert_eq!(snap.step, 60);
+        crcs.push((threads, snap.checksum, snap.payload));
+        let _ = std::fs::remove_dir_all(&dir);
+    };
+    run(None);
+    for threads in THREADS {
+        run(Some(threads));
+    }
+    // Sharded snapshots: bit-identical at every thread count.
+    for (threads, crc, payload) in &crcs[2..] {
+        assert_eq!(
+            (crc, payload),
+            (&crcs[1].1, &crcs[1].2),
+            "snapshot for threads={threads:?} differs from threads=1"
+        );
+    }
+    // Sequential snapshot: same state, modulo the sharded-only counters.
+    let seq = EngineState::decode(&crcs[0].2, &mesh).unwrap();
+    let shd = EngineState::decode(&crcs[1].2, &mesh).unwrap();
+    assert_eq!(seq.handoffs_total, 0);
+    assert_eq!(seq.max_imbalance, 0);
+    assert_eq!(seq.t, shd.t);
+    assert_eq!(seq.rng, shd.rng);
+    assert_eq!(seq.injected, shd.injected);
+    assert_eq!(seq.inj_idx, shd.inj_idx);
+    assert_eq!(seq.arena_len, shd.arena_len);
+    assert_eq!(seq.latencies, shd.latencies);
+    assert_eq!(seq.link_loads, shd.link_loads);
+    assert_eq!(seq.packets, shd.packets);
+    assert_eq!(seq.fstats, shd.fstats);
+}
+
+/// Single-byte corruption of the newest snapshot falls back to the
+/// previous generation — and the resumed run still matches the
+/// uninterrupted reference exactly.
+#[test]
+fn corrupted_newest_snapshot_falls_back_and_still_matches() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(&mesh);
+    let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.15);
+    let reference = sim.run_sharded(&pattern, &paths, STEPS, 21, 2);
+
+    let dir = tmp_dir("corrupt");
+    let store = Store::open(&dir).unwrap();
+    let cfg_hash = 4;
+    // Kill at 100 with every=30: snapshots at 30, 60, 90 → slots hold
+    // generation 2 (step 60) and generation 3 (step 90).
+    let killed = sim.run_sharded_ckpt(
+        &pattern,
+        &paths,
+        STEPS,
+        21,
+        2,
+        Some(&CheckpointCfg {
+            store: &store,
+            every: EVERY,
+            stop_at: Some(KILL_AT),
+            config_hash: cfg_hash,
+            resume_generation: 0,
+            resume_step: None,
+        }),
+        None,
+    );
+    assert!(killed.is_err());
+    let newest = store.load_latest(cfg_hash).snapshot.unwrap();
+    assert_eq!(newest.generation, 3);
+
+    // Flip one payload byte in the newest slot.
+    let path = store.slot_path(newest.generation);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let outcome = store.load_latest(cfg_hash);
+    assert_eq!(
+        outcome.warnings.len(),
+        1,
+        "rejection must be surfaced: {:?}",
+        outcome.warnings
+    );
+    let snap = outcome.snapshot.expect("previous generation survives");
+    assert_eq!(snap.generation, 2, "fallback to the older slot");
+    assert_eq!(snap.step, 60);
+
+    let state = EngineState::decode(&snap.payload, &mesh).unwrap();
+    let resumed = sim
+        .run_sharded_ckpt(
+            &pattern,
+            &paths,
+            STEPS,
+            21,
+            2,
+            Some(&CheckpointCfg {
+                store: &store,
+                every: EVERY,
+                stop_at: None,
+                config_hash: cfg_hash,
+                resume_generation: snap.generation,
+                resume_step: Some(state.t),
+            }),
+            Some(&state),
+        )
+        .unwrap();
+    assert!(resumed.same_outcome(&reference));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming with a *different* thread count than the killed run still
+/// reproduces the uninterrupted outcome: the snapshot is engine-neutral.
+#[test]
+fn resume_across_thread_counts() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let pattern = UniformTraffic::new(mesh.clone());
+    let paths = random_dim_order(&mesh);
+    let sim = OnlineSim::new(&mesh, SchedulingPolicy::Fifo, 0.15);
+    let reference = sim.run_sharded(&pattern, &paths, STEPS, 31, 1);
+
+    let dir = tmp_dir("xthreads");
+    let store = Store::open(&dir).unwrap();
+    let killed = sim.run_sharded_ckpt(
+        &pattern,
+        &paths,
+        STEPS,
+        31,
+        8,
+        Some(&CheckpointCfg {
+            store: &store,
+            every: EVERY,
+            stop_at: Some(KILL_AT),
+            config_hash: 2,
+            resume_generation: 0,
+            resume_step: None,
+        }),
+        None,
+    );
+    assert!(killed.is_err());
+    let snap = store.load_latest(2).snapshot.unwrap();
+    let state = EngineState::decode(&snap.payload, &mesh).unwrap();
+    let resumed = sim
+        .run_sharded_ckpt(
+            &pattern,
+            &paths,
+            STEPS,
+            31,
+            2,
+            Some(&CheckpointCfg {
+                store: &store,
+                every: EVERY,
+                stop_at: None,
+                config_hash: 2,
+                resume_generation: snap.generation,
+                resume_step: Some(state.t),
+            }),
+            Some(&state),
+        )
+        .unwrap();
+    assert!(resumed.same_outcome(&reference));
+    let _ = std::fs::remove_dir_all(&dir);
+}

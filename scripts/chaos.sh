@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Kill-mid-run chaos gate for checkpoint/resume.
+# Usage: scripts/chaos.sh
+#
+# Three ways to die, one invariant: a run that is killed at any moment
+# and then rerun with the same flags must produce results byte-identical
+# to a run that was never interrupted.
+#
+#   1. kill -9 at a random point after the first snapshot lands (the
+#      signal can even hit mid-snapshot-write — the two-generation store
+#      makes that recoverable too);
+#   2. a deterministic torn snapshot write (OBLIVION_CKPT_CRASH tears the
+#      slot file in half and aborts), so the fallback path is exercised
+#      on every CI run, not only when the race above happens to hit it;
+#   3. a single flipped byte in the newest snapshot, which must be
+#      rejected by its CRC and recovered via the previous generation.
+#
+# "Byte-identical" means: stdout matches exactly, and the metrics files
+# match after dropping wall-clock spans, scheduling-dependent runtime
+# counters, and the ckpt_* resume-provenance fields (which honestly
+# record that a resume happened and so exist only in the resumed file).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --offline --quiet --bin oblivion
+bin=target/debug/oblivion
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+base=(online --mesh 16x16 --router busch2d --rate 0.1 --steps 800 --seed 42
+  --fault-links 0.05 --fault-mode transient --recovery resample --threads 2)
+
+deterministic() { # <in.json> <out>
+  grep -v '"type":"span' "$1" | grep -v '"type":"runtime_counter"' \
+    | sed -E 's/,"ckpt_[a-z_]+":("[^"]*"|[0-9]+)//g' > "$2"
+}
+
+echo "== chaos: uninterrupted reference run =="
+"${bin}" "${base[@]}" --metrics-out "$tmp/ref.json" > "$tmp/ref.out"
+deterministic "$tmp/ref.json" "$tmp/ref.det"
+
+# Reruns the interrupted run in $tmp/<tag>/ckpt to completion and diffs
+# stdout + deterministic metrics against the reference.
+check_resume() { # <tag>
+  local tag="$1"
+  "${bin}" "${base[@]}" --checkpoint-dir "$tmp/$tag/ckpt" --checkpoint-every 25 \
+    --metrics-out "$tmp/$tag/res.json" > "$tmp/$tag/res.out" 2> "$tmp/$tag/res.err"
+  if ! grep -q "resuming from checkpoint generation" "$tmp/$tag/res.err"; then
+    echo "chaos/$tag: rerun did not resume from a snapshot" >&2
+    cat "$tmp/$tag/res.err" >&2
+    return 1
+  fi
+  if ! cmp -s "$tmp/ref.out" "$tmp/$tag/res.out"; then
+    echo "chaos/$tag: stdout differs from the uninterrupted run" >&2
+    diff "$tmp/ref.out" "$tmp/$tag/res.out" | head >&2 || true
+    return 1
+  fi
+  deterministic "$tmp/$tag/res.json" "$tmp/$tag/res.det"
+  if ! cmp -s "$tmp/ref.det" "$tmp/$tag/res.det"; then
+    echo "chaos/$tag: metrics differ from the uninterrupted run" >&2
+    diff "$tmp/ref.det" "$tmp/$tag/res.det" | head >&2 || true
+    return 1
+  fi
+  echo "chaos/$tag: resumed run is byte-identical to the reference"
+}
+
+echo "== chaos: kill -9 at a random point mid-run =="
+mkdir -p "$tmp/kill9"
+"${bin}" "${base[@]}" --checkpoint-dir "$tmp/kill9/ckpt" --checkpoint-every 25 \
+  > /dev/null 2>&1 &
+pid=$!
+for _ in $(seq 1 600); do
+  if [[ -e "$tmp/kill9/ckpt/snap-a.ckpt" || -e "$tmp/kill9/ckpt/snap-b.ckpt" ]]; then
+    break
+  fi
+  if ! kill -0 "$pid" 2> /dev/null; then
+    break
+  fi
+  sleep 0.05
+done
+kill -9 "$pid" 2> /dev/null || {
+  echo "chaos/kill9: run finished before it could be killed; raise --steps" >&2
+  exit 1
+}
+wait "$pid" 2> /dev/null || true
+if [[ ! -e "$tmp/kill9/ckpt/snap-a.ckpt" && ! -e "$tmp/kill9/ckpt/snap-b.ckpt" ]]; then
+  echo "chaos/kill9: no snapshot on disk after the kill" >&2
+  exit 1
+fi
+check_resume kill9
+
+echo "== chaos: torn snapshot write (crash mid-write) =="
+mkdir -p "$tmp/midwrite"
+if OBLIVION_CKPT_CRASH="mid-write:3" "${bin}" "${base[@]}" \
+  --checkpoint-dir "$tmp/midwrite/ckpt" --checkpoint-every 25 > /dev/null 2>&1; then
+  echo "chaos/midwrite: crash directive did not kill the run" >&2
+  exit 1
+fi
+check_resume midwrite
+if ! grep -q "rejected" "$tmp/midwrite/res.err"; then
+  echo "chaos/midwrite: torn slot was not rejected on resume" >&2
+  cat "$tmp/midwrite/res.err" >&2
+  exit 1
+fi
+
+echo "== chaos: flipped byte in the newest snapshot =="
+mkdir -p "$tmp/corrupt"
+if "${bin}" "${base[@]}" --checkpoint-dir "$tmp/corrupt/ckpt" \
+  --checkpoint-every 25 --ckpt-stop-at 120 > /dev/null 2>&1; then
+  echo "chaos/corrupt: --ckpt-stop-at did not interrupt the run" >&2
+  exit 1
+fi
+# Generations 1..4 were saved (t = 25..100); the newest, 4, sits in
+# snap-a by generation parity. Flip one byte in its middle.
+slot="$tmp/corrupt/ckpt/snap-a.ckpt"
+size=$(stat -c %s "$slot")
+off=$((size / 2))
+byte=$(od -An -tu1 -j "$off" -N1 "$slot" | tr -d ' ')
+flipped=$(((byte + 1) % 256))
+# shellcheck disable=SC2059 — building a single escaped octal byte
+printf "$(printf '\\%03o' "$flipped")" \
+  | dd of="$slot" bs=1 seek="$off" conv=notrunc status=none
+check_resume corrupt
+if ! grep -q "rejected" "$tmp/corrupt/res.err"; then
+  echo "chaos/corrupt: corrupted slot was not rejected on resume" >&2
+  cat "$tmp/corrupt/res.err" >&2
+  exit 1
+fi
+if ! grep -q "generation 3" "$tmp/corrupt/res.err"; then
+  echo "chaos/corrupt: resume did not fall back to generation 3" >&2
+  cat "$tmp/corrupt/res.err" >&2
+  exit 1
+fi
+
+echo "chaos: all kill/corruption scenarios recovered byte-identically"

@@ -60,6 +60,11 @@ fault_differential() {
 timed "fault differential (--threads 1 vs 8)" \
   fault_differential
 
+# Crash consistency: kill -9 mid-run, torn snapshot writes, and flipped
+# bytes must all resume to byte-identical results (scripts/chaos.sh).
+timed "checkpoint chaos gate (kill -9 / torn write / corruption)" \
+  scripts/chaos.sh
+
 # The error-path crates must not grow panicking shortcuts: any new
 # .unwrap()/.expect( in non-test code needs an explicit
 # `// ci-allow-unwrap: why` justification on the same line.

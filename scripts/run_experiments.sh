@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E22) into results/.
-# Usage: scripts/run_experiments.sh [results-dir]
+# Regenerates every experiment table (E1-E23) into results/.
+# Usage: scripts/run_experiments.sh [--force] [results-dir]
+#   Experiments whose machine-readable results/<exp>.json already exists
+#   are skipped, so an interrupted sweep resumes where it left off; pass
+#   --force to regenerate everything from scratch.
 #   Set SKIP_CI=1 to bypass the scripts/ci.sh preflight.
 #   Set OBLIVION_THREADS=N to pin the thread count the parallel benches
 #   (exp_online, exp_delays, exp_online_threads) run with; the default is
@@ -11,7 +14,14 @@
 # the .txt capture (render with `oblivion stats`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-results}"
+force=0
+out=results
+for arg in "$@"; do
+  case "$arg" in
+    --force) force=1 ;;
+    *) out="$arg" ;;
+  esac
+done
 mkdir -p "$out"
 export OBLIVION_RESULTS_DIR="$out"
 
@@ -34,6 +44,15 @@ cargo build --release -p oblivion-bench --bins --quiet
 cargo build --release --examples --quiet
 
 run() {
+  # Binaries wired to oblivion-bench::report write $out/<exp>.json where
+  # <exp> is the bin name minus its exp_ prefix (exp_checkpoint overrides
+  # this via $2). If that file already exists the experiment is done —
+  # skip it unless --force, so an interrupted sweep resumes cheaply.
+  local json="${2:-${1#exp_}}"
+  if [[ "$force" != 1 && -f "$out/$json.json" ]]; then
+    echo "== $1 == skipped ($out/$json.json exists; --force regenerates)"
+    return 0
+  fi
   echo "== $1 =="
   local start end
   start=$(date +%s)
@@ -68,5 +87,6 @@ run exp_expected_congestion  # E19
 run exp_offline_gap          # E20
 run exp_online_threads       # E21
 run exp_faults               # E22
+run exp_checkpoint checkpoint_overhead  # E23
 
 echo "all experiment outputs written to $out/"

@@ -243,6 +243,12 @@ fn opt<'a>(args: &'a Args, key: &str, default: &'a str) -> &'a str {
 thread_local! {
     static REPORT_FIELDS: std::cell::RefCell<Vec<(String, oblivion_obs::Json)>> =
         const { std::cell::RefCell::new(Vec::new()) };
+    /// A checkpoint store whose snapshots became obsolete because the run
+    /// completed; cleared by [`run`] only *after* the metrics file is
+    /// durably written, so a failed write never destroys the recovery
+    /// point.
+    static CKPT_CLEAR: std::cell::RefCell<Option<oblivion_ckpt::Store>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 fn report_field(key: &str, value: impl Into<oblivion_obs::Json>) {
@@ -310,7 +316,42 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
     if entries.is_empty() && !bad.is_empty() {
         return Err(format!("{path}: no parseable metrics lines"));
     }
-    Ok(oblivion_obs::render(&entries))
+    let mut out = oblivion_obs::render(&entries);
+    // Resume provenance: runs that recovered from a checkpoint stamp
+    // their report line; surface that, and warn when one file mixes
+    // reports resumed from different checkpoint generations (the lines
+    // then describe different interrupted histories).
+    let mut generations: Vec<u64> = Vec::new();
+    for (kind, obj) in &entries {
+        if kind != "report" {
+            continue;
+        }
+        let Some(gen) = obj.get("ckpt_resumed_generation").and_then(|v| v.as_u64()) else {
+            continue;
+        };
+        generations.push(gen);
+        let step = obj
+            .get("ckpt_resumed_from_step")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let crc = obj
+            .get("ckpt_resumed_crc")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "resume provenance: resumed from checkpoint generation {gen} at step {step} (crc {crc})"
+        );
+    }
+    generations.sort_unstable();
+    generations.dedup();
+    if generations.len() > 1 {
+        eprintln!(
+            "warning: {path}: mixes reports resumed from different checkpoint generations \
+             ({generations:?}); entries may describe different interrupted histories"
+        );
+    }
+    Ok(out)
 }
 
 fn seed_of(args: &Args) -> Result<u64, String> {
@@ -350,6 +391,10 @@ pub fn help() -> String {
          \u{20}            [--mttr T] [--mtbf T] [--recovery wait|resample|drop]\n\
          \u{20}            [--retry-budget K] [--fault-seed S]  (deterministic:\n\
          \u{20}             the fault schedule is a pure function of mesh + seed)\n\
+         \u{20}            crash recovery: [--checkpoint-dir DIR] [--checkpoint-every K]\n\
+         \u{20}            (snapshot full state every K steps and on SIGINT/SIGTERM;\n\
+         \u{20}             rerunning the same command resumes from the newest valid\n\
+         \u{20}             snapshot with byte-identical final results)\n\
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
@@ -371,7 +416,12 @@ pub fn help() -> String {
 
 /// Executes a parsed command, returning the text to print.
 pub fn run(args: &Args) -> Result<String, String> {
-    let metered = wants_metrics(args);
+    // Checkpointed runs always collect, even without --metrics-out:
+    // snapshots embed the counter/histogram state, and a resume that
+    // *does* ask for metrics must find the pre-kill half in the
+    // snapshot, not a hole. (finish_metrics still only writes a file
+    // when --metrics-out is present.)
+    let metered = wants_metrics(args) || args.options.contains_key("checkpoint-dir");
     if metered {
         oblivion_obs::reset();
         oblivion_obs::capture_events(opt(args, "trace", "false") == "true");
@@ -379,11 +429,22 @@ pub fn run(args: &Args) -> Result<String, String> {
         REPORT_FIELDS.with(|f| f.borrow_mut().clear());
     }
     let result = dispatch(args);
+    let obsolete_ckpt = CKPT_CLEAR.with(|c| c.borrow_mut().take());
     if metered {
         oblivion_obs::disable();
         oblivion_obs::capture_events(false);
         if result.is_ok() {
             finish_metrics(args)?;
+        }
+    }
+    if result.is_ok() {
+        if let Some(store) = obsolete_ckpt {
+            if let Err(e) = store.clear() {
+                eprintln!(
+                    "warning: cannot clear checkpoint dir {}: {e}",
+                    store.dir().display()
+                );
+            }
         }
     }
     result
@@ -689,22 +750,29 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         }
         Ok(p)
     };
+    // Mean times and budgets of 0 are degenerate (the fault plan clamps
+    // them, silently changing the model the user asked for) — reject them
+    // up front instead.
+    let parse_positive = |key: &str, default: &str| -> Result<u64, String> {
+        let v: u64 = opt(args, key, default)
+            .parse()
+            .map_err(|e| format!("bad --{key}: {e}"))?;
+        if v == 0 {
+            return Err(format!("--{key} must be at least 1"));
+        }
+        Ok(v)
+    };
     let fault_cfg = FaultConfig {
         link_fail_prob: parse_prob("fault-links")?,
         mode: FaultMode::parse(opt(args, "fault-mode", "permanent"))?,
-        mttr: opt(args, "mttr", "20")
-            .parse()
-            .map_err(|e| format!("bad --mttr: {e}"))?,
-        mtbf: opt(args, "mtbf", "200")
-            .parse()
-            .map_err(|e| format!("bad --mtbf: {e}"))?,
+        mttr: parse_positive("mttr", "20")?,
+        mtbf: parse_positive("mtbf", "200")?,
         node_fail_prob: parse_prob("fault-nodes")?,
         drop_prob: parse_prob("drop-prob")?,
     };
     let recovery = RecoveryPolicy::parse(opt(args, "recovery", "resample"))?;
-    let retry_budget: u32 = opt(args, "retry-budget", "16")
-        .parse()
-        .map_err(|e| format!("bad --retry-budget: {e}"))?;
+    let retry_budget = u32::try_from(parse_positive("retry-budget", "16")?)
+        .map_err(|_| "bad --retry-budget: too large".to_string())?;
     let fault_seed: u64 = match args.options.get("fault-seed") {
         Some(v) => v.parse().map_err(|e| format!("bad --fault-seed: {e}"))?,
         None => seed,
@@ -756,11 +824,123 @@ fn cmd_online(args: &Args) -> Result<String, String> {
             retry_budget,
         });
     }
+    // ------------------------------------------------------------------
+    // Crash recovery: with `--checkpoint-dir` the run snapshots its full
+    // state every `--checkpoint-every` steps (and on SIGINT/SIGTERM), and
+    // resumes from the newest valid snapshot when rerun. The checkpoint
+    // machinery never touches the simulation's randomness, so a resumed
+    // run's results are byte-identical to an uninterrupted one.
+    // ------------------------------------------------------------------
+    use oblivion_ckpt::{signal, Store};
+    use oblivion_sim::{CheckpointCfg, EngineState};
+    let ckpt_every: u64 = opt(args, "checkpoint-every", "0")
+        .parse()
+        .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+    let ckpt_stop_at: Option<u64> = match args.options.get("ckpt-stop-at") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --ckpt-stop-at: {e}"))?),
+        None => None,
+    };
+    let ckpt_dir = args.options.get("checkpoint-dir");
+    if ckpt_dir.is_none() {
+        if ckpt_every > 0 {
+            return Err("--checkpoint-every needs --checkpoint-dir".into());
+        }
+        if ckpt_stop_at.is_some() {
+            return Err("--ckpt-stop-at needs --checkpoint-dir".into());
+        }
+    }
+    // Everything that shapes the simulation — but NOT the thread count or
+    // the checkpoint cadence, which are free to change across a resume.
+    let config_hash = {
+        let desc = format!(
+            "mesh={:?}/{:?};router={};seed={seed};rate={rate};steps={steps};\
+             policy={policy:?};pattern={};recovery={};retry={retry_budget};\
+             fseed={fault_seed};fcfg={fault_cfg:?};plan={:016x}",
+            mesh.dims(),
+            mesh.topology(),
+            router.name(),
+            pattern.name(),
+            recovery.name(),
+            plan.as_ref().map_or(0, |p| p.digest()),
+        );
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in desc.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    };
+    let store = match ckpt_dir {
+        Some(dir) => Some(
+            Store::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cannot open checkpoint dir {dir}: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut resume_state: Option<EngineState> = None;
+    let mut resume_generation = 0u64;
+    let mut resume_step: Option<u64> = None;
+    let mut resume_crc = 0u32;
+    if let Some(store) = &store {
+        signal::install();
+        let outcome = store.load_latest(config_hash);
+        for w in &outcome.warnings {
+            eprintln!("warning: checkpoint: {w}");
+        }
+        if let Some(snap) = outcome.snapshot {
+            let st = EngineState::decode(&snap.payload, &mesh).map_err(|e| {
+                format!(
+                    "checkpoint {}: {e}",
+                    store.slot_path(snap.generation).display()
+                )
+            })?;
+            eprintln!(
+                "resuming from checkpoint generation {} at step {} (crc 0x{:08x})",
+                snap.generation, st.t, snap.checksum
+            );
+            resume_generation = snap.generation;
+            resume_step = Some(st.t);
+            resume_crc = snap.checksum;
+            resume_state = Some(st);
+        }
+    }
     // The sharded engine is deterministic in the thread count, so it is
     // the only engine the CLI runs; `--threads 1` executes it inline.
-    let r = sim.run_sharded(pattern, &source, steps, seed, threads);
+    let r = match &store {
+        None => sim.run_sharded(pattern, &source, steps, seed, threads),
+        Some(store) => {
+            let cfg = CheckpointCfg {
+                store,
+                every: ckpt_every,
+                stop_at: ckpt_stop_at,
+                config_hash,
+                resume_generation,
+                resume_step,
+            };
+            match sim.run_sharded_ckpt(
+                pattern,
+                &source,
+                steps,
+                seed,
+                threads,
+                Some(&cfg),
+                resume_state.as_ref(),
+            ) {
+                Ok(r) => r,
+                Err(stop) => return Err(stop.to_string()),
+            }
+        }
+    };
+    if let Some(store) = store {
+        CKPT_CLEAR.with(|c| *c.borrow_mut() = Some(store));
+    }
     let sharding = r.sharding.expect("sharded run reports a summary");
     report_field("router_name", router.name().as_str());
+    if let Some(step0) = resume_step {
+        report_field("ckpt_resumed_from_step", step0);
+        report_field("ckpt_resumed_generation", resume_generation);
+        report_field("ckpt_resumed_crc", format!("0x{resume_crc:08x}"));
+    }
     report_field("injected", r.injected as u64);
     report_field("delivered", r.delivered as u64);
     report_field("in_flight", r.in_flight as u64);

@@ -1,0 +1,356 @@
+//! Subprocess chaos tests for checkpoint/resume: the `oblivion online`
+//! command is killed at a checkpoint boundary, mid-snapshot-write, and
+//! by SIGTERM — and after resuming, its final metrics file must be
+//! byte-identical (modulo wall-clock span timings and the resume
+//! provenance stamp) to an uninterrupted run's. A corrupted newest
+//! snapshot must fall back to the previous generation with the same
+//! guarantee.
+
+use oblivion_obs::Json;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const RUN: [&str; 14] = [
+    "online",
+    "--mesh",
+    "8x8",
+    "--router",
+    "busch2d",
+    "--rate",
+    "0.1",
+    "--steps",
+    "300",
+    "--seed",
+    "7",
+    "--policy",
+    "fifo",
+    "--threads",
+];
+const FAULTS: [&str; 10] = [
+    "--fault-links",
+    "0.15",
+    "--fault-mode",
+    "transient",
+    "--mttr",
+    "10",
+    "--mtbf",
+    "60",
+    "--drop-prob",
+    "0.01",
+];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "oblivion_chaos_{tag}_{}_{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn oblivion(args: &[&str], crash: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_oblivion"));
+    cmd.args(args);
+    match crash {
+        Some(directive) => cmd.env("OBLIVION_CKPT_CRASH", directive),
+        None => cmd.env_remove("OBLIVION_CKPT_CRASH"),
+    };
+    cmd.output().expect("spawn oblivion")
+}
+
+/// The deterministic core of a metrics file: every line except wall-clock
+/// span timings and runtime counters, with the `ckpt_*` resume
+/// provenance stripped from the report (an uninterrupted run has none).
+fn deterministic_core(path: &PathBuf) -> Vec<(String, Json)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read metrics {}: {e}", path.display()));
+    let mut entries = oblivion_obs::parse_jsonl(&text).expect("metrics must parse");
+    entries.retain(|(kind, _)| !matches!(kind.as_str(), "span" | "span_event" | "runtime_counter"));
+    for (kind, value) in &mut entries {
+        if kind == "report" {
+            if let Json::Obj(kv) = value {
+                kv.retain(|(k, _)| !k.starts_with("ckpt_"));
+            }
+        }
+    }
+    entries
+}
+
+/// Runs the scenario: an uninterrupted reference, then an interrupted run
+/// (`crash` chaos directive or `--ckpt-stop-at`), then a resume — and
+/// asserts stdout and the metrics core are identical to the reference.
+/// Returns the resume run's stderr for scenario-specific assertions.
+fn assert_recovers(
+    tag: &str,
+    threads_killed: &str,
+    threads_resumed: &str,
+    faults: bool,
+    crash: Option<&str>,
+    stop_at: Option<&str>,
+    corrupt_newest: bool,
+) -> String {
+    let dir = tmp_dir(tag);
+    let ckpt = dir.join("ckpt");
+    let ref_json = dir.join("ref.json");
+    let res_json = dir.join("res.json");
+
+    let mut base: Vec<&str> = RUN.to_vec();
+    let (rj, sj);
+    base.push(threads_resumed);
+    if faults {
+        base.extend_from_slice(&FAULTS);
+    }
+    // Reference: no checkpointing at all.
+    let mut ref_args = base.clone();
+    rj = ref_json.to_str().unwrap().to_string();
+    ref_args.extend_from_slice(&["--metrics-out", &rj]);
+    let out = oblivion(&ref_args, None);
+    assert!(out.status.success(), "reference run failed: {out:?}");
+    let reference_stdout = out.stdout.clone();
+
+    // Interrupted run (its own thread count; the snapshot is neutral).
+    let mut kill_args: Vec<&str> = RUN.to_vec();
+    kill_args.push(threads_killed);
+    if faults {
+        kill_args.extend_from_slice(&FAULTS);
+    }
+    let ck = ckpt.to_str().unwrap().to_string();
+    kill_args.extend_from_slice(&["--checkpoint-dir", &ck, "--checkpoint-every", "60"]);
+    if let Some(t) = stop_at {
+        kill_args.extend_from_slice(&["--ckpt-stop-at", t]);
+    }
+    let out = oblivion(&kill_args, crash);
+    assert!(
+        !out.status.success(),
+        "interrupted run must not exit 0: {out:?}"
+    );
+    assert!(
+        ckpt.join("snap-a.ckpt").exists() || ckpt.join("snap-b.ckpt").exists(),
+        "no snapshot written before the kill"
+    );
+
+    if corrupt_newest {
+        // Flip one byte in the newest slot. Generation parity puts even
+        // generations in snap-a: with every=60 over 300 steps and a kill
+        // at 250, the slots hold generation 3 (snap-b) and 4 (snap-a),
+        // so snap-a is the one resume would prefer.
+        let newest = ckpt.join("snap-a.ckpt");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+    }
+
+    // Resume and finish.
+    let mut res_args = base.clone();
+    sj = res_json.to_str().unwrap().to_string();
+    res_args.extend_from_slice(&[
+        "--checkpoint-dir",
+        &ck,
+        "--checkpoint-every",
+        "60",
+        "--metrics-out",
+        &sj,
+    ]);
+    let out = oblivion(&res_args, None);
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        out.status.success(),
+        "resumed run failed (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains("resuming from checkpoint generation"),
+        "resume must announce its provenance: {stderr}"
+    );
+    assert_eq!(
+        out.stdout, reference_stdout,
+        "resumed stdout differs from the uninterrupted run's"
+    );
+    assert_eq!(
+        deterministic_core(&res_json),
+        deterministic_core(&ref_json),
+        "resumed metrics differ from the uninterrupted run's"
+    );
+    // The run completed, so the recovery point is obsolete and cleared.
+    assert!(
+        !ckpt.join("snap-a.ckpt").exists() && !ckpt.join("snap-b.ckpt").exists(),
+        "completed run must clear its snapshots"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    stderr
+}
+
+#[test]
+fn kill_at_checkpoint_boundary_then_resume_is_byte_identical() {
+    // `after-gen:3` aborts the process (kill -9 equivalent) immediately
+    // after generation 3 is durably on disk — the checkpoint boundary.
+    assert_recovers(
+        "boundary",
+        "2",
+        "2",
+        false,
+        Some("after-gen:3"),
+        None,
+        false,
+    );
+}
+
+#[test]
+fn kill_mid_snapshot_write_falls_back_to_previous_generation() {
+    // `mid-write:3` tears generation 3's slot file in half and aborts;
+    // resume must reject the torn slot and fall back to generation 2.
+    let stderr = assert_recovers(
+        "midwrite",
+        "2",
+        "2",
+        false,
+        Some("mid-write:3"),
+        None,
+        false,
+    );
+    assert!(
+        stderr.contains("warning: checkpoint:"),
+        "torn slot rejection must be surfaced: {stderr}"
+    );
+}
+
+#[test]
+fn resume_with_different_thread_count_is_byte_identical() {
+    assert_recovers(
+        "xthreads",
+        "8",
+        "1",
+        false,
+        Some("after-gen:3"),
+        None,
+        false,
+    );
+}
+
+#[test]
+fn kill_and_resume_under_transient_faults() {
+    assert_recovers("faults", "2", "8", true, Some("after-gen:3"), None, false);
+}
+
+#[test]
+fn corrupted_newest_snapshot_recovers_via_previous_generation() {
+    let stderr = assert_recovers("corrupt", "2", "2", false, None, Some("250"), true);
+    assert!(
+        stderr.contains("rejected"),
+        "corruption rejection must be surfaced: {stderr}"
+    );
+    assert!(
+        stderr.contains("generation 3"),
+        "must fall back to generation 3: {stderr}"
+    );
+}
+
+#[test]
+fn checkpoint_every_zero_is_byte_identical_to_feature_unused() {
+    let dir = tmp_dir("everyzero");
+    let ref_json = dir.join("ref.json");
+    let e0_json = dir.join("e0.json");
+    let mut base: Vec<&str> = RUN.to_vec();
+    base.push("2");
+    let rj = ref_json.to_str().unwrap().to_string();
+    let mut ref_args = base.clone();
+    ref_args.extend_from_slice(&["--metrics-out", &rj]);
+    let a = oblivion(&ref_args, None);
+    assert!(a.status.success());
+
+    let ck = dir.join("ckpt").to_str().unwrap().to_string();
+    let ej = e0_json.to_str().unwrap().to_string();
+    let mut e0_args = base.clone();
+    e0_args.extend_from_slice(&[
+        "--checkpoint-dir",
+        &ck,
+        "--checkpoint-every",
+        "0",
+        "--metrics-out",
+        &ej,
+    ]);
+    let b = oblivion(&e0_args, None);
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+    // With no snapshot ever taken there is no provenance either — the
+    // metrics files agree on their full deterministic core.
+    assert_eq!(deterministic_core(&ref_json), deterministic_core(&e0_json));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM mid-run saves a final snapshot and exits cleanly; rerunning
+/// resumes from it with byte-identical results.
+#[cfg(unix)]
+#[test]
+fn sigterm_saves_a_snapshot_and_resume_is_byte_identical() {
+    use std::io::Read as _;
+
+    let dir = tmp_dir("sigterm");
+    let ckpt = dir.join("ckpt");
+    let ck = ckpt.to_str().unwrap().to_string();
+
+    // Long enough that SIGTERM lands mid-run even on a fast machine,
+    // short enough that the reference and resumed runs stay cheap in a
+    // debug build.
+    let run: Vec<&str> = vec![
+        "online",
+        "--mesh",
+        "8x8",
+        "--router",
+        "busch2d",
+        "--rate",
+        "0.2",
+        "--steps",
+        "12000",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+    ];
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oblivion"))
+        .args(&run)
+        .args(["--checkpoint-dir", &ck, "--checkpoint-every", "0"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn oblivion");
+    // Give it time to get into the simulation loop, then SIGTERM it.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+    let status = child.wait().expect("wait for oblivion");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(!status.success(), "SIGTERM run must not exit 0");
+    assert!(
+        stderr.contains("checkpoint generation 1 saved"),
+        "graceful shutdown must save: {stderr}"
+    );
+    assert!(
+        ckpt.join("snap-b.ckpt").exists(),
+        "generation 1 lives in slot b"
+    );
+
+    // The resumed run must finish and match an uninterrupted reference.
+    let reference = oblivion(&run, None);
+    assert!(reference.status.success());
+    let mut res_args = run.clone();
+    res_args.extend_from_slice(["--checkpoint-dir", &ck, "--checkpoint-every", "0"].as_slice());
+    let resumed = oblivion(&res_args, None);
+    let res_err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(resumed.status.success(), "resume failed: {res_err}");
+    assert!(res_err.contains("resuming from checkpoint generation 1"));
+    assert_eq!(resumed.stdout, reference.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}

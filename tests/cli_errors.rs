@@ -106,6 +106,79 @@ fn invalid_fault_flags_fail_cleanly() {
 }
 
 #[test]
+fn zero_valued_knobs_fail_cleanly() {
+    // Parameters where zero is meaningless (a 0-thread pool, a repair
+    // time of 0 steps, a retry budget that can never retry) must be
+    // rejected up front, not produce a hang, div-by-zero, or panic.
+    for (flag, value) in [
+        ("--threads", "0"),
+        ("--mttr", "0"),
+        ("--mtbf", "0"),
+        ("--retry-budget", "0"),
+    ] {
+        let out = oblivion(&[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--steps", "10", flag, value,
+        ]);
+        assert_clean_failure(&out, &format!("{flag} {value}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag),
+            "{flag}: error should name the offending flag: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_probabilities_fail_cleanly() {
+    for (flag, value) in [
+        ("--rate", "1.01"),
+        ("--rate", "-0.2"),
+        ("--rate", "NaN"),
+        ("--fault-nodes", "7"),
+        ("--fault-nodes", "-1e-9"),
+        ("--drop-prob", "-0.5"),
+    ] {
+        let out = oblivion(&[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--steps", "10", flag, value,
+        ]);
+        assert_clean_failure(&out, &format!("{flag} {value}"));
+    }
+}
+
+#[test]
+fn checkpoint_flags_without_a_directory_fail_cleanly() {
+    for flag in ["--checkpoint-every", "--ckpt-stop-at"] {
+        let out = oblivion(&[
+            "online", "--mesh", "8x8", "--router", "busch2d", "--steps", "10", flag, "50",
+        ]);
+        assert_clean_failure(&out, flag);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--checkpoint-dir"),
+            "{flag}: error should point at the missing --checkpoint-dir: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unwritable_checkpoint_dir_fails_cleanly() {
+    let out = oblivion(&[
+        "online",
+        "--mesh",
+        "8x8",
+        "--router",
+        "busch2d",
+        "--steps",
+        "10",
+        "--checkpoint-dir",
+        "/proc/oblivion-cannot-create-this",
+        "--checkpoint-every",
+        "5",
+    ]);
+    assert_clean_failure(&out, "unwritable checkpoint dir");
+}
+
+#[test]
 fn stats_tolerates_partially_corrupt_metrics() {
     let metrics = std::env::temp_dir().join("oblivion_cli_err_metrics.json");
     let run_out = std::env::temp_dir().join("oblivion_cli_err_metrics_src.json");
