@@ -1,0 +1,159 @@
+//! **E24 — serving under overload: goodput, shedding, and tail latency.**
+//!
+//! Runs an in-process `oblivion-serve` instance with a deliberately small
+//! capacity (2 workers, a 16-deep admission queue, 2 ms of simulated work
+//! per request → ~1000 req/s of theoretical capacity) and sweeps the
+//! offered load past it by doubling the number of closed-loop clients.
+//!
+//! The claim under test is the overload *shape*, not absolute numbers:
+//! goodput should rise with offered load until capacity, then plateau
+//! (not collapse) while the excess is shed with typed `OVERLOADED` /
+//! `DEADLINE_EXCEEDED` errors; the p99 latency of *successful* requests
+//! stays bounded by the server's deadline at every point of the sweep;
+//! and the final account conserves (every accepted connection settled in
+//! exactly one bucket). A server without admission control fails this
+//! experiment by queueing unboundedly: latency grows without limit and
+//! goodput collapses past saturation.
+//!
+//! Absolute req/s depends on the host; the plateau, the shed column, and
+//! the bounded p99 are the reproducible part.
+
+use oblivion_bench::table::{f2, Table};
+use oblivion_core::BuschD;
+use oblivion_mesh::Mesh;
+use oblivion_obs::Json;
+use oblivion_serve::{run_loadgen, Control, LoadgenConfig, ServeConfig};
+use std::time::Duration;
+
+fn main() {
+    oblivion_bench::report::start();
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let router = BuschD::new(mesh.clone());
+    let deadline = Duration::from_millis(250);
+    let cfg = ServeConfig {
+        port: 0,
+        health_port: None,
+        threads: 2,
+        queue_cap: 16,
+        work: Duration::from_millis(2),
+        deadline,
+        drain: Duration::from_secs(10),
+        announce: false,
+        ..ServeConfig::default()
+    };
+    println!(
+        "E24: serving under overload (16x16, busch-d, {} workers, queue {}, {} ms deadline, {} ms work/request)\n",
+        cfg.threads,
+        cfg.queue_cap,
+        deadline.as_millis(),
+        cfg.work.as_millis()
+    );
+
+    let ctl = Control::new();
+    let mut table = Table::new(vec![
+        "clients",
+        "requests",
+        "ok",
+        "shed+deadline",
+        "goodput req/s",
+        "p50 ms",
+        "p99 ms",
+        "p99 <= deadline",
+    ]);
+    let mut sweep_rows: Vec<Json> = Vec::new();
+    let mut peak_goodput = 0f64;
+    let mut plateau_ok = true;
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| oblivion_serve::run(&router, &cfg, &ctl));
+        let addr = ctl
+            .wait_addr(Duration::from_secs(10))
+            .expect("server did not bind");
+        for clients in [1usize, 2, 4, 8, 16, 32] {
+            let lg = LoadgenConfig {
+                addr: addr.to_string(),
+                mesh: mesh.clone(),
+                requests: 400,
+                concurrency: clients,
+                retries: 0, // observe raw shedding, not retried success
+                timeout: Duration::from_secs(5),
+                seed: 0xE24 + clients as u64,
+                ..LoadgenConfig::default()
+            };
+            let r = run_loadgen(&lg);
+            assert_eq!(r.malformed, 0, "malformed responses under load");
+            assert_eq!(r.bad_request, 0, "client sent a bad request");
+            let shed = r.overloaded + r.deadline;
+            let p99 = r.latency_ms(0.99);
+            // Successful requests must never have waited longer than the
+            // server's own deadline (plus scheduling slack).
+            let bounded = p99 <= deadline.as_secs_f64() * 1e3 * 1.5;
+            plateau_ok &= bounded;
+            peak_goodput = peak_goodput.max(r.goodput());
+            table.row(vec![
+                clients.to_string(),
+                "400".into(),
+                r.ok.to_string(),
+                shed.to_string(),
+                format!("{:.0}", r.goodput()),
+                f2(r.latency_ms(0.50)),
+                f2(p99),
+                if bounded { "yes" } else { "NO" }.into(),
+            ]);
+            let mut row = Json::obj();
+            row.set("clients", clients)
+                .set("ok", r.ok)
+                .set("shed", shed)
+                .set("goodput_rps", r.goodput())
+                .set("p50_ms", r.latency_ms(0.50))
+                .set("p99_ms", p99);
+            sweep_rows.push(row);
+        }
+        ctl.request_shutdown();
+        let summary = server
+            .join()
+            .expect("server panicked")
+            .expect("server failed");
+        assert!(
+            summary.stats.conserved(),
+            "final account does not conserve: {:?}",
+            summary.stats
+        );
+        table.print();
+        println!(
+            "\nFinal server account (conserved): accepted {} = completed {} + shed {} + \
+             deadline {} + bad {} + drain {} + io {}",
+            summary.stats.accepted,
+            summary.stats.completed,
+            summary.stats.shed_overloaded,
+            summary.stats.deadline_exceeded,
+            summary.stats.bad_request,
+            summary.stats.drain_rejected,
+            summary.stats.io_errors
+        );
+        println!(
+            "Past saturation the server sheds with typed errors instead of queueing:\n\
+             goodput plateaus near its capacity and the p99 of successes stays under\n\
+             the {} ms deadline at every offered load.",
+            deadline.as_millis()
+        );
+
+        let extra: Vec<(&str, Json)> = vec![
+            ("peak_goodput_rps", Json::from(peak_goodput)),
+            ("p99_bounded_at_every_load", Json::from(plateau_ok)),
+            ("deadline_ms", Json::from(deadline.as_millis() as u64)),
+            ("accepted", Json::from(summary.stats.accepted)),
+            ("conserved", Json::from(summary.stats.conserved())),
+            ("sweep", Json::from(sweep_rows.clone())),
+        ];
+        oblivion_bench::report::finish_and_note(
+            "serve_load",
+            "E24: serving under overload (admission control sweep)",
+            &table,
+            &extra,
+        );
+    });
+    assert!(
+        plateau_ok,
+        "p99 exceeded the deadline somewhere in the sweep"
+    );
+}

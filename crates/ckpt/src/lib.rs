@@ -15,15 +15,18 @@
 //!   write-temp → fsync → rename → fsync-dir, and the previous generation
 //!   is kept so a torn or bit-flipped newest snapshot falls back cleanly.
 //! * [`signal`] — SIGINT/SIGTERM handlers that set a flag engines poll at
-//!   step boundaries, so a polite kill writes a final checkpoint.
+//!   step boundaries, so a polite kill writes a final checkpoint. (The
+//!   implementation lives in the shared `oblivion-signal` crate, used by
+//!   both this store and the `oblivion-serve` drain loop; this module
+//!   re-exports it.)
 //!
 //! The format is versioned ([`store::MAGIC`], [`store::VERSION`]) and
 //! config-hashed: a snapshot only resumes a run with the same mesh,
 //! workload, policy, seed, and fault plan.
 
 #![warn(missing_docs)]
-// `signal` declares and calls `signal(2)` directly (see module docs);
-// everything else in the crate is safe code.
+// The crate is entirely safe code; the `signal(2)` declaration moved to
+// the shared `oblivion-signal` crate that `signal` re-exports.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bytes;

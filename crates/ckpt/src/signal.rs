@@ -1,82 +1,12 @@
-//! Signal-aware graceful shutdown, without libc as a dependency.
+//! Signal-aware graceful shutdown — re-exported from [`oblivion_signal`].
 //!
-//! The workspace is dependency-free, so instead of the `libc`/`signal-hook`
-//! crates this module declares the one POSIX entry point it needs —
-//! `signal(2)` — directly. The installed handler only sets a static
-//! atomic flag (the only async-signal-safe action we need); engines poll
-//! [`shutdown_requested`] at step boundaries and write a final checkpoint
-//! before exiting.
+//! The flag-setting SIGINT/SIGTERM handler used to live here; the
+//! serving layer (`oblivion-serve`) needs the same plumbing without
+//! pulling in the whole checkpoint store, so the implementation moved
+//! to the shared `oblivion-signal` crate. This module re-exports it
+//! unchanged so existing checkpoint users keep compiling and, more
+//! importantly, so both subsystems share the *same* installer and flag:
+//! a SIGTERM observed by the server's drain loop is the same SIGTERM
+//! the engines poll at step boundaries.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Once;
-
-/// POSIX SIGINT (Ctrl-C).
-pub const SIGINT: i32 = 2;
-/// POSIX SIGTERM (polite kill, e.g. from a job scheduler preempting us).
-pub const SIGTERM: i32 = 15;
-
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
-static INSTALL: Once = Once::new();
-
-extern "C" fn on_signal(_signum: i32) {
-    // Only async-signal-safe work here: a single relaxed store.
-    SHUTDOWN.store(true, Ordering::Relaxed);
-}
-
-// `signal(2)` from the platform C library (already linked by std).
-// Declared by hand to keep the workspace free of external crates.
-extern "C" {
-    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-}
-
-/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
-/// Idempotent; later calls are no-ops.
-pub fn install() {
-    INSTALL.call_once(|| {
-        // SAFETY: `signal` is the POSIX C-library function; the handler is
-        // a valid `extern "C" fn(i32)` for the whole program lifetime and
-        // performs only an async-signal-safe atomic store.
-        unsafe {
-            signal(SIGINT, on_signal);
-            signal(SIGTERM, on_signal);
-        }
-    });
-}
-
-/// Whether a SIGINT/SIGTERM has arrived (or [`request_shutdown`] ran)
-/// since the last [`reset`].
-pub fn shutdown_requested() -> bool {
-    SHUTDOWN.load(Ordering::Relaxed)
-}
-
-/// Sets the shutdown flag from normal code — lets tests exercise the
-/// graceful-shutdown path without delivering a real signal.
-pub fn request_shutdown() {
-    SHUTDOWN.store(true, Ordering::Relaxed);
-}
-
-/// Clears the shutdown flag (between runs in one process, and in tests).
-pub fn reset() {
-    SHUTDOWN.store(false, Ordering::Relaxed);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn flag_round_trip() {
-        reset();
-        assert!(!shutdown_requested());
-        request_shutdown();
-        assert!(shutdown_requested());
-        reset();
-        assert!(!shutdown_requested());
-    }
-
-    #[test]
-    fn install_is_idempotent() {
-        install();
-        install();
-    }
-}
+pub use oblivion_signal::{install, request_shutdown, reset, shutdown_requested, SIGINT, SIGTERM};

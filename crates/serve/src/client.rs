@@ -1,0 +1,139 @@
+//! A one-request-per-connection client for the serve wire protocol,
+//! with the error partition the retry logic needs: transport errors
+//! (connect refused, reset, timeout — always retryable), typed server
+//! errors (retryable per [`ErrorKind::retryable`]), and *malformed*
+//! responses (a protocol violation; never retried, and required to be
+//! zero across the kill -9 chaos scenario).
+
+use crate::wire::{self, ErrorKind, Response, MAX_RESPONSE_LINE};
+use oblivion_mesh::{Coord, Mesh};
+use std::io::ErrorKind as IoKind;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The bytes never made it there and back (connect/read/write
+    /// failure or timeout). Always retryable.
+    Transport(std::io::Error),
+    /// The server answered with a typed wire error.
+    Server(ErrorKind, String),
+    /// The server answered with bytes that are not a protocol line —
+    /// the one bucket that must stay empty.
+    Malformed(String),
+}
+
+impl ClientError {
+    /// Whether retrying the identical request can help.
+    pub fn retryable(&self) -> bool {
+        match self {
+            ClientError::Transport(_) => true,
+            ClientError::Server(kind, _) => kind.retryable(),
+            ClientError::Malformed(_) => false,
+        }
+    }
+}
+
+/// A resolved server address plus the per-attempt socket budget.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Resolves `addr` (e.g. `127.0.0.1:4701`) once, up front.
+    pub fn new(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(IoKind::InvalidInput, "address resolved to nothing")
+        })?;
+        Ok(Client { addr, timeout })
+    }
+
+    /// A client for an already-resolved address.
+    pub fn to(addr: SocketAddr, timeout: Duration) -> Client {
+        Client { addr, timeout }
+    }
+
+    /// One request, one connection, one response line; returns the
+    /// payload of the `OK` answer.
+    pub fn round_trip(&self, request_line: &str) -> Result<String, ClientError> {
+        let deadline = Instant::now() + self.timeout;
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ClientError::Transport)?;
+        let _ = stream.set_nodelay(true);
+        wire::write_line(&stream, request_line, deadline).map_err(ClientError::Transport)?;
+        let line = match wire::read_line(&stream, MAX_RESPONSE_LINE, deadline) {
+            Ok(line) => line,
+            Err(wire::LineError::Deadline) => {
+                return Err(ClientError::Transport(std::io::Error::new(
+                    IoKind::TimedOut,
+                    "response deadline expired",
+                )))
+            }
+            Err(wire::LineError::Eof(_)) => {
+                // A dead or dying server truncates mid-line; that is a
+                // transport failure, not a protocol violation.
+                return Err(ClientError::Transport(std::io::Error::new(
+                    IoKind::UnexpectedEof,
+                    "connection closed before a full response line",
+                )));
+            }
+            Err(wire::LineError::TooLong) => {
+                return Err(ClientError::Malformed("response line too long".into()))
+            }
+            Err(wire::LineError::Io(e)) => return Err(ClientError::Transport(e)),
+        };
+        match wire::parse_response(&line) {
+            Ok(Response::Ok(payload)) => Ok(payload),
+            Ok(Response::Err(kind, detail)) => Err(ClientError::Server(kind, detail)),
+            Err(why) => Err(ClientError::Malformed(why)),
+        }
+    }
+
+    /// Requests a path for `(seed, src, dst)` and parses the hops,
+    /// validating them against `mesh`. Any structural violation (bad
+    /// hop token, wrong endpoints, non-adjacent step) counts as
+    /// [`ClientError::Malformed`].
+    pub fn request_path(
+        &self,
+        mesh: &Mesh,
+        seed: u64,
+        src: &Coord,
+        dst: &Coord,
+    ) -> Result<Vec<Coord>, ClientError> {
+        let line = format!(
+            "PATH {seed} {} {}\n",
+            wire::format_coord(src, mesh.dim()),
+            wire::format_coord(dst, mesh.dim())
+        );
+        let payload = self.round_trip(&line)?;
+        let hops: Result<Vec<Coord>, String> = payload
+            .split_ascii_whitespace()
+            .map(|tok| wire::parse_coord(tok, mesh))
+            .collect();
+        let hops = hops.map_err(ClientError::Malformed)?;
+        if hops.first() != Some(src) || hops.last() != Some(dst) {
+            return Err(ClientError::Malformed(format!(
+                "path endpoints do not match the request: `{payload}`"
+            )));
+        }
+        for pair in hops.windows(2) {
+            if !mesh.adjacent(&pair[0], &pair[1]) {
+                return Err(ClientError::Malformed(format!(
+                    "non-adjacent hop {} -> {}",
+                    wire::format_coord(&pair[0], mesh.dim()),
+                    wire::format_coord(&pair[1], mesh.dim())
+                )));
+            }
+        }
+        Ok(hops)
+    }
+
+    /// Sends a probe (`HEALTH` or `READY`) and returns the payload of an
+    /// `OK` answer.
+    pub fn probe(&self, what: &str) -> Result<String, ClientError> {
+        self.round_trip(&format!("{what}\n"))
+    }
+}

@@ -1,0 +1,44 @@
+//! `oblivion-serve`: an overload-safe TCP path-selection service.
+//!
+//! Oblivious path selection is stateless by construction — each packet's
+//! path is drawn from the request's own seed, independent of every other
+//! request — which makes it the ideal workload for a horizontally-served
+//! routing daemon. This crate is the first online serving surface of the
+//! workspace, built for robustness under adversarial load rather than
+//! raw feature count:
+//!
+//! * [`wire`] — the one-line-each-way protocol with a typed error
+//!   taxonomy (`BAD_REQUEST` / `OVERLOADED` / `DEADLINE_EXCEEDED` /
+//!   `SHUTTING_DOWN`), a request length cap, and deadline-re-arming
+//!   reads (slow-loris safe).
+//! * [`queue`] — the bounded admission queue: pushes never block, a
+//!   full queue sheds with `OVERLOADED` instead of queueing unboundedly.
+//! * [`server`] — the serving loop on the shared
+//!   [`oblivion_sim::pool::run_crew`] worker pool: per-request deadlines,
+//!   graceful SIGTERM drain with a budget, and dedicated health/readiness
+//!   probes that answer even at 10x overload.
+//! * [`stats`] — request accounting with an asserted conservation law:
+//!   every accepted connection settles into exactly one bucket.
+//! * [`client`] / [`loadgen`] — the companion client and load generator
+//!   with retry + capped exponential backoff; the chaos gate kill -9s
+//!   the server mid-load, restarts it, and requires the retries to
+//!   converge with zero malformed responses.
+//!
+//! Dependency-free like the rest of the workspace: plain `std::net`
+//! blocking sockets, hand-rolled queue, no async runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use server::{run, Control, ServeConfig, ServeSummary};
+pub use stats::{ServeStats, StatsSnapshot};
+pub use wire::{ErrorKind, Request, Response, MAX_REQUEST_LINE};

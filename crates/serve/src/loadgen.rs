@@ -1,0 +1,299 @@
+//! The companion load generator: closed-loop concurrent clients with
+//! retry + capped exponential backoff, and a latency/throughput report.
+//!
+//! Every request is attempted up to `retries + 1` times; transport
+//! errors and retryable wire errors (`OVERLOADED`, `DEADLINE_EXCEEDED`,
+//! `SHUTTING_DOWN`) back off `base * 2^attempt` capped at `cap` and try
+//! again — which is exactly what lets the chaos scenario kill -9 the
+//! server mid-load, restart it, and still finish with every request
+//! answered and zero malformed responses. `BAD_REQUEST` and malformed
+//! responses are never retried: the former is a client bug, the latter
+//! a server bug, and hiding either behind a retry would defeat the gate.
+
+use crate::client::{Client, ClientError};
+use crate::wire::ErrorKind;
+use oblivion_mesh::{Coord, Mesh};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4701`.
+    pub addr: String,
+    /// The mesh requests are drawn on (must match the server's).
+    pub mesh: Mesh,
+    /// Total requests to complete.
+    pub requests: usize,
+    /// Concurrent client threads (closed loop: each thread has at most
+    /// one request in flight).
+    pub concurrency: usize,
+    /// Retries per request after the first attempt.
+    pub retries: u32,
+    /// Base backoff delay.
+    pub backoff: Duration,
+    /// Backoff cap.
+    pub backoff_cap: Duration,
+    /// Per-attempt socket budget (connect + write + read).
+    pub timeout: Duration,
+    /// Seed for the request stream (src/dst pairs and path seeds).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            mesh: Mesh::new_mesh(&[16, 16]),
+            requests: 200,
+            concurrency: 8,
+            retries: 8,
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            timeout: Duration::from_millis(2000),
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests that eventually succeeded.
+    pub ok: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// Responses that violated the protocol (must be zero).
+    pub malformed: u64,
+    /// `BAD_REQUEST` answers (must be zero for a correct client).
+    pub bad_request: u64,
+    /// Retries performed across all requests.
+    pub retries: u64,
+    /// `OVERLOADED` rejections observed (before retry).
+    pub overloaded: u64,
+    /// `DEADLINE_EXCEEDED` answers observed.
+    pub deadline: u64,
+    /// `SHUTTING_DOWN` answers observed.
+    pub shutting_down: u64,
+    /// Transport-level failures observed (refused, reset, timeout).
+    pub transport: u64,
+    /// Per-success latency samples in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadgenReport {
+    /// The `q` quantile (0..=1) of the success latencies, in ms.
+    pub fn latency_ms(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * q).round() as usize;
+        self.latencies_us[idx] as f64 / 1e3
+    }
+
+    /// Successful requests per second.
+    pub fn goodput(&self) -> f64 {
+        self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Attempts that were answered `OVERLOADED`, as a fraction of all
+    /// attempts.
+    pub fn shed_rate(&self) -> f64 {
+        let attempts = self.ok + self.failed + self.retries;
+        self.overloaded as f64 / (attempts as f64).max(1.0)
+    }
+
+    /// Human+grep-friendly rendering (the chaos gate greps the
+    /// `key=value` line).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "loadgen: ok={} failed={} malformed={} bad_request={} retries={} \
+             overloaded={} deadline={} shutting_down={} transport={}",
+            self.ok,
+            self.failed,
+            self.malformed,
+            self.bad_request,
+            self.retries,
+            self.overloaded,
+            self.deadline,
+            self.shutting_down,
+            self.transport
+        );
+        let _ = writeln!(
+            s,
+            "  goodput {:.1} req/s over {:.2} s  latency ms p50 {:.2}  p95 {:.2}  p99 {:.2}",
+            self.goodput(),
+            self.elapsed.as_secs_f64(),
+            self.latency_ms(0.50),
+            self.latency_ms(0.95),
+            self.latency_ms(0.99),
+        );
+        s
+    }
+}
+
+/// Draws the deterministic `(seed, src, dst)` triple for request `id`.
+/// Self-pairs are skipped so every request crosses at least one link.
+pub fn request_of(mesh: &Mesh, run_seed: u64, id: u64) -> (u64, Coord, Coord) {
+    let mut rng = StdRng::seed_from_u64(run_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id + 1)));
+    loop {
+        let mut src = Coord::origin(mesh.dim());
+        let mut dst = Coord::origin(mesh.dim());
+        for axis in 0..mesh.dim() {
+            src[axis] = rng.gen_range(0..mesh.side(axis));
+            dst[axis] = rng.gen_range(0..mesh.side(axis));
+        }
+        if src != dst {
+            return (rng.next_u64(), src, dst);
+        }
+    }
+}
+
+fn backoff_delay(cfg: &LoadgenConfig, attempt: u32) -> Duration {
+    let exp = cfg
+        .backoff
+        .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+    exp.min(cfg.backoff_cap)
+}
+
+/// Runs the closed-loop load generation and aggregates the report.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
+    let started = Instant::now();
+    let next: AtomicUsize = AtomicUsize::new(0);
+    let merged: Mutex<LoadgenReport> = Mutex::new(LoadgenReport::default());
+    let client = match Client::new(&cfg.addr, cfg.timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            // Unresolvable address: every request is a transport
+            // failure; report rather than panic.
+            eprintln!("loadgen: cannot resolve {}: {e}", cfg.addr);
+            return LoadgenReport {
+                failed: cfg.requests as u64,
+                transport: cfg.requests as u64,
+                elapsed: started.elapsed(),
+                ..LoadgenReport::default()
+            };
+        }
+    };
+    oblivion_sim::pool::run_crew(cfg.concurrency.max(1), |_w| {
+        let mut local = LoadgenReport::default();
+        loop {
+            let id = next.fetch_add(1, Ordering::Relaxed);
+            if id >= cfg.requests {
+                break;
+            }
+            let (path_seed, src, dst) = request_of(&cfg.mesh, cfg.seed, id as u64);
+            let mut attempt = 0u32;
+            loop {
+                let t0 = Instant::now();
+                match client.request_path(&cfg.mesh, path_seed, &src, &dst) {
+                    Ok(_hops) => {
+                        local.ok += 1;
+                        local
+                            .latencies_us
+                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        break;
+                    }
+                    Err(e) => {
+                        match &e {
+                            ClientError::Transport(_) => local.transport += 1,
+                            ClientError::Server(ErrorKind::Overloaded, _) => local.overloaded += 1,
+                            ClientError::Server(ErrorKind::DeadlineExceeded, _) => {
+                                local.deadline += 1
+                            }
+                            ClientError::Server(ErrorKind::ShuttingDown, _) => {
+                                local.shutting_down += 1
+                            }
+                            ClientError::Server(ErrorKind::BadRequest, _) => local.bad_request += 1,
+                            ClientError::Malformed(why) => {
+                                local.malformed += 1;
+                                eprintln!("loadgen: malformed response: {why}");
+                            }
+                        }
+                        if e.retryable() && attempt < cfg.retries {
+                            local.retries += 1;
+                            std::thread::sleep(backoff_delay(cfg, attempt));
+                            attempt += 1;
+                        } else {
+                            local.failed += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let mut m = merged.lock().unwrap_or_else(|e| e.into_inner());
+        m.ok += local.ok;
+        m.failed += local.failed;
+        m.malformed += local.malformed;
+        m.bad_request += local.bad_request;
+        m.retries += local.retries;
+        m.overloaded += local.overloaded;
+        m.deadline += local.deadline;
+        m.shutting_down += local.shutting_down;
+        m.transport += local.transport;
+        m.latencies_us.extend(local.latencies_us);
+    });
+    let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+    report.latencies_us.sort_unstable();
+    report.elapsed = started.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic_and_self_loop_free() {
+        let mesh = Mesh::new_mesh(&[8, 8]);
+        for id in 0..200 {
+            let a = request_of(&mesh, 7, id);
+            let b = request_of(&mesh, 7, id);
+            assert_eq!(a, b);
+            assert_ne!(a.1, a.2, "self-pair at id {id}");
+            assert!(mesh.contains(&a.1) && mesh.contains(&a.2));
+        }
+        assert_ne!(request_of(&mesh, 7, 0), request_of(&mesh, 8, 0));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let cfg = LoadgenConfig {
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(backoff_delay(&cfg, 0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(&cfg, 1), Duration::from_millis(20));
+        assert_eq!(backoff_delay(&cfg, 2), Duration::from_millis(40));
+        assert_eq!(backoff_delay(&cfg, 3), Duration::from_millis(80));
+        assert_eq!(backoff_delay(&cfg, 30), Duration::from_millis(80));
+        assert_eq!(backoff_delay(&cfg, 63), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn report_quantiles_and_rates() {
+        let r = LoadgenReport {
+            ok: 4,
+            latencies_us: vec![1000, 2000, 3000, 4000],
+            elapsed: Duration::from_secs(2),
+            overloaded: 1,
+            retries: 1,
+            ..LoadgenReport::default()
+        };
+        assert_eq!(r.latency_ms(0.0), 1.0);
+        assert_eq!(r.latency_ms(1.0), 4.0);
+        assert!((r.goodput() - 2.0).abs() < 1e-9);
+        assert!((r.shed_rate() - 0.2).abs() < 1e-9);
+        assert!(r.render().contains("malformed=0"));
+    }
+}

@@ -1,0 +1,494 @@
+//! The overload-safe request server.
+//!
+//! Thread layout (all on one [`run_crew`] scoped pool, so a panic
+//! anywhere propagates instead of silently losing a worker):
+//!
+//! ```text
+//! crew[0]            acceptor: accept → try_push; full queue → shed
+//!                    with ERR OVERLOADED; polls the shutdown flag
+//! crew[1..=threads]  workers: pop → deadline check → read line →
+//!                    parse → route → respond
+//! crew[last]         health listener (optional): HEALTH/READY probes
+//!                    on a dedicated port, bypassing admission so they
+//!                    answer even at 10x overload
+//! ```
+//!
+//! Overload behavior is the design center: the queue is bounded, pushes
+//! never block, and every admitted connection settles into exactly one
+//! counter bucket (see [`crate::stats`]). On shutdown (SIGTERM/SIGINT or
+//! [`Control::request_shutdown`]) the acceptor closes the listener,
+//! stamps the drain deadline, and closes the queue; workers finish the
+//! backlog while the drain budget lasts and reject the rest with
+//! `ERR SHUTTING_DOWN`. The process then exits 0 with conserved
+//! counters — that is the "graceful" in graceful drain.
+//!
+//! [`run_crew`]: oblivion_sim::pool::run_crew
+
+use crate::queue::{Bounded, Pop};
+use crate::stats::{Counter, ServeStats, StatsSnapshot};
+use crate::wire::{self, ErrorKind, LineError, Request, MAX_REQUEST_LINE};
+use oblivion_core::ObliviousRouter;
+use oblivion_sim::pool::run_crew;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`run`]. Validation of user-facing values (nonzero
+/// port, threads, deadline, queue) is the CLI's job; the library only
+/// requires what it structurally needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind, e.g. `127.0.0.1`.
+    pub host: String,
+    /// Port for the request listener; `0` lets the OS pick (tests).
+    pub port: u16,
+    /// Dedicated probe port; `Some(0)` lets the OS pick, `None`
+    /// disables the health listener.
+    pub health_port: Option<u16>,
+    /// Request worker threads (the acceptor and health listener are
+    /// extra).
+    pub threads: usize,
+    /// Admission queue capacity; connections beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-request deadline, measured from accept.
+    pub deadline: Duration,
+    /// Drain budget: how long queued requests may still complete after
+    /// shutdown is requested.
+    pub drain: Duration,
+    /// Simulated extra service time per `PATH` request — overload knob
+    /// for tests and the `exp_serve` load sweep.
+    pub work: Duration,
+    /// Also poll the process-wide `oblivion-signal` flag (SIGTERM /
+    /// SIGINT), not just [`Control::request_shutdown`].
+    pub honor_process_signals: bool,
+    /// Announce the bound addresses on stderr (the CLI's readiness
+    /// signal for scripts).
+    pub announce: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            health_port: Some(0),
+            threads: 4,
+            queue_cap: 64,
+            deadline: Duration::from_millis(1000),
+            drain: Duration::from_millis(2000),
+            work: Duration::ZERO,
+            honor_process_signals: false,
+            announce: false,
+        }
+    }
+}
+
+/// Shared handle between [`run`] (which blocks) and whoever supervises
+/// it from another thread: readiness, live stats, and shutdown.
+#[derive(Default)]
+pub struct Control {
+    shutdown: AtomicBool,
+    bound: OnceLock<SocketAddr>,
+    health_bound: OnceLock<SocketAddr>,
+    drain_until: OnceLock<Instant>,
+    stats: ServeStats,
+}
+
+impl Control {
+    /// A fresh control block.
+    pub fn new() -> Self {
+        Control::default()
+    }
+
+    /// Asks the server to stop accepting and drain.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutdown_requested(&self, cfg: &ServeConfig) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (cfg.honor_process_signals && oblivion_signal::shutdown_requested())
+    }
+
+    /// The request listener's bound address, once bound.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.bound.get().copied()
+    }
+
+    /// The health listener's bound address, once bound.
+    pub fn health_addr(&self) -> Option<SocketAddr> {
+        self.health_bound.get().copied()
+    }
+
+    /// Polls for the bound address (for supervising threads that start
+    /// [`run`] in the background).
+    pub fn wait_addr(&self, timeout: Duration) -> Option<SocketAddr> {
+        let end = Instant::now() + timeout;
+        loop {
+            if let Some(a) = self.addr() {
+                return Some(a);
+            }
+            if Instant::now() >= end {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+}
+
+/// What [`run`] reports after draining.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Final counters (quiescent, so the conservation law holds).
+    pub stats: StatsSnapshot,
+    /// Wall-clock time the server was up.
+    pub uptime: Duration,
+    /// Wall-clock time from shutdown request to full drain.
+    pub drain_took: Duration,
+    /// Request listener address.
+    pub addr: SocketAddr,
+}
+
+/// How often idle loops re-check flags. Short enough that shutdown and
+/// accept latency stay invisible, long enough to cost no CPU.
+const POLL: Duration = Duration::from_millis(2);
+
+/// One admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// Binds and serves until shutdown is requested, then drains; returns
+/// the final summary. Blocks the calling thread for the server's whole
+/// life — supervise from another thread via the shared [`Control`].
+pub fn run(
+    router: &dyn ObliviousRouter,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) -> std::io::Result<ServeSummary> {
+    let started = Instant::now();
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let _ = ctl.bound.set(addr);
+    let health_listener = match cfg.health_port {
+        Some(p) => {
+            let l = TcpListener::bind((cfg.host.as_str(), p))?;
+            l.set_nonblocking(true)?;
+            let _ = ctl.health_bound.set(l.local_addr()?);
+            Some(l)
+        }
+        None => None,
+    };
+    if cfg.announce {
+        match ctl.health_addr() {
+            Some(h) => eprintln!("serve: listening on {addr} (health {h})"),
+            None => eprintln!("serve: listening on {addr} (health disabled)"),
+        }
+    }
+
+    let queue: Bounded<Job> = Bounded::new(cfg.queue_cap);
+    let has_health = health_listener.is_some();
+    let listener = Mutex::new(Some(listener));
+    let health_listener = Mutex::new(health_listener);
+    let crew = 1 + cfg.threads + usize::from(has_health);
+    run_crew(crew, |w| {
+        if w == 0 {
+            let listener = listener
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("acceptor runs once"); // ci-allow-unwrap: single take by worker 0
+            accept_loop(&listener, &queue, cfg, ctl);
+            // Shutdown: stop accepting (drop the listener), stamp the
+            // drain deadline, and let the workers run the backlog down.
+            let _ = ctl.drain_until.set(Instant::now() + cfg.drain);
+            drop(listener);
+            queue.close();
+        } else if w <= cfg.threads {
+            worker_loop(router, &queue, cfg, ctl);
+        } else {
+            let listener = health_listener
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("health listener runs once"); // ci-allow-unwrap: single take by last worker
+            health_loop(&listener, &queue, cfg, ctl);
+        }
+    });
+    // All workers joined: the backlog is settled and counters conserve.
+    // drain_started = drain_until - budget, so elapsed-since-then is
+    // (now + budget) - drain_until.
+    let drain_took = ctl
+        .drain_until
+        .get()
+        .map(|until| (Instant::now() + cfg.drain).saturating_duration_since(*until))
+        .unwrap_or_default()
+        .min(started.elapsed());
+    Ok(ServeSummary {
+        stats: ctl.stats.snapshot(),
+        uptime: started.elapsed(),
+        drain_took,
+        addr,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+    loop {
+        if ctl.shutdown_requested(cfg) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctl.stats.bump(&Counter::Accepted);
+                let _ = stream.set_nodelay(true);
+                let job = Job {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                match queue.try_push(job) {
+                    Ok(depth) => ctl.stats.observe_queue_depth(depth as u64),
+                    Err(job) => {
+                        // Admission control: the queue is full, so shed
+                        // *now* with a typed rejection instead of
+                        // queueing unboundedly. The write is
+                        // best-effort and strictly bounded.
+                        ctl.stats.bump(&Counter::ShedOverloaded);
+                        let _ = wire::write_line(
+                            &job.stream,
+                            &wire::format_err_line(ErrorKind::Overloaded, ""),
+                            Instant::now() + Duration::from_millis(100),
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly; the listener itself stays valid.
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    router: &dyn ObliviousRouter,
+    queue: &Bounded<Job>,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) {
+    loop {
+        match queue.pop_timeout(Duration::from_millis(50)) {
+            Pop::Item(job) => handle(router, job, cfg, ctl),
+            Pop::Closed => return,
+            Pop::Timeout => {}
+        }
+    }
+}
+
+/// Serves one admitted connection, settling it into exactly one
+/// counter bucket.
+fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Control) {
+    let deadline = job.accepted_at + cfg.deadline;
+    let stream = job.stream;
+    // Queued past the drain budget? Typed rejection, not silence.
+    if let Some(until) = ctl.drain_until.get() {
+        if Instant::now() >= *until {
+            ctl.stats.bump(&Counter::DrainRejected);
+            let _ = wire::write_line(
+                &stream,
+                &wire::format_err_line(ErrorKind::ShuttingDown, ""),
+                Instant::now() + Duration::from_millis(100),
+            );
+            return;
+        }
+    }
+    // Queued past the request deadline (overload made it stale)?
+    if Instant::now() >= deadline {
+        ctl.stats.bump(&Counter::DeadlineExceeded);
+        let _ = wire::write_line(
+            &stream,
+            &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
+            Instant::now() + Duration::from_millis(100),
+        );
+        return;
+    }
+    let line = match wire::read_line(&stream, MAX_REQUEST_LINE, deadline) {
+        Ok(line) => line,
+        Err(LineError::Deadline) => {
+            // The slow-loris bucket: the peer connected but never
+            // finished a line within the deadline.
+            ctl.stats.bump(&Counter::DeadlineExceeded);
+            let _ = wire::write_line(
+                &stream,
+                &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
+                Instant::now() + Duration::from_millis(100),
+            );
+            return;
+        }
+        Err(LineError::TooLong) => {
+            ctl.stats.bump(&Counter::BadRequest);
+            let _ = wire::write_line(
+                &stream,
+                &wire::format_err_line(ErrorKind::BadRequest, "request line too long"),
+                deadline,
+            );
+            return;
+        }
+        Err(LineError::Eof(saw_bytes)) => {
+            if saw_bytes {
+                ctl.stats.bump(&Counter::BadRequest);
+            } else {
+                // Connect-and-close (port scan, aborted client): an I/O
+                // settlement, nothing to answer.
+                ctl.stats.bump(&Counter::IoError);
+            }
+            return;
+        }
+        Err(LineError::Io(_)) => {
+            ctl.stats.bump(&Counter::IoError);
+            return;
+        }
+    };
+    match wire::parse_request(&line, router.mesh()) {
+        Ok(Request::Health) => {
+            let snap = ctl.stats.snapshot();
+            let body = format!(
+                "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
+                snap.accepted,
+                snap.completed,
+                snap.shed_overloaded,
+                ctl.stats.max_queue_depth.load(Ordering::SeqCst)
+            );
+            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+        }
+        Ok(Request::Ready) => {
+            let body = if ctl.shutdown_requested(cfg) {
+                wire::format_err_line(ErrorKind::ShuttingDown, "")
+            } else {
+                "OK ready\n".to_string()
+            };
+            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+        }
+        Ok(Request::Path { seed, src, dst }) => {
+            if !cfg.work.is_zero() {
+                // Simulated service time: lets tests and the load sweep
+                // drive the server past capacity deterministically.
+                std::thread::sleep(
+                    cfg.work
+                        .min(deadline.saturating_duration_since(Instant::now())),
+                );
+            }
+            if Instant::now() >= deadline {
+                ctl.stats.bump(&Counter::DeadlineExceeded);
+                let _ = wire::write_line(
+                    &stream,
+                    &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
+                    Instant::now() + Duration::from_millis(100),
+                );
+                return;
+            }
+            // The seed travels in the request, so the answer is a pure
+            // function of (mesh, router, seed, src, dst) — stateless,
+            // horizontally shardable, and bit-reproducible.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let routed = router.select_path(&src, &dst, &mut rng);
+            let body = wire::format_path_line(&routed.path, router.mesh().dim());
+            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+        }
+        Err(detail) => {
+            ctl.stats.bump(&Counter::BadRequest);
+            let _ = wire::write_line(
+                &stream,
+                &wire::format_err_line(ErrorKind::BadRequest, &detail),
+                deadline,
+            );
+        }
+    }
+}
+
+/// Writes a success response and settles the request: `completed` when
+/// the bytes made it out, `io_errors` when the peer was gone.
+fn settle_write(
+    ctl: &Control,
+    stream: &TcpStream,
+    body: &str,
+    deadline: Instant,
+    accepted_at: Instant,
+) {
+    match wire::write_line(stream, body, deadline) {
+        Ok(()) => {
+            ctl.stats.bump(&Counter::Completed);
+            let us = accepted_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            oblivion_obs::record("serve_latency_us", us);
+        }
+        Err(_) => ctl.stats.bump(&Counter::IoError),
+    }
+}
+
+/// The dedicated probe listener: single-threaded, admission-free, with
+/// aggressively short timeouts so a stalled prober cannot wedge it for
+/// long. Runs until the main queue is closed and drained, so probes
+/// still answer (READY → `ERR SHUTTING_DOWN`) during the drain window.
+fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+    let probe_budget = Duration::from_millis(250);
+    loop {
+        // Probes keep answering through the drain window (READY says
+        // `ERR SHUTTING_DOWN`); the loop exits with the crew once the
+        // acceptor has stamped the drain and the backlog is gone.
+        if ctl.drain_until.get().is_some() && queue.is_empty() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                ctl.stats.bump(&Counter::HealthProbe);
+                let deadline = Instant::now() + probe_budget;
+                let _ = stream.set_nodelay(true);
+                let reply = match wire::read_line(&stream, 64, deadline) {
+                    Ok(line) => match line.trim() {
+                        "HEALTH" => {
+                            let snap = ctl.stats.snapshot();
+                            format!(
+                                "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
+                                snap.accepted,
+                                snap.completed,
+                                snap.shed_overloaded,
+                                queue.len()
+                            )
+                        }
+                        "READY" => {
+                            if ctl.shutdown_requested(cfg) {
+                                wire::format_err_line(ErrorKind::ShuttingDown, "")
+                            } else {
+                                "OK ready\n".to_string()
+                            }
+                        }
+                        _ => wire::format_err_line(
+                            ErrorKind::BadRequest,
+                            "health port accepts HEALTH|READY",
+                        ),
+                    },
+                    Err(_) => wire::format_err_line(ErrorKind::BadRequest, "no probe line"),
+                };
+                let _ = wire::write_line(&stream, &reply, deadline);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Request accounting with a conservation law.
+//!
+//! Every connection the acceptor admits is counted exactly once in
+//! exactly one terminal bucket, so at any quiescent point:
+//!
+//! ```text
+//! accepted = completed + bad_request + shed_overloaded
+//!          + deadline_exceeded + drain_rejected + io_errors
+//! ```
+//!
+//! The soak test and the chaos gate assert [`StatsSnapshot::conserved`];
+//! a request that vanishes without a bucket is a bug by definition. The
+//! same increments are mirrored into `oblivion-obs` counters (when
+//! enabled) so `--metrics-out` run reports carry them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! serve_counters {
+    ($($(#[$doc:meta])* $name:ident => $obs:literal,)*) => {
+        /// Live request counters (atomics; see module docs for the
+        /// conservation law).
+        #[derive(Default)]
+        pub struct ServeStats {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+            /// High-water mark of the admission queue depth.
+            pub max_queue_depth: AtomicU64,
+        }
+
+        /// A point-in-time copy of [`ServeStats`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+            /// High-water mark of the admission queue depth.
+            pub max_queue_depth: u64,
+        }
+
+        impl ServeStats {
+            /// Copies all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::SeqCst),)*
+                    max_queue_depth: self.max_queue_depth.load(Ordering::SeqCst),
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// `(obs counter name, value)` for every counter, in
+            /// declaration order.
+            pub fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+                vec![$(($obs, self.$name),)*]
+            }
+        }
+    };
+}
+
+serve_counters! {
+    /// Connections the acceptor took off the listener.
+    accepted => "serve_accepted",
+    /// Requests answered with `OK` (paths and probes).
+    completed => "serve_completed",
+    /// Requests answered `ERR BAD_REQUEST`.
+    bad_request => "serve_bad_request",
+    /// Connections rejected `ERR OVERLOADED` at admission (queue full).
+    shed_overloaded => "serve_shed_overloaded",
+    /// Requests answered `ERR DEADLINE_EXCEEDED` (queued or read too
+    /// slowly).
+    deadline_exceeded => "serve_deadline_exceeded",
+    /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
+    /// budget ran out.
+    drain_rejected => "serve_drain_rejected",
+    /// Connections that died before an answer could be written (peer
+    /// reset, empty connect-and-close, failed response write).
+    io_errors => "serve_io_errors",
+    /// Probes answered on the dedicated health listener (not part of
+    /// the conservation law — health connections bypass admission).
+    health_probes => "serve_health_probes",
+}
+
+impl ServeStats {
+    /// Bumps a counter by 1 and mirrors it into the identically named
+    /// `oblivion-obs` counter (a no-op unless obs is enabled).
+    pub fn bump(&self, which: &Counter) {
+        which.cell(self).fetch_add(1, Ordering::SeqCst);
+        oblivion_obs::counter_add(which.obs_name(), 1);
+    }
+
+    /// Records a queue-depth observation (gauge high-water + obs
+    /// histogram).
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::SeqCst);
+        oblivion_obs::record("serve_queue_depth", depth);
+    }
+}
+
+/// The terminal buckets of the conservation law, plus bookkeeping
+/// counters — a typed handle so call sites can't typo an obs name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// See [`ServeStats::accepted`].
+    Accepted,
+    /// See [`ServeStats::completed`].
+    Completed,
+    /// See [`ServeStats::bad_request`].
+    BadRequest,
+    /// See [`ServeStats::shed_overloaded`].
+    ShedOverloaded,
+    /// See [`ServeStats::deadline_exceeded`].
+    DeadlineExceeded,
+    /// See [`ServeStats::drain_rejected`].
+    DrainRejected,
+    /// See [`ServeStats::io_errors`].
+    IoError,
+    /// See [`ServeStats::health_probes`].
+    HealthProbe,
+}
+
+impl Counter {
+    fn cell<'a>(&self, s: &'a ServeStats) -> &'a AtomicU64 {
+        match self {
+            Counter::Accepted => &s.accepted,
+            Counter::Completed => &s.completed,
+            Counter::BadRequest => &s.bad_request,
+            Counter::ShedOverloaded => &s.shed_overloaded,
+            Counter::DeadlineExceeded => &s.deadline_exceeded,
+            Counter::DrainRejected => &s.drain_rejected,
+            Counter::IoError => &s.io_errors,
+            Counter::HealthProbe => &s.health_probes,
+        }
+    }
+
+    fn obs_name(&self) -> &'static str {
+        match self {
+            Counter::Accepted => "serve_accepted",
+            Counter::Completed => "serve_completed",
+            Counter::BadRequest => "serve_bad_request",
+            Counter::ShedOverloaded => "serve_shed_overloaded",
+            Counter::DeadlineExceeded => "serve_deadline_exceeded",
+            Counter::DrainRejected => "serve_drain_rejected",
+            Counter::IoError => "serve_io_errors",
+            Counter::HealthProbe => "serve_health_probes",
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Sum of the terminal buckets every accepted connection must land
+    /// in.
+    pub fn settled(&self) -> u64 {
+        self.completed
+            + self.bad_request
+            + self.shed_overloaded
+            + self.deadline_exceeded
+            + self.drain_rejected
+            + self.io_errors
+    }
+
+    /// The conservation law: every accepted connection is settled.
+    /// Only meaningful at quiescence (after drain, or with no request
+    /// in flight).
+    pub fn conserved(&self) -> bool {
+        self.accepted == self.settled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bucket_lands_in_the_conservation_law() {
+        let s = ServeStats::default();
+        for c in [
+            Counter::Completed,
+            Counter::BadRequest,
+            Counter::ShedOverloaded,
+            Counter::DeadlineExceeded,
+            Counter::DrainRejected,
+            Counter::IoError,
+        ] {
+            s.bump(&Counter::Accepted);
+            s.bump(&c);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 6);
+        assert!(snap.conserved(), "{snap:?}");
+        // Health probes are outside the law.
+        s.bump(&Counter::HealthProbe);
+        assert!(s.snapshot().conserved());
+        // An unsettled accept breaks it.
+        s.bump(&Counter::Accepted);
+        assert!(!s.snapshot().conserved());
+    }
+
+    #[test]
+    fn obs_mirror_names_cover_every_counter() {
+        let s = ServeStats::default();
+        s.bump(&Counter::Accepted);
+        s.observe_queue_depth(3);
+        let names: Vec<&str> = s
+            .snapshot()
+            .obs_counters()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"serve_accepted"));
+        assert!(names.contains(&"serve_shed_overloaded"));
+        assert_eq!(s.snapshot().max_queue_depth, 3);
+    }
+}

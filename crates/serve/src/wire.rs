@@ -1,0 +1,378 @@
+//! The `oblivion-serve` line protocol: requests, responses, and the
+//! typed wire error taxonomy.
+//!
+//! One request per connection, one line each way, LF-terminated ASCII:
+//!
+//! ```text
+//! client: PATH <seed> <x1,y1,...> <x2,y2,...>\n      (or HEALTH / READY)
+//! server: OK <hop> <hop> ... <hop>\n
+//!       | ERR BAD_REQUEST <detail>\n
+//!       | ERR OVERLOADED\n
+//!       | ERR DEADLINE_EXCEEDED\n
+//!       | ERR SHUTTING_DOWN\n
+//! ```
+//!
+//! The path answer is deterministic: the request carries the RNG seed,
+//! so `OK` lines are a pure function of `(mesh, router, seed, src, dst)`
+//! — byte-identical to an in-process [`select_path`] call with a
+//! freshly seeded `StdRng` (the differential test pins this).
+//!
+//! Robustness rules enforced by both ends:
+//! * request lines longer than [`MAX_REQUEST_LINE`] bytes are a
+//!   `BAD_REQUEST` (a slow-loris can never grow server memory);
+//! * every read is re-armed with the *remaining* deadline, so trickling
+//!   one byte per timeout window cannot stretch a request past its
+//!   deadline;
+//! * a complete line that parses as none of the forms above is
+//!   *malformed* — the client counts it separately from transport
+//!   errors, and the chaos gate requires zero of them across kill -9.
+//!
+//! [`select_path`]: oblivion_core::ObliviousRouter::select_path
+
+use oblivion_mesh::{Coord, Mesh, Path};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Longest request line the server will buffer, terminator included.
+pub const MAX_REQUEST_LINE: usize = 256;
+
+/// Longest response line the client will buffer — generous enough for a
+/// maximal-stretch path on the largest CLI-admissible mesh.
+pub const MAX_RESPONSE_LINE: usize = 1 << 22;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `PATH <seed> <src> <dst>`: select a path with the given seed.
+    Path {
+        /// RNG seed the path must be drawn with.
+        seed: u64,
+        /// Source coordinate.
+        src: Coord,
+        /// Destination coordinate.
+        dst: Coord,
+    },
+    /// `HEALTH`: liveness probe; always answered while the process runs.
+    Health,
+    /// `READY`: readiness probe; `OK ready` only while accepting work.
+    Ready,
+}
+
+/// The wire error taxonomy. Every non-`OK` response carries exactly one
+/// of these tags, so clients can decide retryability without guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The request was malformed; retrying the same bytes cannot help.
+    BadRequest,
+    /// The admission queue was full; retry after backoff.
+    Overloaded,
+    /// The request missed its deadline (queued or read too slowly).
+    DeadlineExceeded,
+    /// The server is draining; retry against a restarted instance.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire tag, e.g. `OVERLOADED`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "BAD_REQUEST",
+            ErrorKind::Overloaded => "OVERLOADED",
+            ErrorKind::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorKind::ShuttingDown => "SHUTTING_DOWN",
+        }
+    }
+
+    /// Whether a client may retry the identical request.
+    pub fn retryable(self) -> bool {
+        !matches!(self, ErrorKind::BadRequest)
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "BAD_REQUEST" => ErrorKind::BadRequest,
+            "OVERLOADED" => ErrorKind::Overloaded,
+            "DEADLINE_EXCEEDED" => ErrorKind::DeadlineExceeded,
+            "SHUTTING_DOWN" => ErrorKind::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A parsed response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK ...` — the payload after the tag (hops for `PATH`, status
+    /// text for probes).
+    Ok(String),
+    /// `ERR <KIND> [detail]`.
+    Err(ErrorKind, String),
+}
+
+/// Formats a coordinate for the wire: `3,4` (no parentheses).
+pub fn format_coord(c: &Coord, dim: usize) -> String {
+    let mut s = String::new();
+    for i in 0..dim {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&c[i].to_string());
+    }
+    s
+}
+
+/// Parses a wire coordinate against a mesh (dimension and bounds check).
+pub fn parse_coord(token: &str, mesh: &Mesh) -> Result<Coord, String> {
+    let xs: Result<Vec<u32>, _> = token.split(',').map(str::parse::<u32>).collect();
+    let xs = xs.map_err(|e| format!("bad coordinate `{token}`: {e}"))?;
+    if xs.len() != mesh.dim() {
+        return Err(format!(
+            "coordinate `{token}` has {} components, mesh has {} dimensions",
+            xs.len(),
+            mesh.dim()
+        ));
+    }
+    let c = Coord::new(&xs);
+    if !mesh.contains(&c) {
+        return Err(format!("coordinate `{token}` outside the mesh"));
+    }
+    Ok(c)
+}
+
+/// Parses a request line (without the trailing newline).
+pub fn parse_request(line: &str, mesh: &Mesh) -> Result<Request, String> {
+    let mut it = line.split_ascii_whitespace();
+    match it.next() {
+        Some("HEALTH") => Ok(Request::Health),
+        Some("READY") => Ok(Request::Ready),
+        Some("PATH") => {
+            let seed = it
+                .next()
+                .ok_or("PATH needs `<seed> <src> <dst>`")?
+                .parse::<u64>()
+                .map_err(|e| format!("bad seed: {e}"))?;
+            let src = parse_coord(it.next().ok_or("PATH missing <src>")?, mesh)?;
+            let dst = parse_coord(it.next().ok_or("PATH missing <dst>")?, mesh)?;
+            if it.next().is_some() {
+                return Err("trailing tokens after PATH <seed> <src> <dst>".into());
+            }
+            Ok(Request::Path { seed, src, dst })
+        }
+        Some(other) => Err(format!("unknown request `{other}` (PATH|HEALTH|READY)")),
+        None => Err("empty request".into()),
+    }
+}
+
+/// Formats the `OK` line for a selected path: every hop, space-joined.
+pub fn format_path_line(path: &Path, dim: usize) -> String {
+    let mut s = String::from("OK");
+    for hop in path.nodes() {
+        s.push(' ');
+        s.push_str(&format_coord(hop, dim));
+    }
+    s.push('\n');
+    s
+}
+
+/// Formats an `ERR` line; `detail` is appended for `BAD_REQUEST`.
+pub fn format_err_line(kind: ErrorKind, detail: &str) -> String {
+    if detail.is_empty() {
+        format!("ERR {}\n", kind.tag())
+    } else {
+        format!("ERR {} {detail}\n", kind.tag())
+    }
+}
+
+/// Parses a response line (without the trailing newline). `Err` means
+/// the line is *malformed* — it matches no protocol form at all.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    if let Some(payload) = line.strip_prefix("OK") {
+        if payload.is_empty() || payload.starts_with(' ') {
+            return Ok(Response::Ok(payload.trim_start().to_string()));
+        }
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (tag, detail) = match rest.split_once(' ') {
+            Some((t, d)) => (t, d),
+            None => (rest, ""),
+        };
+        if let Some(kind) = ErrorKind::from_tag(tag) {
+            return Ok(Response::Err(kind, detail.to_string()));
+        }
+    }
+    Err(format!("malformed response line `{line}`"))
+}
+
+/// Why [`read_line`] stopped before producing a line.
+#[derive(Debug)]
+pub enum LineError {
+    /// The deadline expired before a full line arrived.
+    Deadline,
+    /// The peer closed the connection before sending a full line.
+    /// `true` when some bytes had already arrived.
+    Eof(bool),
+    /// The line exceeded the length cap.
+    TooLong,
+    /// Any other socket error.
+    Io(std::io::Error),
+}
+
+/// Reads one LF-terminated line, re-arming the socket read timeout with
+/// the remaining deadline before every read so a trickling peer cannot
+/// stretch the call past `deadline` (the slow-loris defence).
+pub fn read_line(stream: &TcpStream, max: usize, deadline: Instant) -> Result<String, LineError> {
+    let mut buf = Vec::with_capacity(128.min(max));
+    let mut chunk = [0u8; 512];
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(LineError::Deadline);
+        }
+        if let Err(e) = stream.set_read_timeout(Some(remaining)) {
+            return Err(LineError::Io(e));
+        }
+        let n = match (&mut (&*stream)).read(&mut chunk) {
+            Ok(0) => return Err(LineError::Eof(!buf.is_empty())),
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(LineError::Deadline)
+            }
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        for &b in &chunk[..n] {
+            if b == b'\n' {
+                // Anything after the newline is ignored: the protocol is
+                // one request per connection.
+                return String::from_utf8(buf)
+                    .map(|mut s| {
+                        if s.ends_with('\r') {
+                            s.pop();
+                        }
+                        s
+                    })
+                    .map_err(|_| LineError::TooLong);
+            }
+            buf.push(b);
+            if buf.len() > max {
+                return Err(LineError::TooLong);
+            }
+        }
+    }
+}
+
+/// Writes `line` with the remaining deadline as the write timeout.
+/// Returns `Err` on timeout or a broken peer; the caller decides whether
+/// that demotes the request to an I/O error.
+pub fn write_line(stream: &TcpStream, line: &str, deadline: Instant) -> std::io::Result<()> {
+    let remaining = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(10));
+    stream.set_write_timeout(Some(remaining))?;
+    (&mut (&*stream)).write_all(line.as_bytes())?;
+    (&mut (&*stream)).flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new_mesh(&[8, 8])
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let m = mesh();
+        assert_eq!(parse_request("HEALTH", &m), Ok(Request::Health));
+        assert_eq!(parse_request("READY", &m), Ok(Request::Ready));
+        let r = parse_request("PATH 42 1,2 7,0", &m).unwrap();
+        assert_eq!(
+            r,
+            Request::Path {
+                seed: 42,
+                src: Coord::new(&[1, 2]),
+                dst: Coord::new(&[7, 0]),
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        let m = mesh();
+        for bad in [
+            "",
+            "NOPE",
+            "PATH",
+            "PATH x 1,2 3,4",
+            "PATH 1 1,2",
+            "PATH 1 1,2,3 4,5",
+            "PATH 1 1,2 9,9",
+            "PATH 1 1,2 3,4 extra",
+        ] {
+            assert!(parse_request(bad, &m).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        assert_eq!(
+            parse_response("OK 1,2 1,3"),
+            Ok(Response::Ok("1,2 1,3".into()))
+        );
+        assert_eq!(parse_response("OK"), Ok(Response::Ok(String::new())));
+        assert_eq!(
+            parse_response("ERR OVERLOADED"),
+            Ok(Response::Err(ErrorKind::Overloaded, String::new()))
+        );
+        assert_eq!(
+            parse_response("ERR BAD_REQUEST bad seed"),
+            Ok(Response::Err(ErrorKind::BadRequest, "bad seed".into()))
+        );
+        assert!(parse_response("OKAY nope").is_err());
+        assert!(parse_response("ERR WHATEVER").is_err());
+        assert!(parse_response("hello").is_err());
+    }
+
+    #[test]
+    fn error_lines_match_taxonomy() {
+        assert_eq!(
+            format_err_line(ErrorKind::Overloaded, ""),
+            "ERR OVERLOADED\n"
+        );
+        assert_eq!(
+            format_err_line(ErrorKind::BadRequest, "why"),
+            "ERR BAD_REQUEST why\n"
+        );
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::ShuttingDown,
+        ] {
+            assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(kind.retryable(), kind != ErrorKind::BadRequest);
+        }
+    }
+
+    #[test]
+    fn coord_wire_format_is_bare() {
+        let m = mesh();
+        let c = parse_coord("3,4", &m).unwrap();
+        assert_eq!(format_coord(&c, 2), "3,4");
+        assert!(parse_coord("3", &m).is_err());
+        assert!(parse_coord("8,0", &m).is_err());
+        assert!(parse_coord("a,b", &m).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Differential test: the served answer must be *byte-identical* to the
+//! in-process answer for the same `(mesh, router, seed, src, dst)`.
+//!
+//! Oblivious path selection is a pure function of those five inputs, so
+//! the wire layer adds exactly zero entropy: any divergence here is a
+//! serialization bug, an RNG-plumbing bug, or state leaking between
+//! requests.
+
+use oblivion_core::{Busch2D, BuschD, DimOrder, ObliviousRouter};
+use oblivion_mesh::{Coord, Mesh};
+use oblivion_serve::{wire, Client, Control, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn routers(mesh: &Mesh) -> Vec<Box<dyn ObliviousRouter>> {
+    vec![
+        Box::new(Busch2D::new(mesh.clone())),
+        Box::new(BuschD::new(mesh.clone())),
+        Box::new(DimOrder::new(mesh.clone())),
+    ]
+}
+
+/// Deterministic request sample covering corners, the center, and
+/// neighbors.
+fn sample_pairs(mesh: &Mesh) -> Vec<(u64, Coord, Coord)> {
+    let side = mesh.side(0);
+    let c = |x: u32, y: u32| {
+        let mut p = Coord::origin(2);
+        p[0] = x;
+        p[1] = y;
+        p
+    };
+    vec![
+        (0, c(0, 0), c(side - 1, side - 1)),
+        (1, c(side - 1, 0), c(0, side - 1)),
+        (42, c(3, 4), c(12, 9)),
+        (0xDEAD_BEEF, c(side / 2, side / 2), c(0, 0)),
+        (7, c(5, 5), c(5, 6)), // adjacent pair: shortest possible path
+        (u64::MAX, c(1, 14), c(14, 1)),
+    ]
+}
+
+#[test]
+fn served_paths_are_byte_identical_to_in_process_answers() {
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    for router in routers(&mesh) {
+        let cfg = ServeConfig {
+            port: 0,           // ephemeral: tests never fight over ports
+            health_port: None, // not under test here
+            threads: 2,
+            announce: false,
+            ..ServeConfig::default()
+        };
+        let ctl = Control::new();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| oblivion_serve::run(router.as_ref(), &cfg, &ctl));
+            let addr = ctl
+                .wait_addr(Duration::from_secs(5))
+                .expect("server did not bind");
+            let client = Client::to(addr, Duration::from_secs(5));
+            for (seed, src, dst) in sample_pairs(&mesh) {
+                // The in-process ground truth, computed exactly the way
+                // the server computes it.
+                let mut rng = StdRng::seed_from_u64(seed);
+                let routed = router.select_path(&src, &dst, &mut rng);
+                let expected_line = wire::format_path_line(&routed.path, mesh.dim());
+
+                // Structured comparison through the validating client...
+                let hops = client
+                    .request_path(&mesh, seed, &src, &dst)
+                    .unwrap_or_else(|e| panic!("{}: request failed: {e:?}", router.name()));
+                assert_eq!(
+                    hops,
+                    routed.path.nodes(),
+                    "{}: served hops diverge for seed {seed}",
+                    router.name()
+                );
+
+                // ...and the raw wire line, byte for byte.
+                let raw = client
+                    .round_trip(&format!(
+                        "PATH {seed} {} {}\n",
+                        wire::format_coord(&src, mesh.dim()),
+                        wire::format_coord(&dst, mesh.dim())
+                    ))
+                    .expect("raw round trip failed");
+                assert_eq!(
+                    format!("OK {raw}\n"),
+                    expected_line,
+                    "{}: wire bytes diverge for seed {seed}",
+                    router.name()
+                );
+            }
+            // Repeating a request must reproduce the answer exactly: the
+            // server holds no per-connection RNG state.
+            let (seed, src, dst) = sample_pairs(&mesh)[2];
+            let a = client.request_path(&mesh, seed, &src, &dst).unwrap();
+            let b = client.request_path(&mesh, seed, &src, &dst).unwrap();
+            assert_eq!(a, b, "{}: repeated request diverged", router.name());
+
+            ctl.request_shutdown();
+            let summary = server
+                .join()
+                .expect("server thread panicked")
+                .expect("server run failed");
+            assert!(summary.stats.conserved(), "{:?}", summary.stats);
+            assert_eq!(summary.stats.bad_request, 0);
+            assert_eq!(summary.stats.io_errors, 0);
+        });
+    }
+}
+
+#[test]
+fn bad_requests_get_typed_errors_not_paths() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let router = BuschD::new(mesh.clone());
+    let cfg = ServeConfig {
+        port: 0,
+        health_port: None,
+        threads: 1,
+        announce: false,
+        ..ServeConfig::default()
+    };
+    let ctl = Control::new();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| oblivion_serve::run(&router, &cfg, &ctl));
+        let addr = ctl.wait_addr(Duration::from_secs(5)).unwrap();
+        let client = Client::to(addr, Duration::from_secs(5));
+        for bad in [
+            "PATH\n",                 // missing everything
+            "PATH 7 0,0\n",           // missing dst
+            "PATH x 0,0 1,1\n",       // non-numeric seed
+            "PATH 7 0,0 9,9 extra\n", // trailing garbage
+            "PATH 7 0,0 8,8\n",       // dst outside the 8x8 mesh
+            "PATH 7 0,0 3,3,3\n",     // wrong dimensionality
+            "FETCH 7 0,0 1,1\n",      // unknown verb
+            "\n",                     // empty line
+        ] {
+            match client.round_trip(bad) {
+                Err(oblivion_serve::ClientError::Server(
+                    oblivion_serve::ErrorKind::BadRequest,
+                    _,
+                )) => {}
+                other => panic!("{bad:?} should be BAD_REQUEST, got {other:?}"),
+            }
+        }
+        ctl.request_shutdown();
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.stats.conserved(), "{:?}", summary.stats);
+        assert_eq!(summary.stats.bad_request, 8);
+        assert_eq!(summary.stats.completed, 0);
+    });
+}

@@ -1,0 +1,91 @@
+//! Signal-aware graceful shutdown, without libc as a dependency.
+//!
+//! The workspace is dependency-free, so instead of the `libc`/`signal-hook`
+//! crates this crate declares the one POSIX entry point it needs —
+//! `signal(2)` — directly. The installed handler only sets a static
+//! atomic flag (the only async-signal-safe action we need); pollers
+//! check [`shutdown_requested`] at their own natural boundaries:
+//! the simulation engines at step boundaries (to write a final
+//! checkpoint, see `oblivion-ckpt`), and the request server between
+//! accepts (to stop admitting work and drain, see `oblivion-serve`).
+//!
+//! There is exactly one installer in the process: both consumers call
+//! [`install`], which is idempotent, so whichever subsystem starts first
+//! wins and the other reuses the same flag.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// POSIX SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM (polite kill, e.g. from a job scheduler preempting us).
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: a single relaxed store.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+// `signal(2)` from the platform C library (already linked by std).
+// Declared by hand to keep the workspace free of external crates.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
+/// Idempotent; later calls are no-ops.
+pub fn install() {
+    INSTALL.call_once(|| {
+        // SAFETY: `signal` is the POSIX C-library function; the handler is
+        // a valid `extern "C" fn(i32)` for the whole program lifetime and
+        // performs only an async-signal-safe atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    });
+}
+
+/// Whether a SIGINT/SIGTERM has arrived (or [`request_shutdown`] ran)
+/// since the last [`reset`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Sets the shutdown flag from normal code — lets tests exercise the
+/// graceful-shutdown path without delivering a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the shutdown flag (between runs in one process, and in tests).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

@@ -79,6 +79,33 @@ where
     });
 }
 
+/// Runs `worker(w)` once on each of `threads` scoped threads and joins
+/// them all — the free-running sibling of [`run_rounds`] for crews whose
+/// members coordinate through their captured environment instead of
+/// barriers (queues, atomics, shutdown flags). Worker 0 runs on the
+/// calling thread, so with `threads == 1` nothing is spawned.
+///
+/// This is the pool the `oblivion-serve` request server runs on: one
+/// crew member accepts connections, the rest drain the bounded request
+/// queue until it is closed and empty.
+///
+/// # Panics
+/// Panics if `threads == 0`. A panic inside `worker` on a spawned thread
+/// propagates to the caller when the scope joins.
+pub fn run_crew<W>(threads: usize, worker: W)
+where
+    W: Fn(usize) + Sync,
+{
+    assert!(threads >= 1, "crew needs at least one worker");
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            let worker = &worker;
+            scope.spawn(move || worker(w));
+        }
+        worker(0);
+    });
+}
+
 /// The worker expected to claim task `task` of `tasks` under a static
 /// block partition across `threads` workers — the "home" assignment the
 /// steal counter in the sharded simulator compares dynamic claims
@@ -178,5 +205,42 @@ mod tests {
     #[should_panic]
     fn zero_threads_rejected() {
         run_rounds(0, |_| {}, || false);
+    }
+
+    #[test]
+    fn crew_runs_every_worker_exactly_once() {
+        for threads in [1usize, 2, 8] {
+            let seen = Mutex::new(Vec::new());
+            run_crew(threads, |w| seen.lock().unwrap().push(w));
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..threads).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn crew_members_share_captured_state_concurrently() {
+        // A tiny producer/consumer handshake: worker 0 publishes tasks,
+        // the others consume until the published count is reached — the
+        // shape the request server uses.
+        let produced = AtomicUsize::new(0);
+        let consumed = AtomicUsize::new(0);
+        run_crew(4, |w| {
+            if w == 0 {
+                produced.store(100, Ordering::SeqCst);
+            } else {
+                while produced.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+                while consumed.fetch_add(1, Ordering::SeqCst) < 99 {}
+            }
+        });
+        assert!(consumed.load(Ordering::SeqCst) >= 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_crew_rejected() {
+        run_crew(0, |_| {});
     }
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Kill-mid-run chaos gate for checkpoint/resume.
+# Kill-mid-run chaos gate for checkpoint/resume and the serve daemon.
 # Usage: scripts/chaos.sh
 #
 # Three ways to die, one invariant: a run that is killed at any moment
 # and then rerun with the same flags must produce results byte-identical
-# to a run that was never interrupted.
+# to a run that was never interrupted. Plus the serving scenario: a
+# server kill -9'd under live load and restarted on the same port must
+# be invisible to a retrying client (zero failures, zero malformed
+# responses), and a SIGTERM drain must exit 0 with conserving counters.
 #
 #   1. kill -9 at a random point after the first snapshot lands (the
 #      signal can even hit mid-snapshot-write — the two-generation store
@@ -132,5 +135,96 @@ if ! grep -q "generation 3" "$tmp/corrupt/res.err"; then
   cat "$tmp/corrupt/res.err" >&2
   exit 1
 fi
+
+echo "== chaos: kill -9 the serve daemon mid-load, restart, retries converge =="
+# The serving invariant: a server that is kill -9'd under live load and
+# restarted on the same port loses nothing the client can observe — the
+# loadgen's retries (transport errors are retryable) converge with every
+# request answered and ZERO malformed responses. Then a SIGTERM drain of
+# the restarted server must exit 0 with a conserving final account.
+serve_dir="$tmp/serve"
+mkdir -p "$serve_dir"
+serve_port=""
+serve_pid=""
+start_serve() { # <extra flags...>
+  # Fresh stderr per attempt: the "listening" wait below must see THIS
+  # process's announcement, not a stale one from before a kill.
+  : > "$serve_dir/serve.err"
+  "${bin}" serve --mesh 16x16 --router busch2d --port "$serve_port" \
+    --threads 2 --queue 32 --deadline-ms 500 --drain-ms 2000 "$@" \
+    >> "$serve_dir/serve.out" 2>> "$serve_dir/serve.err" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    if grep -q "serve: listening" "$serve_dir/serve.err" 2> /dev/null; then
+      return 0
+    fi
+    if ! kill -0 "$serve_pid" 2> /dev/null; then
+      return 1
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+# Ports can collide with other suites on shared CI hosts: retry the whole
+# bind with a fresh random port. (SO_REUSEADDR makes the *restart* on the
+# same port safe; only the first pick can lose a race.)
+for _ in $(seq 1 10); do
+  serve_port=$((21000 + RANDOM % 30000))
+  if start_serve --no-health; then
+    break
+  fi
+  serve_pid=""
+done
+if [[ -z "$serve_pid" ]]; then
+  echo "chaos/serve: could not bind a port after 10 attempts" >&2
+  cat "$serve_dir/serve.err" >&2
+  exit 1
+fi
+"${bin}" loadgen --mesh 16x16 --port "$serve_port" --requests 400 \
+  --concurrency 8 --retries 40 --backoff-ms 5 --backoff-cap-ms 200 \
+  --timeout-ms 2000 --seed 77 > "$serve_dir/loadgen.out" 2> "$serve_dir/loadgen.err" &
+loadgen_pid=$!
+sleep 0.4
+kill -9 "$serve_pid" 2> /dev/null || {
+  echo "chaos/serve: server died before the kill (see serve.err)" >&2
+  cat "$serve_dir/serve.err" >&2
+  exit 1
+}
+wait "$serve_pid" 2> /dev/null || true
+# Restart on the SAME port while the loadgen is mid-retry.
+if ! start_serve --no-health --metrics-out "$serve_dir/serve_metrics.json"; then
+  echo "chaos/serve: restart on port $serve_port failed" >&2
+  cat "$serve_dir/serve.err" >&2
+  exit 1
+fi
+if ! wait "$loadgen_pid"; then
+  echo "chaos/serve: loadgen failed across the kill/restart" >&2
+  cat "$serve_dir/loadgen.out" "$serve_dir/loadgen.err" >&2
+  exit 1
+fi
+if ! grep -q " failed=0 malformed=0 " "$serve_dir/loadgen.out"; then
+  echo "chaos/serve: retries did not converge cleanly" >&2
+  cat "$serve_dir/loadgen.out" >&2
+  exit 1
+fi
+# Graceful drain of the restarted server: exit 0, conserving account,
+# and the obs run report carries the serve_* counters.
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "chaos/serve: SIGTERM drain did not exit 0" >&2
+  cat "$serve_dir/serve.out" "$serve_dir/serve.err" >&2
+  exit 1
+fi
+if ! grep -q "counters conserve: yes" "$serve_dir/serve.out"; then
+  echo "chaos/serve: final account does not conserve" >&2
+  cat "$serve_dir/serve.out" >&2
+  exit 1
+fi
+if ! grep -q "serve_accepted" "$serve_dir/serve_metrics.json"; then
+  echo "chaos/serve: run report is missing serve_* counters" >&2
+  cat "$serve_dir/serve_metrics.json" >&2
+  exit 1
+fi
+echo "chaos/serve: kill -9 + restart converged with zero malformed responses"
 
 echo "chaos: all kill/corruption scenarios recovered byte-identically"

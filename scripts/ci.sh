@@ -61,8 +61,10 @@ timed "fault differential (--threads 1 vs 8)" \
   fault_differential
 
 # Crash consistency: kill -9 mid-run, torn snapshot writes, and flipped
-# bytes must all resume to byte-identical results (scripts/chaos.sh).
-timed "checkpoint chaos gate (kill -9 / torn write / corruption)" \
+# bytes must all resume to byte-identical results — and the serve daemon
+# must survive kill -9 + restart under live load with zero malformed
+# responses (scripts/chaos.sh).
+timed "chaos gate (kill -9 / torn write / corruption / serve restart)" \
   scripts/chaos.sh
 
 # The error-path crates must not grow panicking shortcuts: any new
@@ -80,7 +82,8 @@ unwrap_gate() {
       }
       END { exit found ? 1 : 0 }
     ' "$file" || bad=1
-  done < <(find crates/workloads/src crates/faults/src -name '*.rs' | sort)
+  done < <(find crates/workloads/src crates/faults/src crates/serve/src \
+    -name '*.rs' | sort)
   if [[ $bad -ne 0 ]]; then
     echo "unannotated unwrap()/expect( in error-path crates;" \
       "add \`// ci-allow-unwrap: <why>\` only if provably unreachable" >&2
@@ -88,7 +91,7 @@ unwrap_gate() {
   fi
 }
 
-timed "unwrap/expect gate (workloads, faults)" \
+timed "unwrap/expect gate (workloads, faults, serve)" \
   unwrap_gate
 
 echo "ci: all checks passed"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E23) into results/.
+# Regenerates every experiment table (E1-E24) into results/.
 # Usage: scripts/run_experiments.sh [--force] [results-dir]
 #   Experiments whose machine-readable results/<exp>.json already exists
 #   are skipped, so an interrupted sweep resumes where it left off; pass
@@ -88,5 +88,6 @@ run exp_offline_gap          # E20
 run exp_online_threads       # E21
 run exp_faults               # E22
 run exp_checkpoint checkpoint_overhead  # E23
+run exp_serve serve_load     # E24
 
 echo "all experiment outputs written to $out/"

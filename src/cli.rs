@@ -27,7 +27,7 @@ pub struct Args {
 
 /// Options that are flags: present or absent, never followed by a value.
 /// `--trace` is recorded as `trace = "true"`.
-pub const BOOL_FLAGS: &[&str] = &["trace"];
+pub const BOOL_FLAGS: &[&str] = &["trace", "no-health"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -398,6 +398,19 @@ pub fn help() -> String {
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
+         \u{20}  serve     overload-safe TCP path-selection service (line protocol)\n\
+         \u{20}            --mesh 16x16 --router buschd --port 4701 [--threads 4]\n\
+         \u{20}            [--queue 64] [--deadline-ms 1000] [--drain-ms 2000]\n\
+         \u{20}            [--health-port P|--no-health] [--host 127.0.0.1]\n\
+         \u{20}            (bounded queue sheds ERR OVERLOADED; SIGTERM drains\n\
+         \u{20}             gracefully; HEALTH/READY probes answer on the health\n\
+         \u{20}             port even under overload)\n\
+         \u{20}  loadgen   closed-loop load generator for `oblivion serve`\n\
+         \u{20}            --port 4701 --mesh 16x16 [--requests 200]\n\
+         \u{20}            [--concurrency 8] [--retries 8] [--backoff-ms 10]\n\
+         \u{20}            [--backoff-cap-ms 500] [--timeout-ms 2000] [--seed 42]\n\
+         \u{20}            (exit 2 if any request fails or any response is\n\
+         \u{20}             malformed)\n\
          \u{20}  stats     render a JSONL metrics file written by --metrics-out\n\
          \u{20}            oblivion stats results/route.json\n\
          \u{20}  list      list routers and workloads\n\
@@ -466,6 +479,8 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "online" => cmd_online(args),
         "bracket" => cmd_bracket(args),
         "pia" => cmd_pia(args),
+        "serve" => cmd_serve(args),
+        "loadgen" => cmd_loadgen(args),
         "stats" => cmd_stats(args),
         other => Err(format!("unknown command `{other}`; try `oblivion help`")),
     }
@@ -1012,6 +1027,177 @@ fn cmd_online(args: &Args) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The serving layer (`oblivion serve` / `oblivion loadgen`). Flag
+// validation lives here so a bad knob is a clean exit-2 error before a
+// single socket is bound; the serving mechanics live in oblivion-serve.
+// ---------------------------------------------------------------------
+
+/// Parses a strictly positive integer flag; 0 and negatives are the
+/// degenerate values the serving layer refuses (a port that means
+/// "any", a 0-thread pool, a deadline that always fires).
+fn parse_nonzero_u64(args: &Args, key: &str, default: &str) -> Result<u64, String> {
+    let raw = opt(args, key, default);
+    let v: i128 = raw
+        .parse()
+        .map_err(|e| format!("bad --{key} `{raw}`: {e}"))?;
+    if v <= 0 {
+        return Err(format!("--{key} must be at least 1, got {raw}"));
+    }
+    u64::try_from(v).map_err(|_| format!("--{key} `{raw}` is too large"))
+}
+
+fn parse_port(args: &Args, key: &str) -> Result<u16, String> {
+    let raw = args.options.get(key).ok_or(format!("missing --{key}"))?;
+    let v = parse_nonzero_u64(args, key, "0")?;
+    u16::try_from(v).map_err(|_| format!("--{key} `{raw}` is not a valid TCP port"))
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    use oblivion_serve::{Control, ServeConfig};
+    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
+    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    let port = parse_port(args, "port")?;
+    let threads = usize::try_from(parse_nonzero_u64(args, "threads", "4")?)
+        .map_err(|_| "bad --threads: too large".to_string())?;
+    let queue_cap = usize::try_from(parse_nonzero_u64(args, "queue", "64")?)
+        .map_err(|_| "bad --queue: too large".to_string())?;
+    let deadline_ms = parse_nonzero_u64(args, "deadline-ms", "1000")?;
+    let drain_ms = parse_nonzero_u64(args, "drain-ms", "2000")?;
+    let work_us: u64 = opt(args, "work-us", "0")
+        .parse()
+        .map_err(|e| format!("bad --work-us: {e}"))?;
+    let health_port = if opt(args, "no-health", "false") == "true" {
+        None
+    } else {
+        match args.options.get("health-port") {
+            Some(_) => Some(parse_port(args, "health-port")?),
+            None => Some(port.checked_add(1).ok_or(
+                "default health port (port+1) overflows; pass --health-port or --no-health",
+            )?),
+        }
+    };
+    let cfg = ServeConfig {
+        host: opt(args, "host", "127.0.0.1").to_string(),
+        port,
+        health_port,
+        threads,
+        queue_cap,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+        drain: std::time::Duration::from_millis(drain_ms),
+        work: std::time::Duration::from_micros(work_us),
+        honor_process_signals: true,
+        announce: true,
+    };
+    oblivion_signal::install();
+    let ctl = Control::new();
+    let summary =
+        oblivion_serve::run(router.as_ref(), &cfg, &ctl).map_err(|e| format!("serve: {e}"))?;
+    let s = &summary.stats;
+    report_field("router_name", router.name().as_str());
+    report_field("serve_addr", summary.addr.to_string());
+    report_field("serve_threads", threads as u64);
+    report_field("serve_queue_cap", queue_cap as u64);
+    report_field("serve_deadline_ms", deadline_ms);
+    report_field("serve_drain_ms", drain_ms);
+    report_field("serve_uptime_ms", summary.uptime.as_millis() as u64);
+    report_field("serve_drain_took_ms", summary.drain_took.as_millis() as u64);
+    for (name, value) in s.obs_counters() {
+        report_field(name, value);
+    }
+    report_field("serve_max_queue_depth", s.max_queue_depth);
+    report_field(
+        "serve_counters_conserved",
+        if s.conserved() { 1u64 } else { 0 },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: drained and stopped after {:.1} s (drain took {} ms)",
+        summary.uptime.as_secs_f64(),
+        summary.drain_took.as_millis()
+    );
+    let _ = writeln!(
+        out,
+        "  accepted {}  completed {}  bad-request {}  shed {}  deadline {}  \
+         drain-rejected {}  io-errors {}",
+        s.accepted,
+        s.completed,
+        s.bad_request,
+        s.shed_overloaded,
+        s.deadline_exceeded,
+        s.drain_rejected,
+        s.io_errors
+    );
+    let _ = writeln!(
+        out,
+        "  max queue depth {}  health probes {}",
+        s.max_queue_depth, s.health_probes
+    );
+    let _ = writeln!(
+        out,
+        "  counters conserve: {}",
+        if s.conserved() { "yes" } else { "NO" }
+    );
+    if !s.conserved() {
+        return Err(format!(
+            "serve: request counters do not conserve: accepted {} != settled {}\n{out}",
+            s.accepted,
+            s.settled()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_loadgen(args: &Args) -> Result<String, String> {
+    use oblivion_serve::LoadgenConfig;
+    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
+    let port = parse_port(args, "port")?;
+    let requests = usize::try_from(parse_nonzero_u64(args, "requests", "200")?)
+        .map_err(|_| "bad --requests: too large".to_string())?;
+    let concurrency = usize::try_from(parse_nonzero_u64(args, "concurrency", "8")?)
+        .map_err(|_| "bad --concurrency: too large".to_string())?;
+    let retries: u32 = opt(args, "retries", "8")
+        .parse()
+        .map_err(|e| format!("bad --retries: {e}"))?;
+    let backoff_ms = parse_nonzero_u64(args, "backoff-ms", "10")?;
+    let backoff_cap_ms = parse_nonzero_u64(args, "backoff-cap-ms", "500")?;
+    let timeout_ms = parse_nonzero_u64(args, "timeout-ms", "2000")?;
+    let cfg = LoadgenConfig {
+        addr: format!("{}:{port}", opt(args, "host", "127.0.0.1")),
+        mesh,
+        requests,
+        concurrency,
+        retries,
+        backoff: std::time::Duration::from_millis(backoff_ms),
+        backoff_cap: std::time::Duration::from_millis(backoff_cap_ms),
+        timeout: std::time::Duration::from_millis(timeout_ms),
+        seed: seed_of(args)?,
+    };
+    let report = oblivion_serve::run_loadgen(&cfg);
+    report_field("loadgen_ok", report.ok);
+    report_field("loadgen_failed", report.failed);
+    report_field("loadgen_malformed", report.malformed);
+    report_field("loadgen_retries", report.retries);
+    report_field("loadgen_overloaded", report.overloaded);
+    report_field("loadgen_deadline", report.deadline);
+    report_field("loadgen_shutting_down", report.shutting_down);
+    report_field("loadgen_transport", report.transport);
+    report_field("loadgen_goodput", report.goodput());
+    report_field("loadgen_p99_ms", report.latency_ms(0.99));
+    let text = report.render();
+    if report.malformed > 0 || report.failed > 0 {
+        // The whole point of the retry loop is convergence: any request
+        // that could not be answered (or was answered with protocol
+        // garbage) is a hard failure for scripts and CI gates.
+        return Err(format!(
+            "loadgen: {} failed, {} malformed of {requests} requests\n{text}",
+            report.failed, report.malformed
+        ));
+    }
+    Ok(text)
 }
 
 #[cfg(test)]

@@ -179,6 +179,61 @@ fn unwritable_checkpoint_dir_fails_cleanly() {
 }
 
 #[test]
+fn serve_rejects_degenerate_knobs_cleanly() {
+    // A port of 0 ("any"), a 0-thread pool, a queue that can hold
+    // nothing, or a deadline that always fires are all configuration
+    // errors; the server must refuse them before binding a socket.
+    for (flag, value) in [
+        ("--port", "0"),
+        ("--port", "-1"),
+        ("--port", "70000"),
+        ("--threads", "0"),
+        ("--queue", "0"),
+        ("--deadline-ms", "0"),
+        ("--deadline-ms", "-100"),
+        ("--drain-ms", "0"),
+        ("--health-port", "0"),
+    ] {
+        // A later duplicate flag overrides the earlier one, so the valid
+        // base --port is replaced when the case under test is --port.
+        let out = oblivion(&["serve", "--mesh", "8x8", "--port", "4555", flag, value]);
+        assert_clean_failure(&out, &format!("serve {flag} {value}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag.trim_start_matches('-')),
+            "serve {flag}: error should name the offending flag: {stderr}"
+        );
+    }
+    // And a missing --port entirely.
+    let out = oblivion(&["serve", "--mesh", "8x8"]);
+    assert_clean_failure(&out, "serve without --port");
+}
+
+#[test]
+fn loadgen_rejects_degenerate_knobs_cleanly() {
+    for (flag, value) in [
+        ("--port", "0"),
+        ("--port", "-7"),
+        ("--requests", "0"),
+        ("--requests", "-5"),
+        ("--concurrency", "0"),
+        ("--timeout-ms", "0"),
+        ("--timeout-ms", "-1"),
+        ("--backoff-ms", "0"),
+    ] {
+        let out = oblivion(&["loadgen", "--mesh", "8x8", "--port", "4555", flag, value]);
+        assert_clean_failure(&out, &format!("loadgen {flag} {value}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag.trim_start_matches('-')),
+            "loadgen {flag}: error should name the offending flag: {stderr}"
+        );
+    }
+    let out = oblivion(&["loadgen", "--mesh", "8x8"]);
+    assert_clean_failure(&out, "loadgen without --port");
+}
+
+#[test]
 fn stats_tolerates_partially_corrupt_metrics() {
     let metrics = std::env::temp_dir().join("oblivion_cli_err_metrics.json");
     let run_out = std::env::temp_dir().join("oblivion_cli_err_metrics_src.json");

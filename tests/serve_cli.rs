@@ -1,0 +1,192 @@
+//! End-to-end subprocess test of `oblivion serve` + `oblivion loadgen`:
+//! real processes, real sockets, a real SIGTERM. This is the same shape
+//! the chaos gate exercises in CI, kept here in miniature so `cargo
+//! test` alone covers the serve lifecycle.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn oblivion() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oblivion"))
+}
+
+/// Picks a free port by binding to 0 and releasing it. Racy in theory;
+/// in practice the window to the server's own bind is microseconds, and
+/// the test fails loudly (bind error on stderr) rather than hanging if
+/// it ever loses the race.
+fn free_port() -> u16 {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind :0");
+    l.local_addr().expect("local addr").port()
+}
+
+/// A port where `port + 1` (the default health port) is also free.
+fn free_port_pair() -> u16 {
+    for _ in 0..50 {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind :0");
+        let p = l.local_addr().expect("local addr").port();
+        if p < u16::MAX && TcpListener::bind(("127.0.0.1", p + 1)).is_ok() {
+            return p;
+        }
+    }
+    panic!("could not find two consecutive free ports");
+}
+
+/// Waits for the server's "listening" announcement on stderr, then
+/// returns the drained prefix (the reader thread keeps draining so the
+/// child never blocks on a full pipe).
+fn wait_listening(child: &mut Child) {
+    let stderr = child.stderr.take().expect("stderr piped");
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            let _ = tx.send(line);
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) if line.contains("serve: listening") => return,
+            Ok(_) => {}
+            Err(_) if Instant::now() > deadline => {
+                panic!("server never announced it was listening")
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// SIGTERM, then wait with a timeout; kill -9 as a last resort so a
+/// regression hangs the assertion, not the test runner.
+fn terminate_and_wait(mut child: Child) -> (Option<i32>, String) {
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                use std::io::Read as _;
+                if let Some(mut stdout) = child.stdout.take() {
+                    let _ = stdout.read_to_string(&mut out);
+                }
+                return (status.code(), out);
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("server did not exit within 10s of SIGTERM");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn serve_loadgen_sigterm_lifecycle() {
+    let port = free_port();
+    let mut server = oblivion()
+        .args([
+            "serve",
+            "--mesh",
+            "16x16",
+            "--router",
+            "busch2d",
+            "--port",
+            &port.to_string(),
+            "--no-health",
+            "--threads",
+            "2",
+            "--queue",
+            "32",
+            "--deadline-ms",
+            "1000",
+            "--drain-ms",
+            "2000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    wait_listening(&mut server);
+
+    // A loadgen run against the live server: must exit 0 with zero
+    // failed and zero malformed.
+    let lg = oblivion()
+        .args([
+            "loadgen",
+            "--mesh",
+            "16x16",
+            "--port",
+            &port.to_string(),
+            "--requests",
+            "120",
+            "--concurrency",
+            "8",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("spawn loadgen");
+    let lg_out = String::from_utf8_lossy(&lg.stdout);
+    let lg_err = String::from_utf8_lossy(&lg.stderr);
+    assert_eq!(
+        lg.status.code(),
+        Some(0),
+        "loadgen failed\nstdout: {lg_out}\nstderr: {lg_err}"
+    );
+    assert!(lg_out.contains("ok=120"), "{lg_out}");
+    assert!(lg_out.contains("malformed=0"), "{lg_out}");
+
+    // Graceful SIGTERM: exit 0 and a conserving final account.
+    let (code, stdout) = terminate_and_wait(server);
+    assert_eq!(code, Some(0), "serve exit code\nstdout: {stdout}");
+    assert!(
+        stdout.contains("counters conserve: yes"),
+        "final account must conserve: {stdout}"
+    );
+    assert!(stdout.contains("drained and stopped"), "{stdout}");
+}
+
+#[test]
+fn serve_health_probe_via_loadgen_port_collision() {
+    // The default health port is request-port + 1; both listeners must
+    // come up and the health one must answer HEALTH over a raw socket.
+    let port = free_port_pair();
+    let mut server = oblivion()
+        .args([
+            "serve",
+            "--mesh",
+            "8x8",
+            "--port",
+            &port.to_string(),
+            "--threads",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    wait_listening(&mut server);
+
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect_timeout(
+        &format!("127.0.0.1:{}", port + 1).parse().unwrap(),
+        Duration::from_secs(5),
+    )
+    .expect("connect health port");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"HEALTH\n").unwrap();
+    let mut answer = String::new();
+    s.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("OK healthy"), "{answer:?}");
+
+    let (code, stdout) = terminate_and_wait(server);
+    assert_eq!(code, Some(0), "{stdout}");
+}
