@@ -1,0 +1,141 @@
+//! **Hot-path microbenchmark: single-packet path selection.**
+//!
+//! Times `select_path` alone — no simulation, no sockets — for the two
+//! router families the serving layer exposes (`Busch2D` on a 2-D mesh,
+//! `BuschD` on a 3-D mesh), in the two RNG regimes that bracket real
+//! deployments:
+//!
+//! * **fresh** — a new `StdRng` seeded per path, the stateless pattern
+//!   `oblivion serve` uses (the seed travels in the request);
+//! * **recycled** — one RNG reused across paths, the pattern the
+//!   simulators use for injection streams.
+//!
+//! The gap between the two regimes is the per-request RNG setup cost,
+//! which bounds how much of the serve route-compute phase is seeding
+//! rather than routing. Every sample's wall-clock nanoseconds are kept
+//! raw and sorted, so the reported p50/p99 are exact order statistics,
+//! not bucket approximations. Timings are machine-dependent and land in
+//! `results/BENCH_route.json`, never in deterministic results.
+
+use oblivion_bench::table::Table;
+use oblivion_core::{Busch2D, BuschD, ObliviousRouter};
+use oblivion_mesh::{Mesh, NodeId};
+use oblivion_obs::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Deterministic src/dst pair stream over a mesh (never a self-pair).
+fn pair_of(mesh: &Mesh, i: u64) -> (oblivion_mesh::Coord, oblivion_mesh::Coord) {
+    let n = mesh.node_count() as u64;
+    let src = i % n;
+    let mut dst = (i.wrapping_mul(2_654_435_761).wrapping_add(12_345)) % n;
+    if dst == src {
+        dst = (dst + 1) % n;
+    }
+    (
+        mesh.coord(NodeId(src as usize)),
+        mesh.coord(NodeId(dst as usize)),
+    )
+}
+
+struct BenchResult {
+    paths_per_sec: f64,
+    ns_p50: u64,
+    ns_p99: u64,
+    paths: u64,
+}
+
+/// Times `paths` selections, returning exact quantiles over the raw
+/// per-path samples. `fresh` reseeds the RNG for every path.
+fn bench(router: &dyn ObliviousRouter, paths: u64, fresh: bool) -> BenchResult {
+    let mesh = router.mesh();
+    let mut recycled = StdRng::seed_from_u64(0xB_EC);
+    // Warmup: fault in caches and let the allocator settle.
+    for i in 0..(paths / 10).max(100) {
+        let (src, dst) = pair_of(mesh, i);
+        std::hint::black_box(router.select_path(&src, &dst, &mut recycled));
+    }
+    let mut samples = Vec::with_capacity(paths as usize);
+    let started = Instant::now();
+    for i in 0..paths {
+        let (src, dst) = pair_of(mesh, i);
+        let t0 = Instant::now();
+        if fresh {
+            let mut rng = StdRng::seed_from_u64(i);
+            std::hint::black_box(router.select_path(&src, &dst, &mut rng));
+        } else {
+            std::hint::black_box(router.select_path(&src, &dst, &mut recycled));
+        }
+        samples.push(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    let total = started.elapsed();
+    samples.sort_unstable();
+    let q = |p: f64| samples[(((samples.len() - 1) as f64) * p).round() as usize];
+    BenchResult {
+        paths_per_sec: paths as f64 / total.as_secs_f64().max(1e-9),
+        ns_p50: q(0.50),
+        ns_p99: q(0.99),
+        paths,
+    }
+}
+
+fn main() {
+    let paths: u64 = std::env::var("OBLIVION_BENCH_PATHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20_000);
+    let mesh2 = Mesh::new_mesh(&[64, 64]);
+    let mesh3 = Mesh::new_mesh(&[16, 16, 16]);
+    let routers: Vec<(&str, Box<dyn ObliviousRouter>)> = vec![
+        ("busch2d", Box::new(Busch2D::new(mesh2))),
+        ("buschd", Box::new(BuschD::new(mesh3))),
+    ];
+    println!(
+        "Route hot-path microbenchmark ({paths} paths per configuration)\n\
+         fresh = new StdRng per path (the serve pattern); recycled = one RNG reused\n"
+    );
+    let mut table = Table::new(vec![
+        "router",
+        "rng",
+        "paths/s",
+        "ns/path p50",
+        "ns/path p99",
+    ]);
+    let mut fields: Vec<(&str, Json)> = vec![("paths_per_config", Json::from(paths))];
+    let mut rows: Vec<(String, Json)> = Vec::new();
+    for (name, router) in &routers {
+        for (regime, fresh) in [("fresh", true), ("recycled", false)] {
+            let r = bench(router.as_ref(), paths, fresh);
+            table.row(vec![
+                (*name).to_string(),
+                regime.to_string(),
+                format!("{:.0}", r.paths_per_sec),
+                r.ns_p50.to_string(),
+                r.ns_p99.to_string(),
+            ]);
+            let mut obj = Json::obj();
+            let mesh_spec = router
+                .mesh()
+                .dims()
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join("x");
+            obj.set("router", *name)
+                .set("rng", regime)
+                .set("mesh", mesh_spec.as_str())
+                .set("paths", r.paths)
+                .set("paths_per_sec", r.paths_per_sec)
+                .set("ns_per_path_p50", r.ns_p50)
+                .set("ns_per_path_p99", r.ns_p99);
+            rows.push((format!("{name}_{regime}"), obj));
+        }
+    }
+    table.print();
+    let row_objs: Vec<Json> = rows.iter().map(|(_, o)| o.clone()).collect();
+    fields.push(("configs", Json::from(row_objs)));
+    println!();
+    oblivion_bench::report::write_bench_and_note("route", &fields);
+}

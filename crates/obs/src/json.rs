@@ -63,6 +63,16 @@ impl Json {
         }
     }
 
+    /// The value as `i64`, if it fits (gauges may be negative).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::U64(x) => i64::try_from(x).ok(),
+            Json::I64(x) => Some(x),
+            Json::F64(x) if x.fract() == 0.0 && x.abs() < 2f64.powi(53) => Some(x as i64),
+            _ => None,
+        }
+    }
+
     /// The value as `f64`, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {

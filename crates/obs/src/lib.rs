@@ -4,11 +4,14 @@
 //! Three pieces, all hand-rolled so the workspace keeps building with no
 //! external crates:
 //!
-//! * [`registry`] — a process-global registry of named counters,
-//!   power-of-two-bucket histograms, and nestable wall-clock spans.
-//!   Instrumentation is off by default; every call site then costs one
-//!   relaxed atomic load, so hot paths (per-packet routing, per-step
-//!   simulation) can stay instrumented unconditionally.
+//! * [`registry`] — a process-global registry of named counters, gauges,
+//!   power-of-two-bucket histograms (deterministic and wall-clock
+//!   "runtime" flavors), and nestable wall-clock spans, with an atomic
+//!   [`update`] batch API so readers only ever see
+//!   invariant-preserving snapshots. Instrumentation is off by default;
+//!   every call site then costs one relaxed atomic load, so hot paths
+//!   (per-packet routing, per-step simulation) can stay instrumented
+//!   unconditionally.
 //! * [`json`] — a small deterministic JSON writer/parser with
 //!   order-preserving objects, so same-seed runs serialize to
 //!   byte-identical documents.
@@ -41,8 +44,11 @@ pub mod report;
 
 pub use json::Json;
 pub use registry::{
-    capture_events, counter_add, disable, enable, is_enabled, record, reset, restore_deterministic,
-    runtime_counter_add, snapshot, span, Histogram, Snapshot, SpanGuard, SpanStats,
-    HISTOGRAM_BUCKETS,
+    capture_events, counter_add, disable, enable, gauge_add, gauge_set, is_enabled, record,
+    record_runtime, reset, restore_deterministic, runtime_counter_add, snapshot, span, update,
+    Batch, Histogram, Snapshot, SpanGuard, SpanStats, HISTOGRAM_BUCKETS,
 };
-pub use report::{parse_jsonl, parse_jsonl_lossy, render, snapshot_lines, RunReport};
+pub use report::{
+    histogram_from_json, histogram_json, parse_jsonl, parse_jsonl_lossy, render, report_schemas,
+    snapshot_lines, RunReport, SCHEMA_VERSION,
+};

@@ -52,8 +52,15 @@ pub struct Histogram {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram.
+    pub fn new() -> Self {
         Self {
             count: 0,
             sum: 0,
@@ -85,12 +92,24 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, value: u64) {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
     }
 
     /// Mean of the observations (0 when empty).
@@ -100,6 +119,26 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`), resolved to
+    /// bucket granularity: the high edge of the bucket holding the
+    /// rank-`ceil(q * count)` observation, clamped to the observed
+    /// `[min, max]`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -118,7 +157,9 @@ pub struct SpanStats {
 struct Registry {
     counters: BTreeMap<&'static str, u64>,
     runtime_counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    runtime_histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<String, SpanStats>,
     events: Vec<String>,
     capture_events: bool,
@@ -168,10 +209,104 @@ pub fn record(name: &'static str, value: u64) {
         return;
     }
     let mut reg = registry().lock().unwrap();
-    reg.histograms
+    reg.histograms.entry(name).or_default().record(value);
+}
+
+/// Records a value into a named **runtime histogram**. No-op when
+/// disabled.
+///
+/// Runtime histograms hold wall-clock facts — per-phase latencies,
+/// scheduling-dependent queue waits — and live on the non-deterministic
+/// side of the metrics document alongside spans and runtime counters:
+/// serialized only with `include_timings`, excluded from byte-identity
+/// comparisons across same-seed runs.
+#[inline]
+pub fn record_runtime(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    reg.runtime_histograms
         .entry(name)
-        .or_insert_with(Histogram::new)
+        .or_default()
         .record(value);
+}
+
+/// Sets a named gauge to an absolute level. No-op when disabled.
+///
+/// Gauges are instantaneous levels (queue depth, in-flight requests)
+/// rather than monotone totals. They sit on the deterministic side: a
+/// gauge driven by simulated state (e.g. packets in flight at the final
+/// step) is reproducible across same-seed runs.
+#[inline]
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    reg.gauges.insert(name, value);
+}
+
+/// Adds `delta` (possibly negative) to a named gauge. No-op when
+/// disabled.
+#[inline]
+pub fn gauge_add(name: &'static str, delta: i64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    *reg.gauges.entry(name).or_insert(0) += delta;
+}
+
+/// A write handle over the registry held open for one atomic batch; see
+/// [`update`].
+pub struct Batch<'a> {
+    reg: &'a mut Registry,
+}
+
+impl Batch<'_> {
+    /// Adds to a counter within the batch.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.reg.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Adds to a gauge within the batch.
+    pub fn gauge_add(&mut self, name: &'static str, delta: i64) {
+        *self.reg.gauges.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge within the batch.
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        self.reg.gauges.insert(name, value);
+    }
+
+    /// Records into a histogram within the batch.
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.reg.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Records into a runtime histogram within the batch.
+    pub fn record_runtime(&mut self, name: &'static str, value: u64) {
+        self.reg
+            .runtime_histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+}
+
+/// Applies several registry updates as one atomic transition: the whole
+/// closure runs under the registry lock, so a concurrent [`snapshot`]
+/// sees either none or all of its effects. This is how writers maintain
+/// cross-metric invariants (conservation laws) that a reader may check.
+/// No-op when disabled.
+#[inline]
+pub fn update(f: impl FnOnce(&mut Batch<'_>)) {
+    if !is_enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    f(&mut Batch { reg: &mut reg });
 }
 
 /// An RAII span: measures wall-clock time from creation to drop and
@@ -238,14 +373,22 @@ pub fn capture_events(on: bool) {
 }
 
 /// A point-in-time copy of the whole registry.
+///
+/// Taken under the registry lock, so it is *consistent*: every update
+/// applied through one [`update`] batch is either fully visible or not
+/// visible at all.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: Vec<(String, u64)>,
     /// Runtime (scheduling-dependent) counter values by name.
     pub runtime_counters: Vec<(String, u64)>,
+    /// Gauge levels by name.
+    pub gauges: Vec<(String, i64)>,
     /// Histograms by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Runtime (wall-clock) histograms by name.
+    pub runtime_histograms: Vec<(String, Histogram)>,
     /// Span timings by nesting path.
     pub spans: Vec<(String, SpanStats)>,
     /// Captured span events (JSON lines), if event capture was on.
@@ -266,8 +409,18 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
         histograms: reg
             .histograms
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        runtime_histograms: reg
+            .runtime_histograms
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect(),
@@ -282,8 +435,10 @@ pub fn snapshot() -> Snapshot {
 
 /// Replaces the **deterministic** registry contents — counters and
 /// histograms — with the given values, wholesale. Runtime counters,
-/// spans, and captured events (the scheduling/wall-clock side) are left
-/// untouched.
+/// runtime histograms, spans, and captured events (the
+/// scheduling/wall-clock side) are left untouched, and so are gauges:
+/// a gauge is a level the run re-establishes as it replays, not an
+/// accumulation to reinstate.
 ///
 /// This is the restore half of checkpoint/resume: a resumed run
 /// reinstates the counters and histograms the interrupted run had
@@ -303,13 +458,15 @@ pub fn restore_deterministic(counters: &[(String, u64)], histograms: &[(String, 
         .collect();
 }
 
-/// Clears all counters, histograms, spans, and captured events. The
-/// enabled flag and event-capture setting are unchanged.
+/// Clears all counters, gauges, histograms, spans, and captured events.
+/// The enabled flag and event-capture setting are unchanged.
 pub fn reset() {
     let mut reg = registry().lock().unwrap();
     reg.counters.clear();
     reg.runtime_counters.clear();
+    reg.gauges.clear();
     reg.histograms.clear();
+    reg.runtime_histograms.clear();
     reg.spans.clear();
     reg.events.clear();
 }
@@ -377,6 +534,104 @@ mod tests {
         disable();
         assert_eq!(snap.counters, vec![("det".to_string(), 1)]);
         assert_eq!(snap.runtime_counters, vec![("sched".to_string(), 5)]);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let _guard = serial();
+        enable();
+        reset();
+        gauge_set("depth", 7);
+        gauge_add("depth", -3);
+        gauge_add("inflight", 2);
+        let snap = snapshot();
+        disable();
+        assert_eq!(
+            snap.gauges,
+            vec![("depth".to_string(), 4), ("inflight".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn runtime_histograms_are_separate() {
+        let _guard = serial();
+        enable();
+        reset();
+        record("det_h", 1);
+        record_runtime("phase_ns", 100);
+        record_runtime("phase_ns", 200);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.runtime_histograms.len(), 1);
+        let (name, h) = &snap.runtime_histograms[0];
+        assert_eq!(name, "phase_ns");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 300);
+    }
+
+    #[test]
+    fn update_batch_is_atomic_under_the_lock() {
+        let _guard = serial();
+        enable();
+        reset();
+        update(|b| {
+            b.counter_add("accepted", 1);
+            b.gauge_add("in_flight", 1);
+            b.record("h", 5);
+            b.record_runtime("rt", 9);
+        });
+        update(|b| {
+            b.counter_add("completed", 1);
+            b.gauge_add("in_flight", -1);
+            b.gauge_set("queue", 0);
+        });
+        let snap = snapshot();
+        disable();
+        assert_eq!(
+            snap.counters,
+            vec![("accepted".to_string(), 1), ("completed".to_string(), 1)]
+        );
+        assert_eq!(
+            snap.gauges,
+            vec![("in_flight".to_string(), 0), ("queue".to_string(), 0)]
+        );
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.runtime_histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_edges() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        // rank(0.5 * 6) = 3 -> the value 3 lives in bucket [2,3].
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 of six observations is the max's bucket, clamped to max.
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_bounds() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(8);
+        let mut b = Histogram::new();
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1033);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 1024);
+        assert_eq!(a.buckets[11], 1);
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! End-of-run structured reports and the JSON-lines metrics format.
 //!
 //! A metrics file is plain JSONL: one object per line, each tagged with a
-//! `"type"` field — `"counter"`, `"histogram"`, `"runtime_counter"`,
-//! `"span"`, `"span_event"`, or `"report"`. The final `"report"` line carries run-level summary
-//! fields (command, mesh, congestion, stretch, ...). The same writer
+//! `"type"` field — `"counter"`, `"gauge"`, `"histogram"`,
+//! `"runtime_counter"`, `"runtime_histogram"`, `"span"`, `"span_event"`,
+//! `"serve_stats"`, or `"report"`. The final `"report"` line carries
+//! run-level summary fields (command, mesh, congestion, stretch, ...) and
+//! a `"schema"` version ([`SCHEMA_VERSION`]; files written before the
+//! telemetry layer carry no field and are schema 1). The same writer
 //! backs `--metrics-out` in the CLI and `results/*.json` in the bench
 //! harness; [`render`] turns a file back into human-readable text for
 //! `oblivion stats`.
 
 use crate::json::Json;
-use crate::registry::{Histogram, Snapshot};
+use crate::registry::{Histogram, Snapshot, HISTOGRAM_BUCKETS};
 use std::fmt::Write as _;
+
+/// Version of the metrics JSONL schema this writer produces. Bumped to 2
+/// when gauges, runtime histograms, and periodic `serve_stats` snapshot
+/// lines were added; reports without a `"schema"` field are version 1.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// An ordered, append-only set of run-level summary fields.
 ///
@@ -26,7 +34,10 @@ impl RunReport {
     /// A new report for the given top-level command/experiment name.
     pub fn new(command: &str) -> Self {
         Self {
-            fields: vec![("command".to_string(), Json::from(command))],
+            fields: vec![
+                ("command".to_string(), Json::from(command)),
+                ("schema".to_string(), Json::from(SCHEMA_VERSION)),
+            ],
         }
     }
 
@@ -82,8 +93,15 @@ pub fn snapshot_lines(snap: &Snapshot, include_timings: bool) -> Vec<String> {
             .set("value", *value);
         lines.push(obj.to_string());
     }
+    for (name, value) in &snap.gauges {
+        let mut obj = Json::obj();
+        obj.set("type", "gauge")
+            .set("name", name.as_str())
+            .set("value", *value);
+        lines.push(obj.to_string());
+    }
     for (name, hist) in &snap.histograms {
-        lines.push(histogram_json(name, hist).to_string());
+        lines.push(histogram_json("histogram", name, hist).to_string());
     }
     if include_timings {
         for (name, value) in &snap.runtime_counters {
@@ -92,6 +110,9 @@ pub fn snapshot_lines(snap: &Snapshot, include_timings: bool) -> Vec<String> {
                 .set("name", name.as_str())
                 .set("value", *value);
             lines.push(obj.to_string());
+        }
+        for (name, hist) in &snap.runtime_histograms {
+            lines.push(histogram_json("runtime_histogram", name, hist).to_string());
         }
         for (path, stats) in &snap.spans {
             let mut obj = Json::obj();
@@ -107,9 +128,11 @@ pub fn snapshot_lines(snap: &Snapshot, include_timings: bool) -> Vec<String> {
     lines
 }
 
-fn histogram_json(name: &str, hist: &Histogram) -> Json {
+/// Serializes one histogram as a tagged JSON object (`kind` becomes the
+/// `"type"` field: `"histogram"` or `"runtime_histogram"`).
+pub fn histogram_json(kind: &str, name: &str, hist: &Histogram) -> Json {
     let mut obj = Json::obj();
-    obj.set("type", "histogram")
+    obj.set("type", kind)
         .set("name", name)
         .set("count", hist.count)
         .set("sum", hist.sum)
@@ -127,6 +150,47 @@ fn histogram_json(name: &str, hist: &Histogram) -> Json {
     }
     obj.set("buckets", Json::Arr(buckets));
     obj
+}
+
+/// Rebuilds a [`Histogram`] from a serialized histogram line (the inverse
+/// of [`histogram_json`]), so renderers can compute quantiles from a
+/// parsed metrics file. Returns `None` when the object is missing fields
+/// or a bucket does not sit on a power-of-two boundary.
+pub fn histogram_from_json(h: &Json) -> Option<Histogram> {
+    let mut hist = Histogram::new();
+    hist.count = h.get("count")?.as_u64()?;
+    hist.sum = h.get("sum")?.as_u64()?;
+    hist.max = h.get("max")?.as_u64()?;
+    hist.min = if hist.count == 0 {
+        u64::MAX
+    } else {
+        h.get("min")?.as_u64()?
+    };
+    let Some(Json::Arr(buckets)) = h.get("buckets") else {
+        return None;
+    };
+    for b in buckets {
+        let lo = b.get("lo")?.as_u64()?;
+        let n = b.get("count")?.as_u64()?;
+        let idx = Histogram::bucket_of(lo);
+        if idx >= HISTOGRAM_BUCKETS || Histogram::bucket_range(idx).0 != lo {
+            return None;
+        }
+        hist.buckets[idx] += n;
+    }
+    Some(hist)
+}
+
+/// The schema version of each `"report"` line in a parsed document, in
+/// file order. Reports written before the version field existed count as
+/// version 1. A document whose versions are not all equal mixes writer
+/// generations and should be flagged to the reader.
+pub fn report_schemas(entries: &[(String, Json)]) -> Vec<u64> {
+    entries
+        .iter()
+        .filter(|(t, _)| t == "report")
+        .map(|(_, v)| v.get("schema").and_then(|s| s.as_u64()).unwrap_or(1))
+        .collect()
 }
 
 /// Parses a JSONL metrics document into its typed lines.
@@ -215,42 +279,22 @@ pub fn render(entries: &[(String, Json)]) -> String {
         out.push('\n');
     }
 
-    for h in of_kind("histogram") {
-        let name = h.get("name").and_then(|n| n.as_str()).unwrap_or("?");
-        let count = h.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
-        let sum = h.get("sum").and_then(|v| v.as_u64()).unwrap_or(0);
-        let min = h.get("min").and_then(|v| v.as_u64()).unwrap_or(0);
-        let max = h.get("max").and_then(|v| v.as_u64()).unwrap_or(0);
-        let mean = if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
-        };
-        let _ = writeln!(
-            out,
-            "histogram {name}  (count {count}, mean {mean:.2}, min {min}, max {max})"
-        );
-        if let Some(Json::Arr(buckets)) = h.get("buckets") {
-            let peak = buckets
-                .iter()
-                .filter_map(|b| b.get("count").and_then(|c| c.as_u64()))
-                .max()
-                .unwrap_or(1)
-                .max(1);
-            for b in buckets {
-                let lo = b.get("lo").and_then(|v| v.as_u64()).unwrap_or(0);
-                let hi = b.get("hi").and_then(|v| v.as_u64()).unwrap_or(0);
-                let n = b.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
-                let width = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
-                let range = if lo == hi {
-                    format!("{lo}")
-                } else {
-                    format!("{lo}..{hi}")
-                };
-                let _ = writeln!(out, "  {:>16}  {:>10}  {}", range, n, "#".repeat(width));
-            }
+    if of_kind("gauge").next().is_some() {
+        out.push_str("gauges (instantaneous levels)\n");
+        for g in of_kind("gauge") {
+            let name = g.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let value = g.get("value").and_then(|v| v.as_i64()).unwrap_or(0);
+            let _ = writeln!(out, "  {:<32} {}", name, value);
         }
         out.push('\n');
+    }
+
+    for h in of_kind("histogram") {
+        render_histogram(&mut out, h, "histogram");
+    }
+
+    for h in of_kind("runtime_histogram") {
+        render_histogram(&mut out, h, "runtime histogram");
     }
 
     if of_kind("runtime_counter").next().is_some() {
@@ -298,6 +342,48 @@ pub fn render(entries: &[(String, Json)]) -> String {
     out
 }
 
+fn render_histogram(out: &mut String, h: &Json, label: &str) {
+    let name = h.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+    let count = h.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+    let sum = h.get("sum").and_then(|v| v.as_u64()).unwrap_or(0);
+    let min = h.get("min").and_then(|v| v.as_u64()).unwrap_or(0);
+    let max = h.get("max").and_then(|v| v.as_u64()).unwrap_or(0);
+    let mean = if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    };
+    let quantiles = histogram_from_json(h)
+        .filter(|hist| hist.count > 0)
+        .map(|hist| format!(", p50 {}, p99 {}", hist.quantile(0.50), hist.quantile(0.99)))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "{label} {name}  (count {count}, mean {mean:.2}, min {min}, max {max}{quantiles})"
+    );
+    if let Some(Json::Arr(buckets)) = h.get("buckets") {
+        let peak = buckets
+            .iter()
+            .filter_map(|b| b.get("count").and_then(|c| c.as_u64()))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for b in buckets {
+            let lo = b.get("lo").and_then(|v| v.as_u64()).unwrap_or(0);
+            let hi = b.get("hi").and_then(|v| v.as_u64()).unwrap_or(0);
+            let n = b.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+            let width = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
+            let range = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}..{hi}")
+            };
+            let _ = writeln!(out, "  {:>16}  {:>10}  {}", range, n, "#".repeat(width));
+        }
+    }
+    out.push('\n');
+}
+
 fn render_scalar(value: &Json) -> String {
     match value {
         Json::Str(s) => s.clone(),
@@ -338,10 +424,15 @@ mod tests {
             hist.max = hist.max.max(v);
             hist.buckets[Histogram::bucket_of(v)] += 1;
         }
+        let mut phase = Histogram::new();
+        phase.record(1_000);
+        phase.record(4_000);
         Snapshot {
             counters: vec![("packets_routed".to_string(), 42)],
             runtime_counters: vec![("pool_steals".to_string(), 3)],
+            gauges: vec![("queue_depth".to_string(), 5)],
             histograms: vec![("random_bits_per_packet".to_string(), hist)],
+            runtime_histograms: vec![("phase_route_ns".to_string(), phase)],
             spans: vec![(
                 "route/path_selection".to_string(),
                 SpanStats {
@@ -363,11 +454,24 @@ mod tests {
         let kinds: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             kinds,
-            vec!["counter", "histogram", "runtime_counter", "span", "report"]
+            vec![
+                "counter",
+                "gauge",
+                "histogram",
+                "runtime_counter",
+                "runtime_histogram",
+                "span",
+                "report"
+            ]
         );
-        let report_line = &entries[4].1;
+        let report_line = &entries[6].1;
         assert_eq!(report_line.get("command").unwrap().as_str(), Some("route"));
         assert_eq!(report_line.get("packets").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            report_line.get("schema").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(report_schemas(&entries), vec![SCHEMA_VERSION]);
     }
 
     #[test]
@@ -377,8 +481,9 @@ mod tests {
         assert!(!doc.contains("\"span\""));
         assert!(!doc.contains("total_ns"));
         assert!(!doc.contains("runtime_counter"));
+        assert!(!doc.contains("runtime_histogram"));
         let entries = parse_jsonl(&doc).unwrap();
-        assert_eq!(entries.len(), 3); // counter + histogram + report
+        assert_eq!(entries.len(), 4); // counter + gauge + histogram + report
     }
 
     #[test]
@@ -388,8 +493,33 @@ mod tests {
         let json = report.to_json().to_string();
         assert_eq!(
             json,
-            "{\"type\":\"report\",\"command\":\"x\",\"a\":3,\"b\":2}"
+            "{\"type\":\"report\",\"command\":\"x\",\"schema\":2,\"a\":3,\"b\":2}"
         );
+    }
+
+    #[test]
+    fn histogram_json_roundtrips_through_parse() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 17, 900] {
+            h.record(v);
+        }
+        let line = histogram_json("histogram", "lat", &h).to_string();
+        let parsed = Json::parse(&line).unwrap();
+        let back = histogram_from_json(&parsed).unwrap();
+        assert_eq!(back.count, h.count);
+        assert_eq!(back.sum, h.sum);
+        assert_eq!(back.min, h.min);
+        assert_eq!(back.max, h.max);
+        assert_eq!(back.buckets, h.buckets);
+        assert_eq!(back.quantile(0.5), h.quantile(0.5));
+    }
+
+    #[test]
+    fn missing_schema_reads_as_version_one() {
+        let doc = "{\"type\":\"report\",\"command\":\"old\"}\n\
+                   {\"type\":\"report\",\"command\":\"new\",\"schema\":2}\n";
+        let entries = parse_jsonl(doc).unwrap();
+        assert_eq!(report_schemas(&entries), vec![1, 2]);
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl Client {
     /// One request, one connection, one response line; returns the
     /// payload of the `OK` answer.
     pub fn round_trip(&self, request_line: &str) -> Result<String, ClientError> {
+        match self.exchange(request_line)? {
+            (Response::Ok(payload), _) => Ok(payload),
+            (Response::Err(kind, detail), _) => Err(ClientError::Server(kind, detail)),
+        }
+    }
+
+    /// One request, one connection, one response line — with the echoed
+    /// request ID (if any) split out of the reply.
+    fn exchange(&self, request_line: &str) -> Result<(Response, Option<String>), ClientError> {
         let deadline = Instant::now() + self.timeout;
         let stream =
             TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ClientError::Transport)?;
@@ -85,11 +94,7 @@ impl Client {
             }
             Err(wire::LineError::Io(e)) => return Err(ClientError::Transport(e)),
         };
-        match wire::parse_response(&line) {
-            Ok(Response::Ok(payload)) => Ok(payload),
-            Ok(Response::Err(kind, detail)) => Err(ClientError::Server(kind, detail)),
-            Err(why) => Err(ClientError::Malformed(why)),
-        }
+        wire::parse_response_with_id(&line).map_err(ClientError::Malformed)
     }
 
     /// Requests a path for `(seed, src, dst)` and parses the hops,
@@ -103,12 +108,55 @@ impl Client {
         src: &Coord,
         dst: &Coord,
     ) -> Result<Vec<Coord>, ClientError> {
+        self.request_path_with_id(mesh, seed, src, dst, None)
+    }
+
+    /// [`Client::request_path`] with an optional client-supplied trace
+    /// ID. When `id` is given, the server must echo it byte-for-byte on
+    /// the `OK` reply (and does on any post-read `ERR`); a missing or
+    /// mangled echo counts as [`ClientError::Malformed`].
+    pub fn request_path_with_id(
+        &self,
+        mesh: &Mesh,
+        seed: u64,
+        src: &Coord,
+        dst: &Coord,
+        id: Option<&str>,
+    ) -> Result<Vec<Coord>, ClientError> {
+        let id_field = match id {
+            Some(id) => format!(" id={id}"),
+            None => String::new(),
+        };
         let line = format!(
-            "PATH {seed} {} {}\n",
+            "PATH {seed} {} {}{id_field}\n",
             wire::format_coord(src, mesh.dim()),
             wire::format_coord(dst, mesh.dim())
         );
-        let payload = self.round_trip(&line)?;
+        let (response, echoed) = self.exchange(&line)?;
+        if let Some(want) = id {
+            // Byte-for-byte echo check. Pre-read rejections (admission
+            // shed, slow-loris deadline) legitimately carry no ID — the
+            // server never saw the line — so only OK replies hard-require
+            // it; ERR replies must merely not *contradict* the request.
+            let matches = echoed.as_deref() == Some(want);
+            match (&response, &echoed) {
+                (Response::Ok(_), _) if !matches => {
+                    return Err(ClientError::Malformed(format!(
+                        "request id not echoed: sent `{want}`, got {echoed:?}"
+                    )))
+                }
+                (Response::Err(..), Some(got)) if got != want => {
+                    return Err(ClientError::Malformed(format!(
+                        "request id mangled on error reply: sent `{want}`, got `{got}`"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        let payload = match response {
+            Response::Ok(payload) => payload,
+            Response::Err(kind, detail) => return Err(ClientError::Server(kind, detail)),
+        };
         let hops: Result<Vec<Coord>, String> = payload
             .split_ascii_whitespace()
             .map(|tok| wire::parse_coord(tok, mesh))
@@ -135,5 +183,52 @@ impl Client {
     /// `OK` answer.
     pub fn probe(&self, what: &str) -> Result<String, ClientError> {
         self.round_trip(&format!("{what}\n"))
+    }
+
+    /// Sends `METRICS` and reads the whole multi-line exposition to
+    /// EOF. Returns the raw text; parse it with
+    /// [`crate::metrics::parse_exposition`], whose `# EOF` terminator
+    /// check catches truncated scrapes.
+    pub fn scrape(&self) -> Result<String, ClientError> {
+        use std::io::Read as _;
+        let deadline = Instant::now() + self.timeout;
+        let mut stream =
+            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ClientError::Transport)?;
+        let _ = stream.set_nodelay(true);
+        wire::write_line(&stream, "METRICS\n", deadline).map_err(ClientError::Transport)?;
+        let _ = stream.set_read_timeout(Some(self.timeout.max(Duration::from_millis(1))));
+        // The exposition is small (one line per non-empty bucket); a
+        // hard cap keeps a misbehaving peer from ballooning memory.
+        let mut body = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ClientError::Transport(std::io::Error::new(
+                    IoKind::TimedOut,
+                    "scrape deadline expired",
+                )));
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    body.extend_from_slice(&chunk[..n]);
+                    if body.len() > 1 << 20 {
+                        return Err(ClientError::Malformed(
+                            "metrics exposition exceeds 1 MiB".into(),
+                        ));
+                    }
+                }
+                Err(e)
+                    if e.kind() == IoKind::WouldBlock
+                        || e.kind() == IoKind::TimedOut
+                        || e.kind() == IoKind::Interrupted =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(ClientError::Transport(e)),
+            }
+        }
+        String::from_utf8(body)
+            .map_err(|_| ClientError::Malformed("metrics exposition is not UTF-8".into()))
     }
 }

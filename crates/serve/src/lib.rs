@@ -18,7 +18,14 @@
 //!   graceful SIGTERM drain with a budget, and dedicated health/readiness
 //!   probes that answer even at 10x overload.
 //! * [`stats`] — request accounting with an asserted conservation law:
-//!   every accepted connection settles into exactly one bucket.
+//!   every accepted connection settles into exactly one bucket — plus
+//!   live gauges (queue depth, in-flight, connections) and per-phase
+//!   latency histograms behind a consistent-snapshot API.
+//! * [`metrics`] — the Prometheus-style `METRICS` text exposition
+//!   (renderer, parser, and conservation checker), served admission-free
+//!   on the health port so it stays scrapeable at full overload.
+//! * [`top`] — the terminal live view behind `oblivion top`, polling
+//!   `METRICS` and rendering rates, gauges, and phase quantiles.
 //! * [`client`] / [`loadgen`] — the companion client and load generator
 //!   with retry + capped exponential backoff; the chaos gate kill -9s
 //!   the server mid-load, restarts it, and requires the retries to
@@ -32,13 +39,17 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod top;
 pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use metrics::{parse_exposition, render_exposition, Exposition};
 pub use server::{run, Control, ServeConfig, ServeSummary};
-pub use stats::{ServeStats, StatsSnapshot};
-pub use wire::{ErrorKind, Request, Response, MAX_REQUEST_LINE};
+pub use stats::{Phase, ServeStats, StatsSnapshot};
+pub use top::{run_top, TopConfig};
+pub use wire::{ErrorKind, Request, Response, MAX_REQUEST_ID, MAX_REQUEST_LINE};

@@ -129,12 +129,14 @@ impl LoadgenReport {
         );
         let _ = writeln!(
             s,
-            "  goodput {:.1} req/s over {:.2} s  latency ms p50 {:.2}  p95 {:.2}  p99 {:.2}",
+            "  goodput {:.1} req/s over {:.2} s  latency ms p50 {:.2}  p90 {:.2}  \
+             p99 {:.2}  p99.9 {:.2}",
             self.goodput(),
             self.elapsed.as_secs_f64(),
             self.latency_ms(0.50),
-            self.latency_ms(0.95),
+            self.latency_ms(0.90),
             self.latency_ms(0.99),
+            self.latency_ms(0.999),
         );
         s
     }
@@ -193,8 +195,13 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
             let (path_seed, src, dst) = request_of(&cfg.mesh, cfg.seed, id as u64);
             let mut attempt = 0u32;
             loop {
+                // Every attempt carries a distinct trace ID; the client
+                // verifies the byte-for-byte echo, so a mangled ID
+                // lands in the malformed bucket and fails the run.
+                let trace_id = format!("lg-{id}.{attempt}");
                 let t0 = Instant::now();
-                match client.request_path(&cfg.mesh, path_seed, &src, &dst) {
+                match client.request_path_with_id(&cfg.mesh, path_seed, &src, &dst, Some(&trace_id))
+                {
                     Ok(_hops) => {
                         local.ok += 1;
                         local

@@ -1,0 +1,438 @@
+//! The `METRICS` text exposition: a Prometheus-style rendering of a
+//! [`StatsSnapshot`], plus the parser and conservation validator the
+//! `oblivion top` viewer, the scrape-under-load soak test, and the CI
+//! gate share.
+//!
+//! Grammar (a strict subset of the Prometheus text format):
+//!
+//! ```text
+//! # TYPE <name> counter|gauge|histogram
+//! <name> <integer>                        (counter/gauge samples)
+//! <name>_bucket{le="<edge>"} <cum-count>  (histogram, cumulative)
+//! <name>_bucket{le="+Inf"} <count>
+//! <name>_sum <integer>
+//! <name>_count <integer>
+//! # EOF
+//! ```
+//!
+//! The final `# EOF` line doubles as a truncation guard: a scrape that
+//! lost its tail (killed server, cut socket) fails the parse instead of
+//! passing with quietly missing series. Because the snapshot behind the
+//! exposition is transition-consistent (see [`crate::stats`]), every
+//! successful scrape satisfies [`Exposition::check_conservation`] — even
+//! one taken mid-stampede.
+
+use crate::stats::{Phase, StatsSnapshot};
+use oblivion_obs::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Prefix every exposed series name carries.
+const PREFIX: &str = "oblivion_serve_";
+
+/// Renders the exposition for one snapshot. `uptime` becomes the
+/// `oblivion_serve_uptime_ms` gauge so scrapers can turn cumulative
+/// counters into rates without wall-clock math of their own.
+pub fn render_exposition(snap: &StatsSnapshot, uptime: Duration) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.obs_counters() {
+        let series = name.strip_prefix("serve_").unwrap_or(name);
+        let _ = writeln!(out, "# TYPE {PREFIX}{series} counter");
+        let _ = writeln!(out, "{PREFIX}{series} {value}");
+    }
+    for (series, value) in [
+        ("queue_depth", snap.queue_depth),
+        ("in_flight", snap.in_flight),
+        ("connections", snap.connections),
+        ("max_queue_depth", snap.max_queue_depth as i64),
+        ("uptime_ms", uptime.as_millis().min(i64::MAX as u128) as i64),
+    ] {
+        let _ = writeln!(out, "# TYPE {PREFIX}{series} gauge");
+        let _ = writeln!(out, "{PREFIX}{series} {value}");
+    }
+    for (phase, hist) in &snap.phases {
+        let name = format!("{PREFIX}phase_{phase}_us");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &count) in hist.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cum += count;
+            let (_, hi) = Histogram::bucket_range(i);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// One parsed histogram series.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSeries {
+    /// `(le edge, cumulative count)` rows in file order; the `+Inf` row
+    /// is stored as `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+    /// The `_sum` sample.
+    pub sum: u64,
+    /// The `_count` sample.
+    pub count: u64,
+}
+
+/// A parsed `METRICS` exposition.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Counter samples by full series name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge samples by full series name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram series by full series name.
+    pub histograms: BTreeMap<String, HistogramSeries>,
+}
+
+impl Exposition {
+    fn counter(&self, series: &str) -> Result<u64, String> {
+        self.counters
+            .get(&format!("{PREFIX}{series}"))
+            .copied()
+            .ok_or_else(|| format!("exposition is missing counter {PREFIX}{series}"))
+    }
+
+    fn gauge(&self, series: &str) -> Result<i64, String> {
+        self.gauges
+            .get(&format!("{PREFIX}{series}"))
+            .copied()
+            .ok_or_else(|| format!("exposition is missing gauge {PREFIX}{series}"))
+    }
+
+    /// The live conservation law over a scraped exposition:
+    /// `accepted = completed + bad + shed + deadline + drain + io +
+    /// connections`, gauges non-negative, and every per-phase histogram
+    /// count `<= accepted`. Returns a diagnosis of the first violated
+    /// clause.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let accepted = self.counter("accepted")?;
+        let settled = self.counter("completed")?
+            + self.counter("bad_request")?
+            + self.counter("shed_overloaded")?
+            + self.counter("deadline_exceeded")?
+            + self.counter("drain_rejected")?
+            + self.counter("io_errors")?;
+        let connections = self.gauge("connections")?;
+        for g in ["queue_depth", "in_flight", "connections"] {
+            let v = self.gauge(g)?;
+            if v < 0 {
+                return Err(format!("gauge {PREFIX}{g} is negative: {v}"));
+            }
+        }
+        if accepted != settled + connections as u64 {
+            return Err(format!(
+                "conservation violated: accepted {accepted} != settled {settled} \
+                 + connections {connections}"
+            ));
+        }
+        for phase in Phase::ALL {
+            let name = format!("{PREFIX}phase_{}_us", phase.name());
+            let h = self
+                .histograms
+                .get(&name)
+                .ok_or_else(|| format!("exposition is missing histogram {name}"))?;
+            if h.count > accepted {
+                return Err(format!(
+                    "phase histogram {name} count {} exceeds accepted {accepted}",
+                    h.count
+                ));
+            }
+            if let Some(&(_, last_cum)) = h.buckets.last() {
+                if last_cum != h.count {
+                    return Err(format!(
+                        "histogram {name} +Inf bucket {last_cum} != count {}",
+                        h.count
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience accessors for renderers: `(accepted, completed, shed
+    /// total, queue_depth, in_flight)`.
+    pub fn headline(&self) -> Result<(u64, u64, u64, i64, i64), String> {
+        Ok((
+            self.counter("accepted")?,
+            self.counter("completed")?,
+            self.counter("shed_overloaded")?
+                + self.counter("deadline_exceeded")?
+                + self.counter("drain_rejected")?,
+            self.gauge("queue_depth")?,
+            self.gauge("in_flight")?,
+        ))
+    }
+
+    /// The uptime gauge, if present.
+    pub fn uptime_ms(&self) -> Option<i64> {
+        self.gauges.get(&format!("{PREFIX}uptime_ms")).copied()
+    }
+
+    /// A gauge by short series name (without the `oblivion_serve_`
+    /// prefix), defaulting to zero when absent — for renderers that
+    /// prefer a blank-ish value over failing the whole frame.
+    pub fn gauge_or_zero(&self, series: &str) -> i64 {
+        self.gauge(series).unwrap_or(0)
+    }
+
+    /// A phase histogram's `(p50, p99, count)` in microseconds,
+    /// reconstructed from the cumulative buckets.
+    pub fn phase_quantiles(&self, phase: Phase) -> Option<(u64, u64, u64)> {
+        let h = self
+            .histograms
+            .get(&format!("{PREFIX}phase_{}_us", phase.name()))?;
+        let hist = h.to_histogram()?;
+        Some((hist.quantile(0.50), hist.quantile(0.99), hist.count))
+    }
+}
+
+impl HistogramSeries {
+    /// Rebuilds a bucketed [`Histogram`] from the cumulative series
+    /// (min/max degrade to bucket edges — quantiles stay exact at
+    /// bucket granularity).
+    pub fn to_histogram(&self) -> Option<Histogram> {
+        let mut hist = Histogram::new();
+        hist.count = self.count;
+        hist.sum = self.sum;
+        let mut prev = 0u64;
+        for &(hi, cum) in &self.buckets {
+            if hi == u64::MAX {
+                continue;
+            }
+            let n = cum.checked_sub(prev)?;
+            prev = cum;
+            if n == 0 {
+                continue;
+            }
+            let idx = Histogram::bucket_of(hi);
+            if Histogram::bucket_range(idx).1 != hi {
+                return None;
+            }
+            hist.buckets[idx] += n;
+            let (lo, _) = Histogram::bucket_range(idx);
+            hist.min = hist.min.min(lo);
+            hist.max = hist.max.max(hi);
+        }
+        Some(hist)
+    }
+}
+
+/// Parses a `METRICS` exposition, requiring the `# EOF` terminator.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    let mut kinds: BTreeMap<String, &str> = BTreeMap::new();
+    let mut saw_eof = false;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let at = |msg: &str| format!("line {}: {msg}", idx + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            return Err(at("data after # EOF"));
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_ascii_whitespace();
+            let (Some(name), Some(kind), None) = (it.next(), it.next(), it.next()) else {
+                return Err(at("malformed # TYPE line"));
+            };
+            let kind = match kind {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                other => return Err(at(&format!("unknown series type `{other}`"))),
+            };
+            kinds.insert(name.to_string(), kind);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal noise
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample line without a value"))?;
+        if let Some((series, label)) = name.split_once("_bucket{le=\"") {
+            let edge = label
+                .strip_suffix("\"}")
+                .ok_or_else(|| at("malformed le label"))?;
+            let edge = if edge == "+Inf" {
+                u64::MAX
+            } else {
+                edge.parse::<u64>()
+                    .map_err(|e| at(&format!("bad le edge: {e}")))?
+            };
+            let cum = value
+                .parse::<u64>()
+                .map_err(|e| at(&format!("bad bucket count: {e}")))?;
+            exp.histograms
+                .entry(series.to_string())
+                .or_default()
+                .buckets
+                .push((edge, cum));
+            continue;
+        }
+        if let Some(series) = name.strip_suffix("_sum") {
+            if kinds.get(series).copied() == Some("histogram") {
+                exp.histograms.entry(series.to_string()).or_default().sum = value
+                    .parse::<u64>()
+                    .map_err(|e| at(&format!("bad _sum: {e}")))?;
+                continue;
+            }
+        }
+        if let Some(series) = name.strip_suffix("_count") {
+            if kinds.get(series).copied() == Some("histogram") {
+                exp.histograms.entry(series.to_string()).or_default().count = value
+                    .parse::<u64>()
+                    .map_err(|e| at(&format!("bad _count: {e}")))?;
+                continue;
+            }
+        }
+        match kinds.get(name).copied() {
+            Some("counter") => {
+                exp.counters.insert(
+                    name.to_string(),
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| at(&format!("bad counter value: {e}")))?,
+                );
+            }
+            Some("gauge") => {
+                exp.gauges.insert(
+                    name.to_string(),
+                    value
+                        .parse::<i64>()
+                        .map_err(|e| at(&format!("bad gauge value: {e}")))?,
+                );
+            }
+            Some("histogram") => return Err(at("bare sample for a histogram series")),
+            _ => return Err(at(&format!("sample `{name}` without a # TYPE declaration"))),
+        }
+    }
+    if !saw_eof {
+        return Err("exposition truncated: missing # EOF terminator".into());
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Counter, ServeStats};
+
+    fn busy_stats() -> ServeStats {
+        let s = ServeStats::default();
+        for i in 0..50u64 {
+            s.accept();
+            if i % 9 == 0 {
+                s.shed_at_admission();
+                continue;
+            }
+            s.enqueued(i % 4 + 1);
+            s.dequeued();
+            s.record_phase(Phase::QueueWait, 10 + i);
+            s.record_phase(Phase::Parse, 2);
+            s.record_phase(Phase::RouteCompute, 100 + i * 3);
+            s.record_phase(Phase::ReplyWrite, 5);
+            s.settle(if i % 11 == 0 {
+                Counter::DeadlineExceeded
+            } else {
+                Counter::Completed
+            });
+        }
+        // Leave some live state on the books: the scrape must conserve
+        // anyway.
+        s.accept();
+        s.enqueued(1);
+        s.accept();
+        s.enqueued(2);
+        s.dequeued();
+        s
+    }
+
+    #[test]
+    fn exposition_round_trips_and_conserves() {
+        let stats = busy_stats();
+        let text = render_exposition(&stats.snapshot(), Duration::from_millis(1234));
+        let exp = parse_exposition(&text).expect("parse");
+        exp.check_conservation().expect("conservation");
+        assert_eq!(exp.counters["oblivion_serve_accepted"], 52);
+        assert_eq!(exp.gauges["oblivion_serve_connections"], 2);
+        assert_eq!(exp.gauges["oblivion_serve_queue_depth"], 1);
+        assert_eq!(exp.gauges["oblivion_serve_in_flight"], 1);
+        assert_eq!(exp.uptime_ms(), Some(1234));
+        let (p50, p99, count) = exp.phase_quantiles(Phase::RouteCompute).unwrap();
+        assert!(count > 0 && p50 > 0 && p99 >= p50, "{p50} {p99} {count}");
+    }
+
+    #[test]
+    fn truncated_scrape_fails_the_parse() {
+        let stats = busy_stats();
+        let text = render_exposition(&stats.snapshot(), Duration::ZERO);
+        let cut = &text[..text.len() / 2];
+        assert!(parse_exposition(cut).is_err());
+        let no_eof = text.replace("# EOF\n", "");
+        assert!(parse_exposition(&no_eof).is_err());
+    }
+
+    #[test]
+    fn quantiles_survive_the_wire_format() {
+        let stats = ServeStats::default();
+        for us in [10u64, 20, 30, 40, 50, 5000] {
+            stats.accept();
+            stats.enqueued(1);
+            stats.dequeued();
+            stats.record_phase(Phase::RouteCompute, us);
+            stats.settle(Counter::Completed);
+        }
+        let snap = stats.snapshot();
+        let direct = snap.phase(Phase::RouteCompute).quantile(0.5);
+        let text = render_exposition(&snap, Duration::ZERO);
+        let exp = parse_exposition(&text).unwrap();
+        let (p50, _, count) = exp.phase_quantiles(Phase::RouteCompute).unwrap();
+        assert_eq!(count, 6);
+        assert_eq!(p50, direct);
+    }
+
+    #[test]
+    fn tampered_counters_fail_conservation() {
+        let stats = busy_stats();
+        let text = render_exposition(&stats.snapshot(), Duration::ZERO);
+        let mut exp = parse_exposition(&text).unwrap();
+        *exp.counters.get_mut("oblivion_serve_accepted").unwrap() += 1;
+        assert!(exp.check_conservation().is_err());
+        let mut exp = parse_exposition(&text).unwrap();
+        exp.histograms
+            .get_mut("oblivion_serve_phase_parse_us")
+            .unwrap()
+            .count = 10_000;
+        assert!(exp.check_conservation().is_err());
+        let mut exp = parse_exposition(&text).unwrap();
+        *exp.gauges.get_mut("oblivion_serve_in_flight").unwrap() = -1;
+        assert!(exp.check_conservation().is_err());
+    }
+
+    #[test]
+    fn unknown_series_and_garbage_are_rejected() {
+        assert!(parse_exposition("mystery 4\n# EOF\n").is_err());
+        assert!(parse_exposition("# TYPE x wibble\nx 1\n# EOF\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx notanumber\n# EOF\n").is_err());
+        assert!(parse_exposition("# EOF\ntrailing 1\n").is_err());
+        // Plain comments are fine.
+        let ok = parse_exposition("# HELP something\n# TYPE x counter\nx 1\n# EOF\n").unwrap();
+        assert_eq!(ok.counters["x"], 1);
+    }
+}

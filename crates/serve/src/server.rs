@@ -8,30 +8,39 @@
 //!                    with ERR OVERLOADED; polls the shutdown flag
 //! crew[1..=threads]  workers: pop → deadline check → read line →
 //!                    parse → route → respond
-//! crew[last]         health listener (optional): HEALTH/READY probes
+//! crew[..]           stats flusher (optional): appends a JSONL snapshot
+//!                    to --metrics-out every --stats-every interval, so
+//!                    a crash loses at most one interval of telemetry
+//! crew[last]         health listener (optional): HEALTH/READY/METRICS
 //!                    on a dedicated port, bypassing admission so they
 //!                    answer even at 10x overload
 //! ```
 //!
 //! Overload behavior is the design center: the queue is bounded, pushes
 //! never block, and every admitted connection settles into exactly one
-//! counter bucket (see [`crate::stats`]). On shutdown (SIGTERM/SIGINT or
-//! [`Control::request_shutdown`]) the acceptor closes the listener,
-//! stamps the drain deadline, and closes the queue; workers finish the
-//! backlog while the drain budget lasts and reject the rest with
-//! `ERR SHUTTING_DOWN`. The process then exits 0 with conserved
-//! counters — that is the "graceful" in graceful drain.
+//! counter bucket (see [`crate::stats`]). Each request is timed through
+//! explicit phases — accept, queue-wait, parse, route-compute,
+//! reply-write — into per-phase histograms that `METRICS` exposes live.
+//! On shutdown (SIGTERM/SIGINT or [`Control::request_shutdown`]) the
+//! acceptor closes the listener, stamps the drain deadline, and closes
+//! the queue; workers finish the backlog while the drain budget lasts
+//! and reject the rest with `ERR SHUTTING_DOWN`. The process then exits
+//! 0 with conserved counters — that is the "graceful" in graceful drain.
 //!
 //! [`run_crew`]: oblivion_sim::pool::run_crew
 
+use crate::metrics::render_exposition;
 use crate::queue::{Bounded, Pop};
-use crate::stats::{Counter, ServeStats, StatsSnapshot};
+use crate::stats::{Counter, Phase, ServeStats, StatsSnapshot};
 use crate::wire::{self, ErrorKind, LineError, Request, MAX_REQUEST_LINE};
 use oblivion_core::ObliviousRouter;
+use oblivion_obs::Json;
 use oblivion_sim::pool::run_crew;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -48,8 +57,8 @@ pub struct ServeConfig {
     /// Dedicated probe port; `Some(0)` lets the OS pick, `None`
     /// disables the health listener.
     pub health_port: Option<u16>,
-    /// Request worker threads (the acceptor and health listener are
-    /// extra).
+    /// Request worker threads (the acceptor, flusher, and health
+    /// listener are extra).
     pub threads: usize,
     /// Admission queue capacity; connections beyond it are shed.
     pub queue_cap: usize,
@@ -61,6 +70,11 @@ pub struct ServeConfig {
     /// Simulated extra service time per `PATH` request — overload knob
     /// for tests and the `exp_serve` load sweep.
     pub work: Duration,
+    /// Background stats flusher interval; `None` disables the flusher.
+    pub stats_every: Option<Duration>,
+    /// File the flusher appends JSONL snapshots to (requires
+    /// `stats_every`).
+    pub stats_path: Option<PathBuf>,
     /// Also poll the process-wide `oblivion-signal` flag (SIGTERM /
     /// SIGINT), not just [`Control::request_shutdown`].
     pub honor_process_signals: bool,
@@ -80,6 +94,8 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(1000),
             drain: Duration::from_millis(2000),
             work: Duration::ZERO,
+            stats_every: None,
+            stats_path: None,
             honor_process_signals: false,
             announce: false,
         }
@@ -94,6 +110,7 @@ pub struct Control {
     bound: OnceLock<SocketAddr>,
     health_bound: OnceLock<SocketAddr>,
     drain_until: OnceLock<Instant>,
+    started: OnceLock<Instant>,
     stats: ServeStats,
 }
 
@@ -142,6 +159,10 @@ impl Control {
     pub fn stats(&self) -> &ServeStats {
         &self.stats
     }
+
+    fn uptime(&self) -> Duration {
+        self.started.get().map(|s| s.elapsed()).unwrap_or_default()
+    }
 }
 
 /// What [`run`] reports after draining.
@@ -176,6 +197,7 @@ pub fn run(
     ctl: &Control,
 ) -> std::io::Result<ServeSummary> {
     let started = Instant::now();
+    let _ = ctl.started.set(started);
     let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -198,9 +220,10 @@ pub fn run(
 
     let queue: Bounded<Job> = Bounded::new(cfg.queue_cap);
     let has_health = health_listener.is_some();
+    let has_flusher = cfg.stats_every.is_some() && cfg.stats_path.is_some();
     let listener = Mutex::new(Some(listener));
     let health_listener = Mutex::new(health_listener);
-    let crew = 1 + cfg.threads + usize::from(has_health);
+    let crew = 1 + cfg.threads + usize::from(has_flusher) + usize::from(has_health);
     run_crew(crew, |w| {
         if w == 0 {
             let listener = listener
@@ -216,6 +239,8 @@ pub fn run(
             queue.close();
         } else if w <= cfg.threads {
             worker_loop(router, &queue, cfg, ctl);
+        } else if has_flusher && w == cfg.threads + 1 {
+            flusher_loop(&queue, cfg, ctl);
         } else {
             let listener = health_listener
                 .lock()
@@ -249,20 +274,31 @@ fn accept_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, 
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                ctl.stats.bump(&Counter::Accepted);
+                ctl.stats.accept();
+                let accepted_at = Instant::now();
                 let _ = stream.set_nodelay(true);
                 let job = Job {
                     stream,
-                    accepted_at: Instant::now(),
+                    accepted_at,
                 };
+                // Accounting precedes publication: the depth gauge is
+                // bumped before the job is visible to workers, so the
+                // racing `dequeued()` can never drive it negative.
+                let depth = ctl.stats.enqueue_started();
                 match queue.try_push(job) {
-                    Ok(depth) => ctl.stats.observe_queue_depth(depth as u64),
+                    Ok(_) => {
+                        ctl.stats.enqueue_committed(depth);
+                        ctl.stats
+                            .record_phase(Phase::Accept, elapsed_us(accepted_at));
+                    }
                     Err(job) => {
+                        ctl.stats.enqueue_aborted();
                         // Admission control: the queue is full, so shed
                         // *now* with a typed rejection instead of
-                        // queueing unboundedly. The write is
-                        // best-effort and strictly bounded.
-                        ctl.stats.bump(&Counter::ShedOverloaded);
+                        // queueing unboundedly. No trace ID on the
+                        // reply: the request line was never read. The
+                        // write is best-effort and strictly bounded.
+                        ctl.stats.shed_at_admission();
                         let _ = wire::write_line(
                             &job.stream,
                             &wire::format_err_line(ErrorKind::Overloaded, ""),
@@ -292,11 +328,21 @@ fn worker_loop(
 ) {
     loop {
         match queue.pop_timeout(Duration::from_millis(50)) {
-            Pop::Item(job) => handle(router, job, cfg, ctl),
+            Pop::Item(job) => {
+                ctl.stats.dequeued();
+                ctl.stats
+                    .record_phase(Phase::QueueWait, elapsed_us(job.accepted_at));
+                handle(router, job, cfg, ctl);
+            }
             Pop::Closed => return,
             Pop::Timeout => {}
         }
     }
+}
+
+/// Microseconds since `t`, saturating.
+fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// Serves one admitted connection, settling it into exactly one
@@ -307,7 +353,7 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
     // Queued past the drain budget? Typed rejection, not silence.
     if let Some(until) = ctl.drain_until.get() {
         if Instant::now() >= *until {
-            ctl.stats.bump(&Counter::DrainRejected);
+            ctl.stats.settle(Counter::DrainRejected);
             let _ = wire::write_line(
                 &stream,
                 &wire::format_err_line(ErrorKind::ShuttingDown, ""),
@@ -318,7 +364,7 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
     }
     // Queued past the request deadline (overload made it stale)?
     if Instant::now() >= deadline {
-        ctl.stats.bump(&Counter::DeadlineExceeded);
+        ctl.stats.settle(Counter::DeadlineExceeded);
         let _ = wire::write_line(
             &stream,
             &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
@@ -326,12 +372,14 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
         );
         return;
     }
+    let parse_started = Instant::now();
     let line = match wire::read_line(&stream, MAX_REQUEST_LINE, deadline) {
         Ok(line) => line,
         Err(LineError::Deadline) => {
             // The slow-loris bucket: the peer connected but never
-            // finished a line within the deadline.
-            ctl.stats.bump(&Counter::DeadlineExceeded);
+            // finished a line within the deadline. No ID to echo — the
+            // line never arrived.
+            ctl.stats.settle(Counter::DeadlineExceeded);
             let _ = wire::write_line(
                 &stream,
                 &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
@@ -340,7 +388,7 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
             return;
         }
         Err(LineError::TooLong) => {
-            ctl.stats.bump(&Counter::BadRequest);
+            ctl.stats.settle(Counter::BadRequest);
             let _ = wire::write_line(
                 &stream,
                 &wire::format_err_line(ErrorKind::BadRequest, "request line too long"),
@@ -350,30 +398,30 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
         }
         Err(LineError::Eof(saw_bytes)) => {
             if saw_bytes {
-                ctl.stats.bump(&Counter::BadRequest);
+                ctl.stats.settle(Counter::BadRequest);
             } else {
                 // Connect-and-close (port scan, aborted client): an I/O
                 // settlement, nothing to answer.
-                ctl.stats.bump(&Counter::IoError);
+                ctl.stats.settle(Counter::IoError);
             }
             return;
         }
         Err(LineError::Io(_)) => {
-            ctl.stats.bump(&Counter::IoError);
+            ctl.stats.settle(Counter::IoError);
             return;
         }
     };
-    match wire::parse_request(&line, router.mesh()) {
+    let parsed = wire::parse_request(&line, router.mesh());
+    ctl.stats
+        .record_phase(Phase::Parse, elapsed_us(parse_started));
+    match parsed {
         Ok(Request::Health) => {
             let snap = ctl.stats.snapshot();
             let body = format!(
                 "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
-                snap.accepted,
-                snap.completed,
-                snap.shed_overloaded,
-                ctl.stats.max_queue_depth.load(Ordering::SeqCst)
+                snap.accepted, snap.completed, snap.shed_overloaded, snap.queue_depth
             );
-            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+            settle_write(ctl, &stream, &body, deadline);
         }
         Ok(Request::Ready) => {
             let body = if ctl.shutdown_requested(cfg) {
@@ -381,9 +429,17 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
             } else {
                 "OK ready\n".to_string()
             };
-            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+            settle_write(ctl, &stream, &body, deadline);
         }
-        Ok(Request::Path { seed, src, dst }) => {
+        Ok(Request::Metrics) => {
+            // The exposition is also served here on the request port
+            // (subject to admission); the health listener serves it
+            // admission-free for scraping at full overload.
+            let body = render_exposition(&ctl.stats.snapshot(), ctl.uptime());
+            settle_write(ctl, &stream, &body, deadline);
+        }
+        Ok(Request::Path { seed, src, dst, id }) => {
+            let route_started = Instant::now();
             if !cfg.work.is_zero() {
                 // Simulated service time: lets tests and the load sweep
                 // drive the server past capacity deterministically.
@@ -393,56 +449,143 @@ fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Contr
                 );
             }
             if Instant::now() >= deadline {
-                ctl.stats.bump(&Counter::DeadlineExceeded);
+                ctl.stats.settle(Counter::DeadlineExceeded);
                 let _ = wire::write_line(
                     &stream,
-                    &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
+                    &wire::format_err_line_with_id(ErrorKind::DeadlineExceeded, id.as_deref(), ""),
                     Instant::now() + Duration::from_millis(100),
                 );
                 return;
             }
             // The seed travels in the request, so the answer is a pure
             // function of (mesh, router, seed, src, dst) — stateless,
-            // horizontally shardable, and bit-reproducible.
+            // horizontally shardable, and bit-reproducible. The trace
+            // ID is echoed, never mixed into the RNG.
             let mut rng = StdRng::seed_from_u64(seed);
             let routed = router.select_path(&src, &dst, &mut rng);
-            let body = wire::format_path_line(&routed.path, router.mesh().dim());
-            settle_write(ctl, &stream, &body, deadline, job.accepted_at);
+            ctl.stats
+                .record_phase(Phase::RouteCompute, elapsed_us(route_started));
+            let body =
+                wire::format_path_line_with_id(&routed.path, router.mesh().dim(), id.as_deref());
+            settle_write(ctl, &stream, &body, deadline);
         }
         Err(detail) => {
-            ctl.stats.bump(&Counter::BadRequest);
+            // Echo an ID even on a bad request when one is salvageable
+            // from the line, so the client can correlate the rejection.
+            let id = salvage_id(&line);
+            ctl.stats.settle(Counter::BadRequest);
             let _ = wire::write_line(
                 &stream,
-                &wire::format_err_line(ErrorKind::BadRequest, &detail),
+                &wire::format_err_line_with_id(ErrorKind::BadRequest, id.as_deref(), &detail),
                 deadline,
             );
         }
     }
 }
 
+/// Pulls a valid `id=<token>` out of a request line that failed to
+/// parse, so the rejection can still be correlated client-side.
+fn salvage_id(line: &str) -> Option<String> {
+    line.split_ascii_whitespace()
+        .filter_map(|tok| tok.strip_prefix("id="))
+        .find(|id| wire::valid_request_id(id))
+        .map(str::to_string)
+}
+
 /// Writes a success response and settles the request: `completed` when
-/// the bytes made it out, `io_errors` when the peer was gone.
-fn settle_write(
-    ctl: &Control,
-    stream: &TcpStream,
-    body: &str,
-    deadline: Instant,
-    accepted_at: Instant,
-) {
+/// the bytes made it out, `io_errors` when the peer was gone. The write
+/// itself is the reply-write phase.
+fn settle_write(ctl: &Control, stream: &TcpStream, body: &str, deadline: Instant) {
+    let write_started = Instant::now();
     match wire::write_line(stream, body, deadline) {
         Ok(()) => {
-            ctl.stats.bump(&Counter::Completed);
-            let us = accepted_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            oblivion_obs::record("serve_latency_us", us);
+            ctl.stats
+                .record_phase(Phase::ReplyWrite, elapsed_us(write_started));
+            ctl.stats.settle(Counter::Completed);
         }
-        Err(_) => ctl.stats.bump(&Counter::IoError),
+        Err(_) => ctl.stats.settle(Counter::IoError),
     }
+}
+
+/// The background stats flusher: appends one `{"type":"serve_stats"}`
+/// JSONL line per interval to `stats_path` (only when something
+/// changed), plus a final line at drain. A crash therefore loses at
+/// most one interval of telemetry; everything before it is already on
+/// disk.
+fn flusher_loop(queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+    let (Some(every), Some(path)) = (cfg.stats_every, cfg.stats_path.as_ref()) else {
+        return;
+    };
+    let mut file = match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("serve: stats flusher cannot open {}: {e}", path.display());
+            return;
+        }
+    };
+    let mut last_digest: Option<(u64, u64, u64)> = None;
+    let mut next_flush = Instant::now() + every;
+    loop {
+        let draining = ctl.drain_until.get().is_some() && queue.is_empty();
+        if Instant::now() >= next_flush || draining {
+            next_flush = Instant::now() + every;
+            let snap = ctl.stats.snapshot();
+            let digest = (
+                snap.accepted,
+                snap.settled() + snap.health_probes,
+                snap.phases.iter().map(|(_, h)| h.count).sum(),
+            );
+            if last_digest != Some(digest) {
+                last_digest = Some(digest);
+                let line = serve_stats_json(&snap, ctl.uptime());
+                if writeln!(file, "{line}").is_err() {
+                    return; // disk gone; stop burning the crew slot
+                }
+                let _ = file.flush();
+            }
+            if draining {
+                return;
+            }
+        }
+        std::thread::sleep(POLL.min(every));
+    }
+}
+
+/// One flushed snapshot as a JSONL object (cumulative, not a delta on
+/// the wire — deltas are trivially derivable and cumulative lines stay
+/// meaningful when an interval is lost to a crash).
+fn serve_stats_json(snap: &StatsSnapshot, uptime: Duration) -> String {
+    let mut obj = Json::obj();
+    obj.set("type", "serve_stats").set(
+        "uptime_ms",
+        uptime.as_millis().min(u128::from(u64::MAX)) as u64,
+    );
+    for (name, value) in snap.obs_counters() {
+        obj.set(name, value);
+    }
+    obj.set("serve_queue_depth", snap.queue_depth)
+        .set("serve_in_flight", snap.in_flight)
+        .set("serve_connections", snap.connections)
+        .set("serve_max_queue_depth", snap.max_queue_depth);
+    for (phase, hist) in &snap.phases {
+        obj.set(
+            format!("phase_{phase}_us"),
+            oblivion_obs::histogram_json("histogram", phase, hist),
+        );
+    }
+    obj.to_string()
 }
 
 /// The dedicated probe listener: single-threaded, admission-free, with
 /// aggressively short timeouts so a stalled prober cannot wedge it for
 /// long. Runs until the main queue is closed and drained, so probes
 /// still answer (READY → `ERR SHUTTING_DOWN`) during the drain window.
+/// `METRICS` is served here precisely because it bypasses admission:
+/// the telemetry stays scrapeable when the request port is shedding.
 fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
     let probe_budget = Duration::from_millis(250);
     loop {
@@ -454,7 +597,7 @@ fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, 
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                ctl.stats.bump(&Counter::HealthProbe);
+                ctl.stats.health_probe();
                 let deadline = Instant::now() + probe_budget;
                 let _ = stream.set_nodelay(true);
                 let reply = match wire::read_line(&stream, 64, deadline) {
@@ -476,9 +619,10 @@ fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, 
                                 "OK ready\n".to_string()
                             }
                         }
+                        "METRICS" => render_exposition(&ctl.stats.snapshot(), ctl.uptime()),
                         _ => wire::format_err_line(
                             ErrorKind::BadRequest,
-                            "health port accepts HEALTH|READY",
+                            "health port accepts HEALTH|READY|METRICS",
                         ),
                     },
                     Err(_) => wire::format_err_line(ErrorKind::BadRequest, "no probe line"),

@@ -1,4 +1,5 @@
-//! Request accounting with a conservation law.
+//! Request accounting with a conservation law — now with live gauges and
+//! per-phase latency histograms behind one consistent-snapshot lock.
 //!
 //! Every connection the acceptor admits is counted exactly once in
 //! exactly one terminal bucket, so at any quiescent point:
@@ -8,88 +9,85 @@
 //!          + deadline_exceeded + drain_rejected + io_errors
 //! ```
 //!
-//! The soak test and the chaos gate assert [`StatsSnapshot::conserved`];
-//! a request that vanishes without a bucket is a bug by definition. The
-//! same increments are mirrored into `oblivion-obs` counters (when
-//! enabled) so `--metrics-out` run reports carry them.
+//! The live form of the law holds at *every* instant, not just at
+//! quiescence: `accepted = settled + connections`, where `connections`
+//! is the gauge of admitted-but-unsettled sockets. All transitions are
+//! applied atomically under a single mutex, and [`ServeStats::snapshot`]
+//! copies the whole ledger under that same mutex — so a `METRICS` scrape
+//! taken mid-stampede can never observe a half-applied transition. The
+//! soak tests assert this against live scrapes; the chaos gate asserts
+//! the quiescent law after drain. The same transitions are mirrored into
+//! `oblivion-obs` (when enabled) so `--metrics-out` run reports carry
+//! them.
+//!
+//! Lock cost: two-to-four uncontended mutex acquisitions per request,
+//! nanoseconds against a syscall-bound request path — consistency is
+//! worth far more here than lock-free increments that can tear.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use oblivion_obs::Histogram;
+use std::sync::Mutex;
 
-macro_rules! serve_counters {
-    ($($(#[$doc:meta])* $name:ident => $obs:literal,)*) => {
-        /// Live request counters (atomics; see module docs for the
-        /// conservation law).
-        #[derive(Default)]
-        pub struct ServeStats {
-            $($(#[$doc])* pub $name: AtomicU64,)*
-            /// High-water mark of the admission queue depth.
-            pub max_queue_depth: AtomicU64,
-        }
-
-        /// A point-in-time copy of [`ServeStats`].
-        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-        pub struct StatsSnapshot {
-            $($(#[$doc])* pub $name: u64,)*
-            /// High-water mark of the admission queue depth.
-            pub max_queue_depth: u64,
-        }
-
-        impl ServeStats {
-            /// Copies all counters.
-            pub fn snapshot(&self) -> StatsSnapshot {
-                StatsSnapshot {
-                    $($name: self.$name.load(Ordering::SeqCst),)*
-                    max_queue_depth: self.max_queue_depth.load(Ordering::SeqCst),
-                }
-            }
-        }
-
-        impl StatsSnapshot {
-            /// `(obs counter name, value)` for every counter, in
-            /// declaration order.
-            pub fn obs_counters(&self) -> Vec<(&'static str, u64)> {
-                vec![$(($obs, self.$name),)*]
-            }
-        }
-    };
+/// The explicit phases a served request moves through, each timed into
+/// its own histogram (microseconds). A phase is recorded at most once
+/// per accepted connection, so every phase count is `<= accepted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accept to enqueue: the acceptor's own handling time.
+    Accept,
+    /// Enqueue to worker pickup: time spent waiting in the admission
+    /// queue.
+    QueueWait,
+    /// Reading and parsing the request line.
+    Parse,
+    /// Selecting the path (including any simulated service time).
+    RouteCompute,
+    /// Writing the reply bytes.
+    ReplyWrite,
 }
 
-serve_counters! {
-    /// Connections the acceptor took off the listener.
-    accepted => "serve_accepted",
-    /// Requests answered with `OK` (paths and probes).
-    completed => "serve_completed",
-    /// Requests answered `ERR BAD_REQUEST`.
-    bad_request => "serve_bad_request",
-    /// Connections rejected `ERR OVERLOADED` at admission (queue full).
-    shed_overloaded => "serve_shed_overloaded",
-    /// Requests answered `ERR DEADLINE_EXCEEDED` (queued or read too
-    /// slowly).
-    deadline_exceeded => "serve_deadline_exceeded",
-    /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
-    /// budget ran out.
-    drain_rejected => "serve_drain_rejected",
-    /// Connections that died before an answer could be written (peer
-    /// reset, empty connect-and-close, failed response write).
-    io_errors => "serve_io_errors",
-    /// Probes answered on the dedicated health listener (not part of
-    /// the conservation law — health connections bypass admission).
-    health_probes => "serve_health_probes",
-}
+/// Number of request phases.
+pub const PHASE_COUNT: usize = 5;
 
-impl ServeStats {
-    /// Bumps a counter by 1 and mirrors it into the identically named
-    /// `oblivion-obs` counter (a no-op unless obs is enabled).
-    pub fn bump(&self, which: &Counter) {
-        which.cell(self).fetch_add(1, Ordering::SeqCst);
-        oblivion_obs::counter_add(which.obs_name(), 1);
+impl Phase {
+    /// Every phase, in hot-path order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Accept,
+        Phase::QueueWait,
+        Phase::Parse,
+        Phase::RouteCompute,
+        Phase::ReplyWrite,
+    ];
+
+    /// Short phase name (also the `METRICS` exposition label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Accept => "accept",
+            Phase::QueueWait => "queue_wait",
+            Phase::Parse => "parse",
+            Phase::RouteCompute => "route_compute",
+            Phase::ReplyWrite => "reply_write",
+        }
     }
 
-    /// Records a queue-depth observation (gauge high-water + obs
-    /// histogram).
-    pub fn observe_queue_depth(&self, depth: u64) {
-        self.max_queue_depth.fetch_max(depth, Ordering::SeqCst);
-        oblivion_obs::record("serve_queue_depth", depth);
+    /// The `oblivion-obs` runtime-histogram name this phase mirrors to.
+    pub fn obs_name(self) -> &'static str {
+        match self {
+            Phase::Accept => "serve_phase_accept_us",
+            Phase::QueueWait => "serve_phase_queue_wait_us",
+            Phase::Parse => "serve_phase_parse_us",
+            Phase::RouteCompute => "serve_phase_route_compute_us",
+            Phase::ReplyWrite => "serve_phase_reply_write_us",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Accept => 0,
+            Phase::QueueWait => 1,
+            Phase::Parse => 2,
+            Phase::RouteCompute => 3,
+            Phase::ReplyWrite => 4,
+        }
     }
 }
 
@@ -97,39 +95,29 @@ impl ServeStats {
 /// counters — a typed handle so call sites can't typo an obs name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Counter {
-    /// See [`ServeStats::accepted`].
+    /// Connections the acceptor took off the listener.
     Accepted,
-    /// See [`ServeStats::completed`].
+    /// Requests answered with `OK` (paths and probes).
     Completed,
-    /// See [`ServeStats::bad_request`].
+    /// Requests answered `ERR BAD_REQUEST`.
     BadRequest,
-    /// See [`ServeStats::shed_overloaded`].
+    /// Connections rejected `ERR OVERLOADED` at admission (queue full).
     ShedOverloaded,
-    /// See [`ServeStats::deadline_exceeded`].
+    /// Requests answered `ERR DEADLINE_EXCEEDED`.
     DeadlineExceeded,
-    /// See [`ServeStats::drain_rejected`].
+    /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
+    /// budget ran out.
     DrainRejected,
-    /// See [`ServeStats::io_errors`].
+    /// Connections that died before an answer could be written.
     IoError,
-    /// See [`ServeStats::health_probes`].
+    /// Probes answered on the dedicated health listener (outside the
+    /// conservation law — health connections bypass admission).
     HealthProbe,
 }
 
 impl Counter {
-    fn cell<'a>(&self, s: &'a ServeStats) -> &'a AtomicU64 {
-        match self {
-            Counter::Accepted => &s.accepted,
-            Counter::Completed => &s.completed,
-            Counter::BadRequest => &s.bad_request,
-            Counter::ShedOverloaded => &s.shed_overloaded,
-            Counter::DeadlineExceeded => &s.deadline_exceeded,
-            Counter::DrainRejected => &s.drain_rejected,
-            Counter::IoError => &s.io_errors,
-            Counter::HealthProbe => &s.health_probes,
-        }
-    }
-
-    fn obs_name(&self) -> &'static str {
+    /// The `oblivion-obs` counter this bucket mirrors to.
+    pub fn obs_name(&self) -> &'static str {
         match self {
             Counter::Accepted => "serve_accepted",
             Counter::Completed => "serve_completed",
@@ -141,6 +129,231 @@ impl Counter {
             Counter::HealthProbe => "serve_health_probes",
         }
     }
+
+    fn index(&self) -> usize {
+        match self {
+            Counter::Accepted => 0,
+            Counter::Completed => 1,
+            Counter::BadRequest => 2,
+            Counter::ShedOverloaded => 3,
+            Counter::DeadlineExceeded => 4,
+            Counter::DrainRejected => 5,
+            Counter::IoError => 6,
+            Counter::HealthProbe => 7,
+        }
+    }
+}
+
+/// Everything behind the one lock. Gauges are `i64` so an accounting bug
+/// shows up as a visible negative level instead of a wrapped `u64`.
+struct Ledger {
+    counters: [u64; 8],
+    max_queue_depth: u64,
+    queue_depth: i64,
+    in_flight: i64,
+    connections: i64,
+    phases: [Histogram; PHASE_COUNT],
+}
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger {
+            counters: [0; 8],
+            max_queue_depth: 0,
+            queue_depth: 0,
+            in_flight: 0,
+            connections: 0,
+            phases: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
+
+/// Live request accounting (see module docs for the conservation law).
+#[derive(Default)]
+pub struct ServeStats {
+    ledger: Mutex<Ledger>,
+}
+
+impl ServeStats {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ledger> {
+        self.ledger.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A connection came off the listener: `accepted` and the
+    /// `connections` gauge move together, atomically.
+    pub fn accept(&self) {
+        {
+            let mut l = self.lock();
+            l.counters[Counter::Accepted.index()] += 1;
+            l.connections += 1;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add("serve_accepted", 1);
+            b.gauge_add("serve_connections", 1);
+        });
+    }
+
+    /// Pre-publish half of an enqueue: bumps the queue-depth gauge
+    /// *before* the job becomes visible to workers. The acceptor must
+    /// call this before the push — otherwise a fast worker's
+    /// [`ServeStats::dequeued`] can land first and a scrape observes a
+    /// negative depth. Returns the provisional depth (the in-queue
+    /// count the moment the push lands).
+    pub fn enqueue_started(&self) -> u64 {
+        let depth = {
+            let mut l = self.lock();
+            l.queue_depth += 1;
+            l.queue_depth as u64
+        };
+        oblivion_obs::update(|b| b.gauge_add("serve_queue_depth", 1));
+        depth
+    }
+
+    /// Commit half: the push succeeded at `depth` — record the
+    /// high-water mark and the depth histogram. Deliberately *not*
+    /// folded into [`ServeStats::enqueue_started`]: a rejected push
+    /// must leave the high-water mark untouched (the shed job was
+    /// never in the queue).
+    pub fn enqueue_committed(&self, depth: u64) {
+        {
+            let mut l = self.lock();
+            l.max_queue_depth = l.max_queue_depth.max(depth);
+        }
+        oblivion_obs::update(|b| b.record("serve_queue_depth_hist", depth));
+    }
+
+    /// Rollback half: the push was rejected (queue full) — undo the
+    /// provisional depth bump. The caller settles the connection via
+    /// [`ServeStats::shed_at_admission`].
+    pub fn enqueue_aborted(&self) {
+        {
+            let mut l = self.lock();
+            l.queue_depth -= 1;
+        }
+        oblivion_obs::update(|b| b.gauge_add("serve_queue_depth", -1));
+    }
+
+    /// Both enqueue halves at once, for callers with no concurrent
+    /// consumer racing the push.
+    pub fn enqueued(&self, depth: u64) {
+        self.enqueue_started();
+        self.enqueue_committed(depth);
+    }
+
+    /// A worker took a job off the queue: it is now in flight.
+    pub fn dequeued(&self) {
+        {
+            let mut l = self.lock();
+            l.queue_depth -= 1;
+            l.in_flight += 1;
+        }
+        oblivion_obs::update(|b| {
+            b.gauge_add("serve_queue_depth", -1);
+            b.gauge_add("serve_in_flight", 1);
+        });
+    }
+
+    /// A connection shed at admission settles without ever being
+    /// enqueued: terminal bucket and `connections` move together.
+    pub fn shed_at_admission(&self) {
+        {
+            let mut l = self.lock();
+            l.counters[Counter::ShedOverloaded.index()] += 1;
+            l.connections -= 1;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add("serve_shed_overloaded", 1);
+            b.gauge_add("serve_connections", -1);
+        });
+    }
+
+    /// A dequeued request settles into its terminal bucket; the
+    /// `in_flight` and `connections` gauges fall with it, atomically.
+    pub fn settle(&self, which: Counter) {
+        debug_assert!(
+            !matches!(which, Counter::Accepted | Counter::HealthProbe),
+            "settle takes a terminal bucket"
+        );
+        {
+            let mut l = self.lock();
+            l.counters[which.index()] += 1;
+            l.in_flight -= 1;
+            l.connections -= 1;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add(which.obs_name(), 1);
+            b.gauge_add("serve_in_flight", -1);
+            b.gauge_add("serve_connections", -1);
+        });
+    }
+
+    /// A probe answered on the health listener (outside the law).
+    pub fn health_probe(&self) {
+        self.lock().counters[Counter::HealthProbe.index()] += 1;
+        oblivion_obs::counter_add("serve_health_probes", 1);
+    }
+
+    /// Records one phase duration (microseconds) into the live ledger
+    /// and the mirrored obs runtime histogram.
+    pub fn record_phase(&self, phase: Phase, us: u64) {
+        self.lock().phases[phase.index()].record(us);
+        oblivion_obs::record_runtime(phase.obs_name(), us);
+    }
+
+    /// Copies the whole ledger under one lock: the returned snapshot is
+    /// transition-consistent, so [`StatsSnapshot::conserved_live`] holds
+    /// for every snapshot ever taken, even mid-stampede.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let l = self.lock();
+        StatsSnapshot {
+            accepted: l.counters[Counter::Accepted.index()],
+            completed: l.counters[Counter::Completed.index()],
+            bad_request: l.counters[Counter::BadRequest.index()],
+            shed_overloaded: l.counters[Counter::ShedOverloaded.index()],
+            deadline_exceeded: l.counters[Counter::DeadlineExceeded.index()],
+            drain_rejected: l.counters[Counter::DrainRejected.index()],
+            io_errors: l.counters[Counter::IoError.index()],
+            health_probes: l.counters[Counter::HealthProbe.index()],
+            max_queue_depth: l.max_queue_depth,
+            queue_depth: l.queue_depth,
+            in_flight: l.in_flight,
+            connections: l.connections,
+            phases: Phase::ALL.map(|p| (p.name(), l.phases[p.index()].clone())),
+        }
+    }
+}
+
+/// A point-in-time, transition-consistent copy of [`ServeStats`].
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Connections the acceptor took off the listener.
+    pub accepted: u64,
+    /// Requests answered with `OK` (paths and probes).
+    pub completed: u64,
+    /// Requests answered `ERR BAD_REQUEST`.
+    pub bad_request: u64,
+    /// Connections rejected `ERR OVERLOADED` at admission (queue full).
+    pub shed_overloaded: u64,
+    /// Requests answered `ERR DEADLINE_EXCEEDED`.
+    pub deadline_exceeded: u64,
+    /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
+    /// budget ran out.
+    pub drain_rejected: u64,
+    /// Connections that died before an answer could be written.
+    pub io_errors: u64,
+    /// Probes answered on the dedicated health listener.
+    pub health_probes: u64,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: i64,
+    /// Requests currently being handled by a worker.
+    pub in_flight: i64,
+    /// Admitted sockets not yet settled (queued + in flight + the
+    /// accept-to-enqueue window).
+    pub connections: i64,
+    /// Per-phase latency histograms (microseconds), by phase name.
+    pub phases: [(&'static str, Histogram); PHASE_COUNT],
 }
 
 impl StatsSnapshot {
@@ -155,11 +368,47 @@ impl StatsSnapshot {
             + self.io_errors
     }
 
-    /// The conservation law: every accepted connection is settled.
-    /// Only meaningful at quiescence (after drain, or with no request
-    /// in flight).
+    /// The quiescent conservation law: every accepted connection is
+    /// settled. Only meaningful after drain or with no request in
+    /// flight; mid-run, use [`conserved_live`](Self::conserved_live).
     pub fn conserved(&self) -> bool {
         self.accepted == self.settled()
+    }
+
+    /// The live conservation law, valid at every instant: accepted
+    /// connections are either settled or still on the books as open
+    /// `connections`.
+    pub fn conserved_live(&self) -> bool {
+        self.connections >= 0
+            && self.queue_depth >= 0
+            && self.in_flight >= 0
+            && self.accepted == self.settled() + self.connections as u64
+    }
+
+    /// Every phase histogram count is `<= accepted` (each phase fires at
+    /// most once per accepted connection).
+    pub fn phases_within_accepted(&self) -> bool {
+        self.phases.iter().all(|(_, h)| h.count <= self.accepted)
+    }
+
+    /// One phase's histogram.
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.phases[phase.index()].1
+    }
+
+    /// `(obs counter name, value)` for every counter, in declaration
+    /// order.
+    pub fn obs_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("serve_accepted", self.accepted),
+            ("serve_completed", self.completed),
+            ("serve_bad_request", self.bad_request),
+            ("serve_shed_overloaded", self.shed_overloaded),
+            ("serve_deadline_exceeded", self.deadline_exceeded),
+            ("serve_drain_rejected", self.drain_rejected),
+            ("serve_io_errors", self.io_errors),
+            ("serve_health_probes", self.health_probes),
+        ]
     }
 }
 
@@ -167,36 +416,133 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
+    /// Walks one connection through a full transition sequence.
+    fn settle_one(s: &ServeStats, bucket: Counter) {
+        s.accept();
+        s.enqueued(1);
+        s.dequeued();
+        s.settle(bucket);
+    }
+
     #[test]
     fn every_bucket_lands_in_the_conservation_law() {
         let s = ServeStats::default();
         for c in [
             Counter::Completed,
             Counter::BadRequest,
-            Counter::ShedOverloaded,
             Counter::DeadlineExceeded,
             Counter::DrainRejected,
             Counter::IoError,
         ] {
-            s.bump(&Counter::Accepted);
-            s.bump(&c);
+            settle_one(&s, c);
         }
+        s.accept();
+        s.shed_at_admission();
         let snap = s.snapshot();
         assert_eq!(snap.accepted, 6);
         assert!(snap.conserved(), "{snap:?}");
+        assert!(snap.conserved_live(), "{snap:?}");
         // Health probes are outside the law.
-        s.bump(&Counter::HealthProbe);
+        s.health_probe();
         assert!(s.snapshot().conserved());
-        // An unsettled accept breaks it.
-        s.bump(&Counter::Accepted);
-        assert!(!s.snapshot().conserved());
+        // An unsettled accept breaks the quiescent law but not the live
+        // one: the connection is on the books.
+        s.accept();
+        let snap = s.snapshot();
+        assert!(!snap.conserved());
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert_eq!(snap.connections, 1);
+    }
+
+    /// The interleaving that motivated the split enqueue: a worker's
+    /// `dequeued()` lands between the acceptor's push and its commit.
+    /// With accounting preceding publication the depth gauge dips to
+    /// zero, never below; a rejected push rolls back cleanly and leaves
+    /// the high-water mark untouched.
+    #[test]
+    fn pre_publish_enqueue_never_goes_negative() {
+        let s = ServeStats::default();
+        s.accept();
+        let depth = s.enqueue_started();
+        assert_eq!(depth, 1);
+        s.dequeued(); // the race: pop before the commit
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth, 0, "{snap:?}");
+        s.enqueue_committed(depth);
+        s.settle(Counter::Completed);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.max_queue_depth, 1);
+        assert!(snap.conserved(), "{snap:?}");
+
+        let s = ServeStats::default();
+        s.accept();
+        s.enqueue_started();
+        s.enqueue_aborted();
+        s.shed_at_admission();
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(
+            snap.max_queue_depth, 0,
+            "shed job must not set the high-water"
+        );
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn gauges_track_every_transition() {
+        let s = ServeStats::default();
+        s.accept();
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.connections, snap.queue_depth, snap.in_flight),
+            (1, 0, 0)
+        );
+        s.enqueued(1);
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.connections, snap.queue_depth, snap.in_flight),
+            (1, 1, 0)
+        );
+        s.dequeued();
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.connections, snap.queue_depth, snap.in_flight),
+            (1, 0, 1)
+        );
+        s.settle(Counter::Completed);
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.connections, snap.queue_depth, snap.in_flight),
+            (0, 0, 0)
+        );
+        assert_eq!(snap.max_queue_depth, 1);
+        assert!(snap.conserved_live());
+    }
+
+    #[test]
+    fn phase_counts_stay_within_accepted() {
+        let s = ServeStats::default();
+        settle_one(&s, Counter::Completed);
+        s.record_phase(Phase::Accept, 2);
+        s.record_phase(Phase::QueueWait, 15);
+        s.record_phase(Phase::Parse, 3);
+        s.record_phase(Phase::RouteCompute, 40);
+        s.record_phase(Phase::ReplyWrite, 5);
+        let snap = s.snapshot();
+        assert!(snap.phases_within_accepted(), "{snap:?}");
+        assert_eq!(snap.phase(Phase::QueueWait).count, 1);
+        assert_eq!(snap.phase(Phase::QueueWait).sum, 15);
+        for (name, h) in &snap.phases {
+            assert_eq!(h.count, 1, "phase {name}");
+        }
     }
 
     #[test]
     fn obs_mirror_names_cover_every_counter() {
         let s = ServeStats::default();
-        s.bump(&Counter::Accepted);
-        s.observe_queue_depth(3);
+        s.accept();
+        s.enqueued(3);
         let names: Vec<&str> = s
             .snapshot()
             .obs_counters()
@@ -207,5 +553,51 @@ mod tests {
         assert!(names.contains(&"serve_accepted"));
         assert!(names.contains(&"serve_shed_overloaded"));
         assert_eq!(s.snapshot().max_queue_depth, 3);
+    }
+
+    #[test]
+    fn snapshots_are_consistent_under_concurrent_hammering() {
+        // 4 writer threads push connections through the full lifecycle
+        // while a reader thread scrapes continuously: every single
+        // snapshot must satisfy the live law. This is the property the
+        // single-lock design exists for.
+        let s = ServeStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..2_000u64 {
+                        s.accept();
+                        if i % 7 == 0 {
+                            s.shed_at_admission();
+                        } else {
+                            s.enqueued(1);
+                            s.dequeued();
+                            s.record_phase(Phase::RouteCompute, i % 100);
+                            s.settle(if i % 3 == 0 {
+                                Counter::DeadlineExceeded
+                            } else {
+                                Counter::Completed
+                            });
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..5_000 {
+                    let snap = s.snapshot();
+                    assert!(
+                        snap.conserved_live(),
+                        "inconsistent scrape: accepted {} settled {} connections {}",
+                        snap.accepted,
+                        snap.settled(),
+                        snap.connections
+                    );
+                    assert!(snap.phases_within_accepted());
+                }
+            });
+        });
+        let end = s.snapshot();
+        assert_eq!(end.accepted, 8_000);
+        assert!(end.conserved(), "{end:?}");
     }
 }

@@ -1,0 +1,262 @@
+//! `oblivion top`: a terminal live view of a running daemon.
+//!
+//! Polls the `METRICS` exposition (normally on the health port, which
+//! bypasses admission and therefore answers at full overload), computes
+//! rates from consecutive scrapes, and renders a compact frame: request
+//! rates (goodput vs shed), live gauges, and per-phase latency
+//! quantiles. With `check` set, every scrape is also run through
+//! [`Exposition::check_conservation`] — which turns `top` into the CI
+//! probe that a live server's telemetry never violates the serve
+//! conservation law.
+
+use crate::client::{Client, ClientError};
+use crate::metrics::{parse_exposition, Exposition};
+use crate::stats::Phase;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`run_top`].
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Address serving `METRICS` (health port or request port).
+    pub addr: String,
+    /// Delay between scrapes.
+    pub interval: Duration,
+    /// Stop after this many scrapes; `None` runs until interrupted.
+    pub iterations: Option<u64>,
+    /// Per-scrape socket budget.
+    pub timeout: Duration,
+    /// Validate the conservation law on every scrape and fail loudly on
+    /// any violation.
+    pub check: bool,
+    /// Clear the screen between frames (set when stdout is a tty).
+    pub clear: bool,
+    /// Stop when the process-wide SIGINT/SIGTERM flag is raised.
+    pub honor_process_signals: bool,
+}
+
+impl Default for TopConfig {
+    fn default() -> Self {
+        TopConfig {
+            addr: String::new(),
+            interval: Duration::from_millis(1000),
+            iterations: None,
+            timeout: Duration::from_millis(2000),
+            check: false,
+            clear: false,
+            honor_process_signals: true,
+        }
+    }
+}
+
+/// What a finished [`run_top`] saw.
+#[derive(Debug, Clone, Default)]
+pub struct TopSummary {
+    /// Successful scrapes rendered.
+    pub scrapes: u64,
+    /// Scrapes that failed to connect/parse.
+    pub scrape_errors: u64,
+    /// Conservation-law violations observed (only counted with `check`).
+    pub violations: u64,
+}
+
+/// Renders one frame from the current scrape, with rates derived from
+/// the previous scrape `dt` ago (absolute values only on the first
+/// frame). Split out pure so tests can drive it without sockets.
+pub fn render_frame(
+    prev: Option<&Exposition>,
+    cur: &Exposition,
+    dt: Duration,
+    addr: &str,
+    frame_no: u64,
+) -> Result<String, String> {
+    let (accepted, completed, shed, queue_depth, in_flight) = cur.headline()?;
+    let uptime = cur.uptime_ms().unwrap_or(0) as f64 / 1e3;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "oblivion top — {addr}  uptime {uptime:.1} s  scrape #{frame_no}"
+    );
+    let rate = |now: u64, before: u64| -> String {
+        if dt.is_zero() {
+            return String::new();
+        }
+        let per_s = now.saturating_sub(before) as f64 / dt.as_secs_f64();
+        format!(" ({per_s:+.1}/s)")
+    };
+    let (pa, pc, ps) = match prev.map(|p| p.headline()) {
+        Some(Ok((a, c, sh, _, _))) => (rate(accepted, a), rate(completed, c), rate(shed, sh)),
+        _ => (String::new(), String::new(), String::new()),
+    };
+    let _ = writeln!(
+        s,
+        "  accepted {accepted}{pa}  completed {completed}{pc}  shed {shed}{ps}"
+    );
+    let _ = writeln!(
+        s,
+        "  queue_depth {queue_depth}  in_flight {in_flight}  connections {}  max_queue_depth {}",
+        cur.gauge_or_zero("connections"),
+        cur.gauge_or_zero("max_queue_depth"),
+    );
+    let _ = writeln!(
+        s,
+        "  {:<14} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50 us", "p99 us"
+    );
+    for phase in Phase::ALL {
+        match cur.phase_quantiles(phase) {
+            Some((p50, p99, count)) => {
+                let _ = writeln!(s, "  {:<14} {count:>10} {p50:>10} {p99:>10}", phase.name());
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "  {:<14} {:>10} {:>10} {:>10}",
+                    phase.name(),
+                    "-",
+                    "-",
+                    "-"
+                );
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Polls `METRICS` and renders frames to `out` until the iteration
+/// budget or a signal stops it. Scrape failures are rendered, counted,
+/// and retried on the next tick — a drain window mid-watch should not
+/// kill the watcher.
+pub fn run_top(cfg: &TopConfig, out: &mut dyn std::io::Write) -> std::io::Result<TopSummary> {
+    let client = Client::new(&cfg.addr, cfg.timeout)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("cannot resolve {}: {e}", cfg.addr)))?;
+    let mut summary = TopSummary::default();
+    let mut prev: Option<(Exposition, Instant)> = None;
+    let mut frame_no = 0u64;
+    loop {
+        if cfg.honor_process_signals && oblivion_signal::shutdown_requested() {
+            return Ok(summary);
+        }
+        if let Some(max) = cfg.iterations {
+            if frame_no >= max {
+                return Ok(summary);
+            }
+        }
+        frame_no += 1;
+        let scraped_at = Instant::now();
+        let frame = match client.scrape() {
+            Ok(text) => match parse_exposition(&text) {
+                Ok(cur) => {
+                    let mut issues = String::new();
+                    if cfg.check {
+                        if let Err(why) = cur.check_conservation() {
+                            summary.violations += 1;
+                            let _ = writeln!(issues, "  CONSERVATION VIOLATED: {why}");
+                        }
+                    }
+                    let dt = prev
+                        .as_ref()
+                        .map(|(_, at)| scraped_at.duration_since(*at))
+                        .unwrap_or_default();
+                    let rendered =
+                        render_frame(prev.as_ref().map(|(p, _)| p), &cur, dt, &cfg.addr, frame_no);
+                    prev = Some((cur, scraped_at));
+                    match rendered {
+                        Ok(body) => {
+                            summary.scrapes += 1;
+                            format!("{body}{issues}")
+                        }
+                        Err(why) => {
+                            summary.scrape_errors += 1;
+                            format!(
+                                "oblivion top — {}  scrape #{frame_no}: bad exposition: {why}\n",
+                                cfg.addr
+                            )
+                        }
+                    }
+                }
+                Err(why) => {
+                    summary.scrape_errors += 1;
+                    format!(
+                        "oblivion top — {}  scrape #{frame_no}: unparseable exposition: {why}\n",
+                        cfg.addr
+                    )
+                }
+            },
+            Err(e) => {
+                summary.scrape_errors += 1;
+                let why = match &e {
+                    ClientError::Transport(io) => format!("transport: {io}"),
+                    ClientError::Server(kind, detail) => format!("server: {} {detail}", kind.tag()),
+                    ClientError::Malformed(why) => format!("malformed: {why}"),
+                };
+                format!("oblivion top — {}  scrape #{frame_no}: {why}\n", cfg.addr)
+            }
+        };
+        if cfg.clear {
+            // ANSI: clear screen + home. Plain writes otherwise, so
+            // redirected output stays a readable log.
+            out.write_all(b"\x1b[2J\x1b[H")?;
+        }
+        out.write_all(frame.as_bytes())?;
+        out.flush()?;
+        let done = cfg.iterations.is_some_and(|max| frame_no >= max);
+        if !done {
+            std::thread::sleep(cfg.interval);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::render_exposition;
+    use crate::stats::{Counter, ServeStats};
+
+    fn scraped(stats: &ServeStats, uptime_ms: u64) -> Exposition {
+        let text = render_exposition(&stats.snapshot(), Duration::from_millis(uptime_ms));
+        parse_exposition(&text).expect("render output parses") // ci-allow-unwrap: test
+    }
+
+    #[test]
+    fn frames_show_rates_between_scrapes() {
+        let stats = ServeStats::default();
+        for _ in 0..10 {
+            stats.accept();
+            stats.enqueued(1);
+            stats.dequeued();
+            stats.record_phase(Phase::RouteCompute, 500);
+            stats.settle(Counter::Completed);
+        }
+        let first = scraped(&stats, 1000);
+        for _ in 0..5 {
+            stats.accept();
+            stats.shed_at_admission();
+        }
+        let second = scraped(&stats, 2000);
+
+        let f1 = render_frame(None, &first, Duration::ZERO, "h:1", 1).expect("frame"); // ci-allow-unwrap: test
+        assert!(f1.contains("accepted 10"), "{f1}");
+        assert!(f1.contains("route_compute"), "{f1}");
+        assert!(!f1.contains("/s)"), "no rates on the first frame: {f1}");
+
+        let f2 =
+            render_frame(Some(&first), &second, Duration::from_secs(1), "h:1", 2).expect("frame"); // ci-allow-unwrap: test
+        assert!(f2.contains("accepted 15 (+5.0/s)"), "{f2}");
+        assert!(f2.contains("shed 5 (+5.0/s)"), "{f2}");
+    }
+
+    #[test]
+    fn conservation_still_checked_through_the_frame_path() {
+        let stats = ServeStats::default();
+        stats.accept();
+        stats.enqueued(0);
+        stats.dequeued();
+        stats.record_phase(Phase::Parse, 42);
+        stats.settle(Counter::Completed);
+        let exp = scraped(&stats, 500);
+        exp.check_conservation().expect("live snapshot conserves"); // ci-allow-unwrap: test
+        let frame = render_frame(None, &exp, Duration::ZERO, "addr", 1).expect("frame"); // ci-allow-unwrap: test
+        assert!(frame.contains("completed 1"), "{frame}");
+    }
+}

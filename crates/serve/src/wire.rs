@@ -4,18 +4,34 @@
 //! One request per connection, one line each way, LF-terminated ASCII:
 //!
 //! ```text
-//! client: PATH <seed> <x1,y1,...> <x2,y2,...>\n      (or HEALTH / READY)
-//! server: OK <hop> <hop> ... <hop>\n
-//!       | ERR BAD_REQUEST <detail>\n
+//! client: PATH <seed> <x1,y1,...> <x2,y2,...> [id=<token>]\n
+//!         (or HEALTH / READY / METRICS)
+//! server: OK [id=<token>] <hop> <hop> ... <hop>\n
+//!       | ERR BAD_REQUEST [id=<token>] <detail>\n
 //!       | ERR OVERLOADED\n
-//!       | ERR DEADLINE_EXCEEDED\n
-//!       | ERR SHUTTING_DOWN\n
+//!       | ERR DEADLINE_EXCEEDED [id=<token>]\n
+//!       | ERR SHUTTING_DOWN [id=<token>]\n
 //! ```
+//!
+//! The optional `id=<token>` is a client-supplied trace ID
+//! ([`MAX_REQUEST_ID`] chars of `[A-Za-z0-9._:-]`): whenever the server
+//! got far enough to read the request line, the reply echoes the token
+//! byte-for-byte, so a client multiplexing many requests (or a human
+//! grepping two logs) can correlate both sides of the wire. Replies
+//! written *before* the line was read — admission shedding, a
+//! slow-loris deadline — carry no ID, honestly: the server never saw
+//! one.
+//!
+//! `METRICS` answers a multi-line Prometheus-style text exposition
+//! terminated by `# EOF` (see [`crate::metrics`]) instead of a single
+//! line; it is also served on the dedicated health port so it stays
+//! scrapeable at full overload.
 //!
 //! The path answer is deterministic: the request carries the RNG seed,
 //! so `OK` lines are a pure function of `(mesh, router, seed, src, dst)`
 //! — byte-identical to an in-process [`select_path`] call with a
-//! freshly seeded `StdRng` (the differential test pins this).
+//! freshly seeded `StdRng` (the differential test pins this). The trace
+//! ID never feeds the RNG.
 //!
 //! Robustness rules enforced by both ends:
 //! * request lines longer than [`MAX_REQUEST_LINE`] bytes are a
@@ -38,6 +54,9 @@ use std::time::{Duration, Instant};
 /// Longest request line the server will buffer, terminator included.
 pub const MAX_REQUEST_LINE: usize = 256;
 
+/// Longest client-supplied request ID (`id=<token>`) the server accepts.
+pub const MAX_REQUEST_ID: usize = 64;
+
 /// Longest response line the client will buffer — generous enough for a
 /// maximal-stretch path on the largest CLI-admissible mesh.
 pub const MAX_RESPONSE_LINE: usize = 1 << 22;
@@ -45,7 +64,8 @@ pub const MAX_RESPONSE_LINE: usize = 1 << 22;
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `PATH <seed> <src> <dst>`: select a path with the given seed.
+    /// `PATH <seed> <src> <dst> [id=<token>]`: select a path with the
+    /// given seed; an ID, when present, is echoed on the reply.
     Path {
         /// RNG seed the path must be drawn with.
         seed: u64,
@@ -53,11 +73,15 @@ pub enum Request {
         src: Coord,
         /// Destination coordinate.
         dst: Coord,
+        /// Client-supplied trace ID, echoed byte-for-byte.
+        id: Option<String>,
     },
     /// `HEALTH`: liveness probe; always answered while the process runs.
     Health,
     /// `READY`: readiness probe; `OK ready` only while accepting work.
     Ready,
+    /// `METRICS`: scrape the live telemetry exposition.
+    Metrics,
 }
 
 /// The wire error taxonomy. Every non-`OK` response carries exactly one
@@ -147,12 +171,24 @@ pub fn parse_coord(token: &str, mesh: &Mesh) -> Result<Coord, String> {
     Ok(c)
 }
 
+/// Checks a wire trace ID: 1..=[`MAX_REQUEST_ID`] chars of
+/// `[A-Za-z0-9._:-]`. The charset is whitespace-free by construction,
+/// so an ID can never break line tokenization on either side.
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_REQUEST_ID
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+}
+
 /// Parses a request line (without the trailing newline).
 pub fn parse_request(line: &str, mesh: &Mesh) -> Result<Request, String> {
     let mut it = line.split_ascii_whitespace();
     match it.next() {
         Some("HEALTH") => Ok(Request::Health),
         Some("READY") => Ok(Request::Ready),
+        Some("METRICS") => Ok(Request::Metrics),
         Some("PATH") => {
             let seed = it
                 .next()
@@ -161,19 +197,46 @@ pub fn parse_request(line: &str, mesh: &Mesh) -> Result<Request, String> {
                 .map_err(|e| format!("bad seed: {e}"))?;
             let src = parse_coord(it.next().ok_or("PATH missing <src>")?, mesh)?;
             let dst = parse_coord(it.next().ok_or("PATH missing <dst>")?, mesh)?;
+            let id = match it.next() {
+                None => None,
+                Some(tok) => {
+                    let id = tok
+                        .strip_prefix("id=")
+                        .ok_or_else(|| format!("unexpected token `{tok}` (want id=<token>)"))?;
+                    if !valid_request_id(id) {
+                        return Err(format!(
+                            "bad request id (1..={MAX_REQUEST_ID} chars of [A-Za-z0-9._:-])"
+                        ));
+                    }
+                    Some(id.to_string())
+                }
+            };
             if it.next().is_some() {
-                return Err("trailing tokens after PATH <seed> <src> <dst>".into());
+                return Err("trailing tokens after PATH <seed> <src> <dst> [id=...]".into());
             }
-            Ok(Request::Path { seed, src, dst })
+            Ok(Request::Path { seed, src, dst, id })
         }
-        Some(other) => Err(format!("unknown request `{other}` (PATH|HEALTH|READY)")),
+        Some(other) => Err(format!(
+            "unknown request `{other}` (PATH|HEALTH|READY|METRICS)"
+        )),
         None => Err("empty request".into()),
     }
 }
 
 /// Formats the `OK` line for a selected path: every hop, space-joined.
 pub fn format_path_line(path: &Path, dim: usize) -> String {
+    format_path_line_with_id(path, dim, None)
+}
+
+/// [`format_path_line`] with an optional echoed trace ID (`OK id=<id>
+/// <hops...>`). With `None` the bytes are identical to the pre-ID wire
+/// format.
+pub fn format_path_line_with_id(path: &Path, dim: usize, id: Option<&str>) -> String {
     let mut s = String::from("OK");
+    if let Some(id) = id {
+        s.push_str(" id=");
+        s.push_str(id);
+    }
     for hop in path.nodes() {
         s.push(' ');
         s.push_str(&format_coord(hop, dim));
@@ -184,19 +247,57 @@ pub fn format_path_line(path: &Path, dim: usize) -> String {
 
 /// Formats an `ERR` line; `detail` is appended for `BAD_REQUEST`.
 pub fn format_err_line(kind: ErrorKind, detail: &str) -> String {
-    if detail.is_empty() {
-        format!("ERR {}\n", kind.tag())
-    } else {
-        format!("ERR {} {detail}\n", kind.tag())
+    format_err_line_with_id(kind, None, detail)
+}
+
+/// [`format_err_line`] with an optional echoed trace ID
+/// (`ERR <KIND> id=<id> [detail]`). With `None` the bytes are identical
+/// to the pre-ID wire format.
+pub fn format_err_line_with_id(kind: ErrorKind, id: Option<&str>, detail: &str) -> String {
+    let mut s = format!("ERR {}", kind.tag());
+    if let Some(id) = id {
+        s.push_str(" id=");
+        s.push_str(id);
     }
+    if !detail.is_empty() {
+        s.push(' ');
+        s.push_str(detail);
+    }
+    s.push('\n');
+    s
+}
+
+/// Splits an optional leading `id=<token>` off a payload, returning
+/// `(id, rest)`. Only a *valid* ID token is split off; anything else is
+/// left in the payload untouched.
+fn split_id(payload: &str) -> (Option<String>, &str) {
+    if let Some(rest) = payload.strip_prefix("id=") {
+        let (tok, tail) = match rest.split_once(' ') {
+            Some((t, tail)) => (t, tail),
+            None => (rest, ""),
+        };
+        if valid_request_id(tok) {
+            return (Some(tok.to_string()), tail);
+        }
+    }
+    (None, payload)
 }
 
 /// Parses a response line (without the trailing newline). `Err` means
 /// the line is *malformed* — it matches no protocol form at all.
 pub fn parse_response(line: &str) -> Result<Response, String> {
+    let (resp, _id) = parse_response_with_id(line)?;
+    Ok(resp)
+}
+
+/// Like [`parse_response`], but also splits off the echoed trace ID
+/// (`OK id=<id> ...` / `ERR <KIND> id=<id> ...`), if any. The returned
+/// [`Response`] payload excludes the ID token.
+pub fn parse_response_with_id(line: &str) -> Result<(Response, Option<String>), String> {
     if let Some(payload) = line.strip_prefix("OK") {
         if payload.is_empty() || payload.starts_with(' ') {
-            return Ok(Response::Ok(payload.trim_start().to_string()));
+            let (id, rest) = split_id(payload.trim_start());
+            return Ok((Response::Ok(rest.to_string()), id));
         }
     }
     if let Some(rest) = line.strip_prefix("ERR ") {
@@ -205,7 +306,8 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             None => (rest, ""),
         };
         if let Some(kind) = ErrorKind::from_tag(tag) {
-            return Ok(Response::Err(kind, detail.to_string()));
+            let (id, detail) = split_id(detail);
+            return Ok((Response::Err(kind, detail.to_string()), id));
         }
     }
     Err(format!("malformed response line `{line}`"))
@@ -297,6 +399,7 @@ mod tests {
         let m = mesh();
         assert_eq!(parse_request("HEALTH", &m), Ok(Request::Health));
         assert_eq!(parse_request("READY", &m), Ok(Request::Ready));
+        assert_eq!(parse_request("METRICS", &m), Ok(Request::Metrics));
         let r = parse_request("PATH 42 1,2 7,0", &m).unwrap();
         assert_eq!(
             r,
@@ -304,6 +407,17 @@ mod tests {
                 seed: 42,
                 src: Coord::new(&[1, 2]),
                 dst: Coord::new(&[7, 0]),
+                id: None,
+            }
+        );
+        let r = parse_request("PATH 42 1,2 7,0 id=req-7.a:b_c", &m).unwrap();
+        assert_eq!(
+            r,
+            Request::Path {
+                seed: 42,
+                src: Coord::new(&[1, 2]),
+                dst: Coord::new(&[7, 0]),
+                id: Some("req-7.a:b_c".into()),
             }
         );
     }
@@ -311,6 +425,7 @@ mod tests {
     #[test]
     fn bad_requests_are_typed() {
         let m = mesh();
+        let long_id = format!("PATH 1 1,2 3,4 id={}", "x".repeat(MAX_REQUEST_ID + 1));
         for bad in [
             "",
             "NOPE",
@@ -320,9 +435,25 @@ mod tests {
             "PATH 1 1,2,3 4,5",
             "PATH 1 1,2 9,9",
             "PATH 1 1,2 3,4 extra",
+            "PATH 1 1,2 3,4 id=",
+            "PATH 1 1,2 3,4 id=sp@ce",
+            "PATH 1 1,2 3,4 id=ok extra",
+            long_id.as_str(),
         ] {
             assert!(parse_request(bad, &m).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn request_id_charset_is_strict() {
+        assert!(valid_request_id("a"));
+        assert!(valid_request_id("req-7.a:b_c"));
+        assert!(valid_request_id(&"x".repeat(MAX_REQUEST_ID)));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"x".repeat(MAX_REQUEST_ID + 1)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("tab\there"));
+        assert!(!valid_request_id("uni\u{e9}"));
     }
 
     #[test]
@@ -343,6 +474,59 @@ mod tests {
         assert!(parse_response("OKAY nope").is_err());
         assert!(parse_response("ERR WHATEVER").is_err());
         assert!(parse_response("hello").is_err());
+    }
+
+    #[test]
+    fn response_ids_round_trip_byte_for_byte() {
+        assert_eq!(
+            parse_response_with_id("OK id=abc-1 1,2 1,3"),
+            Ok((Response::Ok("1,2 1,3".into()), Some("abc-1".into())))
+        );
+        assert_eq!(
+            parse_response_with_id("OK 1,2 1,3"),
+            Ok((Response::Ok("1,2 1,3".into()), None))
+        );
+        assert_eq!(
+            parse_response_with_id("OK id=solo"),
+            Ok((Response::Ok(String::new()), Some("solo".into())))
+        );
+        assert_eq!(
+            parse_response_with_id("ERR DEADLINE_EXCEEDED id=abc-1"),
+            Ok((
+                Response::Err(ErrorKind::DeadlineExceeded, String::new()),
+                Some("abc-1".into())
+            ))
+        );
+        assert_eq!(
+            parse_response_with_id("ERR BAD_REQUEST id=x bad seed"),
+            Ok((
+                Response::Err(ErrorKind::BadRequest, "bad seed".into()),
+                Some("x".into())
+            ))
+        );
+        // An invalid token after `id=` is payload, not an ID.
+        assert_eq!(
+            parse_response_with_id("ERR BAD_REQUEST id= is empty"),
+            Ok((
+                Response::Err(ErrorKind::BadRequest, "id= is empty".into()),
+                None
+            ))
+        );
+    }
+
+    #[test]
+    fn formatted_ids_parse_back() {
+        assert_eq!(
+            format_err_line_with_id(ErrorKind::DeadlineExceeded, Some("r1"), ""),
+            "ERR DEADLINE_EXCEEDED id=r1\n"
+        );
+        assert_eq!(
+            format_err_line_with_id(ErrorKind::BadRequest, Some("r1"), "why"),
+            "ERR BAD_REQUEST id=r1 why\n"
+        );
+        let (resp, id) = parse_response_with_id("ERR BAD_REQUEST id=r1 why").unwrap();
+        assert_eq!(resp, Response::Err(ErrorKind::BadRequest, "why".into()));
+        assert_eq!(id.as_deref(), Some("r1"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use oblivion_core::BuschD;
 use oblivion_mesh::Mesh;
-use oblivion_serve::{loadgen, run_loadgen, Client, Control, LoadgenConfig, ServeConfig};
+use oblivion_serve::{
+    loadgen, parse_exposition, run_loadgen, Client, Control, LoadgenConfig, ServeConfig,
+};
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -139,6 +141,171 @@ fn overloaded_server_sheds_answers_probes_and_conserves() {
         assert!(s.shed_overloaded + s.deadline_exceeded > 0, "{s:?}");
         assert!(s.health_probes >= 40, "probes bypassed admission: {s:?}");
         assert!(s.max_queue_depth <= cfg.queue_cap as u64, "{s:?}");
+    });
+}
+
+#[test]
+fn metrics_scrapes_conserve_under_full_overload() {
+    // Hammer the daemon well past capacity while a scraper loops on the
+    // health port's METRICS verb. Every single scrape — taken
+    // mid-stampede, with connections in every lifecycle stage — must
+    // parse, satisfy the live conservation law, and keep every phase
+    // histogram count within `accepted`. The background flusher writes
+    // JSONL snapshots to disk at the same time; its lines must agree
+    // with the same invariants.
+    let mesh = Mesh::new_mesh(&[16, 16]);
+    let router = BuschD::new(mesh.clone());
+    let stats_path =
+        std::env::temp_dir().join(format!("oblivion-scrape-soak-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&stats_path);
+    let cfg = ServeConfig {
+        port: 0,
+        health_port: Some(0),
+        threads: 2,
+        queue_cap: 4,
+        work: Duration::from_millis(3),
+        deadline: Duration::from_millis(400),
+        drain: Duration::from_secs(5),
+        stats_every: Some(Duration::from_millis(20)),
+        stats_path: Some(stats_path.clone()),
+        announce: false,
+        ..ServeConfig::default()
+    };
+    let ctl = Control::new();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| oblivion_serve::run(&router, &cfg, &ctl));
+        let addr = ctl.wait_addr(Duration::from_secs(5)).expect("no bind");
+        let health = ctl.health_addr().expect("no health listener");
+        let lg = LoadgenConfig {
+            addr: addr.to_string(),
+            mesh: mesh.clone(),
+            requests: 400,
+            concurrency: 32,
+            retries: 0,
+            timeout: Duration::from_secs(5),
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let stampede = scope.spawn(move || run_loadgen(&lg));
+
+        let scraper = Client::to(health, Duration::from_secs(2));
+        let mut scrapes = 0u32;
+        let mut last_accepted = 0u64;
+        while !stampede.is_finished() || scrapes < 10 {
+            let text = scraper.scrape().expect("scrape failed under load");
+            let exp = parse_exposition(&text)
+                .unwrap_or_else(|why| panic!("unparseable scrape #{scrapes}: {why}\n{text}"));
+            exp.check_conservation()
+                .unwrap_or_else(|why| panic!("scrape #{scrapes} violates conservation: {why}"));
+            let (accepted, ..) = exp.headline().expect("headline");
+            assert!(
+                accepted >= last_accepted,
+                "accepted went backwards: {last_accepted} -> {accepted}"
+            );
+            last_accepted = accepted;
+            scrapes += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(scrapes >= 10);
+
+        let report = stampede.join().expect("stampede panicked");
+        assert_eq!(report.malformed, 0, "{}", report.render());
+        ctl.request_shutdown();
+        let summary = server.join().expect("server panicked").expect("run failed");
+        let s = &summary.stats;
+        assert!(s.conserved(), "{s:?}");
+        assert!(s.phases_within_accepted(), "{s:?}");
+        // The stampede really drove every phase.
+        for (name, h) in &s.phases {
+            assert!(h.count > 0, "phase {name} never recorded");
+        }
+
+        // The flusher left a parseable JSONL trail whose lines carry
+        // monotone accepted counts bounded by the final book.
+        let flushed = std::fs::read_to_string(&stats_path).expect("flusher wrote nothing");
+        let mut prev = 0i64;
+        let mut lines = 0u32;
+        for line in flushed.lines() {
+            let v = oblivion_obs::Json::parse(line)
+                .unwrap_or_else(|e| panic!("bad flusher line: {e}\n{line}"));
+            assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("serve_stats"));
+            let accepted = v
+                .get("serve_accepted")
+                .and_then(|a| a.as_i64())
+                .expect("serve_accepted");
+            assert!(accepted >= prev, "flusher accepted went backwards");
+            assert!(accepted as u64 <= s.accepted);
+            prev = accepted;
+            lines += 1;
+        }
+        assert!(lines >= 2, "flusher only wrote {lines} lines");
+        assert_eq!(prev as u64, s.accepted, "final flush missed the drain");
+        let _ = std::fs::remove_file(&stats_path);
+    });
+}
+
+#[test]
+fn request_ids_round_trip_byte_for_byte() {
+    let mesh = Mesh::new_mesh(&[8, 8]);
+    let router = BuschD::new(mesh.clone());
+    let cfg = ServeConfig {
+        port: 0,
+        health_port: None,
+        threads: 2,
+        queue_cap: 16,
+        deadline: Duration::from_secs(2),
+        drain: Duration::from_secs(2),
+        announce: false,
+        ..ServeConfig::default()
+    };
+    let ctl = Control::new();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| oblivion_serve::run(&router, &cfg, &ctl));
+        let addr = ctl.wait_addr(Duration::from_secs(5)).expect("no bind");
+        let client = Client::to(addr, Duration::from_secs(5));
+
+        // The high-level client verifies the echo itself.
+        let (seed, src, dst) = loadgen::request_of(&mesh, 21, 0);
+        client
+            .request_path_with_id(&mesh, seed, &src, &dst, Some("trace-7.a:b_c"))
+            .expect("id round trip");
+
+        // And on the raw wire the echo is byte-for-byte at the head of
+        // the payload.
+        let raw = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        (&raw).write_all(b"PATH 3 0,0 2,2 id=x-1\n").expect("write");
+        let mut buf = Vec::new();
+        use std::io::Read as _;
+        raw.try_clone()
+            .and_then(|mut s| {
+                s.set_read_timeout(Some(Duration::from_secs(5)))?;
+                s.read_to_end(&mut buf)
+            })
+            .expect("read");
+        let reply = String::from_utf8(buf).expect("utf8");
+        assert!(reply.starts_with("OK id=x-1 "), "reply: {reply:?}");
+
+        // A bad request with a salvageable ID still echoes it.
+        let raw = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        (&raw)
+            .write_all(b"PATH nonsense 0,0 2,2 id=y-2\n")
+            .expect("write");
+        let mut buf = Vec::new();
+        raw.try_clone()
+            .and_then(|mut s| {
+                s.set_read_timeout(Some(Duration::from_secs(5)))?;
+                s.read_to_end(&mut buf)
+            })
+            .expect("read");
+        let reply = String::from_utf8(buf).expect("utf8");
+        assert!(
+            reply.starts_with("ERR BAD_REQUEST id=y-2"),
+            "reply: {reply:?}"
+        );
+
+        ctl.request_shutdown();
+        let summary = server.join().expect("server panicked").expect("run failed");
+        assert!(summary.stats.conserved(), "{:?}", summary.stats);
     });
 }
 

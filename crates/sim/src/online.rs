@@ -537,6 +537,11 @@ impl<'a> OnlineSim<'a> {
                     return Err(stop);
                 }
             }
+            // Per-step phase timings ride the wall-clock ("runtime")
+            // side of obs, so they never touch the determinism
+            // contract; the timer itself is gated to keep the
+            // uninstrumented hot path at one relaxed load.
+            let phase_started = oblivion_obs::is_enabled().then(std::time::Instant::now);
             // Injection phase (only during the measurement window).
             if t < steps {
                 for src in &nodes {
@@ -591,6 +596,14 @@ impl<'a> OnlineSim<'a> {
                     }
                 }
             }
+            let move_started = phase_started.map(|inject_started| {
+                let now = std::time::Instant::now();
+                oblivion_obs::record_runtime(
+                    "online_phase_inject_us",
+                    now.duration_since(inject_started).as_micros() as u64,
+                );
+                now
+            });
             // Movement phase. A packet whose next link is down does not
             // contend this step; its recovery policy decides what it
             // does instead.
@@ -697,6 +710,16 @@ impl<'a> OnlineSim<'a> {
                 }
             }
             active.retain(|&i| !flights[i].dead && flights[i].pos < flights[i].path.len());
+            if let Some(move_started) = move_started {
+                oblivion_obs::record_runtime(
+                    "online_phase_move_us",
+                    move_started.elapsed().as_micros() as u64,
+                );
+                // In-flight packets at the end of the step: a level, and
+                // a pure function of (config, seed) — so it lives on the
+                // deterministic gauge side.
+                oblivion_obs::gauge_set("sim_in_flight", active.len() as i64);
+            }
             t += 1;
         }
 

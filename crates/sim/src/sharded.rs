@@ -384,6 +384,12 @@ pub(crate) fn run_sharded_ckpt(
         Stepped,
     }
     let mut stage = Stage::Begin;
+    // Per-step phase timers (wall-clock, obs "runtime" side — never part
+    // of the determinism contract). Inject spans Begin→Routed commit
+    // (draw + parallel routing), move spans the STEP phase + harvest, so
+    // the two phases line up with the sequential engine's split.
+    let mut inject_started: Option<std::time::Instant> = None;
+    let mut move_started: Option<std::time::Instant> = None;
 
     let next = || -> bool {
         loop {
@@ -416,6 +422,7 @@ pub(crate) fn run_sharded_ckpt(
                             return false;
                         }
                     }
+                    inject_started = oblivion_obs::is_enabled().then(std::time::Instant::now);
                     // Clear unconditionally: drain steps must not replay
                     // the final injection step's pending list.
                     let mut pend = pending.write().unwrap();
@@ -499,6 +506,13 @@ pub(crate) fn run_sharded_ckpt(
                         }
                     }
                     drop(pend);
+                    if let Some(started) = inject_started.take() {
+                        oblivion_obs::record_runtime(
+                            "online_phase_inject_us",
+                            started.elapsed().as_micros() as u64,
+                        );
+                        move_started = Some(std::time::Instant::now());
+                    }
                     cur_t.store(t, Ordering::SeqCst);
                     phase.store(STEP_PHASE, Ordering::SeqCst);
                     cursor.store(0, Ordering::SeqCst);
@@ -539,6 +553,16 @@ pub(crate) fn run_sharded_ckpt(
                         oblivion_obs::record("busy_links_per_step", busy);
                         oblivion_obs::counter_add("online_shard_handoffs", step_handoffs);
                         oblivion_obs::record("shard_imbalance_per_step", imbalance);
+                        if let Some(started) = move_started.take() {
+                            oblivion_obs::record_runtime(
+                                "online_phase_move_us",
+                                started.elapsed().as_micros() as u64,
+                            );
+                        }
+                        // End-of-step in-flight count: deterministic, so
+                        // it lives on the gauge side and must match the
+                        // sequential engine step for step.
+                        oblivion_obs::gauge_set("sim_in_flight", alive as i64);
                     }
                     t += 1;
                     stage = Stage::Begin;

@@ -19,9 +19,10 @@
 #      rejected by its CRC and recovered via the previous generation.
 #
 # "Byte-identical" means: stdout matches exactly, and the metrics files
-# match after dropping wall-clock spans, scheduling-dependent runtime
-# counters, and the ckpt_* resume-provenance fields (which honestly
-# record that a resume happened and so exist only in the resumed file).
+# match after dropping wall-clock spans, the scheduling-dependent
+# `runtime_` family (work-steal tallies, phase-latency histograms),
+# and the ckpt_* resume-provenance fields (which honestly record that a
+# resume happened and so exist only in the resumed file).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,7 +36,7 @@ base=(online --mesh 16x16 --router busch2d --rate 0.1 --steps 800 --seed 42
   --fault-links 0.05 --fault-mode transient --recovery resample --threads 2)
 
 deterministic() { # <in.json> <out>
-  grep -v '"type":"span' "$1" | grep -v '"type":"runtime_counter"' \
+  grep -v '"type":"span' "$1" | grep -v '"type":"runtime_' \
     | sed -E 's/,"ckpt_[a-z_]+":("[^"]*"|[0-9]+)//g' > "$2"
 }
 

@@ -35,8 +35,8 @@ timed "cargo test (workspace)" \
 
 # Fault-injected runs must be byte-identical across thread counts: run the
 # same faulted online simulation at --threads 1 and 8 and compare every
-# deterministic metrics line (wall-clock spans and scheduling-dependent
-# runtime counters excluded).
+# deterministic metrics line (wall-clock spans and the whole
+# scheduling-dependent `runtime_` family excluded).
 fault_differential() {
   local tmp
   tmp=$(mktemp -d)
@@ -46,7 +46,7 @@ fault_differential() {
     cargo run --offline --quiet --bin oblivion -- "${base[@]}" \
       --threads "$threads" --metrics-out "$tmp/t$threads.json" > /dev/null
     grep -v '"type":"span' "$tmp/t$threads.json" \
-      | grep -v '"type":"runtime_counter"' > "$tmp/t$threads.det"
+      | grep -v '"type":"runtime_' > "$tmp/t$threads.det"
   done
   if ! cmp -s "$tmp/t1.det" "$tmp/t8.det"; then
     echo "fault differential: metrics differ between --threads 1 and 8" >&2
@@ -59,6 +59,94 @@ fault_differential() {
 
 timed "fault differential (--threads 1 vs 8)" \
   fault_differential
+
+# Live telemetry: a daemon under load must answer METRICS with a
+# parseable, conserving exposition on every scrape (`oblivion top
+# --check` validates each frame), and the background stats flusher's
+# JSONL stream must agree with the final report on serve_accepted —
+# proving the final report was *appended* after the flushed lines, not
+# clobbered over them.
+metrics_gate() {
+  local tmp port pid up lg
+  tmp=$(mktemp -d)
+  cargo build --offline --quiet --bin oblivion
+  local bin=target/debug/oblivion
+  pid=""
+  # The daemon needs port AND port+1 (health); retry with fresh random
+  # ports on bind races, same as the chaos gate.
+  for _ in $(seq 1 10); do
+    port=$((21000 + RANDOM % 30000))
+    : > "$tmp/serve.err"
+    "$bin" serve --mesh 16x16 --port "$port" --threads 2 --queue 32 \
+      --stats-every 40 --metrics-out "$tmp/telemetry.jsonl" \
+      > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    pid=$!
+    up=0
+    for _ in $(seq 1 100); do
+      if grep -q "serve: listening" "$tmp/serve.err" 2> /dev/null; then
+        up=1
+        break
+      fi
+      if ! kill -0 "$pid" 2> /dev/null; then
+        break
+      fi
+      sleep 0.05
+    done
+    if [[ $up == 1 ]]; then
+      break
+    fi
+    wait "$pid" 2> /dev/null || true
+    pid=""
+  done
+  if [[ -z "$pid" ]]; then
+    echo "metrics gate: could not start the daemon after 10 attempts" >&2
+    cat "$tmp/serve.err" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  "$bin" loadgen --mesh 16x16 --port "$port" --requests 300 \
+    --concurrency 16 --seed 7 > "$tmp/loadgen.out" 2>&1 &
+  lg=$!
+  if ! "$bin" top --port $((port + 1)) --interval-ms 40 --iterations 5 \
+    --check > "$tmp/top.out" 2> "$tmp/top.err"; then
+    echo "metrics gate: oblivion top --check failed against the live daemon" >&2
+    cat "$tmp/top.out" "$tmp/top.err" >&2
+    kill -9 "$pid" 2> /dev/null || true
+    kill -9 "$lg" 2> /dev/null || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  if ! wait "$lg"; then
+    echo "metrics gate: loadgen failed" >&2
+    cat "$tmp/loadgen.out" >&2
+    kill -9 "$pid" 2> /dev/null || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  kill -TERM "$pid"
+  if ! wait "$pid"; then
+    echo "metrics gate: SIGTERM drain did not exit 0" >&2
+    cat "$tmp/serve.out" "$tmp/serve.err" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  local flushed reported
+  flushed=$(grep '"type":"serve_stats"' "$tmp/telemetry.jsonl" | tail -1 \
+    | grep -o '"serve_accepted":[0-9]*' | grep -o '[0-9]*$' || true)
+  reported=$(grep '"name":"serve_accepted"' "$tmp/telemetry.jsonl" | tail -1 \
+    | grep -o '"value":[0-9]*' | grep -o '[0-9]*$' || true)
+  if [[ -z "$flushed" || -z "$reported" || "$flushed" != "$reported" ]]; then
+    echo "metrics gate: flusher stream (accepted=${flushed:-missing}) and" \
+      "final report (accepted=${reported:-missing}) disagree" >&2
+    cat "$tmp/telemetry.jsonl" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  rm -rf "$tmp"
+}
+
+timed "metrics gate (METRICS scrape + top --check + flusher/report diff)" \
+  metrics_gate
 
 # Crash consistency: kill -9 mid-run, torn snapshot writes, and flipped
 # bytes must all resume to byte-identical results — and the serve daemon

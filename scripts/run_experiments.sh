@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E24) into results/.
+# Regenerates every experiment table (E1-E25, plus the BENCH_route
+# hot-path microbenchmark, whose timings are machine-dependent) into
+# results/.
 # Usage: scripts/run_experiments.sh [--force] [results-dir]
 #   Experiments whose machine-readable results/<exp>.json already exists
 #   are skipped, so an interrupted sweep resumes where it left off; pass
@@ -89,5 +91,7 @@ run exp_online_threads       # E21
 run exp_faults               # E22
 run exp_checkpoint checkpoint_overhead  # E23
 run exp_serve serve_load     # E24
+run exp_serve_phases         # E25
+run exp_route_bench BENCH_route  # hot-path ns/path microbenchmark
 
 echo "all experiment outputs written to $out/"

@@ -27,7 +27,7 @@ pub struct Args {
 
 /// Options that are flags: present or absent, never followed by a value.
 /// `--trace` is recorded as `trace = "true"`.
-pub const BOOL_FLAGS: &[&str] = &["trace", "no-health"];
+pub const BOOL_FLAGS: &[&str] = &["trace", "no-health", "check"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -249,6 +249,12 @@ thread_local! {
     /// point.
     static CKPT_CLEAR: std::cell::RefCell<Option<oblivion_ckpt::Store>> =
         const { std::cell::RefCell::new(None) };
+    /// When set (by `serve --stats-every`), [`finish_metrics`] *appends*
+    /// to `--metrics-out` instead of overwriting it: the server's
+    /// background flusher has already been streaming `serve_stats` JSONL
+    /// snapshots into the same file, and the final report must land
+    /// after them, not on top of them.
+    static METRICS_APPEND: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 fn report_field(key: &str, value: impl Into<oblivion_obs::Json>) {
@@ -283,7 +289,18 @@ fn finish_metrics(args: &Args) -> Result<(), String> {
     });
     let doc = report.to_jsonl(&snap, true);
     if let Some(path) = args.options.get("metrics-out") {
-        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if METRICS_APPEND.with(|a| a.get()) {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open {path} for append: {e}"))?;
+            f.write_all(doc.as_bytes())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        } else {
+            std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
     }
     if opt(args, "trace", "false") == "true" {
         let entries = oblivion_obs::parse_jsonl(&doc).expect("own JSONL must parse");
@@ -315,6 +332,21 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
     }
     if entries.is_empty() && !bad.is_empty() {
         return Err(format!("{path}: no parseable metrics lines"));
+    }
+    // Telemetry schema check: reports written before the live-telemetry
+    // schema (v2: gauges, runtime histograms, serve_stats lines) carry
+    // no `schema` stamp and read as v1. A file that mixes versions
+    // renders fine, but cross-report comparisons of the new series
+    // would silently compare against holes — so warn.
+    let mut schemas = oblivion_obs::report_schemas(&entries);
+    schemas.sort_unstable();
+    schemas.dedup();
+    if schemas.len() > 1 {
+        eprintln!(
+            "warning: {path}: mixes report schema versions {schemas:?} (pre/post \
+             live-telemetry); gauge and phase-histogram series are absent from the \
+             older reports, not zero"
+        );
     }
     let mut out = oblivion_obs::render(&entries);
     // Resume provenance: runs that recovered from a checkpoint stamp
@@ -402,15 +434,25 @@ pub fn help() -> String {
          \u{20}            --mesh 16x16 --router buschd --port 4701 [--threads 4]\n\
          \u{20}            [--queue 64] [--deadline-ms 1000] [--drain-ms 2000]\n\
          \u{20}            [--health-port P|--no-health] [--host 127.0.0.1]\n\
+         \u{20}            [--stats-every MS]  (with --metrics-out: append a JSONL\n\
+         \u{20}             stats snapshot every MS ms — a crash loses at most one\n\
+         \u{20}             interval of telemetry)\n\
          \u{20}            (bounded queue sheds ERR OVERLOADED; SIGTERM drains\n\
-         \u{20}             gracefully; HEALTH/READY probes answer on the health\n\
-         \u{20}             port even under overload)\n\
+         \u{20}             gracefully; HEALTH/READY/METRICS answer on the health\n\
+         \u{20}             port even under overload; PATH takes an optional\n\
+         \u{20}             trailing id=<token> echoed on every reply)\n\
          \u{20}  loadgen   closed-loop load generator for `oblivion serve`\n\
          \u{20}            --port 4701 --mesh 16x16 [--requests 200]\n\
          \u{20}            [--concurrency 8] [--retries 8] [--backoff-ms 10]\n\
          \u{20}            [--backoff-cap-ms 500] [--timeout-ms 2000] [--seed 42]\n\
-         \u{20}            (exit 2 if any request fails or any response is\n\
+         \u{20}            (tags every request with a trace id and verifies the\n\
+         \u{20}             echo; exit 2 if any request fails or any response is\n\
          \u{20}             malformed)\n\
+         \u{20}  top       live terminal view of a running daemon (polls METRICS)\n\
+         \u{20}            --port 4702 [--interval-ms 1000] [--iterations N]\n\
+         \u{20}            [--timeout-ms 2000] [--check]\n\
+         \u{20}            (point it at the health port; --check fails on any\n\
+         \u{20}             scrape violating the serve conservation law)\n\
          \u{20}  stats     render a JSONL metrics file written by --metrics-out\n\
          \u{20}            oblivion stats results/route.json\n\
          \u{20}  list      list routers and workloads\n\
@@ -440,6 +482,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         oblivion_obs::capture_events(opt(args, "trace", "false") == "true");
         oblivion_obs::enable();
         REPORT_FIELDS.with(|f| f.borrow_mut().clear());
+        METRICS_APPEND.with(|a| a.set(false));
     }
     let result = dispatch(args);
     let obsolete_ckpt = CKPT_CLEAR.with(|c| c.borrow_mut().take());
@@ -481,6 +524,7 @@ fn dispatch(args: &Args) -> Result<String, String> {
         "pia" => cmd_pia(args),
         "serve" => cmd_serve(args),
         "loadgen" => cmd_loadgen(args),
+        "top" => cmd_top(args),
         "stats" => cmd_stats(args),
         other => Err(format!("unknown command `{other}`; try `oblivion help`")),
     }
@@ -1079,6 +1123,27 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             )?),
         }
     };
+    // --stats-every streams crash-durable JSONL snapshots into the
+    // --metrics-out file while the server runs; the final report then
+    // appends to that stream instead of clobbering it.
+    let stats_every = match args.options.get("stats-every") {
+        Some(_) => Some(std::time::Duration::from_millis(parse_nonzero_u64(
+            args,
+            "stats-every",
+            "1000",
+        )?)),
+        None => None,
+    };
+    let stats_path = match (&stats_every, args.options.get("metrics-out")) {
+        (Some(_), Some(path)) => {
+            METRICS_APPEND.with(|a| a.set(true));
+            Some(std::path::PathBuf::from(path))
+        }
+        (Some(_), None) => {
+            return Err("--stats-every needs --metrics-out to flush into".into());
+        }
+        (None, _) => None,
+    };
     let cfg = ServeConfig {
         host: opt(args, "host", "127.0.0.1").to_string(),
         port,
@@ -1088,6 +1153,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         deadline: std::time::Duration::from_millis(deadline_ms),
         drain: std::time::Duration::from_millis(drain_ms),
         work: std::time::Duration::from_micros(work_us),
+        stats_every,
+        stats_path,
         honor_process_signals: true,
         announce: true,
     };
@@ -1136,6 +1203,18 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         "  max queue depth {}  health probes {}",
         s.max_queue_depth, s.health_probes
     );
+    for (name, h) in &s.phases {
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  phase {name:<13} count {:>8}  p50 {:>7} us  p99 {:>7} us",
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.99)
+        );
+    }
     let _ = writeln!(
         out,
         "  counters conserve: {}",
@@ -1148,7 +1227,60 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             s.settled()
         ));
     }
+    if !s.phases_within_accepted() {
+        return Err(format!(
+            "serve: a phase histogram recorded more events than accepted connections\n{out}"
+        ));
+    }
     Ok(out)
+}
+
+fn cmd_top(args: &Args) -> Result<String, String> {
+    use oblivion_serve::{top, TopConfig};
+    use std::io::IsTerminal as _;
+    let port = parse_port(args, "port")?;
+    let interval_ms = parse_nonzero_u64(args, "interval-ms", "1000")?;
+    let timeout_ms = parse_nonzero_u64(args, "timeout-ms", "2000")?;
+    let iterations = match args.options.get("iterations") {
+        Some(_) => Some(parse_nonzero_u64(args, "iterations", "0")?),
+        None => None,
+    };
+    let check = opt(args, "check", "false") == "true";
+    let stdout = std::io::stdout();
+    let cfg = TopConfig {
+        addr: format!("{}:{port}", opt(args, "host", "127.0.0.1")),
+        interval: std::time::Duration::from_millis(interval_ms),
+        iterations,
+        timeout: std::time::Duration::from_millis(timeout_ms),
+        check,
+        // Only repaint in place on a live terminal; redirected output
+        // stays an append-only log.
+        clear: stdout.is_terminal(),
+        honor_process_signals: true,
+    };
+    oblivion_signal::install();
+    let summary = top::run_top(&cfg, &mut stdout.lock()).map_err(|e| format!("top: {e}"))?;
+    report_field("top_scrapes", summary.scrapes);
+    report_field("top_scrape_errors", summary.scrape_errors);
+    report_field("top_violations", summary.violations);
+    if summary.scrapes == 0 {
+        return Err(format!(
+            "top: no successful scrape of {} ({} attempts failed)",
+            cfg.addr, summary.scrape_errors
+        ));
+    }
+    if check && summary.violations > 0 {
+        return Err(format!(
+            "top: {} scrape(s) violated the serve conservation law",
+            summary.violations
+        ));
+    }
+    Ok(format!(
+        "top: {} scrapes, {} errors{}\n",
+        summary.scrapes,
+        summary.scrape_errors,
+        if check { ", conservation checked" } else { "" }
+    ))
 }
 
 fn cmd_loadgen(args: &Args) -> Result<String, String> {
@@ -1186,7 +1318,10 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
     report_field("loadgen_shutting_down", report.shutting_down);
     report_field("loadgen_transport", report.transport);
     report_field("loadgen_goodput", report.goodput());
+    report_field("loadgen_p50_ms", report.latency_ms(0.50));
+    report_field("loadgen_p90_ms", report.latency_ms(0.90));
     report_field("loadgen_p99_ms", report.latency_ms(0.99));
+    report_field("loadgen_p999_ms", report.latency_ms(0.999));
     let text = report.render();
     if report.malformed > 0 || report.failed > 0 {
         // The whole point of the retry loop is convergence: any request

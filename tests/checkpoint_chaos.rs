@@ -63,13 +63,17 @@ fn oblivion(args: &[&str], crash: Option<&str>) -> Output {
 }
 
 /// The deterministic core of a metrics file: every line except wall-clock
-/// span timings and runtime counters, with the `ckpt_*` resume
-/// provenance stripped from the report (an uninterrupted run has none).
+/// span timings and the whole `runtime_` family (scheduling-dependent
+/// counters and wall-clock phase histograms — a resumed run only times
+/// the steps it actually executed), with the `ckpt_*` resume provenance
+/// stripped from the report (an uninterrupted run has none).
 fn deterministic_core(path: &PathBuf) -> Vec<(String, Json)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("read metrics {}: {e}", path.display()));
     let mut entries = oblivion_obs::parse_jsonl(&text).expect("metrics must parse");
-    entries.retain(|(kind, _)| !matches!(kind.as_str(), "span" | "span_event" | "runtime_counter"));
+    entries.retain(|(kind, _)| {
+        !matches!(kind.as_str(), "span" | "span_event") && !kind.starts_with("runtime_")
+    });
     for (kind, value) in &mut entries {
         if kind == "report" {
             if let Json::Obj(kv) = value {

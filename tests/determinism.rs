@@ -25,8 +25,9 @@ fn run_metered(args: &[&str], out: &PathBuf) {
 }
 
 /// The deterministic portion of a metrics document: every line except
-/// span timings, trace events, and runtime counters (scheduling-dependent
-/// tallies such as work-steal counts), byte-for-byte.
+/// span timings, trace events, and the whole `runtime_` family
+/// (scheduling-dependent counters like work-steal tallies and
+/// wall-clock phase histograms), byte-for-byte.
 fn deterministic_lines(path: &PathBuf) -> String {
     let text = std::fs::read_to_string(path).expect("read metrics file");
     let kept: Vec<&str> = text
@@ -34,7 +35,7 @@ fn deterministic_lines(path: &PathBuf) -> String {
         .filter(|l| {
             !l.starts_with("{\"type\":\"span\"")
                 && !l.starts_with("{\"type\":\"span_event\"")
-                && !l.starts_with("{\"type\":\"runtime_counter\"")
+                && !l.starts_with("{\"type\":\"runtime_")
         })
         .collect();
     assert!(

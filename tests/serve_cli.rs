@@ -155,6 +155,145 @@ fn serve_loadgen_sigterm_lifecycle() {
 }
 
 #[test]
+fn metrics_scrape_top_and_flusher_lifecycle() {
+    // The full telemetry loop as real processes: a daemon with the
+    // background stats flusher on, a loadgen burst with trace IDs, a
+    // raw METRICS scrape off the health port, `oblivion top --check`
+    // polling the same endpoint, and finally a SIGTERM drain whose
+    // metrics file must hold the flusher's JSONL stream *plus* the
+    // appended final report — renderable by `oblivion stats`.
+    let port = free_port_pair();
+    let metrics = std::env::temp_dir().join(format!("oblivion_serve_cli_metrics_{port}.jsonl"));
+    let _ = std::fs::remove_file(&metrics);
+    let mut server = oblivion()
+        .args([
+            "serve",
+            "--mesh",
+            "16x16",
+            "--port",
+            &port.to_string(),
+            "--threads",
+            "2",
+            "--queue",
+            "32",
+            "--stats-every",
+            "50",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    wait_listening(&mut server);
+
+    let lg = oblivion()
+        .args([
+            "loadgen",
+            "--mesh",
+            "16x16",
+            "--port",
+            &port.to_string(),
+            "--requests",
+            "80",
+            "--concurrency",
+            "8",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("spawn loadgen");
+    assert_eq!(
+        lg.status.code(),
+        Some(0),
+        "loadgen: {}",
+        String::from_utf8_lossy(&lg.stderr)
+    );
+
+    // Raw METRICS off the health port: parseable counters with the
+    // request traffic on the books and the EOF truncation guard.
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect_timeout(
+        &format!("127.0.0.1:{}", port + 1).parse().unwrap(),
+        Duration::from_secs(5),
+    )
+    .expect("connect health port");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"METRICS\n").unwrap();
+    let mut scrape = String::new();
+    s.read_to_string(&mut scrape).unwrap();
+    assert!(
+        scrape.contains("# TYPE oblivion_serve_accepted counter"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("oblivion_serve_phase_route_compute_us_count"),
+        "{scrape}"
+    );
+    assert!(scrape.trim_end().ends_with("# EOF"), "{scrape}");
+
+    // `oblivion top --check`: three scrapes, zero conservation
+    // violations, rates rendered.
+    let top = oblivion()
+        .args([
+            "top",
+            "--port",
+            &(port + 1).to_string(),
+            "--interval-ms",
+            "60",
+            "--iterations",
+            "3",
+            "--check",
+        ])
+        .output()
+        .expect("spawn top");
+    let top_out = String::from_utf8_lossy(&top.stdout);
+    let top_err = String::from_utf8_lossy(&top.stderr);
+    assert_eq!(
+        top.status.code(),
+        Some(0),
+        "top failed\nstdout: {top_out}\nstderr: {top_err}"
+    );
+    assert!(top_out.contains("accepted 80"), "{top_out}");
+    assert!(top_out.contains("route_compute"), "{top_out}");
+    assert!(top_out.contains("top: 3 scrapes, 0 errors"), "{top_out}");
+
+    let (code, stdout) = terminate_and_wait(server);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("counters conserve: yes"), "{stdout}");
+    assert!(stdout.contains("phase route_compute"), "{stdout}");
+
+    // The metrics file carries both halves: the flusher's serve_stats
+    // stream (crash-durable) and the appended final report.
+    let doc = std::fs::read_to_string(&metrics).expect("metrics file");
+    let stats_lines = doc
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"serve_stats\""))
+        .count();
+    assert!(stats_lines >= 1, "no flushed serve_stats lines:\n{doc}");
+    assert!(
+        doc.lines().any(|l| l.starts_with("{\"type\":\"report\"")),
+        "final report missing (append clobbered?):\n{doc}"
+    );
+    assert!(doc.contains("\"serve_accepted\""), "{doc}");
+
+    // And `oblivion stats` renders the mixed document.
+    let stats = oblivion()
+        .args(["stats", metrics.to_str().unwrap()])
+        .output()
+        .expect("spawn stats");
+    let stats_out = String::from_utf8_lossy(&stats.stdout);
+    assert_eq!(
+        stats.status.code(),
+        Some(0),
+        "stats: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    assert!(stats_out.contains("serve_accepted"), "{stats_out}");
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn serve_health_probe_via_loadgen_port_collision() {
     // The default health port is request-port + 1; both listeners must
     // come up and the health one must answer HEALTH over a raw socket.
