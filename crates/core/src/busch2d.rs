@@ -13,10 +13,10 @@
 
 use crate::chain::{path_through_chain, RandomnessMode};
 use crate::randbits::BitMeter;
-use crate::router::{ObliviousRouter, RoutedPath};
+use crate::router::{ObliviousRouter, PathQuery, RoutedPath};
 use oblivion_decomp::Decomp2;
 use oblivion_mesh::{Coord, Mesh, Path, Submesh};
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 
 /// The 2-D bridge router of Busch, Magdon-Ismail & Xi.
 #[derive(Debug, Clone)]
@@ -65,8 +65,19 @@ impl Busch2D {
     /// `{s}`, type-1 blocks of increasing size, the bridge, type-1 blocks
     /// of decreasing size, `{t}`.
     pub fn chain(&self, s: &Coord, t: &Coord) -> Vec<Submesh> {
+        let mut chain = Vec::new();
+        self.chain_into(s, t, &mut chain);
+        chain
+    }
+
+    /// [`Self::chain`] into a caller-owned buffer (cleared first) so a
+    /// batch of selections reuses one allocation — the scratch half of
+    /// [`ObliviousRouter::route_batch`].
+    pub fn chain_into(&self, s: &Coord, t: &Coord, chain: &mut Vec<Submesh>) {
+        chain.clear();
         if s == t {
-            return vec![Submesh::point(*s)];
+            chain.push(Submesh::point(*s));
+            return;
         }
         let k = self.decomp.k();
         let (anc, h) = self.decomp.deepest_common_ancestor(s, t);
@@ -78,7 +89,7 @@ impl Busch2D {
             },
             1,
         );
-        let mut chain = Vec::with_capacity(2 * (k - anc.level) as usize + 1);
+        chain.reserve(2 * (k - anc.level) as usize + 1);
         chain.push(Submesh::point(*s));
         for level in (anc.level + 1..k).rev() {
             chain.push(self.decomp.type1_block(level, s));
@@ -89,7 +100,6 @@ impl Busch2D {
         }
         chain.push(Submesh::point(*t));
         chain.dedup();
-        chain
     }
 }
 
@@ -112,6 +122,27 @@ impl ObliviousRouter for Busch2D {
         RoutedPath {
             path,
             random_bits: meter.bits_used(),
+        }
+    }
+
+    fn route_batch(&self, queries: &[PathQuery], out: &mut Vec<RoutedPath>) {
+        out.clear();
+        out.reserve(queries.len());
+        let mut chain: Vec<Submesh> = Vec::new();
+        for q in queries {
+            // Fresh per-query seeding keeps every answer byte-identical
+            // to a single-shot select_path; only the scratch is shared.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(q.seed);
+            self.chain_into(&q.src, &q.dst, &mut chain);
+            let mut meter = BitMeter::new(&mut rng);
+            let mut path: Path = path_through_chain(&self.mesh, &chain, self.mode, &mut meter);
+            if self.remove_cycles {
+                path.remove_cycles();
+            }
+            out.push(RoutedPath {
+                path,
+                random_bits: meter.bits_used(),
+            });
         }
     }
 }
@@ -226,6 +257,37 @@ mod tests {
             r.select_path(&c(0, 0), &c(9, 9), &mut rng).path
         };
         assert_eq!(run(99), run(99));
+    }
+
+    /// route_batch is an optimization, never a behavior change: every
+    /// answer must be byte-identical to a single-shot select_path with
+    /// the same seed (the serve differential test leans on this).
+    #[test]
+    fn route_batch_matches_single_shot() {
+        let r = router(4);
+        let queries: Vec<PathQuery> = (0..40)
+            .map(|i| PathQuery {
+                seed: 0xB00 + i,
+                src: c((i % 16) as u32, (i * 7 % 16) as u32),
+                dst: c((i * 3 % 16) as u32, (15 - i % 16) as u32),
+            })
+            .collect();
+        let mut batch = Vec::new();
+        r.route_batch(&queries, &mut batch);
+        assert_eq!(batch.len(), queries.len());
+        for (q, rp) in queries.iter().zip(&batch) {
+            let mut rng = StdRng::seed_from_u64(q.seed);
+            let single = r.select_path(&q.src, &q.dst, &mut rng);
+            assert_eq!(single.path.nodes(), rp.path.nodes(), "seed {}", q.seed);
+            assert_eq!(single.random_bits, rp.random_bits);
+        }
+        // And via the trait-object default path used by the server.
+        let dynr: &dyn ObliviousRouter = &r;
+        let mut again = Vec::new();
+        dynr.route_batch(&queries, &mut again);
+        for (a, b) in batch.iter().zip(&again) {
+            assert_eq!(a.path.nodes(), b.path.nodes());
+        }
     }
 
     #[test]

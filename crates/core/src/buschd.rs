@@ -12,10 +12,10 @@
 
 use crate::chain::{path_through_chain, RandomnessMode};
 use crate::randbits::BitMeter;
-use crate::router::{ObliviousRouter, RoutedPath};
+use crate::router::{ObliviousRouter, PathQuery, RoutedPath};
 use oblivion_decomp::DecompD;
 use oblivion_mesh::{Coord, Mesh, Path, Submesh};
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 
 /// The `d`-dimensional bridge router (algorithm H).
 ///
@@ -78,8 +78,19 @@ impl BuschD {
     /// The submesh chain for `(s, t)`: `{s}`, type-1 blocks of heights
     /// `1..=ĥ`, the bridge, mirrored type-1 blocks down to `{t}`.
     pub fn chain(&self, s: &Coord, t: &Coord) -> Vec<Submesh> {
+        let mut chain = Vec::new();
+        self.chain_into(s, t, &mut chain);
+        chain
+    }
+
+    /// [`Self::chain`] into a caller-owned buffer (cleared first) so a
+    /// batch of selections reuses one allocation — the scratch half of
+    /// [`ObliviousRouter::route_batch`].
+    pub fn chain_into(&self, s: &Coord, t: &Coord, chain: &mut Vec<Submesh>) {
+        chain.clear();
         if s == t {
-            return vec![Submesh::point(*s)];
+            chain.push(Submesh::point(*s));
+            return;
         }
         let k = self.decomp.k();
         let plan = self.decomp.find_bridge(&self.mesh, s, t);
@@ -92,7 +103,7 @@ impl BuschD {
             },
             1,
         );
-        let mut chain = Vec::with_capacity(2 * plan.h_hat as usize + 3);
+        chain.reserve(2 * plan.h_hat as usize + 3);
         chain.push(Submesh::point(*s));
         for height in 1..=plan.h_hat {
             chain.push(self.decomp.type1_block(k - height, s));
@@ -103,7 +114,6 @@ impl BuschD {
         }
         chain.push(Submesh::point(*t));
         chain.dedup();
-        chain
     }
 }
 
@@ -128,6 +138,27 @@ impl ObliviousRouter for BuschD {
         RoutedPath {
             path,
             random_bits: meter.bits_used(),
+        }
+    }
+
+    fn route_batch(&self, queries: &[PathQuery], out: &mut Vec<RoutedPath>) {
+        out.clear();
+        out.reserve(queries.len());
+        let mut chain: Vec<Submesh> = Vec::new();
+        for q in queries {
+            // Fresh per-query seeding keeps every answer byte-identical
+            // to a single-shot select_path; only the scratch is shared.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(q.seed);
+            self.chain_into(&q.src, &q.dst, &mut chain);
+            let mut meter = BitMeter::new(&mut rng);
+            let mut path: Path = path_through_chain(&self.mesh, &chain, self.mode, &mut meter);
+            if self.remove_cycles {
+                path.remove_cycles();
+            }
+            out.push(RoutedPath {
+                path,
+                random_bits: meter.bits_used(),
+            });
         }
     }
 }
@@ -293,6 +324,37 @@ mod tests {
                 w[0],
                 w[1]
             );
+        }
+    }
+
+    /// route_batch ≡ per-query select_path, including the s == t and
+    /// repeated-query cases a pipelined burst can contain.
+    #[test]
+    fn route_batch_matches_single_shot() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let r = router(3, 3);
+        let mut queries: Vec<PathQuery> = (0..30)
+            .map(|i| PathQuery {
+                seed: 0xD00 + i,
+                src: rand_coord(&mut rng, 3, 8),
+                dst: rand_coord(&mut rng, 3, 8),
+            })
+            .collect();
+        let same = Coord::new(&[2, 2, 2]);
+        queries.push(PathQuery {
+            seed: 5,
+            src: same,
+            dst: same,
+        });
+        queries.push(queries[0].clone());
+        let mut batch = Vec::new();
+        r.route_batch(&queries, &mut batch);
+        assert_eq!(batch.len(), queries.len());
+        for (q, rp) in queries.iter().zip(&batch) {
+            let mut rng = StdRng::seed_from_u64(q.seed);
+            let single = r.select_path(&q.src, &q.dst, &mut rng);
+            assert_eq!(single.path.nodes(), rp.path.nodes(), "seed {}", q.seed);
+            assert_eq!(single.random_bits, rp.random_bits);
         }
     }
 

@@ -1,7 +1,8 @@
 //! The oblivious-router interface.
 
 use oblivion_mesh::{Coord, Mesh, Path};
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 /// A path together with the number of random bits spent selecting it.
 #[derive(Debug, Clone)]
@@ -11,6 +12,19 @@ pub struct RoutedPath {
     /// Random bits consumed (Section 5 accounting; 0 for deterministic
     /// algorithms).
     pub random_bits: u64,
+}
+
+/// One path request of a batch: the seed fixes the private randomness,
+/// so the answer is a pure function of `(router, seed, src, dst)` —
+/// exactly the serving layer's determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    /// Seed for the request's private randomness.
+    pub seed: u64,
+    /// Source node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
 }
 
 /// An oblivious path-selection algorithm.
@@ -45,6 +59,24 @@ pub trait ObliviousRouter: Send + Sync {
     /// selection is position-dependent can override this.
     fn resample_path(&self, current: &Coord, t: &Coord, rng: &mut dyn RngCore) -> RoutedPath {
         self.select_path(current, t, rng)
+    }
+
+    /// Answers a burst of queries in one pass, appending one
+    /// [`RoutedPath`] per query into `out` (cleared first, same order).
+    ///
+    /// Each query is routed with its own `StdRng::seed_from_u64(seed)`,
+    /// so every answer is byte-identical to a single-shot
+    /// [`Self::select_path`] with that seed — batching is purely a
+    /// throughput optimization and callers may mix the two freely.
+    /// Implementations override this to reuse scratch buffers across the
+    /// burst (chain storage, RNG state) instead of allocating per query.
+    fn route_batch(&self, queries: &[PathQuery], out: &mut Vec<RoutedPath>) {
+        out.clear();
+        out.reserve(queries.len());
+        for q in queries {
+            let mut rng = StdRng::seed_from_u64(q.seed);
+            out.push(self.select_path(&q.src, &q.dst, &mut rng));
+        }
     }
 }
 

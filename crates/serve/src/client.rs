@@ -1,9 +1,15 @@
-//! A one-request-per-connection client for the serve wire protocol,
-//! with the error partition the retry logic needs: transport errors
-//! (connect refused, reset, timeout — always retryable), typed server
-//! errors (retryable per [`ErrorKind::retryable`]), and *malformed*
-//! responses (a protocol violation; never retried, and required to be
-//! zero across the kill -9 chaos scenario).
+//! Clients for the serve wire protocol, with the error partition the
+//! retry logic needs: transport errors (connect refused, reset, timeout
+//! — always retryable), typed server errors (retryable per
+//! [`ErrorKind::retryable`]), and *malformed* responses (a protocol
+//! violation; never retried, and required to be zero across the kill -9
+//! chaos scenario).
+//!
+//! [`Client`] opens one connection per request — the conservative
+//! baseline. [`PipelinedConn`] holds a keep-alive connection and lets
+//! the caller write a whole burst of request lines before reading the
+//! replies back in order, which is what the pipelined load-generator
+//! modes are built on.
 
 use crate::wire::{self, ErrorKind, Response, MAX_RESPONSE_LINE};
 use oblivion_mesh::{Coord, Mesh};
@@ -157,26 +163,7 @@ impl Client {
             Response::Ok(payload) => payload,
             Response::Err(kind, detail) => return Err(ClientError::Server(kind, detail)),
         };
-        let hops: Result<Vec<Coord>, String> = payload
-            .split_ascii_whitespace()
-            .map(|tok| wire::parse_coord(tok, mesh))
-            .collect();
-        let hops = hops.map_err(ClientError::Malformed)?;
-        if hops.first() != Some(src) || hops.last() != Some(dst) {
-            return Err(ClientError::Malformed(format!(
-                "path endpoints do not match the request: `{payload}`"
-            )));
-        }
-        for pair in hops.windows(2) {
-            if !mesh.adjacent(&pair[0], &pair[1]) {
-                return Err(ClientError::Malformed(format!(
-                    "non-adjacent hop {} -> {}",
-                    wire::format_coord(&pair[0], mesh.dim()),
-                    wire::format_coord(&pair[1], mesh.dim())
-                )));
-            }
-        }
-        Ok(hops)
+        validate_path_payload(mesh, &payload, src, dst).map_err(ClientError::Malformed)
     }
 
     /// Sends a probe (`HEALTH` or `READY`) and returns the payload of an
@@ -196,6 +183,9 @@ impl Client {
             TcpStream::connect_timeout(&self.addr, self.timeout).map_err(ClientError::Transport)?;
         let _ = stream.set_nodelay(true);
         wire::write_line(&stream, "METRICS\n", deadline).map_err(ClientError::Transport)?;
+        // Half-close: we have nothing more to say, and the EOF tells a
+        // keep-alive server to close its side once the reply is out.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
         let _ = stream.set_read_timeout(Some(self.timeout.max(Duration::from_millis(1))));
         // The exposition is small (one line per non-empty bucket); a
         // hard cap keeps a misbehaving peer from ballooning memory.
@@ -217,6 +207,12 @@ impl Client {
                             "metrics exposition exceeds 1 MiB".into(),
                         ));
                     }
+                    // The exposition is protocol-framed by its `# EOF`
+                    // terminator; stop there instead of waiting for the
+                    // keep-alive connection to close.
+                    if body.ends_with(b"# EOF\n") {
+                        break;
+                    }
                 }
                 Err(e)
                     if e.kind() == IoKind::WouldBlock
@@ -230,5 +226,111 @@ impl Client {
         }
         String::from_utf8(body)
             .map_err(|_| ClientError::Malformed("metrics exposition is not UTF-8".into()))
+    }
+}
+
+/// Structural validation of a served path: parseable hops, endpoints
+/// matching the request, every step mesh-adjacent.
+pub(crate) fn validate_path_payload(
+    mesh: &Mesh,
+    payload: &str,
+    src: &Coord,
+    dst: &Coord,
+) -> Result<Vec<Coord>, String> {
+    let hops: Result<Vec<Coord>, String> = payload
+        .split_ascii_whitespace()
+        .map(|tok| wire::parse_coord(tok, mesh))
+        .collect();
+    let hops = hops?;
+    if hops.first() != Some(src) || hops.last() != Some(dst) {
+        return Err(format!(
+            "path endpoints do not match the request: `{payload}`"
+        ));
+    }
+    for pair in hops.windows(2) {
+        if !mesh.adjacent(&pair[0], &pair[1]) {
+            return Err(format!(
+                "non-adjacent hop {} -> {}",
+                wire::format_coord(&pair[0], mesh.dim()),
+                wire::format_coord(&pair[1], mesh.dim())
+            ));
+        }
+    }
+    Ok(hops)
+}
+
+/// A persistent, pipelined connection: the caller may write many
+/// request lines (ideally as one burst) before reading any reply, and
+/// the server answers strictly in request order. Reply framing is
+/// buffered here, so a single read may surface several reply lines.
+pub struct PipelinedConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl PipelinedConn {
+    /// Connects with `timeout` as the connect budget.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<PipelinedConn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        let _ = stream.set_nodelay(true);
+        Ok(PipelinedConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes `burst` (one or more `\n`-terminated request lines) with a
+    /// single syscall, honoring `deadline` as the write budget.
+    pub fn send_burst(&mut self, burst: &str, deadline: Instant) -> std::io::Result<()> {
+        wire::write_line(&self.stream, burst, deadline)
+    }
+
+    /// Reads the next reply line (CR/LF stripped), honoring `deadline`.
+    /// Replies arrive in request order; the caller matches them to its
+    /// send window (and should verify the echoed IDs).
+    pub fn recv_line(&mut self, deadline: Instant) -> Result<String, ClientError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| ClientError::Malformed("reply line is not UTF-8".into()));
+            }
+            if self.buf.len() > MAX_RESPONSE_LINE {
+                return Err(ClientError::Malformed("response line too long".into()));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Transport(std::io::Error::new(
+                    IoKind::TimedOut,
+                    "reply deadline expired",
+                )));
+            }
+            self.stream
+                .set_read_timeout(Some(remaining))
+                .map_err(ClientError::Transport)?;
+            let mut chunk = [0u8; 4096];
+            use std::io::Read as _;
+            match (&mut (&self.stream)).read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Transport(std::io::Error::new(
+                        IoKind::UnexpectedEof,
+                        "connection closed with replies outstanding",
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == IoKind::Interrupted => continue,
+                Err(e) if e.kind() == IoKind::WouldBlock || e.kind() == IoKind::TimedOut => {
+                    return Err(ClientError::Transport(std::io::Error::new(
+                        IoKind::TimedOut,
+                        "reply deadline expired",
+                    )))
+                }
+                Err(e) => return Err(ClientError::Transport(e)),
+            }
+        }
     }
 }

@@ -9,13 +9,27 @@
 //! answered and zero malformed responses. `BAD_REQUEST` and malformed
 //! responses are never retried: the former is a client bug, the latter
 //! a server bug, and hiding either behind a retry would defeat the gate.
+//!
+//! Three transports, same accounting:
+//! - default: one connection per request (the conservative baseline);
+//! - `keep_alive`: one persistent connection per thread, one request in
+//!   flight at a time;
+//! - `pipeline > 1` (implies keep-alive): up to `pipeline` request
+//!   lines written as a single burst before any reply is read; replies
+//!   are consumed in order and every echoed ID is verified, so a
+//!   desynchronized stream lands in the `malformed` bucket and fails
+//!   the run. A transport error mid-window counts every unanswered
+//!   request as `transport`, reconnects, and re-enqueues what the retry
+//!   budget allows.
 
-use crate::client::{Client, ClientError};
-use crate::wire::ErrorKind;
+use crate::client::{validate_path_payload, Client, ClientError, PipelinedConn};
+use crate::wire::{self, ErrorKind, Response};
 use oblivion_mesh::{Coord, Mesh};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::net::{SocketAddr, ToSocketAddrs as _};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -42,6 +56,11 @@ pub struct LoadgenConfig {
     pub timeout: Duration,
     /// Seed for the request stream (src/dst pairs and path seeds).
     pub seed: u64,
+    /// Reuse one connection per thread instead of one per request.
+    pub keep_alive: bool,
+    /// Request lines in flight per connection before any reply is read
+    /// (`>= 1`; values above 1 imply keep-alive).
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -56,6 +75,8 @@ impl Default for LoadgenConfig {
             backoff_cap: Duration::from_millis(500),
             timeout: Duration::from_millis(2000),
             seed: 42,
+            keep_alive: false,
+            pipeline: 1,
         }
     }
 }
@@ -107,6 +128,21 @@ impl LoadgenReport {
     pub fn shed_rate(&self) -> f64 {
         let attempts = self.ok + self.failed + self.retries;
         self.overloaded as f64 / (attempts as f64).max(1.0)
+    }
+
+    /// Folds a worker-local report into this one (latencies unsorted;
+    /// the caller sorts once at the end).
+    pub fn merge(&mut self, other: LoadgenReport) {
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.malformed += other.malformed;
+        self.bad_request += other.bad_request;
+        self.retries += other.retries;
+        self.overloaded += other.overloaded;
+        self.deadline += other.deadline;
+        self.shutting_down += other.shutting_down;
+        self.transport += other.transport;
+        self.latencies_us.extend(other.latencies_us);
     }
 
     /// Human+grep-friendly rendering (the chaos gate greps the
@@ -166,11 +202,256 @@ fn backoff_delay(cfg: &LoadgenConfig, attempt: u32) -> Duration {
     exp.min(cfg.backoff_cap)
 }
 
+/// One not-yet-answered request in a pipelined window: its global id,
+/// retry attempt, and the deterministic request triple.
+struct Pending {
+    id: usize,
+    attempt: u32,
+    seed: u64,
+    src: Coord,
+    dst: Coord,
+}
+
+impl Pending {
+    fn of(cfg: &LoadgenConfig, id: usize, attempt: u32) -> Pending {
+        let (seed, src, dst) = request_of(&cfg.mesh, cfg.seed, id as u64);
+        Pending {
+            id,
+            attempt,
+            seed,
+            src,
+            dst,
+        }
+    }
+
+    fn trace_id(&self) -> String {
+        format!("lg-{}.{}", self.id, self.attempt)
+    }
+}
+
+/// The per-thread loop for the keep-alive/pipelined transports. Windows
+/// of up to `cfg.pipeline` requests are written as one burst; replies
+/// are read back in order with their ID echoes verified.
+fn pipelined_worker(
+    cfg: &LoadgenConfig,
+    addr: SocketAddr,
+    next: &AtomicUsize,
+    local: &mut LoadgenReport,
+) {
+    let window_cap = cfg.pipeline.max(1);
+    let mut todo: VecDeque<Pending> = VecDeque::new();
+    let mut conn: Option<PipelinedConn> = None;
+    loop {
+        // Assemble a window: local retries first, then fresh ids.
+        let mut window: Vec<Pending> = Vec::with_capacity(window_cap);
+        while window.len() < window_cap {
+            if let Some(p) = todo.pop_front() {
+                window.push(p);
+                continue;
+            }
+            let id = next.fetch_add(1, Ordering::Relaxed);
+            if id >= cfg.requests {
+                break;
+            }
+            window.push(Pending::of(cfg, id, 0));
+        }
+        if window.is_empty() {
+            return;
+        }
+        // A transport failure anywhere voids the whole unanswered tail:
+        // count each as observed, re-enqueue what the budget allows.
+        let mut requeue_min_attempt: Option<u32> = None;
+        fn transport_fail(
+            cfg: &LoadgenConfig,
+            p: Pending,
+            local: &mut LoadgenReport,
+            todo: &mut VecDeque<Pending>,
+            requeue_min_attempt: &mut Option<u32>,
+        ) {
+            local.transport += 1;
+            if p.attempt < cfg.retries {
+                local.retries += 1;
+                *requeue_min_attempt =
+                    Some(requeue_min_attempt.map_or(p.attempt, |a| a.min(p.attempt)));
+                todo.push_back(Pending::of(cfg, p.id, p.attempt + 1));
+            } else {
+                local.failed += 1;
+            }
+        }
+        // Connect (or reuse the kept-alive connection).
+        if conn.is_none() {
+            match PipelinedConn::connect(addr, cfg.timeout) {
+                Ok(c) => conn = Some(c),
+                Err(_) => {
+                    for p in window {
+                        transport_fail(cfg, p, local, &mut todo, &mut requeue_min_attempt);
+                    }
+                    if let Some(a) = requeue_min_attempt {
+                        std::thread::sleep(backoff_delay(cfg, a));
+                    }
+                    continue;
+                }
+            }
+        }
+        // One write for the whole burst.
+        let mut burst = String::new();
+        for p in &window {
+            let _ = writeln!(
+                burst,
+                "PATH {} {} {} id={}",
+                p.seed,
+                wire::format_coord(&p.src, cfg.mesh.dim()),
+                wire::format_coord(&p.dst, cfg.mesh.dim()),
+                p.trace_id()
+            );
+        }
+        let t0 = Instant::now();
+        let deadline = t0 + cfg.timeout;
+        let send_ok = match conn.as_mut() {
+            Some(c) => c.send_burst(&burst, deadline).is_ok(),
+            None => false,
+        };
+        if !send_ok {
+            conn = None;
+            for p in window {
+                transport_fail(cfg, p, local, &mut todo, &mut requeue_min_attempt);
+            }
+            if let Some(a) = requeue_min_attempt {
+                std::thread::sleep(backoff_delay(cfg, a));
+            }
+            continue;
+        }
+        // Read the replies in request order.
+        let mut dead = false;
+        for p in window {
+            if dead {
+                transport_fail(cfg, p, local, &mut todo, &mut requeue_min_attempt);
+                continue;
+            }
+            let line = match conn.as_mut() {
+                Some(c) => c.recv_line(deadline),
+                None => unreachable!("connection verified above"), // ci-allow-unwrap: guarded by send_ok
+            };
+            let line = match line {
+                Ok(line) => line,
+                Err(ClientError::Transport(_)) => {
+                    dead = true;
+                    conn = None;
+                    transport_fail(cfg, p, local, &mut todo, &mut requeue_min_attempt);
+                    continue;
+                }
+                Err(e) => {
+                    // Malformed framing: a server bug; never retried,
+                    // and the stream cannot be trusted afterwards.
+                    eprintln!("loadgen: malformed reply: {e:?}");
+                    local.malformed += 1;
+                    local.failed += 1;
+                    dead = true;
+                    conn = None;
+                    continue;
+                }
+            };
+            let want = p.trace_id();
+            match wire::parse_response_with_id(&line) {
+                Err(why) => {
+                    eprintln!("loadgen: malformed response: {why}");
+                    local.malformed += 1;
+                    local.failed += 1;
+                    dead = true;
+                    conn = None;
+                }
+                Ok((Response::Ok(payload), echoed)) => {
+                    if echoed.as_deref() != Some(want.as_str()) {
+                        // A wrong or missing echo on OK means the
+                        // pipeline desynchronized — fatal for the run.
+                        eprintln!("loadgen: request id not echoed: sent `{want}`, got {echoed:?}");
+                        local.malformed += 1;
+                        local.failed += 1;
+                        dead = true;
+                        conn = None;
+                    } else {
+                        match validate_path_payload(&cfg.mesh, &payload, &p.src, &p.dst) {
+                            Ok(_) => {
+                                local.ok += 1;
+                                local.latencies_us.push(
+                                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                                );
+                            }
+                            Err(why) => {
+                                eprintln!("loadgen: malformed path: {why}");
+                                local.malformed += 1;
+                                local.failed += 1;
+                            }
+                        }
+                    }
+                }
+                Ok((Response::Err(kind, _detail), echoed)) => {
+                    // Per-line errors echo the ID; connection-level
+                    // rejections (admission shed) legitimately carry
+                    // none. An ID that *contradicts* the request means
+                    // desync.
+                    if let Some(got) = &echoed {
+                        if got != &want {
+                            eprintln!("loadgen: request id mangled: sent `{want}`, got `{got}`");
+                            local.malformed += 1;
+                            local.failed += 1;
+                            dead = true;
+                            conn = None;
+                            continue;
+                        }
+                    }
+                    match kind {
+                        ErrorKind::Overloaded => local.overloaded += 1,
+                        ErrorKind::DeadlineExceeded => local.deadline += 1,
+                        ErrorKind::ShuttingDown => local.shutting_down += 1,
+                        ErrorKind::BadRequest => local.bad_request += 1,
+                    }
+                    if kind.retryable() && p.attempt < cfg.retries {
+                        local.retries += 1;
+                        requeue_min_attempt =
+                            Some(requeue_min_attempt.map_or(p.attempt, |a| a.min(p.attempt)));
+                        todo.push_back(Pending::of(cfg, p.id, p.attempt + 1));
+                    } else {
+                        local.failed += 1;
+                    }
+                }
+            }
+        }
+        if let Some(a) = requeue_min_attempt {
+            std::thread::sleep(backoff_delay(cfg, a));
+        }
+    }
+}
+
 /// Runs the closed-loop load generation and aggregates the report.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
     let started = Instant::now();
     let next: AtomicUsize = AtomicUsize::new(0);
     let merged: Mutex<LoadgenReport> = Mutex::new(LoadgenReport::default());
+    if cfg.keep_alive || cfg.pipeline > 1 {
+        let addr = match cfg.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(a) => a,
+            None => {
+                eprintln!("loadgen: cannot resolve {}", cfg.addr);
+                return LoadgenReport {
+                    failed: cfg.requests as u64,
+                    transport: cfg.requests as u64,
+                    elapsed: started.elapsed(),
+                    ..LoadgenReport::default()
+                };
+            }
+        };
+        oblivion_sim::pool::run_crew(cfg.concurrency.max(1), |_w| {
+            let mut local = LoadgenReport::default();
+            pipelined_worker(cfg, addr, &next, &mut local);
+            let mut m = merged.lock().unwrap_or_else(|e| e.into_inner());
+            m.merge(local);
+        });
+        let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+        report.latencies_us.sort_unstable();
+        report.elapsed = started.elapsed();
+        return report;
+    }
     let client = match Client::new(&cfg.addr, cfg.timeout) {
         Ok(c) => c,
         Err(e) => {
@@ -238,16 +519,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
             }
         }
         let mut m = merged.lock().unwrap_or_else(|e| e.into_inner());
-        m.ok += local.ok;
-        m.failed += local.failed;
-        m.malformed += local.malformed;
-        m.bad_request += local.bad_request;
-        m.retries += local.retries;
-        m.overloaded += local.overloaded;
-        m.deadline += local.deadline;
-        m.shutting_down += local.shutting_down;
-        m.transport += local.transport;
-        m.latencies_us.extend(local.latencies_us);
+        m.merge(local);
     });
     let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
     report.latencies_us.sort_unstable();

@@ -45,6 +45,7 @@ pub fn render_exposition(snap: &StatsSnapshot, uptime: Duration) -> String {
         ("queue_depth", snap.queue_depth),
         ("in_flight", snap.in_flight),
         ("connections", snap.connections),
+        ("open_conns", snap.open_conns),
         ("max_queue_depth", snap.max_queue_depth as i64),
         ("uptime_ms", uptime.as_millis().min(i64::MAX as u128) as i64),
     ] {
@@ -127,6 +128,20 @@ impl Exposition {
             let v = self.gauge(g)?;
             if v < 0 {
                 return Err(format!("gauge {PREFIX}{g} is negative: {v}"));
+            }
+        }
+        // Socket churn rides outside the law but must balance itself
+        // (tolerating pre-churn-telemetry expositions with no series).
+        if let (Ok(opened), Ok(closed), Ok(open)) = (
+            self.counter("conns_opened"),
+            self.counter("conns_closed"),
+            self.gauge("open_conns"),
+        ) {
+            if open < 0 || opened != closed + open as u64 {
+                return Err(format!(
+                    "connection churn violated: opened {opened} != closed {closed} \
+                     + open {open}"
+                ));
             }
         }
         if accepted != settled + connections as u64 {

@@ -92,6 +92,17 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Non-blocking pop: an item when one is ready, [`Pop::Closed`] for
+    /// a drained closed queue, [`Pop::Timeout`] otherwise.
+    pub fn try_pop(&self) -> Pop<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.q.pop_front() {
+            Some(item) => Pop::Item(item),
+            None if inner.closed => Pop::Closed,
+            None => Pop::Timeout,
+        }
+    }
+
     /// Closes the queue: future pushes fail, and poppers exit once the
     /// backlog is drained.
     pub fn close(&self) {

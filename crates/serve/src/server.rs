@@ -1,13 +1,15 @@
-//! The overload-safe request server.
+//! The overload-safe, pipelined request server.
 //!
 //! Thread layout (all on one [`run_crew`] scoped pool, so a panic
 //! anywhere propagates instead of silently losing a worker):
 //!
 //! ```text
-//! crew[0]            acceptor: accept → try_push; full queue → shed
-//!                    with ERR OVERLOADED; polls the shutdown flag
-//! crew[1..=threads]  workers: pop → deadline check → read line →
-//!                    parse → route → respond
+//! crew[0]            acceptor: accept → hand the socket to a worker
+//!                    mailbox (round-robin) or the shared overflow
+//!                    queue; both full → shed with ERR OVERLOADED
+//! crew[1..=threads]  workers: each OWNS its accepted sockets for their
+//!                    whole life — reads pipelined frames, batches them
+//!                    through `route_batch`, writes replies in order
 //! crew[..]           stats flusher (optional): appends a JSONL snapshot
 //!                    to --metrics-out every --stats-every interval, so
 //!                    a crash loses at most one interval of telemetry
@@ -16,32 +18,45 @@
 //!                    answer even at 10x overload
 //! ```
 //!
-//! Overload behavior is the design center: the queue is bounded, pushes
-//! never block, and every admitted connection settles into exactly one
-//! counter bucket (see [`crate::stats`]). Each request is timed through
-//! explicit phases — accept, queue-wait, parse, route-compute,
-//! reply-write — into per-phase histograms that `METRICS` exposes live.
-//! On shutdown (SIGTERM/SIGINT or [`Control::request_shutdown`]) the
-//! acceptor closes the listener, stamps the drain deadline, and closes
-//! the queue; workers finish the backlog while the drain budget lasts
-//! and reject the rest with `ERR SHUTTING_DOWN`. The process then exits
-//! 0 with conserved counters — that is the "graceful" in graceful drain.
+//! Connections are keep-alive: a client may send many LF-framed `PATH`
+//! lines without waiting, and replies come back strictly in request
+//! order (IDs are echoed per line for correlation). A worker services
+//! its connections run-to-completion in bursts: it frames up to
+//! `batch_max` pending lines, routes all `PATH` queries in one
+//! [`route_batch`] call over a reused scratch buffer, and writes the
+//! whole burst of replies with a single syscall. The shared overflow
+//! queue exists only for bursts of new connections that outpace the
+//! round-robin mailboxes.
+//!
+//! Overload behavior is still the design center: mailboxes and the
+//! overflow queue are bounded, pushes never block, and every admitted
+//! *request line* settles into exactly one counter bucket (see
+//! [`crate::stats`] — the conservation unit is the framed line, not the
+//! connection). Each burst is timed through explicit phases — accept,
+//! queue-wait, parse, route-compute, reply-write — into per-phase
+//! histograms that `METRICS` exposes live. On shutdown
+//! (SIGTERM/SIGINT or [`Control::request_shutdown`]) the acceptor
+//! closes the listener, stamps the drain deadline, and closes the
+//! queues; workers finish in-flight pipelines while the drain budget
+//! lasts and reject the rest with `ERR SHUTTING_DOWN`. The process then
+//! exits 0 with conserved counters — that is the "graceful" in graceful
+//! drain.
 //!
 //! [`run_crew`]: oblivion_sim::pool::run_crew
+//! [`route_batch`]: oblivion_core::ObliviousRouter::route_batch
 
 use crate::metrics::render_exposition;
 use crate::queue::{Bounded, Pop};
 use crate::stats::{Counter, Phase, ServeStats, StatsSnapshot};
-use crate::wire::{self, ErrorKind, LineError, Request, MAX_REQUEST_LINE};
-use oblivion_core::ObliviousRouter;
+use crate::wire::{self, ErrorKind, Framed, Request, MAX_REQUEST_LINE};
+use oblivion_core::{ObliviousRouter, PathQuery, RoutedPath};
 use oblivion_obs::Json;
 use oblivion_sim::pool::run_crew;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::io::Write as _;
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -60,16 +75,25 @@ pub struct ServeConfig {
     /// Request worker threads (the acceptor, flusher, and health
     /// listener are extra).
     pub threads: usize,
-    /// Admission queue capacity; connections beyond it are shed.
+    /// Overflow queue capacity; connections beyond the per-worker
+    /// mailboxes *and* the overflow are shed.
     pub queue_cap: usize,
-    /// Per-request deadline, measured from accept.
+    /// Per-request deadline, measured from the moment the request line
+    /// is framed (for a connection that stalls mid-line: from the first
+    /// partial byte).
     pub deadline: Duration,
-    /// Drain budget: how long queued requests may still complete after
-    /// shutdown is requested.
+    /// Drain budget: how long in-flight pipelines may still complete
+    /// after shutdown is requested.
     pub drain: Duration,
-    /// Simulated extra service time per `PATH` request — overload knob
-    /// for tests and the `exp_serve` load sweep.
+    /// Simulated extra service time per dispatch burst — overload knob
+    /// for tests and the `exp_serve` load sweep. With pipelining the
+    /// cost is amortized over the whole burst, which is exactly the
+    /// point of batched dispatch.
     pub work: Duration,
+    /// Most pending request lines a worker answers per burst (also the
+    /// `route_batch` batch size). Larger values amortize dispatch
+    /// overhead further; smaller values bound per-burst latency.
+    pub batch_max: usize,
     /// Background stats flusher interval; `None` disables the flusher.
     pub stats_every: Option<Duration>,
     /// File the flusher appends JSONL snapshots to (requires
@@ -83,6 +107,15 @@ pub struct ServeConfig {
     pub announce: bool,
 }
 
+impl ServeConfig {
+    /// Most connections that can sit queued for a worker at once: the
+    /// shared overflow plus every per-worker mailbox. This is the bound
+    /// the `queue_depth` gauge (and its high-water mark) honors.
+    pub fn max_queued(&self) -> usize {
+        self.queue_cap + self.threads.max(1) * MAILBOX_CAP
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -94,6 +127,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(1000),
             drain: Duration::from_millis(2000),
             work: Duration::ZERO,
+            batch_max: 64,
             stats_every: None,
             stats_path: None,
             honor_process_signals: false,
@@ -111,6 +145,10 @@ pub struct Control {
     health_bound: OnceLock<SocketAddr>,
     drain_until: OnceLock<Instant>,
     started: OnceLock<Instant>,
+    /// Workers still draining; the flusher and health listener exit
+    /// once the drain is stamped *and* this reaches zero (only then are
+    /// the counters quiescent).
+    live_workers: AtomicUsize,
     stats: ServeStats,
 }
 
@@ -128,6 +166,10 @@ impl Control {
     fn shutdown_requested(&self, cfg: &ServeConfig) -> bool {
         self.shutdown.load(Ordering::SeqCst)
             || (cfg.honor_process_signals && oblivion_signal::shutdown_requested())
+    }
+
+    fn drained(&self) -> bool {
+        self.drain_until.get().is_some() && self.live_workers.load(Ordering::SeqCst) == 0
     }
 
     /// The request listener's bound address, once bound.
@@ -182,10 +224,61 @@ pub struct ServeSummary {
 /// accept latency stay invisible, long enough to cost no CPU.
 const POLL: Duration = Duration::from_millis(2);
 
-/// One admitted connection waiting for a worker.
-struct Job {
+/// Bytes read per nonblocking poll of a connection.
+const READ_CHUNK: usize = 4096;
+
+/// Most live connections a single worker owns; beyond this the worker
+/// stops adopting and new sockets wait in the mailboxes/overflow.
+const MAX_OWNED_CONNS: usize = 64;
+
+/// Per-worker mailbox depth. Small on purpose: the mailboxes are a
+/// hand-off, not a buffer — sustained excess spills to the shared
+/// overflow queue whose capacity is the admission-control knob.
+const MAILBOX_CAP: usize = 2;
+
+/// One accepted connection waiting for a worker to adopt it.
+struct Inbound {
     stream: TcpStream,
     accepted_at: Instant,
+    /// Time the acceptor spent on this socket (the accept phase),
+    /// recorded when the worker admits the connection's first line.
+    accept_us: u64,
+}
+
+/// A connection owned by a worker: socket, partial-frame buffer, and
+/// the queue of framed-but-unanswered lines (each stamped with its
+/// frame time, from which its deadline derives).
+struct ConnState {
+    stream: TcpStream,
+    fb: wire::FrameBuf,
+    pending: VecDeque<(Framed, Instant)>,
+    accepted_at: Instant,
+    adopted_at: Instant,
+    accept_us: u64,
+    /// Accept / queue-wait phases are recorded once per connection,
+    /// lazily with its first admitted line (so phase counts never
+    /// exceed admitted units).
+    conn_phases_recorded: bool,
+    /// First instant at which the frame buffer held an unterminated
+    /// partial line with nothing answerable pending — the slow-loris
+    /// clock.
+    partial_since: Option<Instant>,
+    eof: bool,
+    dead: bool,
+}
+
+/// One slot of a dispatch burst, in request order.
+enum Slot {
+    /// Already answered at parse time (probe, error, expiry, drain).
+    Done { reply: String, bucket: Counter },
+    /// A `PATH` query awaiting the batched route; `qi` indexes into the
+    /// burst's query/routed scratch once assigned.
+    Route {
+        q: PathQuery,
+        id: Option<String>,
+        deadline: Instant,
+        qi: usize,
+    },
 }
 
 /// Binds and serves until shutdown is requested, then drains; returns
@@ -218,7 +311,11 @@ pub fn run(
         }
     }
 
-    let queue: Bounded<Job> = Bounded::new(cfg.queue_cap);
+    let mailboxes: Vec<Bounded<Inbound>> = (0..cfg.threads.max(1))
+        .map(|_| Bounded::new(MAILBOX_CAP))
+        .collect();
+    let overflow: Bounded<Inbound> = Bounded::new(cfg.queue_cap);
+    ctl.live_workers.store(cfg.threads, Ordering::SeqCst);
     let has_health = health_listener.is_some();
     let has_flusher = cfg.stats_every.is_some() && cfg.stats_path.is_some();
     let listener = Mutex::new(Some(listener));
@@ -231,23 +328,28 @@ pub fn run(
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("acceptor runs once"); // ci-allow-unwrap: single take by worker 0
-            accept_loop(&listener, &queue, cfg, ctl);
+            accept_loop(&listener, &mailboxes, &overflow, cfg, ctl);
             // Shutdown: stop accepting (drop the listener), stamp the
-            // drain deadline, and let the workers run the backlog down.
+            // drain deadline, and let the workers run their pipelines
+            // down.
             let _ = ctl.drain_until.set(Instant::now() + cfg.drain);
             drop(listener);
-            queue.close();
+            for mb in &mailboxes {
+                mb.close();
+            }
+            overflow.close();
         } else if w <= cfg.threads {
-            worker_loop(router, &queue, cfg, ctl);
+            worker_loop(router, &mailboxes[w - 1], &overflow, cfg, ctl);
+            ctl.live_workers.fetch_sub(1, Ordering::SeqCst);
         } else if has_flusher && w == cfg.threads + 1 {
-            flusher_loop(&queue, cfg, ctl);
+            flusher_loop(cfg, ctl);
         } else {
             let listener = health_listener
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("health listener runs once"); // ci-allow-unwrap: single take by last worker
-            health_loop(&listener, &queue, cfg, ctl);
+            health_loop(&listener, cfg, ctl);
         }
     });
     // All workers joined: the backlog is settled and counters conserve.
@@ -267,43 +369,60 @@ pub fn run(
     })
 }
 
-fn accept_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+fn accept_loop(
+    listener: &TcpListener,
+    mailboxes: &[Bounded<Inbound>],
+    overflow: &Bounded<Inbound>,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) {
+    let mut rr = 0usize;
     loop {
         if ctl.shutdown_requested(cfg) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                ctl.stats.accept();
                 let accepted_at = Instant::now();
+                ctl.stats.conn_opened();
                 let _ = stream.set_nodelay(true);
-                let job = Job {
+                // Accounting precedes publication: the depth gauge is
+                // bumped before the socket is visible to workers, so
+                // the racing `conn_dequeued()` can never drive it
+                // negative.
+                let depth = ctl.stats.enqueue_started();
+                let inbound = Inbound {
                     stream,
                     accepted_at,
+                    accept_us: elapsed_us(accepted_at),
                 };
-                // Accounting precedes publication: the depth gauge is
-                // bumped before the job is visible to workers, so the
-                // racing `dequeued()` can never drive it negative.
-                let depth = ctl.stats.enqueue_started();
-                match queue.try_push(job) {
+                let target = &mailboxes[rr % mailboxes.len()];
+                rr = rr.wrapping_add(1);
+                let spill = match target.try_push(inbound) {
                     Ok(_) => {
                         ctl.stats.enqueue_committed(depth);
-                        ctl.stats
-                            .record_phase(Phase::Accept, elapsed_us(accepted_at));
+                        continue;
                     }
-                    Err(job) => {
+                    Err(inbound) => inbound,
+                };
+                match overflow.try_push(spill) {
+                    Ok(_) => ctl.stats.enqueue_committed(depth),
+                    Err(inbound) => {
                         ctl.stats.enqueue_aborted();
-                        // Admission control: the queue is full, so shed
-                        // *now* with a typed rejection instead of
-                        // queueing unboundedly. No trace ID on the
-                        // reply: the request line was never read. The
+                        // Admission control: every queue is full, so
+                        // shed *now* with a typed rejection instead of
+                        // queueing unboundedly. The whole turned-away
+                        // connection is one shed unit. No trace ID on
+                        // the reply: no request line was ever read. The
                         // write is best-effort and strictly bounded.
+                        ctl.stats.accept();
                         ctl.stats.shed_at_admission();
                         let _ = wire::write_line(
-                            &job.stream,
+                            &inbound.stream,
                             &wire::format_err_line(ErrorKind::Overloaded, ""),
                             Instant::now() + Duration::from_millis(100),
                         );
+                        ctl.stats.conn_closed();
                     }
                 }
             }
@@ -320,167 +439,440 @@ fn accept_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, 
     }
 }
 
+/// Scratch buffers a worker reuses across every burst it dispatches —
+/// the allocation-amortization half of the batching story.
+struct Scratch {
+    queries: Vec<PathQuery>,
+    routed: Vec<RoutedPath>,
+    slots: Vec<Slot>,
+    reply: String,
+}
+
 fn worker_loop(
     router: &dyn ObliviousRouter,
-    queue: &Bounded<Job>,
+    mailbox: &Bounded<Inbound>,
+    overflow: &Bounded<Inbound>,
     cfg: &ServeConfig,
     ctl: &Control,
 ) {
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut mailbox_closed = false;
+    let mut overflow_closed = false;
+    let mut scratch = Scratch {
+        queries: Vec::new(),
+        routed: Vec::new(),
+        slots: Vec::new(),
+        reply: String::new(),
+    };
     loop {
-        match queue.pop_timeout(Duration::from_millis(50)) {
-            Pop::Item(job) => {
-                ctl.stats.dequeued();
-                ctl.stats
-                    .record_phase(Phase::QueueWait, elapsed_us(job.accepted_at));
-                handle(router, job, cfg, ctl);
+        // Adopt new connections: own mailbox first, then the shared
+        // overflow, up to the ownership cap.
+        while !mailbox_closed && conns.len() < MAX_OWNED_CONNS {
+            match mailbox.try_pop() {
+                Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                Pop::Closed => {
+                    mailbox_closed = true;
+                    break;
+                }
+                Pop::Timeout => break,
             }
-            Pop::Closed => return,
-            Pop::Timeout => {}
+        }
+        while !overflow_closed && conns.len() < MAX_OWNED_CONNS {
+            match overflow.try_pop() {
+                Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                Pop::Closed => {
+                    overflow_closed = true;
+                    break;
+                }
+                Pop::Timeout => break,
+            }
+        }
+        if conns.is_empty() && mailbox_closed && overflow_closed {
+            return;
+        }
+        // Service every owned connection once, run-to-completion.
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let (moved, keep) = service_conn(router, &mut conns[i], &mut scratch, cfg, ctl);
+            progress |= moved;
+            if keep {
+                i += 1;
+            } else {
+                drop(conns.swap_remove(i));
+            }
+        }
+        if !progress {
+            // Idle: block briefly on the mailbox so adoption doubles as
+            // the sleep. With live but quiet connections the wait stays
+            // short to keep per-line latency bounded.
+            let wait = if conns.is_empty() {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_micros(500)
+            };
+            if mailbox_closed {
+                std::thread::sleep(wait.min(POLL));
+            } else {
+                match mailbox.pop_timeout(wait) {
+                    Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                    Pop::Closed => mailbox_closed = true,
+                    Pop::Timeout => {}
+                }
+            }
+        }
+    }
+}
+
+fn adopt(inbound: Inbound, ctl: &Control) -> ConnState {
+    ctl.stats.conn_dequeued();
+    let _ = inbound.stream.set_nonblocking(true);
+    ConnState {
+        stream: inbound.stream,
+        fb: wire::FrameBuf::new(MAX_REQUEST_LINE),
+        pending: VecDeque::new(),
+        accepted_at: inbound.accepted_at,
+        adopted_at: Instant::now(),
+        accept_us: inbound.accept_us,
+        conn_phases_recorded: false,
+        partial_since: None,
+        eof: false,
+        dead: false,
+    }
+}
+
+/// One service pass over a connection: read + frame, dispatch a burst,
+/// apply deadline/EOF/drain close rules. Returns `(made_progress,
+/// keep_connection)`.
+fn service_conn(
+    router: &dyn ObliviousRouter,
+    conn: &mut ConnState,
+    scratch: &mut Scratch,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) -> (bool, bool) {
+    let mut progress = false;
+    // 1. Read whatever the socket has and frame it. New lines are
+    //    admitted (enter the conservation ledger) the moment they are
+    //    framed, stamped with their frame time for per-line deadlines.
+    if !conn.eof && !conn.dead && conn.pending.len() < cfg.batch_max.max(1) {
+        let mut chunk = [0u8; READ_CHUNK];
+        match (&mut (&conn.stream)).read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                progress = true;
+            }
+            Ok(n) => {
+                progress = true;
+                conn.fb.extend(&chunk[..n]);
+                let framed_at = Instant::now();
+                let mut fresh: u64 = 0;
+                while let Some(f) = conn.fb.next_line() {
+                    conn.pending.push_back((f, framed_at));
+                    fresh += 1;
+                }
+                if conn.fb.has_partial() {
+                    conn.partial_since.get_or_insert(framed_at);
+                } else {
+                    conn.partial_since = None;
+                }
+                if fresh > 0 {
+                    ctl.stats.admit(fresh);
+                    if !conn.conn_phases_recorded {
+                        conn.conn_phases_recorded = true;
+                        ctl.stats.record_phase(Phase::Accept, conn.accept_us);
+                        ctl.stats.record_phase(
+                            Phase::QueueWait,
+                            duration_us(
+                                conn.adopted_at.saturating_duration_since(conn.accepted_at),
+                            ),
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                progress = true;
+            }
+        }
+    }
+    // 2. Dispatch a burst of pending lines.
+    if !conn.dead && !conn.pending.is_empty() {
+        progress = true;
+        dispatch_burst(router, conn, scratch, cfg, ctl);
+    }
+    // 3. The slow-loris clock: a partial line with nothing answerable
+    //    pending that outlives the deadline settles as one
+    //    deadline-exceeded unit and closes the connection.
+    if !conn.dead && !conn.eof && conn.pending.is_empty() {
+        if let Some(since) = conn.partial_since {
+            if Instant::now() >= since + cfg.deadline {
+                ctl.stats.admit(1);
+                ctl.stats.settle(Counter::DeadlineExceeded);
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = wire::write_line(
+                    &conn.stream,
+                    &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
+                    Instant::now() + Duration::from_millis(100),
+                );
+                ctl.stats.conn_closed();
+                return (true, false);
+            }
+        }
+    }
+    // 4. Close rules.
+    if conn.dead {
+        // Admitted-but-unanswered lines settle as I/O errors; a partial
+        // line was never admitted and owes the ledger nothing.
+        let unanswered = conn.pending.len() as u64;
+        ctl.stats.settle_batch(Counter::IoError, unanswered);
+        conn.pending.clear();
+        ctl.stats.conn_closed();
+        return (true, false);
+    }
+    if conn.eof && conn.pending.is_empty() {
+        if conn.fb.has_partial() {
+            // The peer hung up mid-line: one bad-request unit.
+            ctl.stats.admit(1);
+            ctl.stats.settle(Counter::BadRequest);
+        }
+        // A clean keep-alive close after the last reply is zero units.
+        ctl.stats.conn_closed();
+        return (true, false);
+    }
+    if ctl.drain_until.get().is_some() && conn.pending.is_empty() && !conn.fb.has_partial() {
+        // Draining and this connection is idle: close it so the worker
+        // can exit; clients see EOF and reconnect elsewhere.
+        ctl.stats.conn_closed();
+        return (true, false);
+    }
+    (progress, true)
+}
+
+/// Answers up to `batch_max` pending lines in one pass: parse them all,
+/// run the simulated work *once*, route every live `PATH` query through
+/// `route_batch` on shared scratch, then write every reply — in request
+/// order — with a single syscall.
+fn dispatch_burst(
+    router: &dyn ObliviousRouter,
+    conn: &mut ConnState,
+    scratch: &mut Scratch,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) {
+    let n = conn.pending.len().min(cfg.batch_max.max(1));
+    let drain_expired = ctl
+        .drain_until
+        .get()
+        .is_some_and(|until| Instant::now() >= *until);
+    let parse_started = Instant::now();
+    scratch.slots.clear();
+    let mut latest_path_deadline: Option<Instant> = None;
+    for _ in 0..n {
+        let Some((framed, framed_at)) = conn.pending.pop_front() else {
+            break;
+        };
+        let line_deadline = framed_at + cfg.deadline;
+        let slot = match framed {
+            Framed::Bad(detail) => Slot::Done {
+                reply: wire::format_err_line(ErrorKind::BadRequest, detail),
+                bucket: Counter::BadRequest,
+            },
+            Framed::Line(line) => {
+                if drain_expired {
+                    // Past the drain budget: typed rejection, not
+                    // silence — with the ID echoed when salvageable.
+                    let id = salvage_id(&line);
+                    Slot::Done {
+                        reply: wire::format_err_line_with_id(
+                            ErrorKind::ShuttingDown,
+                            id.as_deref(),
+                            "",
+                        ),
+                        bucket: Counter::DrainRejected,
+                    }
+                } else {
+                    match wire::parse_request(&line, router.mesh()) {
+                        Ok(Request::Health) => {
+                            let snap = ctl.stats.snapshot();
+                            Slot::Done {
+                                reply: format!(
+                                    "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
+                                    snap.accepted,
+                                    snap.completed,
+                                    snap.shed_overloaded,
+                                    snap.queue_depth
+                                ),
+                                bucket: Counter::Completed,
+                            }
+                        }
+                        Ok(Request::Ready) => Slot::Done {
+                            reply: if ctl.shutdown_requested(cfg) {
+                                wire::format_err_line(ErrorKind::ShuttingDown, "")
+                            } else {
+                                "OK ready\n".to_string()
+                            },
+                            bucket: Counter::Completed,
+                        },
+                        Ok(Request::Metrics) => Slot::Done {
+                            // Also served here on the request port
+                            // (subject to admission); the health
+                            // listener serves it admission-free.
+                            reply: render_exposition(&ctl.stats.snapshot(), ctl.uptime()),
+                            bucket: Counter::Completed,
+                        },
+                        Ok(Request::Path { seed, src, dst, id }) => {
+                            if Instant::now() >= line_deadline {
+                                // Stale before we even routed it
+                                // (overload backed the pipeline up).
+                                Slot::Done {
+                                    reply: wire::format_err_line_with_id(
+                                        ErrorKind::DeadlineExceeded,
+                                        id.as_deref(),
+                                        "",
+                                    ),
+                                    bucket: Counter::DeadlineExceeded,
+                                }
+                            } else {
+                                latest_path_deadline = Some(
+                                    latest_path_deadline
+                                        .map_or(line_deadline, |d| d.max(line_deadline)),
+                                );
+                                Slot::Route {
+                                    q: PathQuery { seed, src, dst },
+                                    id,
+                                    deadline: line_deadline,
+                                    qi: usize::MAX,
+                                }
+                            }
+                        }
+                        Err(detail) => {
+                            // A malformed line mid-pipeline answers in
+                            // order with its ID when salvageable; the
+                            // stream stays in sync.
+                            let id = salvage_id(&line);
+                            Slot::Done {
+                                reply: wire::format_err_line_with_id(
+                                    ErrorKind::BadRequest,
+                                    id.as_deref(),
+                                    &detail,
+                                ),
+                                bucket: Counter::BadRequest,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        scratch.slots.push(slot);
+    }
+    ctl.stats
+        .record_phase(Phase::Parse, elapsed_us(parse_started));
+    // Simulated service time: one sleep per burst, not per line — the
+    // amortization that pipelined dispatch exists to buy. Capped by the
+    // latest live deadline so an overloaded burst still answers.
+    let route_started = Instant::now();
+    if let Some(latest) = latest_path_deadline {
+        if !cfg.work.is_zero() {
+            std::thread::sleep(
+                cfg.work
+                    .min(latest.saturating_duration_since(Instant::now())),
+            );
+        }
+    }
+    // Post-work expiry check, then batch-route the survivors. Each
+    // query reseeds from its own wire seed inside `route_batch`, so
+    // batched answers stay byte-identical to single-shot routing.
+    let now = Instant::now();
+    scratch.queries.clear();
+    for slot in &mut scratch.slots {
+        if let Slot::Route {
+            q,
+            id,
+            deadline,
+            qi,
+        } = slot
+        {
+            if now >= *deadline {
+                *slot = Slot::Done {
+                    reply: wire::format_err_line_with_id(
+                        ErrorKind::DeadlineExceeded,
+                        id.as_deref(),
+                        "",
+                    ),
+                    bucket: Counter::DeadlineExceeded,
+                };
+            } else {
+                *qi = scratch.queries.len();
+                scratch.queries.push(q.clone());
+            }
+        }
+    }
+    if !scratch.queries.is_empty() {
+        router.route_batch(&scratch.queries, &mut scratch.routed);
+    }
+    ctl.stats
+        .record_phase(Phase::RouteCompute, elapsed_us(route_started));
+    // Assemble the burst's replies in request order and write them with
+    // one syscall.
+    scratch.reply.clear();
+    let mut settled = [0u64; 4]; // completed, bad, deadline, drain
+    for slot in &scratch.slots {
+        match slot {
+            Slot::Done { reply, bucket } => {
+                scratch.reply.push_str(reply);
+                match bucket {
+                    Counter::Completed => settled[0] += 1,
+                    Counter::BadRequest => settled[1] += 1,
+                    Counter::DeadlineExceeded => settled[2] += 1,
+                    _ => settled[3] += 1,
+                }
+            }
+            Slot::Route { id, qi, .. } => {
+                let routed = &scratch.routed[*qi];
+                scratch.reply.push_str(&wire::format_path_line_with_id(
+                    &routed.path,
+                    router.mesh().dim(),
+                    id.as_deref(),
+                ));
+                settled[0] += 1;
+            }
+        }
+    }
+    let write_started = Instant::now();
+    let _ = conn.stream.set_nonblocking(false);
+    let wrote = wire::write_line(&conn.stream, &scratch.reply, Instant::now() + cfg.deadline);
+    let _ = conn.stream.set_nonblocking(true);
+    match wrote {
+        Ok(()) => {
+            ctl.stats
+                .record_phase(Phase::ReplyWrite, elapsed_us(write_started));
+            ctl.stats.settle_batch(Counter::Completed, settled[0]);
+            ctl.stats.settle_batch(Counter::BadRequest, settled[1]);
+            ctl.stats
+                .settle_batch(Counter::DeadlineExceeded, settled[2]);
+            ctl.stats.settle_batch(Counter::DrainRejected, settled[3]);
+        }
+        Err(_) => {
+            // The peer is gone: nothing in this burst is known
+            // delivered, so the whole burst settles as I/O errors and
+            // the close path below sweeps any still-pending lines.
+            ctl.stats.settle_batch(Counter::IoError, n as u64);
+            conn.dead = true;
         }
     }
 }
 
 /// Microseconds since `t`, saturating.
 fn elapsed_us(t: Instant) -> u64 {
-    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    duration_us(t.elapsed())
 }
 
-/// Serves one admitted connection, settling it into exactly one
-/// counter bucket.
-fn handle(router: &dyn ObliviousRouter, job: Job, cfg: &ServeConfig, ctl: &Control) {
-    let deadline = job.accepted_at + cfg.deadline;
-    let stream = job.stream;
-    // Queued past the drain budget? Typed rejection, not silence.
-    if let Some(until) = ctl.drain_until.get() {
-        if Instant::now() >= *until {
-            ctl.stats.settle(Counter::DrainRejected);
-            let _ = wire::write_line(
-                &stream,
-                &wire::format_err_line(ErrorKind::ShuttingDown, ""),
-                Instant::now() + Duration::from_millis(100),
-            );
-            return;
-        }
-    }
-    // Queued past the request deadline (overload made it stale)?
-    if Instant::now() >= deadline {
-        ctl.stats.settle(Counter::DeadlineExceeded);
-        let _ = wire::write_line(
-            &stream,
-            &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
-            Instant::now() + Duration::from_millis(100),
-        );
-        return;
-    }
-    let parse_started = Instant::now();
-    let line = match wire::read_line(&stream, MAX_REQUEST_LINE, deadline) {
-        Ok(line) => line,
-        Err(LineError::Deadline) => {
-            // The slow-loris bucket: the peer connected but never
-            // finished a line within the deadline. No ID to echo — the
-            // line never arrived.
-            ctl.stats.settle(Counter::DeadlineExceeded);
-            let _ = wire::write_line(
-                &stream,
-                &wire::format_err_line(ErrorKind::DeadlineExceeded, ""),
-                Instant::now() + Duration::from_millis(100),
-            );
-            return;
-        }
-        Err(LineError::TooLong) => {
-            ctl.stats.settle(Counter::BadRequest);
-            let _ = wire::write_line(
-                &stream,
-                &wire::format_err_line(ErrorKind::BadRequest, "request line too long"),
-                deadline,
-            );
-            return;
-        }
-        Err(LineError::Eof(saw_bytes)) => {
-            if saw_bytes {
-                ctl.stats.settle(Counter::BadRequest);
-            } else {
-                // Connect-and-close (port scan, aborted client): an I/O
-                // settlement, nothing to answer.
-                ctl.stats.settle(Counter::IoError);
-            }
-            return;
-        }
-        Err(LineError::Io(_)) => {
-            ctl.stats.settle(Counter::IoError);
-            return;
-        }
-    };
-    let parsed = wire::parse_request(&line, router.mesh());
-    ctl.stats
-        .record_phase(Phase::Parse, elapsed_us(parse_started));
-    match parsed {
-        Ok(Request::Health) => {
-            let snap = ctl.stats.snapshot();
-            let body = format!(
-                "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
-                snap.accepted, snap.completed, snap.shed_overloaded, snap.queue_depth
-            );
-            settle_write(ctl, &stream, &body, deadline);
-        }
-        Ok(Request::Ready) => {
-            let body = if ctl.shutdown_requested(cfg) {
-                wire::format_err_line(ErrorKind::ShuttingDown, "")
-            } else {
-                "OK ready\n".to_string()
-            };
-            settle_write(ctl, &stream, &body, deadline);
-        }
-        Ok(Request::Metrics) => {
-            // The exposition is also served here on the request port
-            // (subject to admission); the health listener serves it
-            // admission-free for scraping at full overload.
-            let body = render_exposition(&ctl.stats.snapshot(), ctl.uptime());
-            settle_write(ctl, &stream, &body, deadline);
-        }
-        Ok(Request::Path { seed, src, dst, id }) => {
-            let route_started = Instant::now();
-            if !cfg.work.is_zero() {
-                // Simulated service time: lets tests and the load sweep
-                // drive the server past capacity deterministically.
-                std::thread::sleep(
-                    cfg.work
-                        .min(deadline.saturating_duration_since(Instant::now())),
-                );
-            }
-            if Instant::now() >= deadline {
-                ctl.stats.settle(Counter::DeadlineExceeded);
-                let _ = wire::write_line(
-                    &stream,
-                    &wire::format_err_line_with_id(ErrorKind::DeadlineExceeded, id.as_deref(), ""),
-                    Instant::now() + Duration::from_millis(100),
-                );
-                return;
-            }
-            // The seed travels in the request, so the answer is a pure
-            // function of (mesh, router, seed, src, dst) — stateless,
-            // horizontally shardable, and bit-reproducible. The trace
-            // ID is echoed, never mixed into the RNG.
-            let mut rng = StdRng::seed_from_u64(seed);
-            let routed = router.select_path(&src, &dst, &mut rng);
-            ctl.stats
-                .record_phase(Phase::RouteCompute, elapsed_us(route_started));
-            let body =
-                wire::format_path_line_with_id(&routed.path, router.mesh().dim(), id.as_deref());
-            settle_write(ctl, &stream, &body, deadline);
-        }
-        Err(detail) => {
-            // Echo an ID even on a bad request when one is salvageable
-            // from the line, so the client can correlate the rejection.
-            let id = salvage_id(&line);
-            ctl.stats.settle(Counter::BadRequest);
-            let _ = wire::write_line(
-                &stream,
-                &wire::format_err_line_with_id(ErrorKind::BadRequest, id.as_deref(), &detail),
-                deadline,
-            );
-        }
-    }
+/// A duration in whole microseconds, saturating.
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// Pulls a valid `id=<token>` out of a request line that failed to
@@ -492,27 +884,12 @@ fn salvage_id(line: &str) -> Option<String> {
         .map(str::to_string)
 }
 
-/// Writes a success response and settles the request: `completed` when
-/// the bytes made it out, `io_errors` when the peer was gone. The write
-/// itself is the reply-write phase.
-fn settle_write(ctl: &Control, stream: &TcpStream, body: &str, deadline: Instant) {
-    let write_started = Instant::now();
-    match wire::write_line(stream, body, deadline) {
-        Ok(()) => {
-            ctl.stats
-                .record_phase(Phase::ReplyWrite, elapsed_us(write_started));
-            ctl.stats.settle(Counter::Completed);
-        }
-        Err(_) => ctl.stats.settle(Counter::IoError),
-    }
-}
-
 /// The background stats flusher: appends one `{"type":"serve_stats"}`
 /// JSONL line per interval to `stats_path` (only when something
 /// changed), plus a final line at drain. A crash therefore loses at
 /// most one interval of telemetry; everything before it is already on
 /// disk.
-fn flusher_loop(queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+fn flusher_loop(cfg: &ServeConfig, ctl: &Control) {
     let (Some(every), Some(path)) = (cfg.stats_every, cfg.stats_path.as_ref()) else {
         return;
     };
@@ -530,7 +907,7 @@ fn flusher_loop(queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
     let mut last_digest: Option<(u64, u64, u64)> = None;
     let mut next_flush = Instant::now() + every;
     loop {
-        let draining = ctl.drain_until.get().is_some() && queue.is_empty();
+        let draining = ctl.drained();
         if Instant::now() >= next_flush || draining {
             next_flush = Instant::now() + every;
             let snap = ctl.stats.snapshot();
@@ -570,6 +947,7 @@ fn serve_stats_json(snap: &StatsSnapshot, uptime: Duration) -> String {
     obj.set("serve_queue_depth", snap.queue_depth)
         .set("serve_in_flight", snap.in_flight)
         .set("serve_connections", snap.connections)
+        .set("serve_open_conns", snap.open_conns)
         .set("serve_max_queue_depth", snap.max_queue_depth);
     for (phase, hist) in &snap.phases {
         obj.set(
@@ -582,17 +960,17 @@ fn serve_stats_json(snap: &StatsSnapshot, uptime: Duration) -> String {
 
 /// The dedicated probe listener: single-threaded, admission-free, with
 /// aggressively short timeouts so a stalled prober cannot wedge it for
-/// long. Runs until the main queue is closed and drained, so probes
-/// still answer (READY → `ERR SHUTTING_DOWN`) during the drain window.
-/// `METRICS` is served here precisely because it bypasses admission:
-/// the telemetry stays scrapeable when the request port is shedding.
-fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, ctl: &Control) {
+/// long. Runs until the workers have drained, so probes still answer
+/// (READY → `ERR SHUTTING_DOWN`) during the drain window. `METRICS` is
+/// served here precisely because it bypasses admission: the telemetry
+/// stays scrapeable when the request port is shedding.
+fn health_loop(listener: &TcpListener, cfg: &ServeConfig, ctl: &Control) {
     let probe_budget = Duration::from_millis(250);
     loop {
         // Probes keep answering through the drain window (READY says
         // `ERR SHUTTING_DOWN`); the loop exits with the crew once the
-        // acceptor has stamped the drain and the backlog is gone.
-        if ctl.drain_until.get().is_some() && queue.is_empty() {
+        // acceptor has stamped the drain and the workers are done.
+        if ctl.drained() {
             return;
         }
         match listener.accept() {
@@ -609,7 +987,7 @@ fn health_loop(listener: &TcpListener, queue: &Bounded<Job>, cfg: &ServeConfig, 
                                 snap.accepted,
                                 snap.completed,
                                 snap.shed_overloaded,
-                                queue.len()
+                                snap.queue_depth
                             )
                         }
                         "READY" => {

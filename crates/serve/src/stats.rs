@@ -1,7 +1,9 @@
 //! Request accounting with a conservation law — now with live gauges and
 //! per-phase latency histograms behind one consistent-snapshot lock.
 //!
-//! Every connection the acceptor admits is counted exactly once in
+//! The unit of account is the **request line**, not the connection:
+//! with keep-alive pipelining one socket carries many requests, and
+//! every request line the server admits is counted exactly once in
 //! exactly one terminal bucket, so at any quiescent point:
 //!
 //! ```text
@@ -9,16 +11,25 @@
 //!          + deadline_exceeded + drain_rejected + io_errors
 //! ```
 //!
+//! A request line is *admitted* ([`ServeStats::admit`]) the moment a
+//! worker frames it off the socket; a connection turned away whole at
+//! admission contributes one shed unit (it carried at least an attempt);
+//! an idle keep-alive connection that closes cleanly between requests
+//! contributes none. Socket-level churn is tracked by separate
+//! `conns_opened` / `conns_closed` counters and the `open_conns` gauge
+//! **outside** the law.
+//!
 //! The live form of the law holds at *every* instant, not just at
 //! quiescence: `accepted = settled + connections`, where `connections`
-//! is the gauge of admitted-but-unsettled sockets. All transitions are
-//! applied atomically under a single mutex, and [`ServeStats::snapshot`]
-//! copies the whole ledger under that same mutex — so a `METRICS` scrape
-//! taken mid-stampede can never observe a half-applied transition. The
-//! soak tests assert this against live scrapes; the chaos gate asserts
-//! the quiescent law after drain. The same transitions are mirrored into
-//! `oblivion-obs` (when enabled) so `--metrics-out` run reports carry
-//! them.
+//! is the gauge of admitted-but-unsettled request units. All transitions
+//! are applied atomically under a single mutex, and
+//! [`ServeStats::snapshot`] copies the whole ledger under that same
+//! mutex — so a `METRICS` scrape taken mid-stampede can never observe a
+//! half-applied transition, even when a worker settles a 64-deep
+//! pipeline burst in one call. The soak tests assert this against live
+//! scrapes; the chaos gate asserts the quiescent law after drain. The
+//! same transitions are mirrored into `oblivion-obs` (when enabled) so
+//! `--metrics-out` run reports carry them.
 //!
 //! Lock cost: two-to-four uncontended mutex acquisitions per request,
 //! nanoseconds against a syscall-bound request path — consistency is
@@ -28,8 +39,11 @@ use oblivion_obs::Histogram;
 use std::sync::Mutex;
 
 /// The explicit phases a served request moves through, each timed into
-/// its own histogram (microseconds). A phase is recorded at most once
-/// per accepted connection, so every phase count is `<= accepted`.
+/// its own histogram (microseconds). A phase observation covers at
+/// least one admitted request unit — per-connection phases (accept,
+/// queue wait) are recorded with the connection's first unit, per-burst
+/// phases (parse, route, write) once per non-empty burst — so every
+/// phase count is `<= accepted`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Accept to enqueue: the acceptor's own handling time.
@@ -95,20 +109,22 @@ impl Phase {
 /// counters — a typed handle so call sites can't typo an obs name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Counter {
-    /// Connections the acceptor took off the listener.
+    /// Request units admitted (framed lines, plus one per connection
+    /// turned away whole).
     Accepted,
     /// Requests answered with `OK` (paths and probes).
     Completed,
     /// Requests answered `ERR BAD_REQUEST`.
     BadRequest,
-    /// Connections rejected `ERR OVERLOADED` at admission (queue full).
+    /// Requests rejected `ERR OVERLOADED` at admission (queues full).
     ShedOverloaded,
     /// Requests answered `ERR DEADLINE_EXCEEDED`.
     DeadlineExceeded,
-    /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
-    /// budget ran out.
+    /// Requests rejected `ERR SHUTTING_DOWN` after the drain budget ran
+    /// out.
     DrainRejected,
-    /// Connections that died before an answer could be written.
+    /// Requests whose connection died before an answer could be
+    /// written.
     IoError,
     /// Probes answered on the dedicated health listener (outside the
     /// conservation law — health connections bypass admission).
@@ -148,10 +164,13 @@ impl Counter {
 /// shows up as a visible negative level instead of a wrapped `u64`.
 struct Ledger {
     counters: [u64; 8],
+    conns_opened: u64,
+    conns_closed: u64,
     max_queue_depth: u64,
     queue_depth: i64,
     in_flight: i64,
     connections: i64,
+    open_conns: i64,
     phases: [Histogram; PHASE_COUNT],
 }
 
@@ -159,10 +178,13 @@ impl Default for Ledger {
     fn default() -> Self {
         Ledger {
             counters: [0; 8],
+            conns_opened: 0,
+            conns_closed: 0,
             max_queue_depth: 0,
             queue_depth: 0,
             in_flight: 0,
             connections: 0,
+            open_conns: 0,
             phases: std::array::from_fn(|_| Histogram::new()),
         }
     }
@@ -179,8 +201,11 @@ impl ServeStats {
         self.ledger.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// A connection came off the listener: `accepted` and the
-    /// `connections` gauge move together, atomically.
+    /// A request unit came on the books: `accepted` and the
+    /// `connections` gauge move together, atomically. Pairs with the
+    /// [`ServeStats::dequeued`]/[`ServeStats::settle`] flow (which moves
+    /// `in_flight` itself); pipelined workers use [`ServeStats::admit`],
+    /// whose units are born in flight.
     pub fn accept(&self) {
         {
             let mut l = self.lock();
@@ -191,6 +216,90 @@ impl ServeStats {
             b.counter_add("serve_accepted", 1);
             b.gauge_add("serve_connections", 1);
         });
+    }
+
+    /// `n` request lines framed off a socket in one burst: they enter
+    /// `accepted` and the unsettled-units gauges in a single atomic
+    /// transition, so no scrape can see a half-admitted burst.
+    pub fn admit(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        {
+            let mut l = self.lock();
+            l.counters[Counter::Accepted.index()] += n;
+            l.connections += n as i64;
+            l.in_flight += n as i64;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add("serve_accepted", n);
+            b.gauge_add("serve_connections", n as i64);
+            b.gauge_add("serve_in_flight", n as i64);
+        });
+    }
+
+    /// `n` admitted units settle into one terminal bucket at once — the
+    /// write-side twin of [`ServeStats::admit`] for a burst answered
+    /// with a single vectored write.
+    pub fn settle_batch(&self, which: Counter, n: u64) {
+        debug_assert!(
+            !matches!(which, Counter::Accepted | Counter::HealthProbe),
+            "settle takes a terminal bucket"
+        );
+        if n == 0 {
+            return;
+        }
+        {
+            let mut l = self.lock();
+            l.counters[which.index()] += n;
+            l.in_flight -= n as i64;
+            l.connections -= n as i64;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add(which.obs_name(), n);
+            b.gauge_add("serve_in_flight", -(n as i64));
+            b.gauge_add("serve_connections", -(n as i64));
+        });
+    }
+
+    /// A socket came off the listener: connection-churn telemetry,
+    /// outside the conservation law.
+    pub fn conn_opened(&self) {
+        {
+            let mut l = self.lock();
+            l.conns_opened += 1;
+            l.open_conns += 1;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add("serve_conns_opened", 1);
+            b.gauge_add("serve_open_conns", 1);
+        });
+    }
+
+    /// A socket closed (any reason). Every [`ServeStats::conn_opened`]
+    /// must be paired with exactly one close.
+    pub fn conn_closed(&self) {
+        {
+            let mut l = self.lock();
+            l.conns_closed += 1;
+            l.open_conns -= 1;
+        }
+        oblivion_obs::update(|b| {
+            b.counter_add("serve_conns_closed", 1);
+            b.gauge_add("serve_open_conns", -1);
+        });
+    }
+
+    /// A worker adopted a queued connection: the queue-depth gauge
+    /// falls, nothing else moves (units are admitted later, as lines are
+    /// framed). Contrast [`ServeStats::dequeued`], the unpipelined
+    /// one-unit-per-connection form.
+    pub fn conn_dequeued(&self) {
+        {
+            let mut l = self.lock();
+            l.queue_depth -= 1;
+        }
+        oblivion_obs::update(|b| b.gauge_add("serve_queue_depth", -1));
     }
 
     /// Pre-publish half of an enqueue: bumps the queue-depth gauge
@@ -314,10 +423,13 @@ impl ServeStats {
             drain_rejected: l.counters[Counter::DrainRejected.index()],
             io_errors: l.counters[Counter::IoError.index()],
             health_probes: l.counters[Counter::HealthProbe.index()],
+            conns_opened: l.conns_opened,
+            conns_closed: l.conns_closed,
             max_queue_depth: l.max_queue_depth,
             queue_depth: l.queue_depth,
             in_flight: l.in_flight,
             connections: l.connections,
+            open_conns: l.open_conns,
             phases: Phase::ALL.map(|p| (p.name(), l.phases[p.index()].clone())),
         }
     }
@@ -339,19 +451,25 @@ pub struct StatsSnapshot {
     /// Queued requests rejected `ERR SHUTTING_DOWN` after the drain
     /// budget ran out.
     pub drain_rejected: u64,
-    /// Connections that died before an answer could be written.
+    /// Requests whose connection died before an answer could be written.
     pub io_errors: u64,
     /// Probes answered on the dedicated health listener.
     pub health_probes: u64,
+    /// Sockets taken off the request listener (churn telemetry, outside
+    /// the law).
+    pub conns_opened: u64,
+    /// Sockets closed, any reason.
+    pub conns_closed: u64,
     /// High-water mark of the admission queue depth.
     pub max_queue_depth: u64,
-    /// Jobs currently waiting in the admission queue.
+    /// Connections currently waiting in the admission queue.
     pub queue_depth: i64,
-    /// Requests currently being handled by a worker.
+    /// Request units currently being handled by a worker.
     pub in_flight: i64,
-    /// Admitted sockets not yet settled (queued + in flight + the
-    /// accept-to-enqueue window).
+    /// Admitted request units not yet settled.
     pub connections: i64,
+    /// Sockets currently open on the request listener.
+    pub open_conns: i64,
     /// Per-phase latency histograms (microseconds), by phase name.
     pub phases: [(&'static str, Histogram); PHASE_COUNT],
 }
@@ -382,6 +500,9 @@ impl StatsSnapshot {
         self.connections >= 0
             && self.queue_depth >= 0
             && self.in_flight >= 0
+            && self.open_conns >= 0
+            && self.conns_closed <= self.conns_opened
+            && self.conns_opened == self.conns_closed + self.open_conns as u64
             && self.accepted == self.settled() + self.connections as u64
     }
 
@@ -408,6 +529,8 @@ impl StatsSnapshot {
             ("serve_drain_rejected", self.drain_rejected),
             ("serve_io_errors", self.io_errors),
             ("serve_health_probes", self.health_probes),
+            ("serve_conns_opened", self.conns_opened),
+            ("serve_conns_closed", self.conns_closed),
         ]
     }
 }
@@ -549,10 +672,65 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 10);
         assert!(names.contains(&"serve_accepted"));
         assert!(names.contains(&"serve_shed_overloaded"));
+        assert!(names.contains(&"serve_conns_opened"));
+        assert!(names.contains(&"serve_conns_closed"));
         assert_eq!(s.snapshot().max_queue_depth, 3);
+    }
+
+    /// The pipelined flow: a worker frames a burst, admits it in one
+    /// transition, and settles it in one transition — the law must hold
+    /// at every point in between, and socket churn stays outside it.
+    #[test]
+    fn batched_admit_and_settle_conserve() {
+        let s = ServeStats::default();
+        s.conn_opened();
+        s.enqueued(1);
+        s.conn_dequeued();
+        s.admit(32);
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 32);
+        assert_eq!(snap.connections, 32);
+        assert_eq!(snap.in_flight, 32);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!((snap.conns_opened, snap.open_conns), (1, 1));
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert!(!snap.conserved());
+        s.settle_batch(Counter::Completed, 30);
+        s.settle(Counter::BadRequest);
+        s.settle(Counter::DeadlineExceeded);
+        s.conn_closed();
+        let snap = s.snapshot();
+        assert!(snap.conserved(), "{snap:?}");
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert_eq!(snap.completed, 30);
+        assert_eq!(
+            (snap.in_flight, snap.connections, snap.open_conns),
+            (0, 0, 0)
+        );
+        assert_eq!(snap.conns_closed, 1);
+        // Zero-sized transitions are no-ops, not lock traffic bugs.
+        s.admit(0);
+        s.settle_batch(Counter::Completed, 0);
+        assert!(s.snapshot().conserved());
+    }
+
+    /// A connection turned away whole at admission: one shed unit via
+    /// the accept + shed_at_admission pair, plus open/close churn.
+    #[test]
+    fn whole_connection_shed_counts_one_unit() {
+        let s = ServeStats::default();
+        s.conn_opened();
+        s.accept();
+        s.shed_at_admission();
+        s.conn_closed();
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.shed_overloaded, 1);
+        assert!(snap.conserved(), "{snap:?}");
+        assert!(snap.conserved_live(), "{snap:?}");
     }
 
     #[test]

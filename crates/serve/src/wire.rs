@@ -1,17 +1,27 @@
 //! The `oblivion-serve` line protocol: requests, responses, and the
 //! typed wire error taxonomy.
 //!
-//! One request per connection, one line each way, LF-terminated ASCII:
+//! Connections are keep-alive and requests are pipelined: a client may
+//! write any number of LF-terminated request lines back to back without
+//! waiting, and the server answers every line **in order**, one reply
+//! line per request line:
 //!
 //! ```text
 //! client: PATH <seed> <x1,y1,...> <x2,y2,...> [id=<token>]\n
-//!         (or HEALTH / READY / METRICS)
+//!         PATH <seed> <src> <dst> [id=<token>]\n          (pipelined)
+//!         ...                        (or HEALTH / READY / METRICS)
 //! server: OK [id=<token>] <hop> <hop> ... <hop>\n
 //!       | ERR BAD_REQUEST [id=<token>] <detail>\n
 //!       | ERR OVERLOADED\n
 //!       | ERR DEADLINE_EXCEEDED [id=<token>]\n
 //!       | ERR SHUTTING_DOWN [id=<token>]\n
 //! ```
+//!
+//! A malformed line mid-pipeline gets its `ERR BAD_REQUEST` **in
+//! sequence** and does not desync or close the stream — the LF framing
+//! ([`FrameBuf`]) survives garbage between terminators. The connection
+//! ends when the client closes it, when a line misses its deadline, or
+//! when the server drains.
 //!
 //! The optional `id=<token>` is a client-supplied trace ID
 //! ([`MAX_REQUEST_ID`] chars of `[A-Za-z0-9._:-]`): whenever the server
@@ -313,6 +323,108 @@ pub fn parse_response_with_id(line: &str) -> Result<(Response, Option<String>), 
     Err(format!("malformed response line `{line}`"))
 }
 
+/// One framing outcome popped off a [`FrameBuf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Framed {
+    /// A complete request line (CR/LF stripped, valid UTF-8, within the
+    /// length cap).
+    Line(String),
+    /// A complete line that broke the framing rules (over-long or not
+    /// UTF-8). The terminator was found, so the server answers
+    /// `BAD_REQUEST` in order and the stream stays in sync.
+    Bad(&'static str),
+}
+
+/// Incremental LF framing for a pipelined connection.
+///
+/// Bytes read off the socket go in via [`FrameBuf::extend`]; complete
+/// lines pop out of [`FrameBuf::next_line`] one at a time, and a partial
+/// trailing line survives untouched until the next read — the property
+/// [`read_line`]'s discard-after-newline shortcut lacks.
+///
+/// Memory stays bounded no matter what the peer sends: once an
+/// unterminated line passes [`MAX_REQUEST_LINE`] the buffer is poisoned
+/// and further bytes are discarded until the next LF, which then yields
+/// a single [`Framed::Bad`]. A peer that never sends the LF is handled
+/// by the server's per-line deadline on partial input, not by memory
+/// growth here.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    max_line: usize,
+    poisoned: bool,
+}
+
+impl FrameBuf {
+    /// An empty buffer enforcing `max_line` bytes per request line.
+    pub fn new(max_line: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_line,
+            poisoned: false,
+        }
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            // Discard up to (and excluding) the resynchronizing LF.
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(nl) => self.buf.extend_from_slice(&bytes[nl..]),
+                None => return,
+            }
+        } else {
+            self.buf.extend_from_slice(bytes);
+        }
+        // Over-long unterminated tail: poison and drop the bytes so a
+        // hostile peer cannot grow server memory (slow-loris defence).
+        if !self.buf.contains(&b'\n') && self.buf.len() > self.max_line {
+            self.buf.clear();
+            self.poisoned = true;
+        }
+    }
+
+    /// Pops the next complete line, if any. `None` means every buffered
+    /// byte belongs to a still-partial trailing line.
+    pub fn next_line(&mut self) -> Option<Framed> {
+        let nl = match self.buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => nl,
+            None => {
+                if !self.poisoned && self.buf.len() > self.max_line {
+                    self.buf.clear();
+                    self.poisoned = true;
+                }
+                return None;
+            }
+        };
+        let line: Vec<u8> = self.buf.drain(..=nl).collect();
+        let mut line = &line[..nl];
+        if self.poisoned {
+            // The LF resynchronized the stream; the discarded line
+            // becomes one in-order BAD_REQUEST.
+            self.poisoned = false;
+            return Some(Framed::Bad("request line too long"));
+        }
+        if line.ends_with(b"\r") {
+            line = &line[..line.len() - 1];
+        }
+        if line.len() > self.max_line {
+            return Some(Framed::Bad("request line too long"));
+        }
+        match std::str::from_utf8(line) {
+            Ok(s) => Some(Framed::Line(s.to_string())),
+            Err(_) => Some(Framed::Bad("request line is not valid UTF-8")),
+        }
+    }
+
+    /// Whether a partial (unterminated) line is pending — including a
+    /// poisoned one still awaiting its resynchronizing LF. The server
+    /// applies the per-line deadline to this state.
+    pub fn has_partial(&self) -> bool {
+        self.poisoned || !self.buf.is_empty()
+    }
+}
+
 /// Why [`read_line`] stopped before producing a line.
 #[derive(Debug)]
 pub enum LineError {
@@ -355,8 +467,9 @@ pub fn read_line(stream: &TcpStream, max: usize, deadline: Instant) -> Result<St
         };
         for &b in &chunk[..n] {
             if b == b'\n' {
-                // Anything after the newline is ignored: the protocol is
-                // one request per connection.
+                // Anything after the newline is ignored — fine for the
+                // single-probe health connections this helper serves;
+                // pipelined request sockets use FrameBuf instead.
                 return String::from_utf8(buf)
                     .map(|mut s| {
                         if s.ends_with('\r') {
@@ -548,6 +661,63 @@ mod tests {
             assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
             assert_eq!(kind.retryable(), kind != ErrorKind::BadRequest);
         }
+    }
+
+    #[test]
+    fn framebuf_pops_pipelined_lines_in_order() {
+        let mut fb = FrameBuf::new(MAX_REQUEST_LINE);
+        fb.extend(b"PATH 1 0,0 1,1\nPATH 2 2,2 3,3\r\nHEALTH\n");
+        assert_eq!(fb.next_line(), Some(Framed::Line("PATH 1 0,0 1,1".into())));
+        assert_eq!(fb.next_line(), Some(Framed::Line("PATH 2 2,2 3,3".into())));
+        assert_eq!(fb.next_line(), Some(Framed::Line("HEALTH".into())));
+        assert_eq!(fb.next_line(), None);
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn framebuf_preserves_split_across_read_frames() {
+        let mut fb = FrameBuf::new(MAX_REQUEST_LINE);
+        fb.extend(b"PATH 1 0,0 1,1\nPA");
+        assert_eq!(fb.next_line(), Some(Framed::Line("PATH 1 0,0 1,1".into())));
+        assert_eq!(fb.next_line(), None);
+        assert!(fb.has_partial());
+        fb.extend(b"TH 2 2,2 3,3\n");
+        assert_eq!(fb.next_line(), Some(Framed::Line("PATH 2 2,2 3,3".into())));
+        assert!(!fb.has_partial());
+        // Byte-at-a-time trickle still frames correctly.
+        for &b in b"READY\n".iter() {
+            fb.extend(&[b]);
+        }
+        assert_eq!(fb.next_line(), Some(Framed::Line("READY".into())));
+    }
+
+    #[test]
+    fn framebuf_overlong_line_poisons_without_desync() {
+        let mut fb = FrameBuf::new(16);
+        // Over-long with the LF in the same read: one Bad, next line ok.
+        fb.extend(b"xxxxxxxxxxxxxxxxxxxxxxxx\nHEALTH\n");
+        assert!(matches!(fb.next_line(), Some(Framed::Bad(_))));
+        assert_eq!(fb.next_line(), Some(Framed::Line("HEALTH".into())));
+        // Over-long dribbled in without an LF: memory stays bounded,
+        // partial stays pending, the eventual LF resynchronizes.
+        for _ in 0..100 {
+            fb.extend(b"yyyyyyyy");
+        }
+        assert_eq!(fb.next_line(), None);
+        assert!(fb.has_partial());
+        fb.extend(b"tail\nREADY\n");
+        assert!(matches!(fb.next_line(), Some(Framed::Bad(_))));
+        assert_eq!(fb.next_line(), Some(Framed::Line("READY".into())));
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn framebuf_non_utf8_is_bad_not_fatal() {
+        let mut fb = FrameBuf::new(MAX_REQUEST_LINE);
+        fb.extend(b"\xff\xfe\n");
+        fb.extend(b"HEALTH\n");
+        assert!(matches!(fb.next_line(), Some(Framed::Bad(_))));
+        assert_eq!(fb.next_line(), Some(Framed::Line("HEALTH".into())));
     }
 
     #[test]

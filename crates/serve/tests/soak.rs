@@ -45,7 +45,7 @@ fn overloaded_server_sheds_answers_probes_and_conserves() {
         let stalled_stream =
             TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
         let admit_deadline = Instant::now() + Duration::from_secs(5);
-        while ctl.stats().snapshot().accepted < 1 {
+        while ctl.stats().snapshot().conns_opened < 1 {
             assert!(Instant::now() < admit_deadline, "stall never admitted");
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -140,7 +140,7 @@ fn overloaded_server_sheds_answers_probes_and_conserves() {
         );
         assert!(s.shed_overloaded + s.deadline_exceeded > 0, "{s:?}");
         assert!(s.health_probes >= 40, "probes bypassed admission: {s:?}");
-        assert!(s.max_queue_depth <= cfg.queue_cap as u64, "{s:?}");
+        assert!(s.max_queue_depth <= cfg.max_queued() as u64, "{s:?}");
     });
 }
 
@@ -274,6 +274,9 @@ fn request_ids_round_trip_byte_for_byte() {
         // the payload.
         let raw = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
         (&raw).write_all(b"PATH 3 0,0 2,2 id=x-1\n").expect("write");
+        // Half-close: the keep-alive server closes its side once the
+        // last reply is out, so read_to_end terminates.
+        raw.shutdown(std::net::Shutdown::Write).expect("shutdown");
         let mut buf = Vec::new();
         use std::io::Read as _;
         raw.try_clone()
@@ -290,6 +293,7 @@ fn request_ids_round_trip_byte_for_byte() {
         (&raw)
             .write_all(b"PATH nonsense 0,0 2,2 id=y-2\n")
             .expect("write");
+        raw.shutdown(std::net::Shutdown::Write).expect("shutdown");
         let mut buf = Vec::new();
         raw.try_clone()
             .and_then(|mut s| {
@@ -341,6 +345,7 @@ fn retries_converge_under_overload() {
             backoff_cap: Duration::from_millis(50),
             timeout: Duration::from_secs(5),
             seed: 99,
+            ..LoadgenConfig::default()
         };
         let report = run_loadgen(&lg);
         assert_eq!(report.ok, 200, "{}", report.render());

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compares freshly generated bench results against
+# the committed baselines in bench_baselines/ and fails on
+#   - throughput regression  > 20% (paths/s, req/s below baseline), or
+#   - p99 latency inflation  > 30% (above baseline).
+#
+# Usage: scripts/bench_gate.sh [--self-test] [results-dir]
+#   results-dir defaults to results/ and must contain BENCH_route.json
+#   (from exp_route_bench) and serve_load.json (from exp_serve).
+#   --self-test synthesizes a 25% throughput regression and a 40% p99
+#   inflation from the committed baselines and asserts the gate FAILS on
+#   both, and that a 10% wobble PASSES — proving the gate can actually
+#   catch a regression before trusting it in CI.
+#
+# Baselines are hardware-dependent; after an intentional perf change or
+# a runner change, regenerate them (scripts/run_experiments.sh, then
+# copy results/BENCH_route.json and the report line of
+# results/serve_load.json into bench_baselines/) in the same PR. For a
+# one-off waiver, write a single line of justification into
+# bench_baselines/OVERRIDE: the gate then reports the regressions but
+# exits 0. Delete the file to re-arm the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE=bench_baselines
+THROUGHPUT_DROP_PCT=20
+P99_INFLATE_PCT=30
+
+command -v jq > /dev/null || {
+  echo "bench_gate: jq is required" >&2
+  exit 1
+}
+
+# within_threshold <kind: thru|p99> <current> <baseline> → exit 0/1
+within_threshold() {
+  awk -v kind="$1" -v cur="$2" -v base="$3" \
+    -v td="$THROUGHPUT_DROP_PCT" -v pi="$P99_INFLATE_PCT" 'BEGIN {
+      if (base + 0 <= 0) exit 0
+      if (kind == "thru") exit (cur < base * (1 - td / 100.0)) ? 1 : 0
+      exit (cur > base * (1 + pi / 100.0)) ? 1 : 0
+    }'
+}
+
+# Emit "<metric> <kind> <value>" rows for each file format. The serve
+# file may be full experiment JSONL or just its committed report line;
+# both carry a type=report object.
+rows_route() {
+  jq -r '.configs[]
+    | "route_\(.router)_\(.rng)_paths_per_sec thru \(.paths_per_sec)",
+      "route_\(.router)_\(.rng)_ns_p99 p99 \(.ns_per_path_p99)"' "$1"
+}
+
+rows_serve() {
+  jq -r 'select(.type == "report")
+    | "serve_per_conn_plateau_rps thru \(.per_conn_plateau_rps)",
+      "serve_pipelined_peak_rps thru \(.pipelined_peak_rps)",
+      "serve_pipelined_p99_ms p99 \([.sweep[] | select(.mode == "pipelined") | .p99_ms] | max)"' \
+    "$1"
+}
+
+run_gate() {
+  local results="$1" fails=0 metric kind cur base
+  for f in BENCH_route serve_load; do
+    if [[ ! -f "$results/$f.json" ]]; then
+      echo "bench_gate: missing $results/$f.json (run exp_route_bench and exp_serve first)" >&2
+      return 1
+    fi
+    if [[ ! -f "$BASE/$f.json" ]]; then
+      echo "bench_gate: missing baseline $BASE/$f.json" >&2
+      return 1
+    fi
+  done
+
+  declare -A baseline
+  while read -r metric kind base; do
+    baseline["$metric"]="$kind $base"
+  done < <(
+    rows_route "$BASE/BENCH_route.json"
+    rows_serve "$BASE/serve_load.json"
+  )
+
+  printf '%-42s %-5s %14s %14s  %s\n' metric kind current baseline verdict
+  while read -r metric kind cur; do
+    if [[ -z "${baseline[$metric]:-}" ]]; then
+      printf '%-42s %-5s %14.1f %14s  %s\n' "$metric" "$kind" "$cur" "-" "new (no baseline)"
+      continue
+    fi
+    base=${baseline[$metric]#* }
+    if within_threshold "$kind" "$cur" "$base"; then
+      printf '%-42s %-5s %14.1f %14.1f  ok\n' "$metric" "$kind" "$cur" "$base"
+    else
+      printf '%-42s %-5s %14.1f %14.1f  REGRESSED\n' "$metric" "$kind" "$cur" "$base"
+      fails=$((fails + 1))
+    fi
+  done < <(
+    rows_route "$results/BENCH_route.json"
+    rows_serve "$results/serve_load.json"
+  )
+
+  if [[ $fails -gt 0 ]]; then
+    if [[ "${BENCH_GATE_IGNORE_OVERRIDE:-0}" != 1 && -s "$BASE/OVERRIDE" ]]; then
+      echo "bench_gate: $fails regression(s) WAIVED by $BASE/OVERRIDE:" >&2
+      head -1 "$BASE/OVERRIDE" >&2
+      return 0
+    fi
+    echo "bench_gate: $fails metric(s) regressed past threshold" \
+      "(>${THROUGHPUT_DROP_PCT}% throughput drop or >${P99_INFLATE_PCT}% p99 inflation)" >&2
+    return 1
+  fi
+  echo "bench_gate: all metrics within thresholds"
+}
+
+self_test() {
+  local tmp
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064  # expand now: tmp is local to this function
+  trap "rm -rf '$tmp'" EXIT
+  export BENCH_GATE_IGNORE_OVERRIDE=1
+
+  # 25% throughput regression on every metric: the gate MUST fail.
+  jq '(.configs[].paths_per_sec) *= 0.75' "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
+  jq -c 'select(.type == "report")
+    | .per_conn_plateau_rps *= 0.75 | .pipelined_peak_rps *= 0.75' \
+    "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  if run_gate "$tmp" > /dev/null 2>&1; then
+    echo "bench_gate self-test: FAILED — a synthetic 25% throughput regression passed the gate" >&2
+    return 1
+  fi
+  echo "self-test: 25% throughput regression correctly rejected"
+
+  # 40% p99 inflation (throughput intact): the gate MUST fail.
+  jq '(.configs[].ns_per_path_p99) *= 1.4' "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
+  jq -c 'select(.type == "report") | (.sweep[].p99_ms) *= 1.4' \
+    "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  if run_gate "$tmp" > /dev/null 2>&1; then
+    echo "bench_gate self-test: FAILED — a synthetic 40% p99 inflation passed the gate" >&2
+    return 1
+  fi
+  echo "self-test: 40% p99 inflation correctly rejected"
+
+  # 10% wobble in the bad direction on everything: normal noise, MUST pass.
+  jq '(.configs[].paths_per_sec) *= 0.9 | (.configs[].ns_per_path_p99) *= 1.1' \
+    "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
+  jq -c 'select(.type == "report")
+    | .per_conn_plateau_rps *= 0.9 | .pipelined_peak_rps *= 0.9
+    | (.sweep[].p99_ms) *= 1.1' \
+    "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  if ! run_gate "$tmp" > /dev/null 2>&1; then
+    echo "bench_gate self-test: FAILED — a 10% wobble tripped the gate" >&2
+    return 1
+  fi
+  echo "self-test: 10% wobble correctly tolerated"
+  echo "bench_gate self-test: ok"
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  self_test
+else
+  run_gate "${1:-results}"
+fi

@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 
 stage_names=()
 stage_secs=()
+retried_stages=()
 timed() {
   local name="$1"
   shift
@@ -21,6 +22,41 @@ timed() {
   stage_secs+=($((end - start)))
 }
 
+# Flaky-soak quarantine: the live-socket stages (serve soak, metrics
+# gate, chaos gate) depend on wall-clock timing and loaded-runner
+# scheduling, so a single structured retry is allowed. The retry is
+# logged and counted in the stage summary — a stage that needs its
+# retry is visible, not silent — and two consecutive failures still
+# fail CI. Output is captured to ci_logs/<slug>.log for artifact upload.
+timed_retry() {
+  local name="$1"
+  shift
+  local slug log
+  slug=$(echo "$name" | tr -cs 'a-zA-Z0-9' '-' | sed 's/^-//;s/-$//')
+  mkdir -p ci_logs
+  log="ci_logs/$slug.log"
+  echo "== $name =="
+  local start end attempts=1
+  start=$(date +%s)
+  if ! "$@" 2>&1 | tee "$log"; then
+    attempts=2
+    retried_stages+=("$name")
+    echo "RETRY: stage '$name' failed; retrying once (flaky-soak quarantine," \
+      "log: $log). A second consecutive failure fails CI." >&2
+    if ! "$@" 2>&1 | tee -a "$log"; then
+      echo "FAIL: stage '$name' failed twice consecutively (log: $log)" >&2
+      return 1
+    fi
+  fi
+  end=$(date +%s)
+  local tag=""
+  if [[ $attempts == 2 ]]; then
+    tag=" [retried]"
+  fi
+  stage_names+=("$name$tag")
+  stage_secs+=($((end - start)))
+}
+
 timed "cargo fmt --check" \
   cargo fmt --all --check
 
@@ -30,8 +66,14 @@ timed "cargo clippy (workspace, -D warnings)" \
 timed "cargo doc (no deps, warnings denied)" \
   env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
-timed "cargo test (workspace)" \
-  cargo test --workspace --offline -q
+timed "cargo test (workspace minus serve)" \
+  cargo test --workspace --exclude oblivion-serve --offline -q
+
+# The serve crate's suites (soak, pipelining, differential) drive real
+# sockets against wall-clock deadlines, so they get the quarantine
+# wrapper: one logged retry, two consecutive failures still fail.
+timed_retry "serve soak + pipelining tests" \
+  cargo test -p oblivion-serve --offline -q
 
 # Fault-injected runs must be byte-identical across thread counts: run the
 # same faulted online simulation at --threads 1 and 8 and compare every
@@ -145,15 +187,23 @@ metrics_gate() {
   rm -rf "$tmp"
 }
 
-timed "metrics gate (METRICS scrape + top --check + flusher/report diff)" \
+timed_retry "metrics gate (METRICS scrape + top --check + flusher/report diff)" \
   metrics_gate
 
 # Crash consistency: kill -9 mid-run, torn snapshot writes, and flipped
 # bytes must all resume to byte-identical results — and the serve daemon
 # must survive kill -9 + restart under live load with zero malformed
 # responses (scripts/chaos.sh).
-timed "chaos gate (kill -9 / torn write / corruption / serve restart)" \
+timed_retry "chaos gate (kill -9 / torn write / corruption / serve restart)" \
   scripts/chaos.sh
+
+# The perf-regression gate itself must be able to catch a regression
+# before CI trusts it: synthesize a 25% throughput drop and a 40% p99
+# inflation from the committed baselines and require both to fail (and
+# a 10% wobble to pass). The real gate runs in the bench CI job, which
+# has fresh release-mode results to compare.
+timed "bench gate self-test (synthetic 25% regression must fail)" \
+  scripts/bench_gate.sh --self-test
 
 # The error-path crates must not grow panicking shortcuts: any new
 # .unwrap()/.expect( in non-test code needs an explicit
@@ -183,6 +233,12 @@ timed "unwrap/expect gate (workloads, faults, serve)" \
   unwrap_gate
 
 echo "ci: all checks passed"
+if [[ ${#retried_stages[@]} -gt 0 ]]; then
+  echo "flaky-soak quarantine: ${#retried_stages[@]} stage(s) needed their retry:"
+  for s in "${retried_stages[@]}"; do
+    echo "  $s"
+  done
+fi
 echo "stage timings:"
 for i in "${!stage_names[@]}"; do
   printf '  %-45s %3ss\n' "${stage_names[$i]}" "${stage_secs[$i]}"

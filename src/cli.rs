@@ -27,7 +27,7 @@ pub struct Args {
 
 /// Options that are flags: present or absent, never followed by a value.
 /// `--trace` is recorded as `trace = "true"`.
-pub const BOOL_FLAGS: &[&str] = &["trace", "no-health", "check"];
+pub const BOOL_FLAGS: &[&str] = &["trace", "no-health", "check", "keep-alive"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -430,10 +430,13 @@ pub fn help() -> String {
          \u{20}  simulate  route then deliver, reporting makespan vs C+D\n\
          \u{20}            --mesh 32x32 --router busch2d --workload random-perm\n\
          \u{20}            [--policy ftg] [--max-delay N] [--seed 42]\n\
-         \u{20}  serve     overload-safe TCP path-selection service (line protocol)\n\
+         \u{20}  serve     overload-safe TCP path-selection service (line protocol,\n\
+         \u{20}            keep-alive + pipelined: many PATH lines per connection,\n\
+         \u{20}            replies in order, routed in batches)\n\
          \u{20}            --mesh 16x16 --router buschd --port 4701 [--threads 4]\n\
-         \u{20}            [--queue 64] [--deadline-ms 1000] [--drain-ms 2000]\n\
-         \u{20}            [--health-port P|--no-health] [--host 127.0.0.1]\n\
+         \u{20}            [--queue 64] [--batch-max 64] [--deadline-ms 1000]\n\
+         \u{20}            [--drain-ms 2000] [--health-port P|--no-health]\n\
+         \u{20}            [--host 127.0.0.1]\n\
          \u{20}            [--stats-every MS]  (with --metrics-out: append a JSONL\n\
          \u{20}             stats snapshot every MS ms — a crash loses at most one\n\
          \u{20}             interval of telemetry)\n\
@@ -445,6 +448,9 @@ pub fn help() -> String {
          \u{20}            --port 4701 --mesh 16x16 [--requests 200]\n\
          \u{20}            [--concurrency 8] [--retries 8] [--backoff-ms 10]\n\
          \u{20}            [--backoff-cap-ms 500] [--timeout-ms 2000] [--seed 42]\n\
+         \u{20}            [--keep-alive] [--pipeline N]  (persistent connections;\n\
+         \u{20}             N request lines in flight per connection — N > 1\n\
+         \u{20}             implies --keep-alive; N must be at least 1)\n\
          \u{20}            (tags every request with a trace id and verifies the\n\
          \u{20}             echo; exit 2 if any request fails or any response is\n\
          \u{20}             malformed)\n\
@@ -1113,6 +1119,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let work_us: u64 = opt(args, "work-us", "0")
         .parse()
         .map_err(|e| format!("bad --work-us: {e}"))?;
+    let batch_max = usize::try_from(parse_nonzero_u64(args, "batch-max", "64")?)
+        .map_err(|_| "bad --batch-max: too large".to_string())?;
     let health_port = if opt(args, "no-health", "false") == "true" {
         None
     } else {
@@ -1153,6 +1161,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         deadline: std::time::Duration::from_millis(deadline_ms),
         drain: std::time::Duration::from_millis(drain_ms),
         work: std::time::Duration::from_micros(work_us),
+        batch_max,
         stats_every,
         stats_path,
         honor_process_signals: true,
@@ -1167,6 +1176,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     report_field("serve_addr", summary.addr.to_string());
     report_field("serve_threads", threads as u64);
     report_field("serve_queue_cap", queue_cap as u64);
+    report_field("serve_batch_max", batch_max as u64);
     report_field("serve_deadline_ms", deadline_ms);
     report_field("serve_drain_ms", drain_ms);
     report_field("serve_uptime_ms", summary.uptime.as_millis() as u64);
@@ -1297,6 +1307,12 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
     let backoff_ms = parse_nonzero_u64(args, "backoff-ms", "10")?;
     let backoff_cap_ms = parse_nonzero_u64(args, "backoff-cap-ms", "500")?;
     let timeout_ms = parse_nonzero_u64(args, "timeout-ms", "2000")?;
+    // --pipeline 0 is the degenerate "no requests in flight" knob and is
+    // refused (exit 2); --pipeline above 1 only makes sense on a
+    // persistent connection, so it implies --keep-alive.
+    let pipeline = usize::try_from(parse_nonzero_u64(args, "pipeline", "1")?)
+        .map_err(|_| "bad --pipeline: too large".to_string())?;
+    let keep_alive = opt(args, "keep-alive", "false") == "true" || pipeline > 1;
     let cfg = LoadgenConfig {
         addr: format!("{}:{port}", opt(args, "host", "127.0.0.1")),
         mesh,
@@ -1307,8 +1323,12 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
         backoff_cap: std::time::Duration::from_millis(backoff_cap_ms),
         timeout: std::time::Duration::from_millis(timeout_ms),
         seed: seed_of(args)?,
+        keep_alive,
+        pipeline,
     };
     let report = oblivion_serve::run_loadgen(&cfg);
+    report_field("loadgen_keep_alive", if keep_alive { 1u64 } else { 0 });
+    report_field("loadgen_pipeline", pipeline as u64);
     report_field("loadgen_ok", report.ok);
     report_field("loadgen_failed", report.failed);
     report_field("loadgen_malformed", report.malformed);

@@ -193,6 +193,8 @@ fn serve_rejects_degenerate_knobs_cleanly() {
         ("--deadline-ms", "-100"),
         ("--drain-ms", "0"),
         ("--health-port", "0"),
+        ("--batch-max", "0"),
+        ("--batch-max", "-2"),
     ] {
         // A later duplicate flag overrides the earlier one, so the valid
         // base --port is replaced when the case under test is --port.
@@ -220,6 +222,8 @@ fn loadgen_rejects_degenerate_knobs_cleanly() {
         ("--timeout-ms", "0"),
         ("--timeout-ms", "-1"),
         ("--backoff-ms", "0"),
+        ("--pipeline", "0"),
+        ("--pipeline", "-3"),
     ] {
         let out = oblivion(&["loadgen", "--mesh", "8x8", "--port", "4555", flag, value]);
         assert_clean_failure(&out, &format!("loadgen {flag} {value}"));
