@@ -366,6 +366,36 @@ fn sample_duration(rng: &mut StdRng, mean: u64) -> u64 {
     (d as u64).max(1)
 }
 
+/// A bounded-Pareto duration: minimum `scale`, tail index `alpha`, hard
+/// cap `cap` (inclusive, in the same unit as `scale`).
+///
+/// This is the shared heavy-tail sampler for straggler injection: the
+/// exponential `sample_duration` above models memoryless outages,
+/// while real compute stragglers are heavy-tailed — a few stalls
+/// dominate the tail. Smaller `alpha` means a heavier tail; `alpha`
+/// around `1` makes the mean itself tail-dominated. Degenerate
+/// parameters are clamped (`scale >= 1`, `cap >= scale`,
+/// non-finite/non-positive `alpha` treated as `1`), so the sampler
+/// never panics on hostile config.
+pub fn sample_heavy_tail(rng: &mut StdRng, scale: u64, alpha: f64, cap: u64) -> u64 {
+    let scale = scale.max(1);
+    let cap = cap.max(scale);
+    let alpha = if alpha.is_finite() && alpha > 0.0 {
+        alpha
+    } else {
+        1.0
+    };
+    let u: f64 = rng.gen();
+    // Pareto inverse CDF: scale / (1-u)^(1/alpha). `u` is in [0, 1), so
+    // the denominator is in (0, 1] and the draw is >= scale; it can
+    // still overflow to infinity for u ~ 1, which the cap absorbs.
+    let d = scale as f64 / (1.0 - u).powf(1.0 / alpha);
+    if !d.is_finite() {
+        return cap;
+    }
+    (d.ceil() as u64).clamp(scale, cap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,5 +650,33 @@ mod tests {
         let mesh = Mesh::new_mesh(&[3, 5]);
         let c = Coord::new(&[2, 4]);
         assert_eq!(mesh.coord(mesh.node_id(&c)), c);
+    }
+
+    #[test]
+    fn heavy_tail_sampler_is_bounded_deterministic_and_heavy() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let scale = 10;
+        let cap = 10_000;
+        let mut draws = Vec::new();
+        for _ in 0..20_000 {
+            let x = sample_heavy_tail(&mut a, scale, 1.1, cap);
+            assert_eq!(x, sample_heavy_tail(&mut b, scale, 1.1, cap));
+            assert!((scale..=cap).contains(&x), "draw {x} out of bounds");
+            draws.push(x);
+        }
+        draws.sort_unstable();
+        // Heavy tail: the p99 draw dwarfs the minimum (for alpha = 1.1
+        // the theoretical p99 is ~66x the scale; the cap trims it, but
+        // 10x clears any exponential with the same scale).
+        assert!(
+            draws[draws.len() * 99 / 100] >= scale * 10,
+            "p99 {} not heavy-tailed",
+            draws[draws.len() * 99 / 100]
+        );
+        // Degenerate parameters are clamped, never panic.
+        let mut r = StdRng::seed_from_u64(1);
+        assert_eq!(sample_heavy_tail(&mut r, 0, f64::NAN, 0), 1);
+        assert!(sample_heavy_tail(&mut r, 5, -2.0, 3) >= 5);
     }
 }

@@ -1,0 +1,394 @@
+//! Deterministic server-side chaos: seed-derived straggler injection.
+//!
+//! A [`ChaosPlan`] is a pure function of a [`ChaosConfig`] (whose
+//! `seed` comes from `--chaos-seed`): it consumes **zero** randomness
+//! from the routing RNGs, and with every probability at zero
+//! ([`ChaosConfig::is_trivial`]) the server's behavior — and its reply
+//! bytes — are identical to a server with no chaos at all, which the
+//! differential test asserts.
+//!
+//! Decisions follow the stateless-hash idiom of `oblivion-faults`
+//! ([`FaultPlan::drops`]): each event kind has its own salt, the
+//! decision key is content-derived, and a draw fires when
+//! `mix64(seed ^ salt ^ mix64(key)) <= prob * u64::MAX`. Per-request
+//! events (compute stalls, slow writes, worker pauses) key on
+//! [`request_key`] — the wire seed mixed with the request's trace id —
+//! so the same request stream injects the same event set in any worker
+//! interleaving (what makes injected-event counts reproducible across
+//! runs), while a retry or hedged duplicate of the same request (same
+//! seed, distinct id) draws independently, the way a real straggler is
+//! a property of the *attempt*, not of the request's content.
+//! Connection resets key on a per-plan connection index (a
+//! deterministic dispenser), so a sequential client sees an identical
+//! reset schedule run to run.
+//!
+//! What each event does to the server (see `server.rs` for the hook
+//! sites, `crate::stats` for the accounting):
+//!
+//! - **Compute stall** — extends the burst's simulated-work sleep by a
+//!   fixed floor plus a bounded-Pareto heavy tail
+//!   ([`oblivion_faults::sample_heavy_tail`]), capped by the burst's
+//!   live deadline: stalled requests still settle as completions (or
+//!   deadline-exceeded), never leak.
+//! - **Slow write** — the burst's reply is written in two chunks with a
+//!   stall between them: a mid-line partial write, exactly what a
+//!   congested peer socket produces.
+//! - **Connection reset** — after answering a seed-derived number of
+//!   lines the connection is killed mid-pipeline; its pending admitted
+//!   lines settle as `io_errors`, so the conservation law still holds
+//!   on every scrape.
+//! - **Worker pause** — the owning worker sleeps, uncapped, before
+//!   dispatching the burst: a stopped-worker straggler that delays
+//!   every connection the worker owns.
+//!
+//! [`FaultPlan::drops`]: oblivion_faults::FaultPlan::drops
+
+use oblivion_faults::{mix64, sample_heavy_tail};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const STALL_SALT: u64 = 0x4348_5F53_5441_4C4C; // "CH_STALL"
+const STALL_DUR_SALT: u64 = 0x4348_5F53_4455_5221; // "CH_SDUR!"
+const WRITE_SALT: u64 = 0x4348_5F57_5249_5445; // "CH_WRITE"
+const RESET_SALT: u64 = 0x4348_5F52_4553_4554; // "CH_RESET"
+const PAUSE_SALT: u64 = 0x4348_5F50_4155_5345; // "CH_PAUSE"
+
+/// Pareto tail index for stall durations. Close to 1 so the tail
+/// dominates — the point of injecting stragglers, not jitter.
+const STALL_ALPHA: f64 = 1.2;
+
+/// Heavy-tail cap as a multiple of the stall floor: bounds a single
+/// injected stall at 64x the configured duration.
+const STALL_CAP_MULT: u32 = 64;
+
+/// How many answered lines a reset-marked connection survives before it
+/// is killed: `hash % RESET_AFTER_MOD`, so `0` (reset before the first
+/// answer) through mid-pipeline kills all occur.
+const RESET_AFTER_MOD: u64 = 4;
+
+/// The per-request chaos decision key: the wire seed folded with the
+/// request's trace id when one is present. Including the id is what
+/// lets a retry or hedged duplicate — same wire seed, distinct id —
+/// draw its own fate instead of inheriting the original's stall, while
+/// keeping the whole schedule a pure function of the request stream.
+pub fn request_key(seed: u64, id: Option<&str>) -> u64 {
+    let mut k = mix64(seed);
+    if let Some(id) = id {
+        for b in id.as_bytes() {
+            k = mix64(k ^ u64::from(*b));
+        }
+    }
+    k
+}
+
+/// Chaos knobs, all off by default. Probabilities are per decision
+/// point: `stall_prob`/`write_prob`/`pause_prob` per admitted `PATH`
+/// request, `reset_prob` per adopted connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed every injection decision derives from (`--chaos-seed`).
+    pub seed: u64,
+    /// Probability a request injects a compute stall.
+    pub stall_prob: f64,
+    /// Fixed stall floor; also the scale (minimum) of the heavy tail.
+    pub stall: Duration,
+    /// Probability a request marks its burst's reply for a slow,
+    /// two-chunk partial write.
+    pub write_prob: f64,
+    /// Sleep between the two chunks of a slow write.
+    pub write_stall: Duration,
+    /// Probability an adopted connection is scheduled for a
+    /// mid-pipeline reset.
+    pub reset_prob: f64,
+    /// Probability a request pauses its whole worker.
+    pub pause_prob: f64,
+    /// Worker pause duration (uncapped — a stopped worker does not
+    /// honor deadlines).
+    pub pause: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(5),
+            write_prob: 0.0,
+            write_stall: Duration::from_millis(5),
+            reset_prob: 0.0,
+            pause_prob: 0.0,
+            pause: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// `true` when no event can ever fire: the server must then behave
+    /// byte-identically to one with no chaos config at all (`run`
+    /// drops the plan entirely).
+    pub fn is_trivial(&self) -> bool {
+        threshold(self.stall_prob) == 0
+            && threshold(self.write_prob) == 0
+            && threshold(self.reset_prob) == 0
+            && threshold(self.pause_prob) == 0
+    }
+
+    /// Validates every probability is a finite value in `[0, 1]`.
+    /// Returns the offending knob's name so the CLI can exit 2 with a
+    /// pointed message.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("chaos-stall-prob", self.stall_prob),
+            ("chaos-write-prob", self.write_prob),
+            ("chaos-reset-prob", self.reset_prob),
+            ("chaos-pause-prob", self.pause_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("--{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `h <= threshold(p)` fires with probability `p` for a uniform hash
+/// `h` (the `FaultPlan::drops` convention; `0` maps to never, `>= 1`
+/// to always).
+fn threshold(p: f64) -> u64 {
+    if p.is_nan() || p <= 0.0 {
+        // NaN and non-positive both mean "never".
+        0
+    } else if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+/// The materialized plan: pre-hashed thresholds plus the connection
+/// index dispenser. Everything else is computed statelessly per query.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    cfg: ChaosConfig,
+    stall_t: u64,
+    write_t: u64,
+    reset_t: u64,
+    pause_t: u64,
+    conns: AtomicU64,
+}
+
+impl ChaosPlan {
+    /// Materializes the plan. The config must already be validated (the
+    /// CLI's job); out-of-range probabilities are clamped by the
+    /// threshold map rather than honored.
+    pub fn new(cfg: ChaosConfig) -> ChaosPlan {
+        ChaosPlan {
+            stall_t: threshold(cfg.stall_prob),
+            write_t: threshold(cfg.write_prob),
+            reset_t: threshold(cfg.reset_prob),
+            pause_t: threshold(cfg.pause_prob),
+            conns: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// `true` when no event can ever fire.
+    pub fn is_trivial(&self) -> bool {
+        self.stall_t == 0 && self.write_t == 0 && self.reset_t == 0 && self.pause_t == 0
+    }
+
+    fn fires(&self, salt: u64, key: u64, threshold: u64) -> bool {
+        threshold > 0 && mix64(self.cfg.seed ^ salt ^ mix64(key)) <= threshold
+    }
+
+    /// Does the request with wire seed `wire_seed` inject a compute
+    /// stall — and for how long? Duration is the fixed floor plus a
+    /// bounded-Pareto draw from a private RNG seeded by the same key,
+    /// so it too is a pure function of `(chaos seed, wire seed)`.
+    pub fn stall(&self, wire_seed: u64) -> Option<Duration> {
+        if !self.fires(STALL_SALT, wire_seed, self.stall_t) {
+            return None;
+        }
+        let scale = self.cfg.stall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut rng =
+            StdRng::seed_from_u64(mix64(self.cfg.seed ^ STALL_DUR_SALT ^ mix64(wire_seed)));
+        let tail = sample_heavy_tail(
+            &mut rng,
+            scale.max(1),
+            STALL_ALPHA,
+            scale.max(1).saturating_mul(u64::from(STALL_CAP_MULT)),
+        );
+        Some(Duration::from_micros(scale.saturating_add(tail)))
+    }
+
+    /// Does the request with wire seed `wire_seed` mark its burst's
+    /// reply for a slow two-chunk write?
+    pub fn slow_write(&self, wire_seed: u64) -> bool {
+        self.fires(WRITE_SALT, wire_seed, self.write_t)
+    }
+
+    /// Sleep between the two chunks of a slow write.
+    pub fn write_stall(&self) -> Duration {
+        self.cfg.write_stall
+    }
+
+    /// Does the request with wire seed `wire_seed` pause its worker —
+    /// and for how long?
+    pub fn worker_pause(&self, wire_seed: u64) -> Option<Duration> {
+        if self.fires(PAUSE_SALT, wire_seed, self.pause_t) {
+            Some(self.cfg.pause)
+        } else {
+            None
+        }
+    }
+
+    /// Draws the reset schedule for the next adopted connection:
+    /// `Some(k)` means "kill the connection once it has answered `k`
+    /// lines and more are pending". Consumes one connection index from
+    /// the plan's dispenser, so a sequential client replays the same
+    /// schedule run to run.
+    pub fn conn_reset(&self) -> Option<u64> {
+        let idx = self.conns.fetch_add(1, Ordering::Relaxed);
+        if !self.fires(RESET_SALT, idx, self.reset_t) {
+            return None;
+        }
+        Some(mix64(self.cfg.seed ^ RESET_SALT ^ mix64(idx).rotate_left(11)) % RESET_AFTER_MOD)
+    }
+
+    /// A digest of the plan's decision parameters — two servers with
+    /// equal digests inject identical event sets for identical request
+    /// streams.
+    pub fn digest(&self) -> u64 {
+        let mut h = mix64(self.cfg.seed ^ 0x4348_414F_5344_4947); // "CHAOSDIG"
+        for t in [self.stall_t, self.write_t, self.reset_t, self.pause_t] {
+            h = mix64(h ^ t);
+        }
+        for d in [self.cfg.stall, self.cfg.write_stall, self.cfg.pause] {
+            h = mix64(h ^ d.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> ChaosPlan {
+        ChaosPlan::new(ChaosConfig {
+            seed,
+            stall_prob: 0.3,
+            write_prob: 0.2,
+            reset_prob: 0.25,
+            pause_prob: 0.1,
+            ..ChaosConfig::default()
+        })
+    }
+
+    #[test]
+    fn trivial_plan_never_fires() {
+        let p = ChaosPlan::new(ChaosConfig {
+            seed: 123,
+            ..ChaosConfig::default()
+        });
+        assert!(p.is_trivial());
+        for ws in 0..10_000u64 {
+            assert!(p.stall(ws).is_none());
+            assert!(!p.slow_write(ws));
+            assert!(p.worker_pause(ws).is_none());
+            assert!(p.conn_reset().is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_key() {
+        let a = plan(7);
+        let b = plan(7);
+        let c = plan(8);
+        let mut diverged = false;
+        for ws in 0..2_000u64 {
+            assert_eq!(a.stall(ws), b.stall(ws));
+            assert_eq!(a.slow_write(ws), b.slow_write(ws));
+            assert_eq!(a.worker_pause(ws), b.worker_pause(ws));
+            diverged |= a.stall(ws) != c.stall(ws) || a.slow_write(ws) != c.slow_write(ws);
+        }
+        assert!(diverged, "different seeds must give different plans");
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        // The reset dispenser replays identically across plans with the
+        // same seed (both start at connection index 0).
+        let resets_a: Vec<_> = (0..2_000).map(|_| a.conn_reset()).collect();
+        let resets_b: Vec<_> = (0..2_000).map(|_| b.conn_reset()).collect();
+        assert_eq!(resets_a, resets_b);
+        assert!(resets_a.iter().any(Option::is_some));
+        assert!(resets_a.iter().any(Option::is_none));
+        assert!(resets_a
+            .iter()
+            .flatten()
+            .all(|&k| k < super::RESET_AFTER_MOD));
+    }
+
+    #[test]
+    fn event_rates_track_probabilities() {
+        let p = plan(42);
+        let n = 40_000u64;
+        let stalls = (0..n).filter(|&ws| p.stall(ws).is_some()).count() as f64 / n as f64;
+        let writes = (0..n).filter(|&ws| p.slow_write(ws)).count() as f64 / n as f64;
+        assert!((stalls - 0.3).abs() < 0.02, "stall rate {stalls}");
+        assert!((writes - 0.2).abs() < 0.02, "slow-write rate {writes}");
+    }
+
+    #[test]
+    fn stall_durations_have_floor_and_cap() {
+        let p = ChaosPlan::new(ChaosConfig {
+            seed: 5,
+            stall_prob: 1.0,
+            stall: Duration::from_millis(10),
+            ..ChaosConfig::default()
+        });
+        let floor = Duration::from_millis(10) * 2; // fixed + tail minimum
+        let cap = Duration::from_millis(10) * (1 + STALL_CAP_MULT);
+        let mut seen_above_floor = false;
+        for ws in 0..5_000u64 {
+            let d = p.stall(ws).expect("prob 1.0 always fires");
+            assert!(d >= floor, "stall {d:?} below floor");
+            assert!(d <= cap, "stall {d:?} above cap");
+            seen_above_floor |= d > floor * 2;
+        }
+        assert!(seen_above_floor, "tail never exceeded 2x the floor");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let cfg = ChaosConfig {
+                reset_prob: bad,
+                ..ChaosConfig::default()
+            };
+            let err = cfg.validate().expect_err("must reject");
+            assert!(err.contains("chaos-reset-prob"), "{err}");
+        }
+        assert!(ChaosConfig::default().validate().is_ok());
+        // NaN is also trivially "never fires" rather than a panic.
+        assert_eq!(threshold(f64::NAN), 0);
+    }
+
+    #[test]
+    fn request_key_separates_attempts_but_stays_deterministic() {
+        // Same (seed, id) → same key, always.
+        assert_eq!(request_key(7, None), request_key(7, None));
+        assert_eq!(
+            request_key(7, Some("lg-3.0")),
+            request_key(7, Some("lg-3.0"))
+        );
+        // A retry and a hedge of the same request draw different keys.
+        let base = request_key(7, Some("lg-3.0"));
+        assert_ne!(base, request_key(7, Some("lg-3.1")));
+        assert_ne!(base, request_key(7, Some("lg-3.0h")));
+        assert_ne!(base, request_key(7, None));
+        // And the wire seed still matters under a shared id.
+        assert_ne!(request_key(7, Some("x")), request_key(8, Some("x")));
+    }
+}

@@ -27,9 +27,14 @@
 //! * [`top`] — the terminal live view behind `oblivion top`, polling
 //!   `METRICS` and rendering rates, gauges, and phase quantiles.
 //! * [`client`] / [`loadgen`] — the companion client and load generator
-//!   with retry + capped exponential backoff; the chaos gate kill -9s
-//!   the server mid-load, restarts it, and requires the retries to
-//!   converge with zero malformed responses.
+//!   with retry + capped exponential backoff, an open-loop mode
+//!   (scheduled arrivals, coordinated-omission-corrected tails), and
+//!   hedged requests; the chaos gate kill -9s the server mid-load,
+//!   restarts it, and requires the retries to converge with zero
+//!   malformed responses.
+//! * [`chaos`] — deterministic server-side straggler injection
+//!   (compute stalls, slow writes, connection resets, worker pauses),
+//!   a pure function of `--chaos-seed` in the `oblivion-faults` idiom.
 //!
 //! Dependency-free like the rest of the workspace: plain `std::net`
 //! blocking sockets, hand-rolled queue, no async runtime.
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod metrics;
@@ -46,10 +52,11 @@ pub mod stats;
 pub mod top;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosPlan};
 pub use client::{Client, ClientError};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, HedgeAfter, LoadgenConfig, LoadgenReport};
 pub use metrics::{parse_exposition, render_exposition, Exposition};
 pub use server::{run, Control, ServeConfig, ServeSummary};
-pub use stats::{Phase, ServeStats, StatsSnapshot};
+pub use stats::{ChaosEvent, Phase, ServeStats, StatsSnapshot};
 pub use top::{run_top, TopConfig};
 pub use wire::{ErrorKind, Request, Response, MAX_REQUEST_ID, MAX_REQUEST_LINE};

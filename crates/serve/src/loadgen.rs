@@ -21,6 +21,24 @@
 //!   the run. A transport error mid-window counts every unanswered
 //!   request as `transport`, reconnects, and re-enqueues what the retry
 //!   budget allows.
+//!
+//! **Open loop vs closed loop.** The transports above are closed-loop:
+//! a slow reply delays the *next* request, so the measured tail hides
+//! exactly the stalls it should expose (coordinated omission). With
+//! `open_loop` the generator schedules arrival `i` at `start + i/rate`
+//! and charges every microsecond from the *scheduled* arrival — queue
+//! time behind a straggler, retries, hedges — to that request's
+//! latency, so p99/p999 are the tails a real open client population
+//! would see. When every worker is busy the launch happens late and is
+//! counted in `late_launches`; the wait is still charged to latency.
+//!
+//! **Hedged requests.** With `hedge_after`, an attempt that has been
+//! quiet past the stall threshold fires a *duplicate* attempt on a
+//! second connection (a distinct trace ID, `<id>h`). The first full
+//! reply wins; the loser's connection is dropped unread and counted in
+//! `hedge_wasted` — server-side its line settles as an io error (or a
+//! completion whose bytes land in a closed socket), so the server's
+//! conservation law balances on every scrape despite the duplicates.
 
 use crate::client::{validate_path_payload, Client, ClientError, PipelinedConn};
 use crate::wire::{self, ErrorKind, Response};
@@ -29,6 +47,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::io::ErrorKind as IoKind;
 use std::net::{SocketAddr, ToSocketAddrs as _};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -61,6 +80,28 @@ pub struct LoadgenConfig {
     /// Request lines in flight per connection before any reply is read
     /// (`>= 1`; values above 1 imply keep-alive).
     pub pipeline: usize,
+    /// Open-loop mode: launch request `i` at `start + i/rate` no matter
+    /// how slow earlier requests are, and measure latency from the
+    /// *scheduled* arrival (coordinated-omission-corrected tails).
+    pub open_loop: bool,
+    /// Target arrival rate in requests/second (open-loop mode only;
+    /// must be positive there).
+    pub rate: f64,
+    /// Hedging policy: fire a duplicate attempt on a second connection
+    /// once the primary has been quiet this long. Incompatible with the
+    /// keep-alive/pipelined transports.
+    pub hedge_after: Option<HedgeAfter>,
+}
+
+/// When a stalled attempt fires its hedge (the duplicate request).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgeAfter {
+    /// Hedge once the attempt exceeds the running p99 of this worker's
+    /// own completed requests (armed only after a small warmup, so the
+    /// estimate is never built on noise).
+    P99,
+    /// Hedge after a fixed stall threshold.
+    After(Duration),
 }
 
 impl Default for LoadgenConfig {
@@ -77,6 +118,9 @@ impl Default for LoadgenConfig {
             seed: 42,
             keep_alive: false,
             pipeline: 1,
+            open_loop: false,
+            rate: 0.0,
+            hedge_after: None,
         }
     }
 }
@@ -102,6 +146,17 @@ pub struct LoadgenReport {
     pub shutting_down: u64,
     /// Transport-level failures observed (refused, reset, timeout).
     pub transport: u64,
+    /// Hedge attempts fired (duplicate requests on a second connection).
+    pub hedge_launched: u64,
+    /// Hedged pairs where the duplicate answered first.
+    pub hedge_won: u64,
+    /// Cancelled duplicates: every resolved hedged pair abandons its
+    /// loser unread and counts it here (the server settles that line on
+    /// its own ledger, so both sides stay conserved).
+    pub hedge_wasted: u64,
+    /// Open-loop launches that started after their scheduled arrival
+    /// (all workers were busy); the wait is charged to latency.
+    pub late_launches: u64,
     /// Per-success latency samples in microseconds, sorted ascending.
     pub latencies_us: Vec<u64>,
     /// Wall-clock duration of the whole run.
@@ -142,6 +197,10 @@ impl LoadgenReport {
         self.deadline += other.deadline;
         self.shutting_down += other.shutting_down;
         self.transport += other.transport;
+        self.hedge_launched += other.hedge_launched;
+        self.hedge_won += other.hedge_won;
+        self.hedge_wasted += other.hedge_wasted;
+        self.late_launches += other.late_launches;
         self.latencies_us.extend(other.latencies_us);
     }
 
@@ -173,6 +232,11 @@ impl LoadgenReport {
             self.latency_ms(0.90),
             self.latency_ms(0.99),
             self.latency_ms(0.999),
+        );
+        let _ = writeln!(
+            s,
+            "  hedging launched={} won={} wasted={}  late_launches={}",
+            self.hedge_launched, self.hedge_won, self.hedge_wasted, self.late_launches
         );
         s
     }
@@ -423,11 +487,347 @@ fn pipelined_worker(
     }
 }
 
-/// Runs the closed-loop load generation and aggregates the report.
+/// Completed requests a worker must observe before a `p99` hedge arms.
+const HEDGE_WARMUP: usize = 20;
+/// Recompute the cached p99 hedge threshold every this many successes.
+const HEDGE_REFRESH: usize = 16;
+/// Granularity of the two-connection poll while a hedge is in flight.
+const HEDGE_POLL: Duration = Duration::from_millis(1);
+
+/// Resolves the stall threshold for the next attempt. `p99` mode keeps
+/// a per-worker cache — `(samples when computed, threshold)` — and
+/// recomputes from the worker's own success latencies every
+/// [`HEDGE_REFRESH`] completions; before [`HEDGE_WARMUP`] samples it
+/// returns `None` (no hedging yet).
+fn hedge_threshold(
+    cfg: &LoadgenConfig,
+    local: &LoadgenReport,
+    cache: &mut (usize, Option<Duration>),
+) -> Option<Duration> {
+    match cfg.hedge_after {
+        None => None,
+        Some(HedgeAfter::After(d)) => Some(d),
+        Some(HedgeAfter::P99) => {
+            let n = local.latencies_us.len();
+            if n < HEDGE_WARMUP {
+                return None;
+            }
+            if cache.1.is_none() || n >= cache.0 + HEDGE_REFRESH {
+                let mut v = local.latencies_us.clone();
+                let idx = (v.len() - 1) * 99 / 100;
+                let (_, p99, _) = v.select_nth_unstable(idx);
+                let t = Duration::from_micros(*p99).max(Duration::from_millis(1));
+                *cache = (n, Some(t));
+            }
+            cache.1
+        }
+    }
+}
+
+/// Classifies one full reply line for request `p` answered under trace
+/// id `want_id`. Returns `Ok(())` on a validated path, `Err(retryable)`
+/// otherwise; the caller owns the `ok`/`failed`/latency accounting.
+fn settle_reply(
+    cfg: &LoadgenConfig,
+    p: &Pending,
+    want_id: &str,
+    line: &str,
+    local: &mut LoadgenReport,
+) -> Result<(), bool> {
+    match wire::parse_response_with_id(line) {
+        Err(why) => {
+            eprintln!("loadgen: malformed response: {why}");
+            local.malformed += 1;
+            Err(false)
+        }
+        Ok((Response::Ok(payload), echoed)) => {
+            if echoed.as_deref() != Some(want_id) {
+                eprintln!("loadgen: request id not echoed: sent `{want_id}`, got {echoed:?}");
+                local.malformed += 1;
+                return Err(false);
+            }
+            match validate_path_payload(&cfg.mesh, &payload, &p.src, &p.dst) {
+                Ok(_) => Ok(()),
+                Err(why) => {
+                    eprintln!("loadgen: malformed path: {why}");
+                    local.malformed += 1;
+                    Err(false)
+                }
+            }
+        }
+        Ok((Response::Err(kind, _detail), echoed)) => {
+            // Connection-level rejections may carry no ID, but one that
+            // contradicts the request means the stream desynchronized.
+            if let Some(got) = &echoed {
+                if got != want_id {
+                    eprintln!("loadgen: request id mangled: sent `{want_id}`, got `{got}`");
+                    local.malformed += 1;
+                    return Err(false);
+                }
+            }
+            match kind {
+                ErrorKind::Overloaded => local.overloaded += 1,
+                ErrorKind::DeadlineExceeded => local.deadline += 1,
+                ErrorKind::ShuttingDown => local.shutting_down += 1,
+                ErrorKind::BadRequest => local.bad_request += 1,
+            }
+            Err(kind.retryable())
+        }
+    }
+}
+
+fn request_line(cfg: &LoadgenConfig, p: &Pending, id: &str) -> String {
+    format!(
+        "PATH {} {} {} id={}\n",
+        p.seed,
+        wire::format_coord(&p.src, cfg.mesh.dim()),
+        wire::format_coord(&p.dst, cfg.mesh.dim()),
+        id
+    )
+}
+
+/// One possibly-hedged attempt: send on a fresh primary connection,
+/// wait alone until the stall threshold, then fire the duplicate on a
+/// second connection and poll both — first full reply wins, the loser
+/// is dropped unread and counted as `hedge_wasted`. The race itself is
+/// bounded: if *neither* copy answers within the race budget, both drew
+/// stragglers and waiting longer is throwing good time after bad — the
+/// pair is abandoned (wasted + transport) and the attempt retried
+/// fresh. The budget starts at one more threshold and doubles with
+/// `attempt` (escalating patience): early attempts abandon near 2x the
+/// threshold, which is where the tail cut comes from, while late
+/// attempts wait out even a saturated server so retries are guaranteed
+/// to converge instead of storming. Returns `Ok(())` on a validated
+/// answer, `Err(retryable)` otherwise.
+fn hedged_attempt(
+    cfg: &LoadgenConfig,
+    addr: SocketAddr,
+    p: &Pending,
+    hedge_after: Option<Duration>,
+    attempt: u32,
+    local: &mut LoadgenReport,
+) -> Result<(), bool> {
+    let t0 = Instant::now();
+    let overall = t0 + cfg.timeout;
+    let primary_id = p.trace_id();
+    let mut primary = match PipelinedConn::connect(addr, cfg.timeout) {
+        Ok(c) => c,
+        Err(_) => {
+            local.transport += 1;
+            return Err(true);
+        }
+    };
+    if primary
+        .send_burst(&request_line(cfg, p, &primary_id), overall)
+        .is_err()
+    {
+        local.transport += 1;
+        return Err(true);
+    }
+    // Phase 1: the primary alone, up to the hedge threshold (or the
+    // whole budget when hedging is off / not yet armed).
+    let first_deadline = match hedge_after {
+        Some(h) => (t0 + h).min(overall),
+        None => overall,
+    };
+    match primary.recv_line(first_deadline) {
+        Ok(line) => return settle_reply(cfg, p, &primary_id, &line, local),
+        Err(ClientError::Transport(e)) if e.kind() == IoKind::TimedOut => {
+            if hedge_after.is_none() || Instant::now() >= overall {
+                local.transport += 1;
+                return Err(true);
+            }
+            // Quiet past the threshold with budget left: hedge below.
+        }
+        Err(ClientError::Transport(_)) => {
+            local.transport += 1;
+            return Err(true);
+        }
+        Err(e) => {
+            eprintln!("loadgen: malformed reply: {e:?}");
+            local.malformed += 1;
+            return Err(false);
+        }
+    }
+    // Phase 2: fire the duplicate (trace id `<id>h` so server traces
+    // tell the pair apart) and poll both connections until someone
+    // produces a full reply or the race budget — one more threshold —
+    // runs out.
+    local.hedge_launched += 1;
+    let hedge_id = format!("{primary_id}h");
+    let mut primary = Some(primary);
+    let mut hedge = {
+        let budget = overall
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match PipelinedConn::connect(addr, budget) {
+            Ok(mut c) => {
+                if c.send_burst(&request_line(cfg, p, &hedge_id), overall)
+                    .is_ok()
+                {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        }
+    };
+    let race_deadline = match hedge_after {
+        Some(h) => (Instant::now() + h.saturating_mul(1u32 << attempt.min(8))).min(overall),
+        None => overall,
+    };
+    loop {
+        if Instant::now() >= race_deadline {
+            // Neither copy answered inside the race budget: both drew
+            // stragglers. The duplicate was cancelled unanswered and
+            // the attempt is handed back as retryable.
+            if hedge.is_some() {
+                local.hedge_wasted += 1;
+            }
+            local.transport += 1;
+            return Err(true);
+        }
+        if let Some(c) = primary.as_mut() {
+            match c.recv_line((Instant::now() + HEDGE_POLL).min(race_deadline)) {
+                Ok(line) => {
+                    if hedge.is_some() {
+                        local.hedge_wasted += 1;
+                    }
+                    return settle_reply(cfg, p, &primary_id, &line, local);
+                }
+                Err(ClientError::Transport(e)) if e.kind() == IoKind::TimedOut => {}
+                Err(ClientError::Transport(_)) => primary = None,
+                Err(e) => {
+                    eprintln!("loadgen: malformed reply: {e:?}");
+                    local.malformed += 1;
+                    if hedge.is_some() {
+                        local.hedge_wasted += 1;
+                    }
+                    return Err(false);
+                }
+            }
+        }
+        if let Some(c) = hedge.as_mut() {
+            match c.recv_line((Instant::now() + HEDGE_POLL).min(race_deadline)) {
+                Ok(line) => {
+                    local.hedge_won += 1;
+                    if primary.is_some() {
+                        local.hedge_wasted += 1;
+                    }
+                    return settle_reply(cfg, p, &hedge_id, &line, local);
+                }
+                Err(ClientError::Transport(e)) if e.kind() == IoKind::TimedOut => {}
+                Err(ClientError::Transport(_)) => hedge = None,
+                Err(e) => {
+                    eprintln!("loadgen: malformed reply: {e:?}");
+                    local.malformed += 1;
+                    if primary.is_some() {
+                        local.hedge_wasted += 1;
+                    }
+                    return Err(false);
+                }
+            }
+        }
+        if primary.is_none() && hedge.is_none() {
+            // Both connections died; no cancellation happened, so
+            // nothing is wasted — just a transport failure to retry.
+            local.transport += 1;
+            return Err(true);
+        }
+    }
+}
+
+/// The per-thread loop for the open-loop and/or hedged transports: one
+/// logical request at a time on fresh connections (the hedge needs an
+/// independent second connection anyway). In open-loop mode the launch
+/// waits for the scheduled arrival and latency is measured from it —
+/// including any late-launch wait, retries, and hedge time.
+fn paced_worker(
+    cfg: &LoadgenConfig,
+    addr: SocketAddr,
+    next: &AtomicUsize,
+    start: Instant,
+    local: &mut LoadgenReport,
+) {
+    let mut p99_cache: (usize, Option<Duration>) = (0, None);
+    loop {
+        let id = next.fetch_add(1, Ordering::Relaxed);
+        if id >= cfg.requests {
+            return;
+        }
+        let sched = if cfg.open_loop {
+            let sched = start + Duration::from_secs_f64(id as f64 / cfg.rate.max(1e-9));
+            let now = Instant::now();
+            if now < sched {
+                std::thread::sleep(sched - now);
+            } else if now > sched {
+                local.late_launches += 1;
+            }
+            sched
+        } else {
+            Instant::now()
+        };
+        let mut attempt = 0u32;
+        loop {
+            let p = Pending::of(cfg, id, attempt);
+            let threshold = hedge_threshold(cfg, local, &mut p99_cache);
+            match hedged_attempt(cfg, addr, &p, threshold, attempt, local) {
+                Ok(()) => {
+                    local.ok += 1;
+                    local.latencies_us.push(
+                        Instant::now()
+                            .saturating_duration_since(sched)
+                            .as_micros()
+                            .min(u128::from(u64::MAX)) as u64,
+                    );
+                    break;
+                }
+                Err(retryable) if retryable && attempt < cfg.retries => {
+                    local.retries += 1;
+                    std::thread::sleep(backoff_delay(cfg, attempt));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    local.failed += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the load generation and aggregates the report. Closed-loop by
+/// default; `open_loop` and/or `hedge_after` select the paced
+/// per-request transport.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
     let started = Instant::now();
     let next: AtomicUsize = AtomicUsize::new(0);
     let merged: Mutex<LoadgenReport> = Mutex::new(LoadgenReport::default());
+    if cfg.open_loop || cfg.hedge_after.is_some() {
+        let addr = match cfg.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(a) => a,
+            None => {
+                eprintln!("loadgen: cannot resolve {}", cfg.addr);
+                return LoadgenReport {
+                    failed: cfg.requests as u64,
+                    transport: cfg.requests as u64,
+                    elapsed: started.elapsed(),
+                    ..LoadgenReport::default()
+                };
+            }
+        };
+        oblivion_sim::pool::run_crew(cfg.concurrency.max(1), |_w| {
+            let mut local = LoadgenReport::default();
+            paced_worker(cfg, addr, &next, started, &mut local);
+            let mut m = merged.lock().unwrap_or_else(|e| e.into_inner());
+            m.merge(local);
+        });
+        let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+        report.latencies_us.sort_unstable();
+        report.elapsed = started.elapsed();
+        return report;
+    }
     if cfg.keep_alive || cfg.pipeline > 1 {
         let addr = match cfg.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
             Some(a) => a,
@@ -574,5 +974,64 @@ mod tests {
         assert!((r.goodput() - 2.0).abs() < 1e-9);
         assert!((r.shed_rate() - 0.2).abs() < 1e-9);
         assert!(r.render().contains("malformed=0"));
+        assert!(r.render().contains("hedging launched=0 won=0 wasted=0"));
+    }
+
+    #[test]
+    fn hedge_threshold_fixed_p99_and_off() {
+        let mut cache = (0usize, None);
+        let mut cfg = LoadgenConfig {
+            hedge_after: Some(HedgeAfter::After(Duration::from_millis(7))),
+            ..LoadgenConfig::default()
+        };
+        let local = LoadgenReport::default();
+        assert_eq!(
+            hedge_threshold(&cfg, &local, &mut cache),
+            Some(Duration::from_millis(7))
+        );
+
+        cfg.hedge_after = Some(HedgeAfter::P99);
+        // Unarmed before the warmup.
+        assert_eq!(hedge_threshold(&cfg, &local, &mut cache), None);
+        let mut local = LoadgenReport {
+            latencies_us: (1..=100u64).map(|i| i * 1000).collect(),
+            ..LoadgenReport::default()
+        };
+        let t = hedge_threshold(&cfg, &local, &mut cache).expect("armed after warmup");
+        // p99 of 1..=100 ms is 99 ms.
+        assert_eq!(t, Duration::from_millis(99));
+        // Cached until HEDGE_REFRESH more samples arrive.
+        local.latencies_us.push(1_000_000);
+        assert_eq!(
+            hedge_threshold(&cfg, &local, &mut cache),
+            Some(Duration::from_millis(99))
+        );
+
+        cfg.hedge_after = None;
+        assert_eq!(hedge_threshold(&cfg, &local, &mut cache), None);
+    }
+
+    #[test]
+    fn merge_and_render_carry_hedge_counters() {
+        let mut a = LoadgenReport {
+            hedge_launched: 2,
+            hedge_won: 1,
+            hedge_wasted: 2,
+            late_launches: 3,
+            ..LoadgenReport::default()
+        };
+        let b = LoadgenReport {
+            hedge_launched: 1,
+            late_launches: 1,
+            ..LoadgenReport::default()
+        };
+        a.merge(b);
+        assert_eq!(a.hedge_launched, 3);
+        assert_eq!(a.hedge_won, 1);
+        assert_eq!(a.hedge_wasted, 2);
+        assert_eq!(a.late_launches, 4);
+        assert!(a
+            .render()
+            .contains("hedging launched=3 won=1 wasted=2  late_launches=4"));
     }
 }

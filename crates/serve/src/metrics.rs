@@ -144,6 +144,19 @@ impl Exposition {
                 ));
             }
         }
+        // Chaos injection is bookkeeping outside the law, but it has
+        // its own sanity bound: a reset kills a whole connection, so
+        // resets can never exceed the sockets ever opened (tolerating
+        // pre-chaos expositions with no series).
+        if let (Ok(resets), Ok(opened)) =
+            (self.counter("chaos_resets"), self.counter("conns_opened"))
+        {
+            if resets > opened {
+                return Err(format!(
+                    "chaos resets {resets} exceed connections opened {opened}"
+                ));
+            }
+        }
         if accepted != settled + connections as u64 {
             return Err(format!(
                 "conservation violated: accepted {accepted} != settled {settled} \

@@ -45,9 +45,10 @@
 //! [`run_crew`]: oblivion_sim::pool::run_crew
 //! [`route_batch`]: oblivion_core::ObliviousRouter::route_batch
 
+use crate::chaos::{ChaosConfig, ChaosPlan};
 use crate::metrics::render_exposition;
 use crate::queue::{Bounded, Pop};
-use crate::stats::{Counter, Phase, ServeStats, StatsSnapshot};
+use crate::stats::{ChaosEvent, Counter, Phase, ServeStats, StatsSnapshot};
 use crate::wire::{self, ErrorKind, Framed, Request, MAX_REQUEST_LINE};
 use oblivion_core::{ObliviousRouter, PathQuery, RoutedPath};
 use oblivion_obs::Json;
@@ -105,6 +106,10 @@ pub struct ServeConfig {
     /// Announce the bound addresses on stderr (the CLI's readiness
     /// signal for scripts).
     pub announce: bool,
+    /// Deterministic straggler injection (see [`crate::chaos`]);
+    /// `None`, or a trivial config, leaves the request path
+    /// byte-identical to a chaos-free build of the server.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl ServeConfig {
@@ -132,6 +137,7 @@ impl Default for ServeConfig {
             stats_path: None,
             honor_process_signals: false,
             announce: false,
+            chaos: None,
         }
     }
 }
@@ -263,6 +269,11 @@ struct ConnState {
     /// partial line with nothing answerable pending — the slow-loris
     /// clock.
     partial_since: Option<Instant>,
+    /// Chaos reset schedule drawn at adoption: kill the connection once
+    /// it has answered this many lines and more are pending.
+    reset_after: Option<u64>,
+    /// Lines answered on this connection (drives `reset_after`).
+    answered: u64,
     eof: bool,
     dead: bool,
 }
@@ -311,6 +322,14 @@ pub fn run(
         }
     }
 
+    // Materialize the chaos plan once; a trivial plan is dropped
+    // entirely so the chaos-off request path is the vanilla one,
+    // byte for byte (the differential test relies on this).
+    let chaos_plan = cfg
+        .chaos
+        .as_ref()
+        .map(|c| ChaosPlan::new(c.clone()))
+        .filter(|p| !p.is_trivial());
     let mailboxes: Vec<Bounded<Inbound>> = (0..cfg.threads.max(1))
         .map(|_| Bounded::new(MAILBOX_CAP))
         .collect();
@@ -339,7 +358,15 @@ pub fn run(
             }
             overflow.close();
         } else if w <= cfg.threads {
-            worker_loop(router, &mailboxes[w - 1], &overflow, cfg, ctl);
+            worker_loop(
+                router,
+                w - 1,
+                &mailboxes,
+                &overflow,
+                cfg,
+                ctl,
+                chaos_plan.as_ref(),
+            );
             ctl.live_workers.fetch_sub(1, Ordering::SeqCst);
         } else if has_flusher && w == cfg.threads + 1 {
             flusher_loop(cfg, ctl);
@@ -448,13 +475,17 @@ struct Scratch {
     reply: String,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     router: &dyn ObliviousRouter,
-    mailbox: &Bounded<Inbound>,
+    me: usize,
+    mailboxes: &[Bounded<Inbound>],
     overflow: &Bounded<Inbound>,
     cfg: &ServeConfig,
     ctl: &Control,
+    chaos: Option<&ChaosPlan>,
 ) {
+    let mailbox = &mailboxes[me];
     let mut conns: Vec<ConnState> = Vec::new();
     let mut mailbox_closed = false;
     let mut overflow_closed = false;
@@ -469,7 +500,7 @@ fn worker_loop(
         // overflow, up to the ownership cap.
         while !mailbox_closed && conns.len() < MAX_OWNED_CONNS {
             match mailbox.try_pop() {
-                Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                Pop::Item(inbound) => conns.push(adopt(inbound, ctl, chaos)),
                 Pop::Closed => {
                     mailbox_closed = true;
                     break;
@@ -479,12 +510,26 @@ fn worker_loop(
         }
         while !overflow_closed && conns.len() < MAX_OWNED_CONNS {
             match overflow.try_pop() {
-                Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                Pop::Item(inbound) => conns.push(adopt(inbound, ctl, chaos)),
                 Pop::Closed => {
                     overflow_closed = true;
                     break;
                 }
                 Pop::Timeout => break,
+            }
+        }
+        // Steal from sibling mailboxes: the round-robin acceptor parks
+        // connections behind a specific worker, and a worker mid-stall
+        // (simulated work, an injected pause) would otherwise make its
+        // mailbox wait out the entire straggle while idle siblings spin.
+        // Closed siblings are their owner's business — only items are
+        // taken.
+        for (i, sib) in mailboxes.iter().enumerate() {
+            if i == me || conns.len() >= MAX_OWNED_CONNS {
+                continue;
+            }
+            if let Pop::Item(inbound) = sib.try_pop() {
+                conns.push(adopt(inbound, ctl, chaos));
             }
         }
         if conns.is_empty() && mailbox_closed && overflow_closed {
@@ -494,7 +539,7 @@ fn worker_loop(
         let mut progress = false;
         let mut i = 0;
         while i < conns.len() {
-            let (moved, keep) = service_conn(router, &mut conns[i], &mut scratch, cfg, ctl);
+            let (moved, keep) = service_conn(router, &mut conns[i], &mut scratch, cfg, ctl, chaos);
             progress |= moved;
             if keep {
                 i += 1;
@@ -515,7 +560,7 @@ fn worker_loop(
                 std::thread::sleep(wait.min(POLL));
             } else {
                 match mailbox.pop_timeout(wait) {
-                    Pop::Item(inbound) => conns.push(adopt(inbound, ctl)),
+                    Pop::Item(inbound) => conns.push(adopt(inbound, ctl, chaos)),
                     Pop::Closed => mailbox_closed = true,
                     Pop::Timeout => {}
                 }
@@ -524,7 +569,7 @@ fn worker_loop(
     }
 }
 
-fn adopt(inbound: Inbound, ctl: &Control) -> ConnState {
+fn adopt(inbound: Inbound, ctl: &Control, chaos: Option<&ChaosPlan>) -> ConnState {
     ctl.stats.conn_dequeued();
     let _ = inbound.stream.set_nonblocking(true);
     ConnState {
@@ -536,6 +581,8 @@ fn adopt(inbound: Inbound, ctl: &Control) -> ConnState {
         accept_us: inbound.accept_us,
         conn_phases_recorded: false,
         partial_since: None,
+        reset_after: chaos.and_then(|p| p.conn_reset()),
+        answered: 0,
         eof: false,
         dead: false,
     }
@@ -550,6 +597,7 @@ fn service_conn(
     scratch: &mut Scratch,
     cfg: &ServeConfig,
     ctl: &Control,
+    chaos: Option<&ChaosPlan>,
 ) -> (bool, bool) {
     let mut progress = false;
     // 1. Read whatever the socket has and frame it. New lines are
@@ -598,10 +646,24 @@ fn service_conn(
             }
         }
     }
+    // 1b. Chaos reset: a connection whose seed-derived schedule says
+    //     "die after `k` answers" is killed the moment it has answered
+    //     `k` lines with more admitted and waiting — a mid-pipeline
+    //     reset. The close rules below settle its pending lines as
+    //     `io_errors`, exactly like an organically dead peer.
+    if !conn.dead && !conn.pending.is_empty() {
+        if let Some(k) = conn.reset_after {
+            if conn.answered >= k {
+                conn.dead = true;
+                ctl.stats.chaos_event(ChaosEvent::Reset);
+                progress = true;
+            }
+        }
+    }
     // 2. Dispatch a burst of pending lines.
     if !conn.dead && !conn.pending.is_empty() {
         progress = true;
-        dispatch_burst(router, conn, scratch, cfg, ctl);
+        dispatch_burst(router, conn, scratch, cfg, ctl, chaos);
     }
     // 3. The slow-loris clock: a partial line with nothing answerable
     //    pending that outlives the deadline settles as one
@@ -661,8 +723,15 @@ fn dispatch_burst(
     scratch: &mut Scratch,
     cfg: &ServeConfig,
     ctl: &Control,
+    chaos: Option<&ChaosPlan>,
 ) {
     let n = conn.pending.len().min(cfg.batch_max.max(1));
+    // Chaos accumulators for this burst: per-request decisions are made
+    // (and counted) at parse time; the injections apply burst-wide,
+    // mirroring how `cfg.work` amortizes over the batch.
+    let mut chaos_stall = Duration::ZERO;
+    let mut chaos_pause = Duration::ZERO;
+    let mut chaos_slow_write = false;
     let drain_expired = ctl
         .drain_until
         .get()
@@ -740,6 +809,32 @@ fn dispatch_burst(
                                     latest_path_deadline
                                         .map_or(line_deadline, |d| d.max(line_deadline)),
                                 );
+                                // Chaos decisions key on the wire seed
+                                // mixed with the trace id, so the same
+                                // request stream injects the same
+                                // events in any worker interleaving
+                                // (the determinism test's contract),
+                                // while retries and hedged duplicates
+                                // draw independently. Concurrent
+                                // injections fold like concurrent
+                                // stragglers: the burst takes the max,
+                                // each marked request still counts its
+                                // own event.
+                                if let Some(plan) = chaos {
+                                    let ckey = crate::chaos::request_key(seed, id.as_deref());
+                                    if let Some(d) = plan.stall(ckey) {
+                                        chaos_stall = chaos_stall.max(d);
+                                        ctl.stats.chaos_event(ChaosEvent::Stall);
+                                    }
+                                    if let Some(d) = plan.worker_pause(ckey) {
+                                        chaos_pause = chaos_pause.max(d);
+                                        ctl.stats.chaos_event(ChaosEvent::WorkerPause);
+                                    }
+                                    if plan.slow_write(ckey) {
+                                        chaos_slow_write = true;
+                                        ctl.stats.chaos_event(ChaosEvent::SlowWrite);
+                                    }
+                                }
                                 Slot::Route {
                                     q: PathQuery { seed, src, dst },
                                     id,
@@ -770,16 +865,23 @@ fn dispatch_burst(
     }
     ctl.stats
         .record_phase(Phase::Parse, elapsed_us(parse_started));
+    // Injected worker pause: deliberately *uncapped* — a stopped worker
+    // does not honor deadlines, and every connection this worker owns
+    // waits it out. Lines it pushes past their deadline settle as
+    // deadline-exceeded through the post-work sweep below.
+    if !chaos_pause.is_zero() {
+        std::thread::sleep(chaos_pause);
+    }
     // Simulated service time: one sleep per burst, not per line — the
-    // amortization that pipelined dispatch exists to buy. Capped by the
-    // latest live deadline so an overloaded burst still answers.
+    // amortization that pipelined dispatch exists to buy. An injected
+    // compute stall extends it. Capped by the latest live deadline so
+    // an overloaded (or stalled) burst still answers: that is why
+    // injected stalls settle as completions, never leak.
     let route_started = Instant::now();
     if let Some(latest) = latest_path_deadline {
-        if !cfg.work.is_zero() {
-            std::thread::sleep(
-                cfg.work
-                    .min(latest.saturating_duration_since(Instant::now())),
-            );
+        let service = cfg.work + chaos_stall;
+        if !service.is_zero() {
+            std::thread::sleep(service.min(latest.saturating_duration_since(Instant::now())));
         }
     }
     // Post-work expiry check, then batch-route the survivors. Each
@@ -843,10 +945,32 @@ fn dispatch_burst(
     }
     let write_started = Instant::now();
     let _ = conn.stream.set_nonblocking(false);
-    let wrote = wire::write_line(&conn.stream, &scratch.reply, Instant::now() + cfg.deadline);
+    let write_deadline = Instant::now() + cfg.deadline;
+    let wrote = match chaos {
+        // Injected slow write: the burst's reply goes out in two chunks
+        // with a stall between them — a mid-line partial write, exactly
+        // what a congested peer socket produces. The split point is the
+        // byte middle (protocol lines are ASCII; the boundary walk is
+        // cheap insurance), so the first chunk usually ends mid-line.
+        Some(plan) if chaos_slow_write && scratch.reply.len() > 1 => {
+            let mut mid = scratch.reply.len() / 2;
+            while !scratch.reply.is_char_boundary(mid) {
+                mid += 1;
+            }
+            wire::write_line(&conn.stream, &scratch.reply[..mid], write_deadline).and_then(|()| {
+                std::thread::sleep(
+                    plan.write_stall()
+                        .min(write_deadline.saturating_duration_since(Instant::now())),
+                );
+                wire::write_line(&conn.stream, &scratch.reply[mid..], write_deadline)
+            })
+        }
+        _ => wire::write_line(&conn.stream, &scratch.reply, write_deadline),
+    };
     let _ = conn.stream.set_nonblocking(true);
     match wrote {
         Ok(()) => {
+            conn.answered += scratch.slots.len() as u64;
             ctl.stats
                 .record_phase(Phase::ReplyWrite, elapsed_us(write_started));
             ctl.stats.settle_batch(Counter::Completed, settled[0]);

@@ -160,10 +160,52 @@ impl Counter {
     }
 }
 
+/// The chaos-injected event kinds (see `crate::chaos`): bookkeeping
+/// counters **outside** the conservation law, like connection churn —
+/// an injected stall still settles its requests as completions, an
+/// injected reset settles them as `io_errors`; the chaos counters just
+/// say how many events were injected, never where units went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// A per-request compute stall (fixed + heavy-tailed) was injected.
+    Stall,
+    /// A burst's reply was written slow, in two chunks.
+    SlowWrite,
+    /// A connection was killed mid-pipeline.
+    Reset,
+    /// A worker slept through an injected pause before dispatching.
+    WorkerPause,
+}
+
+/// Number of chaos event kinds.
+pub const CHAOS_EVENT_COUNT: usize = 4;
+
+impl ChaosEvent {
+    /// The `oblivion-obs` counter this event mirrors to.
+    pub fn obs_name(self) -> &'static str {
+        match self {
+            ChaosEvent::Stall => "serve_chaos_stalls",
+            ChaosEvent::SlowWrite => "serve_chaos_slow_writes",
+            ChaosEvent::Reset => "serve_chaos_resets",
+            ChaosEvent::WorkerPause => "serve_chaos_worker_pauses",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ChaosEvent::Stall => 0,
+            ChaosEvent::SlowWrite => 1,
+            ChaosEvent::Reset => 2,
+            ChaosEvent::WorkerPause => 3,
+        }
+    }
+}
+
 /// Everything behind the one lock. Gauges are `i64` so an accounting bug
 /// shows up as a visible negative level instead of a wrapped `u64`.
 struct Ledger {
     counters: [u64; 8],
+    chaos: [u64; CHAOS_EVENT_COUNT],
     conns_opened: u64,
     conns_closed: u64,
     max_queue_depth: u64,
@@ -178,6 +220,7 @@ impl Default for Ledger {
     fn default() -> Self {
         Ledger {
             counters: [0; 8],
+            chaos: [0; CHAOS_EVENT_COUNT],
             conns_opened: 0,
             conns_closed: 0,
             max_queue_depth: 0,
@@ -402,6 +445,13 @@ impl ServeStats {
         oblivion_obs::counter_add("serve_health_probes", 1);
     }
 
+    /// A chaos event was injected (outside the law — the affected
+    /// request units still settle through their normal buckets).
+    pub fn chaos_event(&self, event: ChaosEvent) {
+        self.lock().chaos[event.index()] += 1;
+        oblivion_obs::counter_add(event.obs_name(), 1);
+    }
+
     /// Records one phase duration (microseconds) into the live ledger
     /// and the mirrored obs runtime histogram.
     pub fn record_phase(&self, phase: Phase, us: u64) {
@@ -423,6 +473,10 @@ impl ServeStats {
             drain_rejected: l.counters[Counter::DrainRejected.index()],
             io_errors: l.counters[Counter::IoError.index()],
             health_probes: l.counters[Counter::HealthProbe.index()],
+            chaos_stalls: l.chaos[ChaosEvent::Stall.index()],
+            chaos_slow_writes: l.chaos[ChaosEvent::SlowWrite.index()],
+            chaos_resets: l.chaos[ChaosEvent::Reset.index()],
+            chaos_worker_pauses: l.chaos[ChaosEvent::WorkerPause.index()],
             conns_opened: l.conns_opened,
             conns_closed: l.conns_closed,
             max_queue_depth: l.max_queue_depth,
@@ -455,6 +509,14 @@ pub struct StatsSnapshot {
     pub io_errors: u64,
     /// Probes answered on the dedicated health listener.
     pub health_probes: u64,
+    /// Chaos-injected compute stalls (outside the law).
+    pub chaos_stalls: u64,
+    /// Chaos-injected slow two-chunk reply writes (outside the law).
+    pub chaos_slow_writes: u64,
+    /// Chaos-injected mid-pipeline connection resets (outside the law).
+    pub chaos_resets: u64,
+    /// Chaos-injected worker pauses (outside the law).
+    pub chaos_worker_pauses: u64,
     /// Sockets taken off the request listener (churn telemetry, outside
     /// the law).
     pub conns_opened: u64,
@@ -529,9 +591,18 @@ impl StatsSnapshot {
             ("serve_drain_rejected", self.drain_rejected),
             ("serve_io_errors", self.io_errors),
             ("serve_health_probes", self.health_probes),
+            ("serve_chaos_stalls", self.chaos_stalls),
+            ("serve_chaos_slow_writes", self.chaos_slow_writes),
+            ("serve_chaos_resets", self.chaos_resets),
+            ("serve_chaos_worker_pauses", self.chaos_worker_pauses),
             ("serve_conns_opened", self.conns_opened),
             ("serve_conns_closed", self.conns_closed),
         ]
+    }
+
+    /// Total chaos events injected, across every kind.
+    pub fn chaos_events(&self) -> u64 {
+        self.chaos_stalls + self.chaos_slow_writes + self.chaos_resets + self.chaos_worker_pauses
     }
 }
 
@@ -672,12 +743,49 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 14);
         assert!(names.contains(&"serve_accepted"));
         assert!(names.contains(&"serve_shed_overloaded"));
         assert!(names.contains(&"serve_conns_opened"));
         assert!(names.contains(&"serve_conns_closed"));
+        for e in [
+            ChaosEvent::Stall,
+            ChaosEvent::SlowWrite,
+            ChaosEvent::Reset,
+            ChaosEvent::WorkerPause,
+        ] {
+            assert!(names.contains(&e.obs_name()), "{}", e.obs_name());
+        }
         assert_eq!(s.snapshot().max_queue_depth, 3);
+    }
+
+    /// Chaos events are bookkeeping outside the law: injecting them
+    /// moves no terminal bucket and breaks no conservation form, and
+    /// the units they touched still settle normally.
+    #[test]
+    fn chaos_events_stay_outside_the_conservation_law() {
+        let s = ServeStats::default();
+        s.conn_opened();
+        s.enqueued(1);
+        s.conn_dequeued();
+        s.admit(3);
+        s.chaos_event(ChaosEvent::Stall);
+        s.chaos_event(ChaosEvent::WorkerPause);
+        let snap = s.snapshot();
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert_eq!(snap.chaos_stalls, 1);
+        assert_eq!(snap.chaos_worker_pauses, 1);
+        // Two stalled lines complete; a reset kills the last one as io.
+        s.settle_batch(Counter::Completed, 2);
+        s.chaos_event(ChaosEvent::Reset);
+        s.settle_batch(Counter::IoError, 1);
+        s.conn_closed();
+        let snap = s.snapshot();
+        assert!(snap.conserved(), "{snap:?}");
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert_eq!(snap.chaos_resets, 1);
+        assert_eq!(snap.chaos_events(), 3);
+        assert_eq!((snap.completed, snap.io_errors), (2, 1));
     }
 
     /// The pipelined flow: a worker frames a burst, admits it in one

@@ -14,8 +14,11 @@
 #
 # Baselines are hardware-dependent; after an intentional perf change or
 # a runner change, regenerate them (scripts/run_experiments.sh, then
-# copy results/BENCH_route.json and the report line of
-# results/serve_load.json into bench_baselines/) in the same PR. For a
+# copy results/BENCH_route.json and the report lines of
+# results/serve_load.json and results/serve_hedging.json into
+# bench_baselines/) in the same PR. The serve_hedging baseline is
+# optional: its open-loop metrics (hedged p999, tail-reduction factor)
+# are gated only when bench_baselines/serve_hedging.json exists. For a
 # one-off waiver, write a single line of justification into
 # bench_baselines/OVERRIDE: the gate then reports the regressions but
 # exits 0. Delete the file to re-arm the gate.
@@ -58,6 +61,17 @@ rows_serve() {
     "$1"
 }
 
+# Open-loop hedging (E27): the corrected hedged tail must not inflate,
+# and the tail-reduction factor vs no mitigation must not collapse. The
+# reduction is a ratio of two latencies on the same host, so unlike the
+# raw ms columns it is fairly hardware-independent; it rides the
+# throughput threshold (fail when it drops >20% below baseline).
+rows_hedging() {
+  jq -r 'select(.type == "report")
+    | "serve_hedged_p999_ms p99 \(.hedged_p999_ms)",
+      "serve_hedging_tail_reduction thru \(.tail_reduction_vs_none)"' "$1"
+}
+
 run_gate() {
   local results="$1" fails=0 metric kind cur base
   for f in BENCH_route serve_load; do
@@ -70,6 +84,17 @@ run_gate() {
       return 1
     fi
   done
+  # The open-loop hedging metrics ride along only once their baseline is
+  # committed, so the closed-loop serve_load gate never trips on a
+  # checkout that predates E27.
+  local hedging=0
+  if [[ -f "$BASE/serve_hedging.json" ]]; then
+    hedging=1
+    if [[ ! -f "$results/serve_hedging.json" ]]; then
+      echo "bench_gate: missing $results/serve_hedging.json (run exp_serve_hedging first)" >&2
+      return 1
+    fi
+  fi
 
   declare -A baseline
   while read -r metric kind base; do
@@ -77,6 +102,7 @@ run_gate() {
   done < <(
     rows_route "$BASE/BENCH_route.json"
     rows_serve "$BASE/serve_load.json"
+    [[ $hedging == 1 ]] && rows_hedging "$BASE/serve_hedging.json"
   )
 
   printf '%-42s %-5s %14s %14s  %s\n' metric kind current baseline verdict
@@ -95,6 +121,7 @@ run_gate() {
   done < <(
     rows_route "$results/BENCH_route.json"
     rows_serve "$results/serve_load.json"
+    [[ $hedging == 1 ]] && rows_hedging "$results/serve_hedging.json"
   )
 
   if [[ $fails -gt 0 ]]; then
@@ -117,11 +144,20 @@ self_test() {
   trap "rm -rf '$tmp'" EXIT
   export BENCH_GATE_IGNORE_OVERRIDE=1
 
+  # The hedging metrics are optional (only gated once a baseline is
+  # committed); when present they must be perturbed alongside the rest
+  # so the self-test exercises them too.
+  local hedging=0
+  [[ -f "$BASE/serve_hedging.json" ]] && hedging=1
+
   # 25% throughput regression on every metric: the gate MUST fail.
   jq '(.configs[].paths_per_sec) *= 0.75' "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
   jq -c 'select(.type == "report")
     | .per_conn_plateau_rps *= 0.75 | .pipelined_peak_rps *= 0.75' \
     "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
+    | .tail_reduction_vs_none *= 0.75' \
+    "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
   if run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a synthetic 25% throughput regression passed the gate" >&2
     return 1
@@ -132,6 +168,9 @@ self_test() {
   jq '(.configs[].ns_per_path_p99) *= 1.4' "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
   jq -c 'select(.type == "report") | (.sweep[].p99_ms) *= 1.4' \
     "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
+    | .hedged_p999_ms *= 1.4' \
+    "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
   if run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a synthetic 40% p99 inflation passed the gate" >&2
     return 1
@@ -145,6 +184,9 @@ self_test() {
     | .per_conn_plateau_rps *= 0.9 | .pipelined_peak_rps *= 0.9
     | (.sweep[].p99_ms) *= 1.1' \
     "$BASE/serve_load.json" > "$tmp/serve_load.json"
+  [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
+    | .tail_reduction_vs_none *= 0.9 | .hedged_p999_ms *= 1.1' \
+    "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
   if ! run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a 10% wobble tripped the gate" >&2
     return 1

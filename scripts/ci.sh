@@ -190,6 +190,83 @@ metrics_gate() {
 timed_retry "metrics gate (METRICS scrape + top --check + flusher/report diff)" \
   metrics_gate
 
+# Straggler resilience: a daemon with deterministic chaos injection
+# (heavy-tailed stalls, slow writes, connection resets, worker pauses)
+# must survive a hedged open-loop load with zero failed requests, and
+# its SIGTERM drain must still exit 0 — `serve` errors on exit if the
+# final request ledger does not conserve, so a clean drain proves the
+# chaos events (stalls settling as completions, resets as io errors,
+# abandoned hedge losers) all landed in exactly one terminal bucket.
+chaos_serve_gate() {
+  local tmp port pid up
+  tmp=$(mktemp -d)
+  cargo build --offline --quiet --bin oblivion
+  local bin=target/debug/oblivion
+  pid=""
+  for _ in $(seq 1 10); do
+    port=$((21000 + RANDOM % 30000))
+    : > "$tmp/serve.err"
+    "$bin" serve --mesh 16x16 --port "$port" --threads 3 --queue 32 \
+      --chaos-seed 7 --chaos-stall-prob 0.2 --chaos-stall-ms 8 \
+      --chaos-write-prob 0.1 --chaos-write-ms 2 \
+      --chaos-reset-prob 0.15 --chaos-pause-prob 0.05 --chaos-pause-ms 2 \
+      > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    pid=$!
+    up=0
+    for _ in $(seq 1 100); do
+      if grep -q "serve: listening" "$tmp/serve.err" 2> /dev/null; then
+        up=1
+        break
+      fi
+      if ! kill -0 "$pid" 2> /dev/null; then
+        break
+      fi
+      sleep 0.05
+    done
+    if [[ $up == 1 ]]; then
+      break
+    fi
+    wait "$pid" 2> /dev/null || true
+    pid=""
+  done
+  if [[ -z "$pid" ]]; then
+    echo "chaos-serve gate: could not start the daemon after 10 attempts" >&2
+    cat "$tmp/serve.err" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  # Open-loop hedged load: loadgen exits nonzero if any request fails or
+  # any reply is malformed, so hedging must absorb every injected stall
+  # and reset within the retry budget.
+  if ! "$bin" loadgen --mesh 16x16 --port "$port" --requests 200 \
+    --concurrency 8 --rate 250 --open-loop --hedge-after 12 \
+    --retries 8 --timeout-ms 4000 --seed 7 > "$tmp/loadgen.out" 2>&1; then
+    echo "chaos-serve gate: hedged loadgen failed under injected chaos" >&2
+    cat "$tmp/loadgen.out" >&2
+    kill -9 "$pid" 2> /dev/null || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  if ! grep -q "failed=0" "$tmp/loadgen.out"; then
+    echo "chaos-serve gate: loadgen report does not show failed=0" >&2
+    cat "$tmp/loadgen.out" >&2
+    kill -9 "$pid" 2> /dev/null || true
+    rm -rf "$tmp"
+    return 1
+  fi
+  kill -TERM "$pid"
+  if ! wait "$pid"; then
+    echo "chaos-serve gate: SIGTERM drain did not exit 0 (ledger violation?)" >&2
+    cat "$tmp/serve.out" "$tmp/serve.err" >&2
+    rm -rf "$tmp"
+    return 1
+  fi
+  rm -rf "$tmp"
+}
+
+timed_retry "chaos-serve gate (hedged open-loop load vs injected stalls/resets)" \
+  chaos_serve_gate
+
 # Crash consistency: kill -9 mid-run, torn snapshot writes, and flipped
 # bytes must all resume to byte-identical results — and the serve daemon
 # must survive kill -9 + restart under live load with zero malformed

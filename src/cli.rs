@@ -27,7 +27,7 @@ pub struct Args {
 
 /// Options that are flags: present or absent, never followed by a value.
 /// `--trace` is recorded as `trace = "true"`.
-pub const BOOL_FLAGS: &[&str] = &["trace", "no-health", "check", "keep-alive"];
+pub const BOOL_FLAGS: &[&str] = &["trace", "no-health", "check", "keep-alive", "open-loop"];
 
 /// Parses raw arguments (without the program name).
 ///
@@ -444,13 +444,29 @@ pub fn help() -> String {
          \u{20}             gracefully; HEALTH/READY/METRICS answer on the health\n\
          \u{20}             port even under overload; PATH takes an optional\n\
          \u{20}             trailing id=<token> echoed on every reply)\n\
-         \u{20}  loadgen   closed-loop load generator for `oblivion serve`\n\
+         \u{20}            chaos: --chaos-seed S with [--chaos-stall-prob P]\n\
+         \u{20}            [--chaos-stall-ms 5] [--chaos-write-prob P]\n\
+         \u{20}            [--chaos-write-ms 5] [--chaos-reset-prob P]\n\
+         \u{20}            [--chaos-pause-prob P] [--chaos-pause-ms 20]\n\
+         \u{20}            (deterministic straggler injection — compute stalls with\n\
+         \u{20}             a heavy tail, slow two-chunk writes, connection resets,\n\
+         \u{20}             worker pauses; a pure function of --chaos-seed, counted\n\
+         \u{20}             in METRICS, still conserving; all knobs need the seed)\n\
+         \u{20}  loadgen   load generator for `oblivion serve`\n\
          \u{20}            --port 4701 --mesh 16x16 [--requests 200]\n\
          \u{20}            [--concurrency 8] [--retries 8] [--backoff-ms 10]\n\
          \u{20}            [--backoff-cap-ms 500] [--timeout-ms 2000] [--seed 42]\n\
          \u{20}            [--keep-alive] [--pipeline N]  (persistent connections;\n\
          \u{20}             N request lines in flight per connection — N > 1\n\
          \u{20}             implies --keep-alive; N must be at least 1)\n\
+         \u{20}            [--rate R] [--open-loop]  (open loop: arrival i launches\n\
+         \u{20}             at i/R seconds and latency counts from the *scheduled*\n\
+         \u{20}             arrival, so stragglers cannot hide behind coordinated\n\
+         \u{20}             omission; --rate implies --open-loop)\n\
+         \u{20}            [--hedge-after p99|MS]  (fire a duplicate attempt on a\n\
+         \u{20}             second connection once the primary is quiet this long;\n\
+         \u{20}             first reply wins, loser counted as wasted; needs the\n\
+         \u{20}             per-request transport)\n\
          \u{20}            (tags every request with a trace id and verifies the\n\
          \u{20}             echo; exit 2 if any request fails or any response is\n\
          \u{20}             malformed)\n\
@@ -1152,6 +1168,56 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         }
         (None, _) => None,
     };
+    // Chaos injection: every knob requires --chaos-seed so an injected
+    // schedule is always reproducible; with no chaos flag at all the
+    // server is byte-identical to one built without the feature.
+    const CHAOS_KEYS: &[&str] = &[
+        "chaos-stall-prob",
+        "chaos-stall-ms",
+        "chaos-write-prob",
+        "chaos-write-ms",
+        "chaos-reset-prob",
+        "chaos-pause-prob",
+        "chaos-pause-ms",
+    ];
+    let chaos_requested = args.options.contains_key("chaos-seed")
+        || CHAOS_KEYS.iter().any(|k| args.options.contains_key(*k));
+    let chaos = if chaos_requested {
+        let seed =
+            match args.options.get("chaos-seed") {
+                Some(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --chaos-seed `{raw}`: {e}"))?,
+                None => return Err(
+                    "--chaos-* flags need --chaos-seed so the injected schedule is reproducible"
+                        .into(),
+                ),
+            };
+        let prob = |key: &str| -> Result<f64, String> {
+            let raw = opt(args, key, "0");
+            raw.parse::<f64>()
+                .map_err(|e| format!("bad --{key} `{raw}`: {e}"))
+        };
+        let dur_ms = |key: &str, default: &str| -> Result<std::time::Duration, String> {
+            Ok(std::time::Duration::from_millis(parse_nonzero_u64(
+                args, key, default,
+            )?))
+        };
+        let c = oblivion_serve::ChaosConfig {
+            seed,
+            stall_prob: prob("chaos-stall-prob")?,
+            stall: dur_ms("chaos-stall-ms", "5")?,
+            write_prob: prob("chaos-write-prob")?,
+            write_stall: dur_ms("chaos-write-ms", "5")?,
+            reset_prob: prob("chaos-reset-prob")?,
+            pause_prob: prob("chaos-pause-prob")?,
+            pause: dur_ms("chaos-pause-ms", "20")?,
+        };
+        c.validate()?;
+        Some(c)
+    } else {
+        None
+    };
     let cfg = ServeConfig {
         host: opt(args, "host", "127.0.0.1").to_string(),
         port,
@@ -1166,6 +1232,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         stats_path,
         honor_process_signals: true,
         announce: true,
+        chaos,
     };
     oblivion_signal::install();
     let ctl = Control::new();
@@ -1181,6 +1248,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     report_field("serve_drain_ms", drain_ms);
     report_field("serve_uptime_ms", summary.uptime.as_millis() as u64);
     report_field("serve_drain_took_ms", summary.drain_took.as_millis() as u64);
+    if let Some(c) = &cfg.chaos {
+        report_field("serve_chaos_seed", c.seed);
+    }
     for (name, value) in s.obs_counters() {
         report_field(name, value);
     }
@@ -1294,7 +1364,7 @@ fn cmd_top(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_loadgen(args: &Args) -> Result<String, String> {
-    use oblivion_serve::LoadgenConfig;
+    use oblivion_serve::{HedgeAfter, LoadgenConfig};
     let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
     let port = parse_port(args, "port")?;
     let requests = usize::try_from(parse_nonzero_u64(args, "requests", "200")?)
@@ -1313,6 +1383,40 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
     let pipeline = usize::try_from(parse_nonzero_u64(args, "pipeline", "1")?)
         .map_err(|_| "bad --pipeline: too large".to_string())?;
     let keep_alive = opt(args, "keep-alive", "false") == "true" || pipeline > 1;
+    // --rate implies open loop (scheduled arrivals need a schedule);
+    // --open-loop without --rate has no schedule to follow and is
+    // refused, as is a zero/negative/non-finite rate.
+    let rate = match args.options.get("rate") {
+        Some(raw) => {
+            let r: f64 = raw
+                .parse()
+                .map_err(|e| format!("bad --rate `{raw}`: {e}"))?;
+            if !r.is_finite() || r <= 0.0 {
+                return Err(format!("--rate must be a positive req/s rate, got {raw}"));
+            }
+            Some(r)
+        }
+        None => None,
+    };
+    if opt(args, "open-loop", "false") == "true" && rate.is_none() {
+        return Err("--open-loop needs --rate to schedule arrivals".into());
+    }
+    let open_loop = rate.is_some();
+    // --hedge-after takes `p99` or a fixed stall threshold in ms; the
+    // duplicate needs its own connection, so hedging is incompatible
+    // with the keep-alive/pipelined transports.
+    let hedge_after = match args.options.get("hedge-after") {
+        Some(raw) if raw == "p99" => Some(HedgeAfter::P99),
+        Some(_) => Some(HedgeAfter::After(std::time::Duration::from_millis(
+            parse_nonzero_u64(args, "hedge-after", "0")?,
+        ))),
+        None => None,
+    };
+    if hedge_after.is_some() && (keep_alive || pipeline > 1) {
+        return Err(
+            "--hedge-after needs the per-request transport; drop --keep-alive/--pipeline".into(),
+        );
+    }
     let cfg = LoadgenConfig {
         addr: format!("{}:{port}", opt(args, "host", "127.0.0.1")),
         mesh,
@@ -1325,10 +1429,19 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
         seed: seed_of(args)?,
         keep_alive,
         pipeline,
+        open_loop,
+        rate: rate.unwrap_or(0.0),
+        hedge_after,
     };
     let report = oblivion_serve::run_loadgen(&cfg);
     report_field("loadgen_keep_alive", if keep_alive { 1u64 } else { 0 });
     report_field("loadgen_pipeline", pipeline as u64);
+    report_field("loadgen_open_loop", if open_loop { 1u64 } else { 0 });
+    report_field("loadgen_rate", rate.unwrap_or(0.0));
+    report_field("loadgen_hedge_launched", report.hedge_launched);
+    report_field("loadgen_hedge_won", report.hedge_won);
+    report_field("loadgen_hedge_wasted", report.hedge_wasted);
+    report_field("loadgen_late_launches", report.late_launches);
     report_field("loadgen_ok", report.ok);
     report_field("loadgen_failed", report.failed);
     report_field("loadgen_malformed", report.malformed);

@@ -212,6 +212,57 @@ fn serve_rejects_degenerate_knobs_cleanly() {
 }
 
 #[test]
+fn serve_rejects_bad_chaos_flags_cleanly() {
+    // Negative/oversized probabilities, zero durations, and a garbage
+    // seed are all refused before binding a socket.
+    for (flag, value) in [
+        ("--chaos-stall-prob", "-0.1"),
+        ("--chaos-stall-prob", "1.5"),
+        ("--chaos-stall-prob", "NaN"),
+        ("--chaos-write-prob", "-1"),
+        ("--chaos-reset-prob", "2"),
+        ("--chaos-pause-prob", "-0.5"),
+        ("--chaos-stall-ms", "0"),
+        ("--chaos-pause-ms", "-3"),
+        ("--chaos-seed", "not-a-seed"),
+    ] {
+        let out = oblivion(&[
+            "serve",
+            "--mesh",
+            "8x8",
+            "--port",
+            "4555",
+            "--chaos-seed",
+            "1",
+            flag,
+            value,
+        ]);
+        assert_clean_failure(&out, &format!("serve {flag} {value}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag.trim_start_matches('-')),
+            "serve {flag}: error should name the offending flag: {stderr}"
+        );
+    }
+    // Any chaos knob without --chaos-seed is refused: an injected
+    // schedule that cannot be reproduced is useless for debugging.
+    for flag in [
+        "--chaos-stall-prob",
+        "--chaos-write-prob",
+        "--chaos-reset-prob",
+        "--chaos-pause-prob",
+    ] {
+        let out = oblivion(&["serve", "--mesh", "8x8", "--port", "4555", flag, "0.1"]);
+        assert_clean_failure(&out, &format!("serve {flag} without --chaos-seed"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("chaos-seed"),
+            "serve {flag}: error should point at the missing seed: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn loadgen_rejects_degenerate_knobs_cleanly() {
     for (flag, value) in [
         ("--port", "0"),
@@ -235,6 +286,56 @@ fn loadgen_rejects_degenerate_knobs_cleanly() {
     }
     let out = oblivion(&["loadgen", "--mesh", "8x8"]);
     assert_clean_failure(&out, "loadgen without --port");
+}
+
+#[test]
+fn loadgen_rejects_bad_open_loop_and_hedge_flags_cleanly() {
+    // A zero/negative/non-finite rate and a zero or garbage hedge
+    // threshold are configuration errors, not load profiles.
+    for (flag, value) in [
+        ("--rate", "0"),
+        ("--rate", "-100"),
+        ("--rate", "inf"),
+        ("--rate", "oops"),
+        ("--hedge-after", "0"),
+        ("--hedge-after", "-5"),
+        ("--hedge-after", "p98"),
+    ] {
+        let out = oblivion(&["loadgen", "--mesh", "8x8", "--port", "4555", flag, value]);
+        assert_clean_failure(&out, &format!("loadgen {flag} {value}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag.trim_start_matches('-')),
+            "loadgen {flag}: error should name the offending flag: {stderr}"
+        );
+    }
+    // --open-loop without --rate has no schedule to follow.
+    let out = oblivion(&["loadgen", "--mesh", "8x8", "--port", "4555", "--open-loop"]);
+    assert_clean_failure(&out, "loadgen --open-loop without --rate");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("rate"),
+        "error should point at the missing --rate"
+    );
+    // Hedging duplicates need their own connection: the keep-alive and
+    // pipelined transports are refused.
+    for extra in [&["--keep-alive"][..], &["--pipeline", "4"][..]] {
+        let mut args = vec![
+            "loadgen",
+            "--mesh",
+            "8x8",
+            "--port",
+            "4555",
+            "--hedge-after",
+            "25",
+        ];
+        args.extend_from_slice(extra);
+        let out = oblivion(&args);
+        assert_clean_failure(&out, &format!("loadgen --hedge-after with {extra:?}"));
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("hedge-after"),
+            "error should name the conflicting flag"
+        );
+    }
 }
 
 #[test]
