@@ -43,6 +43,7 @@ mod busch_torus;
 mod buschd;
 mod chain;
 mod choices;
+mod factory;
 mod offline;
 mod padded;
 mod parallel;
@@ -57,6 +58,7 @@ pub use busch_torus::BuschTorus;
 pub use buschd::{stretch_bound, BuschD};
 pub use chain::{path_through_chain, path_through_chain_clipped, RandomnessMode};
 pub use choices::{bits_lower_bound, ChoiceProfile};
+pub use factory::{build_router, parse_mesh_spec, ROUTER_NAMES};
 pub use offline::{route_min_congestion, OfflineConfig};
 pub use padded::BuschPadded;
 pub use parallel::{route_all_parallel, route_all_seeded};

@@ -44,6 +44,18 @@ pub trait ObliviousRouter: Send + Sync {
     /// The mesh this router routes on.
     fn mesh(&self) -> &Mesh;
 
+    /// Approximate bytes of routing state this router holds alive —
+    /// the mesh's own tables plus any per-router precomputation. The
+    /// serving layer's registry exposes this per tenant
+    /// (`mesh_state_bytes`) so the memory cost of keeping a mesh
+    /// registered is a measured quantity, in the spirit of the
+    /// compact-routing literature (Räcke–Schmid; Czerner–Räcke), not an
+    /// accident. The default charges just the mesh; routers carrying
+    /// extra precomputed state should add it on top.
+    fn state_bytes(&self) -> u64 {
+        self.mesh().state_bytes()
+    }
+
     /// Selects a path from `s` to `t` using `rng` as the only source of
     /// randomness. Must return a valid walk from `s` to `t`.
     fn select_path(&self, s: &Coord, t: &Coord, rng: &mut dyn RngCore) -> RoutedPath;

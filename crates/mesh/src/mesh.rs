@@ -185,6 +185,23 @@ impl Mesh {
         self.edge_count
     }
 
+    /// Approximate bytes of heap + inline state this mesh holds alive:
+    /// the struct itself plus its dimension, stride, and edge-indexing
+    /// tables. The basis of the serving registry's per-tenant
+    /// `mesh_state_bytes` gauge — routing state as a measured resource.
+    pub fn state_bytes(&self) -> u64 {
+        let inline = std::mem::size_of::<Self>();
+        let heap = std::mem::size_of_val(self.dims.as_slice())
+            + std::mem::size_of_val(self.strides.as_slice())
+            + std::mem::size_of_val(self.edge_offsets.as_slice())
+            + self
+                .edge_strides
+                .iter()
+                .map(|v| std::mem::size_of::<Vec<usize>>() + std::mem::size_of_val(v.as_slice()))
+                .sum::<usize>();
+        (inline + heap) as u64
+    }
+
     /// Network diameter: the maximum shortest-path distance between nodes.
     pub fn diameter(&self) -> u64 {
         self.dims

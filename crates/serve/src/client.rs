@@ -129,12 +129,33 @@ impl Client {
         dst: &Coord,
         id: Option<&str>,
     ) -> Result<Vec<Coord>, ClientError> {
+        self.request_path_on(mesh, None, seed, src, dst, id)
+    }
+
+    /// [`Client::request_path_with_id`] addressed to a named mesh on a
+    /// multi-tenant server: the request line is prefixed `MESH <id> `
+    /// so it routes on that tenant's mesh (and is charged to its
+    /// quota). `mesh_id: None` sends the bare single-tenant line,
+    /// byte-identical to [`Client::request_path_with_id`].
+    pub fn request_path_on(
+        &self,
+        mesh: &Mesh,
+        mesh_id: Option<&str>,
+        seed: u64,
+        src: &Coord,
+        dst: &Coord,
+        id: Option<&str>,
+    ) -> Result<Vec<Coord>, ClientError> {
+        let prefix = match mesh_id {
+            Some(mid) => format!("MESH {mid} "),
+            None => String::new(),
+        };
         let id_field = match id {
             Some(id) => format!(" id={id}"),
             None => String::new(),
         };
         let line = format!(
-            "PATH {seed} {} {}{id_field}\n",
+            "{prefix}PATH {seed} {} {}{id_field}\n",
             wire::format_coord(src, mesh.dim()),
             wire::format_coord(dst, mesh.dim())
         );

@@ -13,6 +13,12 @@
 //!   reads (slow-loris safe).
 //! * [`queue`] — the bounded admission queue: pushes never block, a
 //!   full queue sheds with `OVERLOADED` instead of queueing unboundedly.
+//! * [`registry`] — the multi-tenant mesh registry: many named
+//!   `(mesh, router)` tenants behind one daemon, each with its own
+//!   token-bucket admission quota and an accounted `state_bytes`
+//!   footprint; meshes are added and retired at runtime through the
+//!   health port's `ADMIN` verbs, with retire draining in-flight work
+//!   and freeing the routing state without a restart.
 //! * [`server`] — the serving loop on the shared
 //!   [`oblivion_sim::pool::run_crew`] worker pool: per-request deadlines,
 //!   graceful SIGTERM drain with a budget, and dedicated health/readiness
@@ -47,6 +53,7 @@ pub mod client;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod top;
@@ -54,9 +61,10 @@ pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosPlan};
 pub use client::{Client, ClientError};
-pub use loadgen::{run_loadgen, HedgeAfter, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, tenant_of, HedgeAfter, LoadgenConfig, LoadgenReport, TenantLoad};
 pub use metrics::{parse_exposition, render_exposition, Exposition};
-pub use server::{run, Control, ServeConfig, ServeSummary};
-pub use stats::{ChaosEvent, Phase, ServeStats, StatsSnapshot};
+pub use registry::{Registry, Resolved, RouterHandle, Tenant};
+pub use server::{run, run_registry, Control, ServeConfig, ServeSummary};
+pub use stats::{ChaosEvent, Phase, ServeStats, StatsSnapshot, TenantSnapshot};
 pub use top::{run_top, TopConfig};
 pub use wire::{ErrorKind, Request, Response, MAX_REQUEST_ID, MAX_REQUEST_LINE};

@@ -32,6 +32,16 @@
 //! would see. When every worker is busy the launch happens late and is
 //! counted in `late_launches`; the wait is still charged to latency.
 //!
+//! **Multi-tenant mix.** With a non-empty `tenants` list each request
+//! is deterministically assigned a mesh id by weight (a pure function
+//! of `(seed, request id)`, so reruns and retries land on the same
+//! tenant) and sent with the `MESH <id> ` wire prefix; the report then
+//! carries a per-tenant partition of successes, failures, sheds, and
+//! latency quantiles — which is how the tenant-isolation experiment
+//! shows one tenant's overload shedding only that tenant's traffic. An
+//! empty list sends bare lines, byte-identical to the single-tenant
+//! generator.
+//!
 //! **Hedged requests.** With `hedge_after`, an attempt that has been
 //! quiet past the stall threshold fires a *duplicate* attempt on a
 //! second connection (a distinct trace ID, `<id>h`). The first full
@@ -91,6 +101,11 @@ pub struct LoadgenConfig {
     /// once the primary has been quiet this long. Incompatible with the
     /// keep-alive/pipelined transports.
     pub hedge_after: Option<HedgeAfter>,
+    /// Weighted tenant mix: `(mesh id, weight)` pairs. Empty means no
+    /// `MESH` prefix (the single-tenant wire); one entry pins every
+    /// request to that mesh; several entries split the stream
+    /// deterministically in proportion to the weights.
+    pub tenants: Vec<(String, f64)>,
 }
 
 /// When a stalled attempt fires its hedge (the duplicate request).
@@ -121,6 +136,7 @@ impl Default for LoadgenConfig {
             open_loop: false,
             rate: 0.0,
             hedge_after: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -146,6 +162,12 @@ pub struct LoadgenReport {
     pub shutting_down: u64,
     /// Transport-level failures observed (refused, reset, timeout).
     pub transport: u64,
+    /// `UNKNOWN_MESH` answers observed (mesh id not registered yet —
+    /// retryable, since an `ADMIN ADD` may be in flight).
+    pub unknown_mesh: u64,
+    /// `MESH_RETIRED` answers observed (the tenant was retired
+    /// mid-stream — retryable against a replacement mesh).
+    pub mesh_retired: u64,
     /// Hedge attempts fired (duplicate requests on a second connection).
     pub hedge_launched: u64,
     /// Hedged pairs where the duplicate answered first.
@@ -161,6 +183,44 @@ pub struct LoadgenReport {
     pub latencies_us: Vec<u64>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
+    /// Per-tenant partition of the run, keyed by mesh id (empty unless
+    /// the config carries a tenant mix).
+    pub tenants: std::collections::BTreeMap<String, TenantLoad>,
+}
+
+/// One tenant's slice of a multi-tenant run: its own success/failure
+/// counts, shed observations, and latency samples — the evidence the
+/// isolation experiment needs to show tenant B's tail unmoved while
+/// tenant A sheds.
+#[derive(Debug, Clone, Default)]
+pub struct TenantLoad {
+    /// Requests on this tenant that eventually succeeded.
+    pub ok: u64,
+    /// Requests on this tenant that exhausted their retry budget.
+    pub failed: u64,
+    /// `OVERLOADED` answers observed on this tenant's requests.
+    pub overloaded: u64,
+    /// Success latencies in microseconds, sorted ascending in the
+    /// final report.
+    pub latencies_us: Vec<u64>,
+}
+
+impl TenantLoad {
+    /// The `q` quantile (0..=1) of this tenant's success latencies, ms.
+    pub fn latency_ms(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * q).round() as usize;
+        self.latencies_us[idx] as f64 / 1e3
+    }
+
+    fn merge(&mut self, other: TenantLoad) {
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.overloaded += other.overloaded;
+        self.latencies_us.extend(other.latencies_us);
+    }
 }
 
 impl LoadgenReport {
@@ -197,11 +257,22 @@ impl LoadgenReport {
         self.deadline += other.deadline;
         self.shutting_down += other.shutting_down;
         self.transport += other.transport;
+        self.unknown_mesh += other.unknown_mesh;
+        self.mesh_retired += other.mesh_retired;
         self.hedge_launched += other.hedge_launched;
         self.hedge_won += other.hedge_won;
         self.hedge_wasted += other.hedge_wasted;
         self.late_launches += other.late_launches;
         self.latencies_us.extend(other.latencies_us);
+        for (id, t) in other.tenants {
+            self.tenants.entry(id).or_default().merge(t);
+        }
+    }
+
+    /// The mutable per-tenant slice for `tenant`, materializing the row
+    /// on first touch; `None` when the run has no tenant mix.
+    fn tenant_mut(&mut self, tenant: Option<&str>) -> Option<&mut TenantLoad> {
+        tenant.map(|t| self.tenants.entry(t.to_string()).or_default())
     }
 
     /// Human+grep-friendly rendering (the chaos gate greps the
@@ -211,7 +282,8 @@ impl LoadgenReport {
         let _ = writeln!(
             s,
             "loadgen: ok={} failed={} malformed={} bad_request={} retries={} \
-             overloaded={} deadline={} shutting_down={} transport={}",
+             overloaded={} deadline={} shutting_down={} transport={} \
+             unknown_mesh={} mesh_retired={}",
             self.ok,
             self.failed,
             self.malformed,
@@ -220,7 +292,9 @@ impl LoadgenReport {
             self.overloaded,
             self.deadline,
             self.shutting_down,
-            self.transport
+            self.transport,
+            self.unknown_mesh,
+            self.mesh_retired
         );
         let _ = writeln!(
             s,
@@ -238,6 +312,17 @@ impl LoadgenReport {
             "  hedging launched={} won={} wasted={}  late_launches={}",
             self.hedge_launched, self.hedge_won, self.hedge_wasted, self.late_launches
         );
+        for (id, t) in &self.tenants {
+            let _ = writeln!(
+                s,
+                "  tenant {id}: ok={} failed={} overloaded={} p50_ms={:.2} p99_ms={:.2}",
+                t.ok,
+                t.failed,
+                t.overloaded,
+                t.latency_ms(0.50),
+                t.latency_ms(0.99)
+            );
+        }
         s
     }
 }
@@ -257,6 +342,34 @@ pub fn request_of(mesh: &Mesh, run_seed: u64, id: u64) -> (u64, Coord, Coord) {
             return (rng.next_u64(), src, dst);
         }
     }
+}
+
+/// Deterministically assigns request `id` its tenant from the weighted
+/// mix — a pure function of `(cfg.seed, id)`, so every retry of the
+/// same request lands on the same mesh and reruns reproduce the split.
+/// `None` when the config has no tenant mix (bare single-tenant wire).
+pub fn tenant_of(cfg: &LoadgenConfig, id: u64) -> Option<&str> {
+    let (first, rest) = cfg.tenants.split_first()?;
+    if rest.is_empty() {
+        return Some(first.0.as_str());
+    }
+    // splitmix64 finalizer over (seed, id): well-mixed, dependency-free.
+    let mut h = cfg.seed ^ 0xD6E8_FEB8_6659_FD93u64.wrapping_mul(id.wrapping_add(1));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let total: f64 = cfg.tenants.iter().map(|(_, w)| w.max(0.0)).sum();
+    let mut acc = 0.0;
+    for (t, w) in &cfg.tenants {
+        acc += w.max(0.0) / total.max(1e-12);
+        if u < acc {
+            return Some(t.as_str());
+        }
+    }
+    cfg.tenants.last().map(|(t, _)| t.as_str())
 }
 
 fn backoff_delay(cfg: &LoadgenConfig, attempt: u32) -> Duration {
@@ -340,6 +453,9 @@ fn pipelined_worker(
                 todo.push_back(Pending::of(cfg, p.id, p.attempt + 1));
             } else {
                 local.failed += 1;
+                if let Some(t) = local.tenant_mut(tenant_of(cfg, p.id as u64)) {
+                    t.failed += 1;
+                }
             }
         }
         // Connect (or reuse the kept-alive connection).
@@ -357,17 +473,11 @@ fn pipelined_worker(
                 }
             }
         }
-        // One write for the whole burst.
+        // One write for the whole burst (each line carries its tenant's
+        // `MESH` prefix when a mix is configured).
         let mut burst = String::new();
         for p in &window {
-            let _ = writeln!(
-                burst,
-                "PATH {} {} {} id={}",
-                p.seed,
-                wire::format_coord(&p.src, cfg.mesh.dim()),
-                wire::format_coord(&p.dst, cfg.mesh.dim()),
-                p.trace_id()
-            );
+            burst.push_str(&request_line(cfg, p, &p.trace_id()));
         }
         let t0 = Instant::now();
         let deadline = t0 + cfg.timeout;
@@ -388,6 +498,7 @@ fn pipelined_worker(
         // Read the replies in request order.
         let mut dead = false;
         for p in window {
+            let tenant = tenant_of(cfg, p.id as u64);
             if dead {
                 transport_fail(cfg, p, local, &mut todo, &mut requeue_min_attempt);
                 continue;
@@ -410,6 +521,9 @@ fn pipelined_worker(
                     eprintln!("loadgen: malformed reply: {e:?}");
                     local.malformed += 1;
                     local.failed += 1;
+                    if let Some(t) = local.tenant_mut(tenant) {
+                        t.failed += 1;
+                    }
                     dead = true;
                     conn = None;
                     continue;
@@ -421,6 +535,9 @@ fn pipelined_worker(
                     eprintln!("loadgen: malformed response: {why}");
                     local.malformed += 1;
                     local.failed += 1;
+                    if let Some(t) = local.tenant_mut(tenant) {
+                        t.failed += 1;
+                    }
                     dead = true;
                     conn = None;
                 }
@@ -431,20 +548,29 @@ fn pipelined_worker(
                         eprintln!("loadgen: request id not echoed: sent `{want}`, got {echoed:?}");
                         local.malformed += 1;
                         local.failed += 1;
+                        if let Some(t) = local.tenant_mut(tenant) {
+                            t.failed += 1;
+                        }
                         dead = true;
                         conn = None;
                     } else {
                         match validate_path_payload(&cfg.mesh, &payload, &p.src, &p.dst) {
                             Ok(_) => {
+                                let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                                 local.ok += 1;
-                                local.latencies_us.push(
-                                    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
-                                );
+                                local.latencies_us.push(us);
+                                if let Some(t) = local.tenant_mut(tenant) {
+                                    t.ok += 1;
+                                    t.latencies_us.push(us);
+                                }
                             }
                             Err(why) => {
                                 eprintln!("loadgen: malformed path: {why}");
                                 local.malformed += 1;
                                 local.failed += 1;
+                                if let Some(t) = local.tenant_mut(tenant) {
+                                    t.failed += 1;
+                                }
                             }
                         }
                     }
@@ -459,16 +585,26 @@ fn pipelined_worker(
                             eprintln!("loadgen: request id mangled: sent `{want}`, got `{got}`");
                             local.malformed += 1;
                             local.failed += 1;
+                            if let Some(t) = local.tenant_mut(tenant) {
+                                t.failed += 1;
+                            }
                             dead = true;
                             conn = None;
                             continue;
                         }
                     }
                     match kind {
-                        ErrorKind::Overloaded => local.overloaded += 1,
+                        ErrorKind::Overloaded => {
+                            local.overloaded += 1;
+                            if let Some(t) = local.tenant_mut(tenant) {
+                                t.overloaded += 1;
+                            }
+                        }
                         ErrorKind::DeadlineExceeded => local.deadline += 1,
                         ErrorKind::ShuttingDown => local.shutting_down += 1,
                         ErrorKind::BadRequest => local.bad_request += 1,
+                        ErrorKind::UnknownMesh => local.unknown_mesh += 1,
+                        ErrorKind::MeshRetired => local.mesh_retired += 1,
                     }
                     if kind.retryable() && p.attempt < cfg.retries {
                         local.retries += 1;
@@ -477,6 +613,9 @@ fn pipelined_worker(
                         todo.push_back(Pending::of(cfg, p.id, p.attempt + 1));
                     } else {
                         local.failed += 1;
+                        if let Some(t) = local.tenant_mut(tenant) {
+                            t.failed += 1;
+                        }
                     }
                 }
             }
@@ -566,10 +705,17 @@ fn settle_reply(
                 }
             }
             match kind {
-                ErrorKind::Overloaded => local.overloaded += 1,
+                ErrorKind::Overloaded => {
+                    local.overloaded += 1;
+                    if let Some(t) = local.tenant_mut(tenant_of(cfg, p.id as u64)) {
+                        t.overloaded += 1;
+                    }
+                }
                 ErrorKind::DeadlineExceeded => local.deadline += 1,
                 ErrorKind::ShuttingDown => local.shutting_down += 1,
                 ErrorKind::BadRequest => local.bad_request += 1,
+                ErrorKind::UnknownMesh => local.unknown_mesh += 1,
+                ErrorKind::MeshRetired => local.mesh_retired += 1,
             }
             Err(kind.retryable())
         }
@@ -577,8 +723,12 @@ fn settle_reply(
 }
 
 fn request_line(cfg: &LoadgenConfig, p: &Pending, id: &str) -> String {
+    let prefix = match tenant_of(cfg, p.id as u64) {
+        Some(t) => format!("MESH {t} "),
+        None => String::new(),
+    };
     format!(
-        "PATH {} {} {} id={}\n",
+        "{prefix}PATH {} {} {} id={}\n",
         p.seed,
         wire::format_coord(&p.src, cfg.mesh.dim()),
         wire::format_coord(&p.dst, cfg.mesh.dim()),
@@ -774,13 +924,16 @@ fn paced_worker(
             let threshold = hedge_threshold(cfg, local, &mut p99_cache);
             match hedged_attempt(cfg, addr, &p, threshold, attempt, local) {
                 Ok(()) => {
+                    let us = Instant::now()
+                        .saturating_duration_since(sched)
+                        .as_micros()
+                        .min(u128::from(u64::MAX)) as u64;
                     local.ok += 1;
-                    local.latencies_us.push(
-                        Instant::now()
-                            .saturating_duration_since(sched)
-                            .as_micros()
-                            .min(u128::from(u64::MAX)) as u64,
-                    );
+                    local.latencies_us.push(us);
+                    if let Some(t) = local.tenant_mut(tenant_of(cfg, id as u64)) {
+                        t.ok += 1;
+                        t.latencies_us.push(us);
+                    }
                     break;
                 }
                 Err(retryable) if retryable && attempt < cfg.retries => {
@@ -790,6 +943,9 @@ fn paced_worker(
                 }
                 Err(_) => {
                     local.failed += 1;
+                    if let Some(t) = local.tenant_mut(tenant_of(cfg, id as u64)) {
+                        t.failed += 1;
+                    }
                     break;
                 }
             }
@@ -825,6 +981,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
         });
         let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
         report.latencies_us.sort_unstable();
+        for t in report.tenants.values_mut() {
+            t.latencies_us.sort_unstable();
+        }
         report.elapsed = started.elapsed();
         return report;
     }
@@ -849,6 +1008,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
         });
         let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
         report.latencies_us.sort_unstable();
+        for t in report.tenants.values_mut() {
+            t.latencies_us.sort_unstable();
+        }
         report.elapsed = started.elapsed();
         return report;
     }
@@ -874,6 +1036,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                 break;
             }
             let (path_seed, src, dst) = request_of(&cfg.mesh, cfg.seed, id as u64);
+            let tenant = tenant_of(cfg, id as u64);
             let mut attempt = 0u32;
             loop {
                 // Every attempt carries a distinct trace ID; the client
@@ -881,19 +1044,33 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                 // lands in the malformed bucket and fails the run.
                 let trace_id = format!("lg-{id}.{attempt}");
                 let t0 = Instant::now();
-                match client.request_path_with_id(&cfg.mesh, path_seed, &src, &dst, Some(&trace_id))
-                {
+                match client.request_path_on(
+                    &cfg.mesh,
+                    tenant,
+                    path_seed,
+                    &src,
+                    &dst,
+                    Some(&trace_id),
+                ) {
                     Ok(_hops) => {
+                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                         local.ok += 1;
-                        local
-                            .latencies_us
-                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        local.latencies_us.push(us);
+                        if let Some(t) = local.tenant_mut(tenant) {
+                            t.ok += 1;
+                            t.latencies_us.push(us);
+                        }
                         break;
                     }
                     Err(e) => {
                         match &e {
                             ClientError::Transport(_) => local.transport += 1,
-                            ClientError::Server(ErrorKind::Overloaded, _) => local.overloaded += 1,
+                            ClientError::Server(ErrorKind::Overloaded, _) => {
+                                local.overloaded += 1;
+                                if let Some(t) = local.tenant_mut(tenant) {
+                                    t.overloaded += 1;
+                                }
+                            }
                             ClientError::Server(ErrorKind::DeadlineExceeded, _) => {
                                 local.deadline += 1
                             }
@@ -901,6 +1078,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                                 local.shutting_down += 1
                             }
                             ClientError::Server(ErrorKind::BadRequest, _) => local.bad_request += 1,
+                            ClientError::Server(ErrorKind::UnknownMesh, _) => {
+                                local.unknown_mesh += 1
+                            }
+                            ClientError::Server(ErrorKind::MeshRetired, _) => {
+                                local.mesh_retired += 1
+                            }
                             ClientError::Malformed(why) => {
                                 local.malformed += 1;
                                 eprintln!("loadgen: malformed response: {why}");
@@ -912,6 +1095,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
                             attempt += 1;
                         } else {
                             local.failed += 1;
+                            if let Some(t) = local.tenant_mut(tenant) {
+                                t.failed += 1;
+                            }
                             break;
                         }
                     }
@@ -923,6 +1109,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> LoadgenReport {
     });
     let mut report = merged.into_inner().unwrap_or_else(|e| e.into_inner());
     report.latencies_us.sort_unstable();
+    for t in report.tenants.values_mut() {
+        t.latencies_us.sort_unstable();
+    }
     report.elapsed = started.elapsed();
     report
 }
@@ -1009,6 +1198,72 @@ mod tests {
 
         cfg.hedge_after = None;
         assert_eq!(hedge_threshold(&cfg, &local, &mut cache), None);
+    }
+
+    #[test]
+    fn tenant_mix_is_deterministic_and_roughly_proportional() {
+        let mut cfg = LoadgenConfig::default();
+        assert_eq!(tenant_of(&cfg, 0), None);
+        cfg.tenants = vec![("a".into(), 1.0)];
+        assert_eq!(tenant_of(&cfg, 9), Some("a"));
+        cfg.tenants = vec![("a".into(), 0.8), ("b".into(), 0.2)];
+        let mut a = 0u32;
+        for id in 0..1000u64 {
+            let t = tenant_of(&cfg, id).expect("mix is set");
+            assert_eq!(tenant_of(&cfg, id), Some(t), "retry must re-pick id {id}");
+            if t == "a" {
+                a += 1;
+            } else {
+                assert_eq!(t, "b");
+            }
+        }
+        let share = f64::from(a) / 1000.0;
+        assert!((0.7..0.9).contains(&share), "a's share drifted: {share}");
+        // A different run seed reshuffles the assignment.
+        let reseeded = LoadgenConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert!((0..1000u64).any(|id| tenant_of(&cfg, id) != tenant_of(&reseeded, id)));
+    }
+
+    #[test]
+    fn report_renders_and_merges_tenant_partitions() {
+        let mut a = LoadgenReport::default();
+        a.tenants.insert(
+            "a".into(),
+            TenantLoad {
+                ok: 3,
+                failed: 1,
+                overloaded: 2,
+                latencies_us: vec![1000, 2000, 3000],
+            },
+        );
+        let mut b = LoadgenReport::default();
+        b.tenants.insert(
+            "a".into(),
+            TenantLoad {
+                ok: 1,
+                ..TenantLoad::default()
+            },
+        );
+        b.tenants.insert(
+            "b".into(),
+            TenantLoad {
+                ok: 2,
+                latencies_us: vec![500, 700],
+                ..TenantLoad::default()
+            },
+        );
+        a.merge(b);
+        assert_eq!(a.tenants["a"].ok, 4);
+        assert_eq!(a.tenants["a"].overloaded, 2);
+        assert_eq!(a.tenants["b"].ok, 2);
+        let rendered = a.render();
+        assert!(rendered.contains("tenant a: ok=4 failed=1 overloaded=2"));
+        assert!(rendered.contains("tenant b: ok=2 failed=0 overloaded=0"));
+        assert!(rendered.contains("unknown_mesh=0 mesh_retired=0"));
+        assert!((a.tenants["b"].latency_ms(1.0) - 0.7).abs() < 1e-9);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! successful scrape satisfies [`Exposition::check_conservation`] — even
 //! one taken mid-stampede.
 
-use crate::stats::{Phase, StatsSnapshot};
+use crate::stats::{Phase, StatsSnapshot, TenantSnapshot};
 use oblivion_obs::Histogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,6 +51,46 @@ pub fn render_exposition(snap: &StatsSnapshot, uptime: Duration) -> String {
     ] {
         let _ = writeln!(out, "# TYPE {PREFIX}{series} gauge");
         let _ = writeln!(out, "{PREFIX}{series} {value}");
+    }
+    // Per-tenant rows, one `{mesh="<id>"}` labeled sample per tenant
+    // under a shared TYPE declaration. `mesh_state_bytes` is the
+    // registry's accounted routing-state footprint — the memory price
+    // of keeping that mesh registered, in the compact-routing spirit of
+    // measuring state, not assuming it.
+    if !snap.tenants.is_empty() {
+        type TenantCounter = fn(&TenantSnapshot) -> u64;
+        let series: [(&str, TenantCounter); 8] = [
+            ("tenant_accepted", |t| t.accepted),
+            ("tenant_completed", |t| t.completed),
+            ("tenant_bad_request", |t| t.bad_request),
+            ("tenant_shed_overloaded", |t| t.shed_overloaded),
+            ("tenant_deadline_exceeded", |t| t.deadline_exceeded),
+            ("tenant_drain_rejected", |t| t.drain_rejected),
+            ("tenant_io_errors", |t| t.io_errors),
+            ("tenant_mesh_retired", |t| t.mesh_retired),
+        ];
+        for (name, get) in series {
+            let _ = writeln!(out, "# TYPE {PREFIX}{name} counter");
+            for t in &snap.tenants {
+                let _ = writeln!(out, "{PREFIX}{name}{{mesh=\"{}\"}} {}", t.id, get(t));
+            }
+        }
+        let _ = writeln!(out, "# TYPE {PREFIX}tenant_in_flight gauge");
+        for t in &snap.tenants {
+            let _ = writeln!(
+                out,
+                "{PREFIX}tenant_in_flight{{mesh=\"{}\"}} {}",
+                t.id, t.in_flight
+            );
+        }
+        let _ = writeln!(out, "# TYPE {PREFIX}mesh_state_bytes gauge");
+        for t in &snap.tenants {
+            let _ = writeln!(
+                out,
+                "{PREFIX}mesh_state_bytes{{mesh=\"{}\"}} {}",
+                t.id, t.state_bytes
+            );
+        }
     }
     for (phase, hist) in &snap.phases {
         let name = format!("{PREFIX}phase_{phase}_us");
@@ -112,9 +152,12 @@ impl Exposition {
 
     /// The live conservation law over a scraped exposition:
     /// `accepted = completed + bad + shed + deadline + drain + io +
-    /// connections`, gauges non-negative, and every per-phase histogram
-    /// count `<= accepted`. Returns a diagnosis of the first violated
-    /// clause.
+    /// unknown_mesh + mesh_retired + connections`, gauges non-negative,
+    /// every per-phase histogram count `<= accepted` — plus, when
+    /// per-tenant rows are present, each tenant's own law
+    /// `accepted_t = settled_t + in_flight_t` and the cross-law bound
+    /// `sum(accepted_t) <= accepted`. Returns a diagnosis of the first
+    /// violated clause.
     pub fn check_conservation(&self) -> Result<(), String> {
         let accepted = self.counter("accepted")?;
         let settled = self.counter("completed")?
@@ -122,7 +165,9 @@ impl Exposition {
             + self.counter("shed_overloaded")?
             + self.counter("deadline_exceeded")?
             + self.counter("drain_rejected")?
-            + self.counter("io_errors")?;
+            + self.counter("io_errors")?
+            + self.counter("unknown_mesh")?
+            + self.counter("mesh_retired")?;
         let connections = self.gauge("connections")?;
         for g in ["queue_depth", "in_flight", "connections"] {
             let v = self.gauge(g)?;
@@ -161,6 +206,38 @@ impl Exposition {
             return Err(format!(
                 "conservation violated: accepted {accepted} != settled {settled} \
                  + connections {connections}"
+            ));
+        }
+        // Per-tenant laws: each tenant ledger conserves on its own, and
+        // tenant attribution never claims more than the global ledger
+        // admitted (a line is attributed at parse time, strictly after
+        // its connection was admitted at frame time).
+        let mut tenant_accepted_sum = 0u64;
+        for id in self.tenant_ids() {
+            let t_accepted = self.tenant_counter("tenant_accepted", &id)?;
+            let t_settled = self.tenant_counter("tenant_completed", &id)?
+                + self.tenant_counter("tenant_bad_request", &id)?
+                + self.tenant_counter("tenant_shed_overloaded", &id)?
+                + self.tenant_counter("tenant_deadline_exceeded", &id)?
+                + self.tenant_counter("tenant_drain_rejected", &id)?
+                + self.tenant_counter("tenant_io_errors", &id)?
+                + self.tenant_counter("tenant_mesh_retired", &id)?;
+            let t_in_flight = self.tenant_gauge("tenant_in_flight", &id)?;
+            if t_in_flight < 0 {
+                return Err(format!("tenant {id} in_flight is negative: {t_in_flight}"));
+            }
+            if t_accepted != t_settled + t_in_flight as u64 {
+                return Err(format!(
+                    "tenant {id} conservation violated: accepted {t_accepted} != \
+                     settled {t_settled} + in_flight {t_in_flight}"
+                ));
+            }
+            tenant_accepted_sum += t_accepted;
+        }
+        if tenant_accepted_sum > accepted {
+            return Err(format!(
+                "tenant ledgers over-claim: sum of tenant accepted \
+                 {tenant_accepted_sum} exceeds global accepted {accepted}"
             ));
         }
         for phase in Phase::ALL {
@@ -204,6 +281,42 @@ impl Exposition {
     /// The uptime gauge, if present.
     pub fn uptime_ms(&self) -> Option<i64> {
         self.gauges.get(&format!("{PREFIX}uptime_ms")).copied()
+    }
+
+    /// Mesh ids that have per-tenant rows in this exposition, sorted
+    /// (empty on a single-tenant server with no labeled traffic yet).
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let pre = format!("{PREFIX}tenant_accepted{{mesh=\"");
+        self.counters
+            .keys()
+            .filter_map(|k| {
+                Some(
+                    k.strip_prefix(pre.as_str())?
+                        .strip_suffix("\"}")?
+                        .to_string(),
+                )
+            })
+            .collect()
+    }
+
+    /// A per-tenant counter sample by short series name (e.g.
+    /// `tenant_completed`) and mesh id.
+    pub fn tenant_counter(&self, series: &str, id: &str) -> Result<u64, String> {
+        let name = format!("{PREFIX}{series}{{mesh=\"{id}\"}}");
+        self.counters
+            .get(&name)
+            .copied()
+            .ok_or_else(|| format!("exposition is missing counter {name}"))
+    }
+
+    /// A per-tenant gauge sample (`tenant_in_flight`,
+    /// `mesh_state_bytes`) by mesh id.
+    pub fn tenant_gauge(&self, series: &str, id: &str) -> Result<i64, String> {
+        let name = format!("{PREFIX}{series}{{mesh=\"{id}\"}}");
+        self.gauges
+            .get(&name)
+            .copied()
+            .ok_or_else(|| format!("exposition is missing gauge {name}"))
     }
 
     /// A gauge by short series name (without the `oblivion_serve_`
@@ -329,7 +442,15 @@ pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
                 continue;
             }
         }
-        match kinds.get(name).copied() {
+        // Labeled samples (`name{mesh="a"} 5`) are declared under their
+        // base name but stored under the full labeled name, so distinct
+        // tenants stay distinct samples.
+        let base = match name.split_once('{') {
+            Some((base, label)) if label.ends_with('}') => base,
+            Some(_) => return Err(at("malformed label set")),
+            None => name,
+        };
+        match kinds.get(base).copied() {
             Some("counter") => {
                 exp.counters.insert(
                     name.to_string(),
@@ -451,6 +572,39 @@ mod tests {
         let mut exp = parse_exposition(&text).unwrap();
         *exp.gauges.get_mut("oblivion_serve_in_flight").unwrap() = -1;
         assert!(exp.check_conservation().is_err());
+    }
+
+    #[test]
+    fn tenant_rows_round_trip_and_conserve() {
+        let stats = busy_stats();
+        stats.set_tenant_state_bytes("a", 4096);
+        stats.set_tenant_state_bytes("b", 1024);
+        stats.tenant_admit("a", 5);
+        stats.tenant_settle("a", Counter::Completed, 3);
+        stats.tenant_settle("a", Counter::ShedOverloaded, 1);
+        stats.tenant_admit("b", 2);
+        stats.tenant_settle("b", Counter::Completed, 2);
+        stats.tenant_mesh_retired("b", 2);
+        let text = render_exposition(&stats.snapshot(), Duration::ZERO);
+        let exp = parse_exposition(&text).expect("parse");
+        exp.check_conservation().expect("conservation");
+        assert_eq!(exp.tenant_ids(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(exp.tenant_counter("tenant_accepted", "a").unwrap(), 5);
+        assert_eq!(
+            exp.tenant_counter("tenant_shed_overloaded", "a").unwrap(),
+            1
+        );
+        assert_eq!(exp.tenant_gauge("tenant_in_flight", "a").unwrap(), 1);
+        assert_eq!(exp.tenant_counter("tenant_mesh_retired", "b").unwrap(), 2);
+        assert_eq!(exp.tenant_gauge("tenant_in_flight", "b").unwrap(), 0);
+        assert_eq!(exp.tenant_gauge("mesh_state_bytes", "a").unwrap(), 4096);
+        assert_eq!(exp.tenant_gauge("mesh_state_bytes", "b").unwrap(), 1024);
+        // Tampering with a tenant row breaks that tenant's own law.
+        let mut bad = parse_exposition(&text).unwrap();
+        *bad.counters
+            .get_mut("oblivion_serve_tenant_accepted{mesh=\"a\"}")
+            .unwrap() += 1;
+        assert!(bad.check_conservation().is_err());
     }
 
     #[test]

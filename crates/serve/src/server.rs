@@ -48,9 +48,10 @@
 use crate::chaos::{ChaosConfig, ChaosPlan};
 use crate::metrics::render_exposition;
 use crate::queue::{Bounded, Pop};
+use crate::registry::{Registry, Resolved, RouterHandle, Tenant};
 use crate::stats::{ChaosEvent, Counter, Phase, ServeStats, StatsSnapshot};
 use crate::wire::{self, ErrorKind, Framed, Request, MAX_REQUEST_LINE};
-use oblivion_core::{ObliviousRouter, PathQuery, RoutedPath};
+use oblivion_core::{build_router, parse_mesh_spec, ObliviousRouter, PathQuery, RoutedPath};
 use oblivion_obs::Json;
 use oblivion_sim::pool::run_crew;
 use std::collections::VecDeque;
@@ -58,7 +59,7 @@ use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`run`]. Validation of user-facing values (nonzero
@@ -278,10 +279,18 @@ struct ConnState {
     dead: bool,
 }
 
-/// One slot of a dispatch burst, in request order.
-enum Slot {
+/// One slot of a dispatch burst, in request order. `tenant` carries the
+/// live mesh the line was attributed to (paired `begin`/`end` on the
+/// quota share, tenant-ledger settle at write time); `None` for
+/// unattributed lines — frame errors, drain rejections, probes, unknown
+/// or retired mesh ids.
+enum Slot<'a> {
     /// Already answered at parse time (probe, error, expiry, drain).
-    Done { reply: String, bucket: Counter },
+    Done {
+        reply: String,
+        bucket: Counter,
+        tenant: Option<Arc<Tenant<'a>>>,
+    },
     /// A `PATH` query awaiting the batched route; `qi` indexes into the
     /// burst's query/routed scratch once assigned.
     Route {
@@ -289,19 +298,63 @@ enum Slot {
         id: Option<String>,
         deadline: Instant,
         qi: usize,
+        tenant: Arc<Tenant<'a>>,
     },
 }
 
-/// Binds and serves until shutdown is requested, then drains; returns
-/// the final summary. Blocks the calling thread for the server's whole
-/// life — supervise from another thread via the shared [`Control`].
+impl<'a> Slot<'a> {
+    /// The attributed tenant, if any.
+    fn tenant(&self) -> Option<&Arc<Tenant<'a>>> {
+        match self {
+            Slot::Done { tenant, .. } => tenant.as_ref(),
+            Slot::Route { tenant, .. } => Some(tenant),
+        }
+    }
+
+    /// The terminal bucket this slot settles into on a successful
+    /// write.
+    fn bucket(&self) -> Counter {
+        match self {
+            Slot::Done { bucket, .. } => *bucket,
+            Slot::Route { .. } => Counter::Completed,
+        }
+    }
+}
+
+/// Binds and serves a single borrowed router until shutdown, then
+/// drains. The legacy single-tenant entry point: it wraps the router in
+/// a one-mesh [`Registry`] (default id, no quota), which keeps the wire
+/// behavior of prefix-free traffic byte-identical to the registry-less
+/// server — the differential test pins this.
 pub fn run(
     router: &dyn ObliviousRouter,
     cfg: &ServeConfig,
     ctl: &Control,
 ) -> std::io::Result<ServeSummary> {
+    let registry = Registry::single(router);
+    run_registry(&registry, cfg, ctl)
+}
+
+/// Binds and serves every mesh in `registry` until shutdown is
+/// requested, then drains; returns the final summary. Blocks the
+/// calling thread for the server's whole life — supervise from another
+/// thread via the shared [`Control`]. The health listener additionally
+/// answers `ADMIN LIST|ADD|RETIRE` verbs that mutate the registry at
+/// runtime.
+pub fn run_registry<'a>(
+    registry: &'a Registry<'a>,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) -> std::io::Result<ServeSummary> {
     let started = Instant::now();
     let _ = ctl.started.set(started);
+    // Materialize every tenant's ledger row and state gauge up front,
+    // so a quiet tenant is visible in the first scrape.
+    for (id, live, bytes) in registry.list() {
+        if live {
+            ctl.stats.set_tenant_state_bytes(&id, bytes);
+        }
+    }
     let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -359,7 +412,7 @@ pub fn run(
             overflow.close();
         } else if w <= cfg.threads {
             worker_loop(
-                router,
+                registry,
                 w - 1,
                 &mailboxes,
                 &overflow,
@@ -376,7 +429,7 @@ pub fn run(
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("health listener runs once"); // ci-allow-unwrap: single take by last worker
-            health_loop(&listener, cfg, ctl);
+            health_loop(&listener, registry, cfg, ctl);
         }
     });
     // All workers joined: the backlog is settled and counters conserve.
@@ -467,17 +520,21 @@ fn accept_loop(
 }
 
 /// Scratch buffers a worker reuses across every burst it dispatches —
-/// the allocation-amortization half of the batching story.
-struct Scratch {
+/// the allocation-amortization half of the batching story. `group` is
+/// the per-tenant staging area of the grouped route (queries are
+/// gathered group-major into `queries`, routed per group into `group`,
+/// and concatenated into `routed`).
+struct Scratch<'a> {
     queries: Vec<PathQuery>,
     routed: Vec<RoutedPath>,
-    slots: Vec<Slot>,
+    group: Vec<RoutedPath>,
+    slots: Vec<Slot<'a>>,
     reply: String,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    router: &dyn ObliviousRouter,
+fn worker_loop<'a>(
+    registry: &'a Registry<'a>,
     me: usize,
     mailboxes: &[Bounded<Inbound>],
     overflow: &Bounded<Inbound>,
@@ -492,6 +549,7 @@ fn worker_loop(
     let mut scratch = Scratch {
         queries: Vec::new(),
         routed: Vec::new(),
+        group: Vec::new(),
         slots: Vec::new(),
         reply: String::new(),
     };
@@ -539,7 +597,8 @@ fn worker_loop(
         let mut progress = false;
         let mut i = 0;
         while i < conns.len() {
-            let (moved, keep) = service_conn(router, &mut conns[i], &mut scratch, cfg, ctl, chaos);
+            let (moved, keep) =
+                service_conn(registry, &mut conns[i], &mut scratch, cfg, ctl, chaos);
             progress |= moved;
             if keep {
                 i += 1;
@@ -591,10 +650,10 @@ fn adopt(inbound: Inbound, ctl: &Control, chaos: Option<&ChaosPlan>) -> ConnStat
 /// One service pass over a connection: read + frame, dispatch a burst,
 /// apply deadline/EOF/drain close rules. Returns `(made_progress,
 /// keep_connection)`.
-fn service_conn(
-    router: &dyn ObliviousRouter,
+fn service_conn<'a>(
+    registry: &'a Registry<'a>,
     conn: &mut ConnState,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<'a>,
     cfg: &ServeConfig,
     ctl: &Control,
     chaos: Option<&ChaosPlan>,
@@ -663,7 +722,7 @@ fn service_conn(
     // 2. Dispatch a burst of pending lines.
     if !conn.dead && !conn.pending.is_empty() {
         progress = true;
-        dispatch_burst(router, conn, scratch, cfg, ctl, chaos);
+        dispatch_burst(registry, conn, scratch, cfg, ctl, chaos);
     }
     // 3. The slow-loris clock: a partial line with nothing answerable
     //    pending that outlives the deadline settles as one
@@ -713,14 +772,136 @@ fn service_conn(
     (progress, true)
 }
 
-/// Answers up to `batch_max` pending lines in one pass: parse them all,
-/// run the simulated work *once*, route every live `PATH` query through
-/// `route_batch` on shared scratch, then write every reply — in request
-/// order — with a single syscall.
-fn dispatch_burst(
-    router: &dyn ObliviousRouter,
+/// Parses one request line already resolved to a live tenant. Probes
+/// answer from the global ledger and stay unattributed; `PATH` lines
+/// (and unparseable ones) are attributed to the tenant and charged
+/// against its quota share — an over-quota line sheds `ERR OVERLOADED`
+/// for this tenant alone, which is the isolation the quota exists for.
+#[allow(clippy::too_many_arguments)]
+fn parse_on_tenant<'a>(
+    req: &str,
+    tenant: Arc<Tenant<'a>>,
+    line_deadline: Instant,
+    latest_path_deadline: &mut Option<Instant>,
+    cfg: &ServeConfig,
+    ctl: &Control,
+    chaos: Option<&ChaosPlan>,
+    chaos_stall: &mut Duration,
+    chaos_pause: &mut Duration,
+    chaos_slow_write: &mut bool,
+) -> Slot<'a> {
+    match wire::parse_request(req, tenant.router().mesh()) {
+        Ok(Request::Health) => {
+            let snap = ctl.stats.snapshot();
+            Slot::Done {
+                reply: format!(
+                    "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
+                    snap.accepted, snap.completed, snap.shed_overloaded, snap.queue_depth
+                ),
+                bucket: Counter::Completed,
+                tenant: None,
+            }
+        }
+        Ok(Request::Ready) => Slot::Done {
+            reply: if ctl.shutdown_requested(cfg) {
+                wire::format_err_line(ErrorKind::ShuttingDown, "")
+            } else {
+                "OK ready\n".to_string()
+            },
+            bucket: Counter::Completed,
+            tenant: None,
+        },
+        Ok(Request::Metrics) => Slot::Done {
+            // Also served here on the request port (subject to
+            // admission); the health listener serves it
+            // admission-free.
+            reply: render_exposition(&ctl.stats.snapshot(), ctl.uptime()),
+            bucket: Counter::Completed,
+            tenant: None,
+        },
+        Ok(Request::Path { seed, src, dst, id }) => {
+            ctl.stats.tenant_admit(tenant.id(), 1);
+            if !tenant.begin() {
+                // Over this tenant's quota (rate or share): shed for
+                // this tenant only; other meshes never see it.
+                Slot::Done {
+                    reply: wire::format_err_line_with_id(ErrorKind::Overloaded, id.as_deref(), ""),
+                    bucket: Counter::ShedOverloaded,
+                    tenant: Some(tenant),
+                }
+            } else if Instant::now() >= line_deadline {
+                // Stale before we even routed it (overload backed the
+                // pipeline up).
+                Slot::Done {
+                    reply: wire::format_err_line_with_id(
+                        ErrorKind::DeadlineExceeded,
+                        id.as_deref(),
+                        "",
+                    ),
+                    bucket: Counter::DeadlineExceeded,
+                    tenant: Some(tenant),
+                }
+            } else {
+                *latest_path_deadline =
+                    Some(latest_path_deadline.map_or(line_deadline, |d| d.max(line_deadline)));
+                // Chaos decisions key on the wire seed mixed with the
+                // trace id, so the same request stream injects the
+                // same events in any worker interleaving (the
+                // determinism test's contract), while retries and
+                // hedged duplicates draw independently. Concurrent
+                // injections fold like concurrent stragglers: the
+                // burst takes the max, each marked request still
+                // counts its own event.
+                if let Some(plan) = chaos {
+                    let ckey = crate::chaos::request_key(seed, id.as_deref());
+                    if let Some(d) = plan.stall(ckey) {
+                        *chaos_stall = (*chaos_stall).max(d);
+                        ctl.stats.chaos_event(ChaosEvent::Stall);
+                    }
+                    if let Some(d) = plan.worker_pause(ckey) {
+                        *chaos_pause = (*chaos_pause).max(d);
+                        ctl.stats.chaos_event(ChaosEvent::WorkerPause);
+                    }
+                    if plan.slow_write(ckey) {
+                        *chaos_slow_write = true;
+                        ctl.stats.chaos_event(ChaosEvent::SlowWrite);
+                    }
+                }
+                Slot::Route {
+                    q: PathQuery { seed, src, dst },
+                    id,
+                    deadline: line_deadline,
+                    qi: usize::MAX,
+                    tenant,
+                }
+            }
+        }
+        Err(detail) => {
+            // A malformed line mid-pipeline answers in order with its
+            // ID when salvageable; the stream stays in sync. It is
+            // attributed (and charged) like any other line the tenant's
+            // client sent.
+            ctl.stats.tenant_admit(tenant.id(), 1);
+            let _ = tenant.begin();
+            let id = salvage_id(req);
+            Slot::Done {
+                reply: wire::format_err_line_with_id(ErrorKind::BadRequest, id.as_deref(), &detail),
+                bucket: Counter::BadRequest,
+                tenant: Some(tenant),
+            }
+        }
+    }
+}
+
+/// Answers up to `batch_max` pending lines in one pass: parse them all
+/// (resolving each line's `MESH` prefix against the registry and
+/// charging its tenant's quota), run the simulated work *once*, route
+/// every live `PATH` query through `route_batch` grouped by tenant,
+/// then write every reply — in request order — with a single syscall.
+fn dispatch_burst<'a>(
+    registry: &'a Registry<'a>,
     conn: &mut ConnState,
-    scratch: &mut Scratch,
+    scratch: &mut Scratch<'a>,
     cfg: &ServeConfig,
     ctl: &Control,
     chaos: Option<&ChaosPlan>,
@@ -739,6 +920,10 @@ fn dispatch_burst(
     let parse_started = Instant::now();
     scratch.slots.clear();
     let mut latest_path_deadline: Option<Instant> = None;
+    // Per-burst resolution memo: pipelined bursts overwhelmingly name
+    // one mesh (usually none), so the registry's read lock is taken
+    // once per burst, not once per line.
+    let mut memo: Option<(Option<String>, Resolved<'a>)> = None;
     for _ in 0..n {
         let Some((framed, framed_at)) = conn.pending.pop_front() else {
             break;
@@ -748,6 +933,7 @@ fn dispatch_burst(
             Framed::Bad(detail) => Slot::Done {
                 reply: wire::format_err_line(ErrorKind::BadRequest, detail),
                 bucket: Counter::BadRequest,
+                tenant: None,
             },
             Framed::Line(line) => {
                 if drain_expired {
@@ -761,92 +947,11 @@ fn dispatch_burst(
                             "",
                         ),
                         bucket: Counter::DrainRejected,
+                        tenant: None,
                     }
                 } else {
-                    match wire::parse_request(&line, router.mesh()) {
-                        Ok(Request::Health) => {
-                            let snap = ctl.stats.snapshot();
-                            Slot::Done {
-                                reply: format!(
-                                    "OK healthy accepted={} completed={} shed={} queue_depth={}\n",
-                                    snap.accepted,
-                                    snap.completed,
-                                    snap.shed_overloaded,
-                                    snap.queue_depth
-                                ),
-                                bucket: Counter::Completed,
-                            }
-                        }
-                        Ok(Request::Ready) => Slot::Done {
-                            reply: if ctl.shutdown_requested(cfg) {
-                                wire::format_err_line(ErrorKind::ShuttingDown, "")
-                            } else {
-                                "OK ready\n".to_string()
-                            },
-                            bucket: Counter::Completed,
-                        },
-                        Ok(Request::Metrics) => Slot::Done {
-                            // Also served here on the request port
-                            // (subject to admission); the health
-                            // listener serves it admission-free.
-                            reply: render_exposition(&ctl.stats.snapshot(), ctl.uptime()),
-                            bucket: Counter::Completed,
-                        },
-                        Ok(Request::Path { seed, src, dst, id }) => {
-                            if Instant::now() >= line_deadline {
-                                // Stale before we even routed it
-                                // (overload backed the pipeline up).
-                                Slot::Done {
-                                    reply: wire::format_err_line_with_id(
-                                        ErrorKind::DeadlineExceeded,
-                                        id.as_deref(),
-                                        "",
-                                    ),
-                                    bucket: Counter::DeadlineExceeded,
-                                }
-                            } else {
-                                latest_path_deadline = Some(
-                                    latest_path_deadline
-                                        .map_or(line_deadline, |d| d.max(line_deadline)),
-                                );
-                                // Chaos decisions key on the wire seed
-                                // mixed with the trace id, so the same
-                                // request stream injects the same
-                                // events in any worker interleaving
-                                // (the determinism test's contract),
-                                // while retries and hedged duplicates
-                                // draw independently. Concurrent
-                                // injections fold like concurrent
-                                // stragglers: the burst takes the max,
-                                // each marked request still counts its
-                                // own event.
-                                if let Some(plan) = chaos {
-                                    let ckey = crate::chaos::request_key(seed, id.as_deref());
-                                    if let Some(d) = plan.stall(ckey) {
-                                        chaos_stall = chaos_stall.max(d);
-                                        ctl.stats.chaos_event(ChaosEvent::Stall);
-                                    }
-                                    if let Some(d) = plan.worker_pause(ckey) {
-                                        chaos_pause = chaos_pause.max(d);
-                                        ctl.stats.chaos_event(ChaosEvent::WorkerPause);
-                                    }
-                                    if plan.slow_write(ckey) {
-                                        chaos_slow_write = true;
-                                        ctl.stats.chaos_event(ChaosEvent::SlowWrite);
-                                    }
-                                }
-                                Slot::Route {
-                                    q: PathQuery { seed, src, dst },
-                                    id,
-                                    deadline: line_deadline,
-                                    qi: usize::MAX,
-                                }
-                            }
-                        }
+                    match wire::split_mesh_prefix(&line) {
                         Err(detail) => {
-                            // A malformed line mid-pipeline answers in
-                            // order with its ID when salvageable; the
-                            // stream stays in sync.
                             let id = salvage_id(&line);
                             Slot::Done {
                                 reply: wire::format_err_line_with_id(
@@ -855,6 +960,64 @@ fn dispatch_burst(
                                     &detail,
                                 ),
                                 bucket: Counter::BadRequest,
+                                tenant: None,
+                            }
+                        }
+                        Ok((mesh_id, req)) => {
+                            let resolved = match &memo {
+                                Some((key, res)) if key.as_deref() == mesh_id => res.clone(),
+                                _ => {
+                                    let res = registry.resolve(mesh_id);
+                                    memo = Some((mesh_id.map(str::to_string), res.clone()));
+                                    res
+                                }
+                            };
+                            match resolved {
+                                Resolved::Unknown => {
+                                    // Never attributed: there is no
+                                    // tenant to charge.
+                                    let id = salvage_id(&line);
+                                    Slot::Done {
+                                        reply: wire::format_err_line_with_id(
+                                            ErrorKind::UnknownMesh,
+                                            id.as_deref(),
+                                            "",
+                                        ),
+                                        bucket: Counter::UnknownMesh,
+                                        tenant: None,
+                                    }
+                                }
+                                Resolved::Retired => {
+                                    // Attributed to the retired id's
+                                    // ledger in one atomic transition
+                                    // (nothing routes, so it is never
+                                    // in flight for the tenant).
+                                    let id = salvage_id(&line);
+                                    if let Some(mid) = mesh_id {
+                                        ctl.stats.tenant_mesh_retired(mid, 1);
+                                    }
+                                    Slot::Done {
+                                        reply: wire::format_err_line_with_id(
+                                            ErrorKind::MeshRetired,
+                                            id.as_deref(),
+                                            "",
+                                        ),
+                                        bucket: Counter::MeshRetired,
+                                        tenant: None,
+                                    }
+                                }
+                                Resolved::Live(tenant) => parse_on_tenant(
+                                    req,
+                                    tenant,
+                                    line_deadline,
+                                    &mut latest_path_deadline,
+                                    cfg,
+                                    ctl,
+                                    chaos,
+                                    &mut chaos_stall,
+                                    &mut chaos_pause,
+                                    &mut chaos_slow_write,
+                                ),
                             }
                         }
                     }
@@ -884,59 +1047,82 @@ fn dispatch_burst(
             std::thread::sleep(service.min(latest.saturating_duration_since(Instant::now())));
         }
     }
-    // Post-work expiry check, then batch-route the survivors. Each
+    // Post-work expiry check, then batch-route the survivors grouped
+    // by tenant — one `route_batch` call per distinct mesh in
+    // first-appearance order, so a single-tenant burst (the only kind
+    // prefix-free traffic produces) is exactly one call over the slots
+    // in request order, identical to the single-mesh server. Each
     // query reseeds from its own wire seed inside `route_batch`, so
     // batched answers stay byte-identical to single-shot routing.
     let now = Instant::now();
-    scratch.queries.clear();
     for slot in &mut scratch.slots {
-        if let Slot::Route {
-            q,
-            id,
-            deadline,
-            qi,
-        } = slot
-        {
-            if now >= *deadline {
-                *slot = Slot::Done {
+        let expired = matches!(&*slot, Slot::Route { deadline, .. } if now >= *deadline);
+        if expired {
+            if let Slot::Route { id, tenant, .. } = &*slot {
+                let done = Slot::Done {
                     reply: wire::format_err_line_with_id(
                         ErrorKind::DeadlineExceeded,
                         id.as_deref(),
                         "",
                     ),
                     bucket: Counter::DeadlineExceeded,
+                    tenant: Some(Arc::clone(tenant)),
                 };
-            } else {
-                *qi = scratch.queries.len();
-                scratch.queries.push(q.clone());
+                *slot = done;
             }
         }
     }
-    if !scratch.queries.is_empty() {
-        router.route_batch(&scratch.queries, &mut scratch.routed);
+    scratch.queries.clear();
+    scratch.routed.clear();
+    let mut burst_tenants: Vec<Arc<Tenant<'a>>> = Vec::new();
+    for slot in &scratch.slots {
+        if let Slot::Route { tenant, .. } = slot {
+            if !burst_tenants.iter().any(|t| Arc::ptr_eq(t, tenant)) {
+                burst_tenants.push(Arc::clone(tenant));
+            }
+        }
+    }
+    for group in &burst_tenants {
+        let base = scratch.queries.len();
+        for slot in &mut scratch.slots {
+            if let Slot::Route { q, qi, tenant, .. } = slot {
+                if Arc::ptr_eq(tenant, group) {
+                    *qi = scratch.queries.len();
+                    scratch.queries.push(q.clone());
+                }
+            }
+        }
+        group
+            .router()
+            .route_batch(&scratch.queries[base..], &mut scratch.group);
+        scratch.routed.append(&mut scratch.group);
     }
     ctl.stats
         .record_phase(Phase::RouteCompute, elapsed_us(route_started));
     // Assemble the burst's replies in request order and write them with
     // one syscall.
     scratch.reply.clear();
-    let mut settled = [0u64; 4]; // completed, bad, deadline, drain
+    // completed, bad, deadline, drain, shed, unknown_mesh, mesh_retired
+    let mut settled = [0u64; 7];
     for slot in &scratch.slots {
         match slot {
-            Slot::Done { reply, bucket } => {
+            Slot::Done { reply, bucket, .. } => {
                 scratch.reply.push_str(reply);
                 match bucket {
                     Counter::Completed => settled[0] += 1,
                     Counter::BadRequest => settled[1] += 1,
                     Counter::DeadlineExceeded => settled[2] += 1,
+                    Counter::ShedOverloaded => settled[4] += 1,
+                    Counter::UnknownMesh => settled[5] += 1,
+                    Counter::MeshRetired => settled[6] += 1,
                     _ => settled[3] += 1,
                 }
             }
-            Slot::Route { id, qi, .. } => {
+            Slot::Route { id, qi, tenant, .. } => {
                 let routed = &scratch.routed[*qi];
                 scratch.reply.push_str(&wire::format_path_line_with_id(
                     &routed.path,
-                    router.mesh().dim(),
+                    tenant.router().mesh().dim(),
                     id.as_deref(),
                 ));
                 settled[0] += 1;
@@ -978,14 +1164,47 @@ fn dispatch_burst(
             ctl.stats
                 .settle_batch(Counter::DeadlineExceeded, settled[2]);
             ctl.stats.settle_batch(Counter::DrainRejected, settled[3]);
+            ctl.stats.settle_batch(Counter::ShedOverloaded, settled[4]);
+            ctl.stats.settle_batch(Counter::UnknownMesh, settled[5]);
+            ctl.stats.settle_batch(Counter::MeshRetired, settled[6]);
+            settle_tenants(ctl, &scratch.slots, None);
         }
         Err(_) => {
             // The peer is gone: nothing in this burst is known
             // delivered, so the whole burst settles as I/O errors and
             // the close path below sweeps any still-pending lines.
             ctl.stats.settle_batch(Counter::IoError, n as u64);
+            settle_tenants(ctl, &scratch.slots, Some(Counter::IoError));
             conn.dead = true;
         }
+    }
+}
+
+/// Settles every tenant-attributed slot of a burst into its tenant
+/// ledger and releases its quota share, aggregating consecutive runs of
+/// the same `(tenant, bucket)` into one ledger transition. `force`
+/// overrides the per-slot bucket (the whole-burst I/O-error path: an
+/// unwritable reply is an `io_error` for its tenant too).
+fn settle_tenants(ctl: &Control, slots: &[Slot<'_>], force: Option<Counter>) {
+    let mut run: Option<(&Arc<Tenant<'_>>, Counter, u64)> = None;
+    for slot in slots {
+        let Some(tenant) = slot.tenant() else {
+            continue;
+        };
+        tenant.end();
+        let bucket = force.unwrap_or_else(|| slot.bucket());
+        match &mut run {
+            Some((t, b, count)) if Arc::ptr_eq(t, tenant) && *b == bucket => *count += 1,
+            _ => {
+                if let Some((t, b, count)) = run.take() {
+                    ctl.stats.tenant_settle(t.id(), b, count);
+                }
+                run = Some((tenant, bucket, 1));
+            }
+        }
+    }
+    if let Some((t, b, count)) = run {
+        ctl.stats.tenant_settle(t.id(), b, count);
     }
 }
 
@@ -1087,8 +1306,15 @@ fn serve_stats_json(snap: &StatsSnapshot, uptime: Duration) -> String {
 /// long. Runs until the workers have drained, so probes still answer
 /// (READY → `ERR SHUTTING_DOWN`) during the drain window. `METRICS` is
 /// served here precisely because it bypasses admission: the telemetry
-/// stays scrapeable when the request port is shedding.
-fn health_loop(listener: &TcpListener, cfg: &ServeConfig, ctl: &Control) {
+/// stays scrapeable when the request port is shedding. The `ADMIN`
+/// verbs live here for the same reason — an operator must be able to
+/// add or retire a mesh while the request port is melting down.
+fn health_loop<'a>(
+    listener: &TcpListener,
+    registry: &'a Registry<'a>,
+    cfg: &ServeConfig,
+    ctl: &Control,
+) {
     let probe_budget = Duration::from_millis(250);
     loop {
         // Probes keep answering through the drain window (READY says
@@ -1102,7 +1328,7 @@ fn health_loop(listener: &TcpListener, cfg: &ServeConfig, ctl: &Control) {
                 ctl.stats.health_probe();
                 let deadline = Instant::now() + probe_budget;
                 let _ = stream.set_nodelay(true);
-                let reply = match wire::read_line(&stream, 64, deadline) {
+                let reply = match wire::read_line(&stream, MAX_REQUEST_LINE, deadline) {
                     Ok(line) => match line.trim() {
                         "HEALTH" => {
                             let snap = ctl.stats.snapshot();
@@ -1122,10 +1348,13 @@ fn health_loop(listener: &TcpListener, cfg: &ServeConfig, ctl: &Control) {
                             }
                         }
                         "METRICS" => render_exposition(&ctl.stats.snapshot(), ctl.uptime()),
-                        _ => wire::format_err_line(
-                            ErrorKind::BadRequest,
-                            "health port accepts HEALTH|READY|METRICS",
-                        ),
+                        line => match line.strip_prefix("ADMIN ") {
+                            Some(verb) => handle_admin(verb.trim(), registry, ctl),
+                            None => wire::format_err_line(
+                                ErrorKind::BadRequest,
+                                "health port accepts HEALTH|READY|METRICS|ADMIN ...",
+                            ),
+                        },
                     },
                     Err(_) => wire::format_err_line(ErrorKind::BadRequest, "no probe line"),
                 };
@@ -1136,5 +1365,57 @@ fn health_loop(listener: &TcpListener, cfg: &ServeConfig, ctl: &Control) {
             }
             Err(_) => std::thread::sleep(POLL),
         }
+    }
+}
+
+/// One `ADMIN` verb against the live registry (always a single reply
+/// line):
+///
+/// ```text
+/// ADMIN LIST                          -> OK meshes <id>:<live|retired>:<state_bytes> ...
+/// ADMIN ADD <id> <mesh-spec> <router> -> OK added <id> state_bytes=<n>
+/// ADMIN RETIRE <id>                   -> OK retired <id>
+/// ```
+///
+/// `ADD` builds the router by its CLI name (torus topology is implied
+/// by `busch-torus`); a revived id starts a fresh ledger-state gauge,
+/// `RETIRE` zeroes it — the freed memory is visible in the next scrape.
+fn handle_admin<'a>(verb: &str, registry: &'a Registry<'a>, ctl: &Control) -> String {
+    let mut it = verb.split_ascii_whitespace();
+    let result = match it.next() {
+        Some("LIST") => {
+            let rows: Vec<String> = registry
+                .list()
+                .into_iter()
+                .map(|(id, live, bytes)| {
+                    format!("{id}:{}:{bytes}", if live { "live" } else { "retired" })
+                })
+                .collect();
+            Ok(format!("meshes {}", rows.join(" ")))
+        }
+        Some("ADD") => match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(id), Some(spec), Some(router), None) => {
+                parse_mesh_spec(spec, router == "busch-torus")
+                    .and_then(|mesh| build_router(router, &mesh))
+                    .and_then(|r| registry.add(id, RouterHandle::Owned(r)))
+                    .map(|bytes| {
+                        ctl.stats.set_tenant_state_bytes(id, bytes);
+                        format!("added {id} state_bytes={bytes}")
+                    })
+            }
+            _ => Err("usage: ADMIN ADD <id> <mesh-spec> <router>".into()),
+        },
+        Some("RETIRE") => match (it.next(), it.next()) {
+            (Some(id), None) => registry.retire(id).map(|()| {
+                ctl.stats.set_tenant_state_bytes(id, 0);
+                format!("retired {id}")
+            }),
+            _ => Err("usage: ADMIN RETIRE <id>".into()),
+        },
+        _ => Err("ADMIN verbs: LIST | ADD <id> <mesh-spec> <router> | RETIRE <id>".into()),
+    };
+    match result {
+        Ok(payload) => format!("OK {payload}\n"),
+        Err(detail) => wire::format_err_line(ErrorKind::BadRequest, &detail),
     }
 }

@@ -126,6 +126,12 @@ pub enum Counter {
     /// Requests whose connection died before an answer could be
     /// written.
     IoError,
+    /// Requests answered `ERR UNKNOWN_MESH` (a `MESH <id>` prefix
+    /// naming an id never registered; charged to no tenant).
+    UnknownMesh,
+    /// Requests answered `ERR MESH_RETIRED` (the id was live once and
+    /// was retired; charged to the retired tenant's ledger).
+    MeshRetired,
     /// Probes answered on the dedicated health listener (outside the
     /// conservation law — health connections bypass admission).
     HealthProbe,
@@ -142,6 +148,8 @@ impl Counter {
             Counter::DeadlineExceeded => "serve_deadline_exceeded",
             Counter::DrainRejected => "serve_drain_rejected",
             Counter::IoError => "serve_io_errors",
+            Counter::UnknownMesh => "serve_unknown_mesh",
+            Counter::MeshRetired => "serve_mesh_retired",
             Counter::HealthProbe => "serve_health_probes",
         }
     }
@@ -155,9 +163,45 @@ impl Counter {
             Counter::DeadlineExceeded => 4,
             Counter::DrainRejected => 5,
             Counter::IoError => 6,
-            Counter::HealthProbe => 7,
+            Counter::UnknownMesh => 7,
+            Counter::MeshRetired => 8,
+            Counter::HealthProbe => 9,
         }
     }
+
+    /// This bucket's slot in a tenant ledger, when the bucket is
+    /// attributable to a tenant (`Accepted`, `UnknownMesh`, and
+    /// `HealthProbe` are not: accepted is counted by
+    /// [`ServeStats::tenant_admit`], an unknown id has no tenant, and
+    /// probes bypass admission).
+    fn tenant_index(&self) -> Option<usize> {
+        match self {
+            Counter::Completed => Some(0),
+            Counter::BadRequest => Some(1),
+            Counter::ShedOverloaded => Some(2),
+            Counter::DeadlineExceeded => Some(3),
+            Counter::DrainRejected => Some(4),
+            Counter::IoError => Some(5),
+            Counter::MeshRetired => Some(6),
+            Counter::Accepted | Counter::UnknownMesh | Counter::HealthProbe => None,
+        }
+    }
+}
+
+/// Number of per-tenant terminal buckets.
+const TENANT_BUCKETS: usize = 7;
+
+/// One tenant's slice of the ledger. Attribution happens at parse time
+/// (a framed line is global the moment it is admitted, tenant-labeled
+/// once its `MESH` prefix resolves), so the per-tenant live law is
+/// `accepted = settled + in_flight` with *this* ledger's gauge, and the
+/// sum of tenant `accepted` never exceeds the global one.
+#[derive(Default, Clone)]
+struct TenantLedger {
+    accepted: u64,
+    buckets: [u64; TENANT_BUCKETS],
+    in_flight: i64,
+    state_bytes: u64,
 }
 
 /// The chaos-injected event kinds (see `crate::chaos`): bookkeeping
@@ -204,8 +248,9 @@ impl ChaosEvent {
 /// Everything behind the one lock. Gauges are `i64` so an accounting bug
 /// shows up as a visible negative level instead of a wrapped `u64`.
 struct Ledger {
-    counters: [u64; 8],
+    counters: [u64; 10],
     chaos: [u64; CHAOS_EVENT_COUNT],
+    tenants: std::collections::BTreeMap<String, TenantLedger>,
     conns_opened: u64,
     conns_closed: u64,
     max_queue_depth: u64,
@@ -219,7 +264,8 @@ struct Ledger {
 impl Default for Ledger {
     fn default() -> Self {
         Ledger {
-            counters: [0; 8],
+            counters: [0; 10],
+            tenants: std::collections::BTreeMap::new(),
             chaos: [0; CHAOS_EVENT_COUNT],
             conns_opened: 0,
             conns_closed: 0,
@@ -439,6 +485,60 @@ impl ServeStats {
         });
     }
 
+    /// `n` admitted lines were attributed to tenant `id` (their `MESH`
+    /// prefix resolved to a live mesh): the tenant's `accepted` and
+    /// `in_flight` move together. Per-tenant transitions are mirrored
+    /// nowhere else — `oblivion-obs` stays global.
+    pub fn tenant_admit(&self, id: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut l = self.lock();
+        let t = l.tenants.entry(id.to_string()).or_default();
+        t.accepted += n;
+        t.in_flight += n as i64;
+    }
+
+    /// `n` tenant-attributed lines settle into one tenant bucket; the
+    /// caller also settles them globally (the two ledgers share the
+    /// lock but move in separate calls — each law is checked on its own
+    /// ledger).
+    pub fn tenant_settle(&self, id: &str, which: Counter, n: u64) {
+        let Some(bucket) = which.tenant_index() else {
+            debug_assert!(false, "{which:?} is not a tenant bucket");
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        let mut l = self.lock();
+        let t = l.tenants.entry(id.to_string()).or_default();
+        t.buckets[bucket] += n;
+        t.in_flight -= n as i64;
+    }
+
+    /// A line naming a retired mesh: attributed and settled in one
+    /// atomic transition (there is nothing to route, so the tenant
+    /// never sees it in flight).
+    pub fn tenant_mesh_retired(&self, id: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut l = self.lock();
+        let t = l.tenants.entry(id.to_string()).or_default();
+        t.accepted += n;
+        t.buckets[Counter::MeshRetired.tenant_index().unwrap_or(0)] += n;
+    }
+
+    /// Publishes a tenant's routing-state gauge (at registration and
+    /// `ADMIN ADD`; zeroed on retire, when the state is freed). Also
+    /// materializes the tenant's ledger row, so a quiet tenant still
+    /// shows in `METRICS`.
+    pub fn set_tenant_state_bytes(&self, id: &str, bytes: u64) {
+        let mut l = self.lock();
+        l.tenants.entry(id.to_string()).or_default().state_bytes = bytes;
+    }
+
     /// A probe answered on the health listener (outside the law).
     pub fn health_probe(&self) {
         self.lock().counters[Counter::HealthProbe.index()] += 1;
@@ -472,7 +572,26 @@ impl ServeStats {
             deadline_exceeded: l.counters[Counter::DeadlineExceeded.index()],
             drain_rejected: l.counters[Counter::DrainRejected.index()],
             io_errors: l.counters[Counter::IoError.index()],
+            unknown_mesh: l.counters[Counter::UnknownMesh.index()],
+            mesh_retired: l.counters[Counter::MeshRetired.index()],
             health_probes: l.counters[Counter::HealthProbe.index()],
+            tenants: l
+                .tenants
+                .iter()
+                .map(|(id, t)| TenantSnapshot {
+                    id: id.clone(),
+                    accepted: t.accepted,
+                    completed: t.buckets[0],
+                    bad_request: t.buckets[1],
+                    shed_overloaded: t.buckets[2],
+                    deadline_exceeded: t.buckets[3],
+                    drain_rejected: t.buckets[4],
+                    io_errors: t.buckets[5],
+                    mesh_retired: t.buckets[6],
+                    in_flight: t.in_flight,
+                    state_bytes: t.state_bytes,
+                })
+                .collect(),
             chaos_stalls: l.chaos[ChaosEvent::Stall.index()],
             chaos_slow_writes: l.chaos[ChaosEvent::SlowWrite.index()],
             chaos_resets: l.chaos[ChaosEvent::Reset.index()],
@@ -507,8 +626,14 @@ pub struct StatsSnapshot {
     pub drain_rejected: u64,
     /// Requests whose connection died before an answer could be written.
     pub io_errors: u64,
+    /// Requests answered `ERR UNKNOWN_MESH`.
+    pub unknown_mesh: u64,
+    /// Requests answered `ERR MESH_RETIRED`.
+    pub mesh_retired: u64,
     /// Probes answered on the dedicated health listener.
     pub health_probes: u64,
+    /// Per-tenant ledger slices, sorted by mesh id.
+    pub tenants: Vec<TenantSnapshot>,
     /// Chaos-injected compute stalls (outside the law).
     pub chaos_stalls: u64,
     /// Chaos-injected slow two-chunk reply writes (outside the law).
@@ -546,6 +671,18 @@ impl StatsSnapshot {
             + self.deadline_exceeded
             + self.drain_rejected
             + self.io_errors
+            + self.unknown_mesh
+            + self.mesh_retired
+    }
+
+    /// The per-tenant live laws: every tenant's ledger slice conserves
+    /// on its own (`accepted = settled + in_flight`, gauge
+    /// non-negative), and the tenant-attributed total never exceeds the
+    /// global `accepted` (a line is attributed only after it was
+    /// admitted).
+    pub fn tenants_conserved(&self) -> bool {
+        self.tenants.iter().all(|t| t.conserved_live())
+            && self.tenants.iter().map(|t| t.accepted).sum::<u64>() <= self.accepted
     }
 
     /// The quiescent conservation law: every accepted connection is
@@ -590,6 +727,8 @@ impl StatsSnapshot {
             ("serve_deadline_exceeded", self.deadline_exceeded),
             ("serve_drain_rejected", self.drain_rejected),
             ("serve_io_errors", self.io_errors),
+            ("serve_unknown_mesh", self.unknown_mesh),
+            ("serve_mesh_retired", self.mesh_retired),
             ("serve_health_probes", self.health_probes),
             ("serve_chaos_stalls", self.chaos_stalls),
             ("serve_chaos_slow_writes", self.chaos_slow_writes),
@@ -603,6 +742,60 @@ impl StatsSnapshot {
     /// Total chaos events injected, across every kind.
     pub fn chaos_events(&self) -> u64 {
         self.chaos_stalls + self.chaos_slow_writes + self.chaos_resets + self.chaos_worker_pauses
+    }
+
+    /// One tenant's ledger slice, by mesh id (`None` if the id has no
+    /// row yet).
+    pub fn tenant(&self, id: &str) -> Option<&TenantSnapshot> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+/// A point-in-time copy of one tenant's ledger slice (same snapshot
+/// consistency as the global [`StatsSnapshot`] it rides in).
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The mesh id.
+    pub id: String,
+    /// Lines attributed to this tenant (counted at parse time, once
+    /// the `MESH` prefix resolved to this live mesh).
+    pub accepted: u64,
+    /// Attributed lines answered `OK`.
+    pub completed: u64,
+    /// Attributed lines answered `ERR BAD_REQUEST`.
+    pub bad_request: u64,
+    /// Attributed lines shed `ERR OVERLOADED` by this tenant's quota.
+    pub shed_overloaded: u64,
+    /// Attributed lines answered `ERR DEADLINE_EXCEEDED`.
+    pub deadline_exceeded: u64,
+    /// Attributed lines rejected `ERR SHUTTING_DOWN`.
+    pub drain_rejected: u64,
+    /// Attributed lines whose connection died before the reply.
+    pub io_errors: u64,
+    /// Lines naming this id after it was retired.
+    pub mesh_retired: u64,
+    /// Attributed-but-unsettled lines.
+    pub in_flight: i64,
+    /// Bytes of routing state kept alive for this tenant (zero once
+    /// retired).
+    pub state_bytes: u64,
+}
+
+impl TenantSnapshot {
+    /// Sum of this tenant's terminal buckets.
+    pub fn settled(&self) -> u64 {
+        self.completed
+            + self.bad_request
+            + self.shed_overloaded
+            + self.deadline_exceeded
+            + self.drain_rejected
+            + self.io_errors
+            + self.mesh_retired
+    }
+
+    /// The tenant-local live law.
+    pub fn conserved_live(&self) -> bool {
+        self.in_flight >= 0 && self.accepted == self.settled() + self.in_flight as u64
     }
 }
 
@@ -627,13 +820,15 @@ mod tests {
             Counter::DeadlineExceeded,
             Counter::DrainRejected,
             Counter::IoError,
+            Counter::UnknownMesh,
+            Counter::MeshRetired,
         ] {
             settle_one(&s, c);
         }
         s.accept();
         s.shed_at_admission();
         let snap = s.snapshot();
-        assert_eq!(snap.accepted, 6);
+        assert_eq!(snap.accepted, 8);
         assert!(snap.conserved(), "{snap:?}");
         assert!(snap.conserved_live(), "{snap:?}");
         // Health probes are outside the law.
@@ -743,7 +938,9 @@ mod tests {
             .iter()
             .map(|(n, _)| *n)
             .collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
+        assert!(names.contains(&"serve_unknown_mesh"));
+        assert!(names.contains(&"serve_mesh_retired"));
         assert!(names.contains(&"serve_accepted"));
         assert!(names.contains(&"serve_shed_overloaded"));
         assert!(names.contains(&"serve_conns_opened"));
@@ -839,6 +1036,55 @@ mod tests {
         assert_eq!(snap.shed_overloaded, 1);
         assert!(snap.conserved(), "{snap:?}");
         assert!(snap.conserved_live(), "{snap:?}");
+    }
+
+    /// Tenant ledgers conserve on their own and never over-claim the
+    /// global `accepted`: attribution follows admission, settles are
+    /// paired, retired lines attribute-and-settle atomically.
+    #[test]
+    fn tenant_ledgers_conserve_and_stay_within_global() {
+        let s = ServeStats::default();
+        s.set_tenant_state_bytes("a", 4096);
+        s.set_tenant_state_bytes("b", 2048);
+        s.admit(6);
+        s.tenant_admit("a", 3);
+        s.tenant_admit("b", 2); // one admitted line stays unattributed
+        let snap = s.snapshot();
+        assert!(snap.tenants_conserved(), "{snap:?}");
+        assert_eq!(snap.tenant("a").unwrap().in_flight, 3);
+        assert_eq!(snap.tenant("a").unwrap().state_bytes, 4096);
+        // Mid-settle scrape: each law holds on its own ledger.
+        s.tenant_settle("a", Counter::Completed, 2);
+        s.tenant_settle("a", Counter::ShedOverloaded, 1);
+        let snap = s.snapshot();
+        assert!(snap.tenants_conserved(), "{snap:?}");
+        s.settle_batch(Counter::Completed, 2);
+        s.settle_batch(Counter::ShedOverloaded, 1);
+        s.tenant_settle("b", Counter::IoError, 2);
+        s.settle_batch(Counter::IoError, 2);
+        // A retired line: global admit + settle, tenant atomic pair.
+        s.admit(1);
+        s.tenant_mesh_retired("b", 1);
+        s.settle_batch(Counter::MeshRetired, 1);
+        s.set_tenant_state_bytes("b", 0);
+        // The unattributed line settles globally only.
+        s.settle_batch(Counter::BadRequest, 1);
+        let snap = s.snapshot();
+        assert!(snap.conserved(), "{snap:?}");
+        assert!(snap.conserved_live(), "{snap:?}");
+        assert!(snap.tenants_conserved(), "{snap:?}");
+        let b = snap.tenant("b").unwrap();
+        assert_eq!((b.accepted, b.io_errors, b.mesh_retired), (3, 2, 1));
+        assert_eq!(b.state_bytes, 0);
+        assert_eq!(snap.mesh_retired, 1);
+        assert_eq!(
+            snap.tenants
+                .iter()
+                .map(|t| t.id.as_str())
+                .collect::<Vec<_>>(),
+            ["a", "b"],
+            "snapshot rows sort by mesh id"
+        );
     }
 
     #[test]

@@ -98,6 +98,34 @@ pub fn render_frame(
         cur.gauge_or_zero("connections"),
         cur.gauge_or_zero("max_queue_depth"),
     );
+    // Per-tenant rows on a multi-tenant daemon: each mesh's own ledger
+    // slice plus its accounted routing-state footprint.
+    let tenants = cur.tenant_ids();
+    if !tenants.is_empty() {
+        let _ = writeln!(
+            s,
+            "  {:<12} {:>10} {:>10} {:>8} {:>9} {:>12}",
+            "mesh", "accepted", "completed", "shed", "in_flight", "state_bytes"
+        );
+        for id in &tenants {
+            let acc = cur.tenant_counter("tenant_accepted", id).unwrap_or(0);
+            let prev_acc = prev
+                .and_then(|p| p.tenant_counter("tenant_accepted", id).ok())
+                .unwrap_or(acc);
+            let _ = writeln!(
+                s,
+                "  {:<12} {:>10} {:>10} {:>8} {:>9} {:>12}{}",
+                id,
+                acc,
+                cur.tenant_counter("tenant_completed", id).unwrap_or(0),
+                cur.tenant_counter("tenant_shed_overloaded", id)
+                    .unwrap_or(0),
+                cur.tenant_gauge("tenant_in_flight", id).unwrap_or(0),
+                cur.tenant_gauge("mesh_state_bytes", id).unwrap_or(0),
+                rate(acc, prev_acc),
+            );
+        }
+    }
     let _ = writeln!(
         s,
         "  {:<14} {:>10} {:>10} {:>10}",
@@ -244,6 +272,23 @@ mod tests {
             render_frame(Some(&first), &second, Duration::from_secs(1), "h:1", 2).expect("frame"); // ci-allow-unwrap: test
         assert!(f2.contains("accepted 15 (+5.0/s)"), "{f2}");
         assert!(f2.contains("shed 5 (+5.0/s)"), "{f2}");
+    }
+
+    #[test]
+    fn frames_carry_tenant_rows() {
+        let stats = ServeStats::default();
+        stats.accept();
+        stats.enqueued(0);
+        stats.dequeued();
+        stats.settle(Counter::Completed);
+        stats.set_tenant_state_bytes("a", 2048);
+        stats.tenant_admit("a", 1);
+        stats.tenant_settle("a", Counter::Completed, 1);
+        let exp = scraped(&stats, 500);
+        let frame = render_frame(None, &exp, Duration::ZERO, "h:1", 1).expect("frame"); // ci-allow-unwrap: test
+        assert!(frame.contains("mesh"), "{frame}");
+        assert!(frame.contains('a'), "{frame}");
+        assert!(frame.contains("2048"), "{frame}");
     }
 
     #[test]

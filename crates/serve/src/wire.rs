@@ -7,7 +7,7 @@
 //! line per request line:
 //!
 //! ```text
-//! client: PATH <seed> <x1,y1,...> <x2,y2,...> [id=<token>]\n
+//! client: [MESH <id> ]PATH <seed> <x1,y1,...> <x2,y2,...> [id=<token>]\n
 //!         PATH <seed> <src> <dst> [id=<token>]\n          (pipelined)
 //!         ...                        (or HEALTH / READY / METRICS)
 //! server: OK [id=<token>] <hop> <hop> ... <hop>\n
@@ -15,7 +15,16 @@
 //!       | ERR OVERLOADED\n
 //!       | ERR DEADLINE_EXCEEDED [id=<token>]\n
 //!       | ERR SHUTTING_DOWN [id=<token>]\n
+//!       | ERR UNKNOWN_MESH [id=<token>] <detail>\n
+//!       | ERR MESH_RETIRED [id=<token>] <detail>\n
 //! ```
+//!
+//! The optional `MESH <id>` prefix ([`split_mesh_prefix`]) selects a
+//! named mesh from the server's registry; a line without the prefix is
+//! routed to the default mesh, so single-tenant traffic stays
+//! byte-identical to the pre-registry wire. Replies never echo the mesh
+//! id — in-order pipelining already correlates them, and omitting it
+//! keeps single-tenant replies unchanged.
 //!
 //! A malformed line mid-pipeline gets its `ERR BAD_REQUEST` **in
 //! sequence** and does not desync or close the stream — the LF framing
@@ -106,6 +115,13 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// The server is draining; retry against a restarted instance.
     ShuttingDown,
+    /// The `MESH <id>` prefix named a mesh the registry has never held;
+    /// retryable because an operator may `ADMIN ADD` it at any moment.
+    UnknownMesh,
+    /// The named mesh was retired; retryable because a retired id can be
+    /// re-added via `ADMIN ADD` (the chaos hot-retire drill relies on
+    /// retries converging once the mesh is back).
+    MeshRetired,
 }
 
 impl ErrorKind {
@@ -116,6 +132,8 @@ impl ErrorKind {
             ErrorKind::Overloaded => "OVERLOADED",
             ErrorKind::DeadlineExceeded => "DEADLINE_EXCEEDED",
             ErrorKind::ShuttingDown => "SHUTTING_DOWN",
+            ErrorKind::UnknownMesh => "UNKNOWN_MESH",
+            ErrorKind::MeshRetired => "MESH_RETIRED",
         }
     }
 
@@ -130,6 +148,8 @@ impl ErrorKind {
             "OVERLOADED" => ErrorKind::Overloaded,
             "DEADLINE_EXCEEDED" => ErrorKind::DeadlineExceeded,
             "SHUTTING_DOWN" => ErrorKind::ShuttingDown,
+            "UNKNOWN_MESH" => ErrorKind::UnknownMesh,
+            "MESH_RETIRED" => ErrorKind::MeshRetired,
             _ => return None,
         })
     }
@@ -190,6 +210,42 @@ pub fn valid_request_id(id: &str) -> bool {
         && id
             .bytes()
             .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+}
+
+/// Longest mesh id a `MESH <id>` prefix (or `--mesh NxN:id`) may carry.
+pub const MAX_MESH_ID: usize = 64;
+
+/// Checks a mesh id: 1..=[`MAX_MESH_ID`] chars of `[A-Za-z0-9._-]`.
+/// Same whitespace-free charset as request IDs, minus `:` which the CLI
+/// uses as the `--mesh NxN:id` separator.
+pub fn valid_mesh_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_MESH_ID
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Splits an optional leading `MESH <id> ` prefix off a request line,
+/// returning `(mesh id, rest)`. A line that starts with the `MESH` verb
+/// but carries a malformed id or no rest is an error (typed
+/// `BAD_REQUEST` at the server); any other line passes through
+/// untouched, so prefix-free traffic is byte-identical to the
+/// single-mesh wire.
+pub fn split_mesh_prefix(line: &str) -> Result<(Option<&str>, &str), String> {
+    let Some(rest) = line.strip_prefix("MESH ") else {
+        return Ok((None, line));
+    };
+    let rest = rest.trim_start_matches(' ');
+    let (id, rest) = rest
+        .split_once(' ')
+        .ok_or("MESH <id> must prefix a request line")?;
+    if !valid_mesh_id(id) {
+        return Err(format!(
+            "bad mesh id (1..={MAX_MESH_ID} chars of [A-Za-z0-9._-])"
+        ));
+    }
+    Ok((Some(id), rest.trim_start_matches(' ')))
 }
 
 /// Parses a request line (without the trailing newline).
@@ -657,10 +713,51 @@ mod tests {
             ErrorKind::Overloaded,
             ErrorKind::DeadlineExceeded,
             ErrorKind::ShuttingDown,
+            ErrorKind::UnknownMesh,
+            ErrorKind::MeshRetired,
         ] {
             assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
             assert_eq!(kind.retryable(), kind != ErrorKind::BadRequest);
         }
+    }
+
+    #[test]
+    fn mesh_prefix_splits_and_passes_through() {
+        assert_eq!(
+            split_mesh_prefix("MESH a PATH 1 0,0 1,1"),
+            Ok((Some("a"), "PATH 1 0,0 1,1"))
+        );
+        assert_eq!(
+            split_mesh_prefix("MESH t-2.x PATH 1 0,0 1,1 id=q"),
+            Ok((Some("t-2.x"), "PATH 1 0,0 1,1 id=q"))
+        );
+        // Prefix-free lines pass through byte-identically.
+        assert_eq!(
+            split_mesh_prefix("PATH 1 0,0 1,1"),
+            Ok((None, "PATH 1 0,0 1,1"))
+        );
+        assert_eq!(split_mesh_prefix("HEALTH"), Ok((None, "HEALTH")));
+        // `MESHX...` is not the verb; it falls through to parse_request
+        // (and becomes an unknown-verb BAD_REQUEST there).
+        assert_eq!(split_mesh_prefix("MESHY 1"), Ok((None, "MESHY 1")));
+        // The verb with a bad id or nothing after it is an error.
+        assert!(split_mesh_prefix("MESH ").is_err());
+        assert!(split_mesh_prefix("MESH a").is_err());
+        assert!(split_mesh_prefix("MESH sp@ce PATH 1 0,0 1,1").is_err());
+        assert!(
+            split_mesh_prefix(&format!("MESH {} HEALTH", "x".repeat(MAX_MESH_ID + 1))).is_err()
+        );
+    }
+
+    #[test]
+    fn mesh_id_charset_is_strict() {
+        assert!(valid_mesh_id("a"));
+        assert!(valid_mesh_id("tenant-b.2_x"));
+        assert!(valid_mesh_id(&"m".repeat(MAX_MESH_ID)));
+        assert!(!valid_mesh_id(""));
+        assert!(!valid_mesh_id("has space"));
+        assert!(!valid_mesh_id("col:on"));
+        assert!(!valid_mesh_id(&"m".repeat(MAX_MESH_ID + 1)));
     }
 
     #[test]

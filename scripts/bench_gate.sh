@@ -15,10 +15,12 @@
 # Baselines are hardware-dependent; after an intentional perf change or
 # a runner change, regenerate them (scripts/run_experiments.sh, then
 # copy results/BENCH_route.json and the report lines of
-# results/serve_load.json and results/serve_hedging.json into
-# bench_baselines/) in the same PR. The serve_hedging baseline is
-# optional: its open-loop metrics (hedged p999, tail-reduction factor)
-# are gated only when bench_baselines/serve_hedging.json exists. For a
+# results/serve_load.json, results/serve_hedging.json and
+# results/serve_tenants.json into bench_baselines/) in the same PR. The
+# serve_hedging and serve_tenants baselines are optional: their metrics
+# (hedged p999 / tail-reduction, quiet-tenant contended p99 / isolation
+# goodput ratio) are gated only when the matching
+# bench_baselines/*.json exists. For a
 # one-off waiver, write a single line of justification into
 # bench_baselines/OVERRIDE: the gate then reports the regressions but
 # exits 0. Delete the file to re-arm the gate.
@@ -72,6 +74,16 @@ rows_hedging() {
       "serve_hedging_tail_reduction thru \(.tail_reduction_vs_none)"' "$1"
 }
 
+# Multi-tenant isolation (E28): the quiet tenant's contended p99 must
+# not inflate, and its goodput ratio under the noisy neighbour's
+# stampede (a same-host ratio, hardware-independent like the hedging
+# reduction) must not collapse below baseline.
+rows_tenants() {
+  jq -r 'select(.type == "report")
+    | "serve_tenant_b_contended_p99_ms p99 \(.b_contended_p99_ms)",
+      "serve_tenant_isolation_goodput thru \(.b_goodput_ratio)"' "$1"
+}
+
 run_gate() {
   local results="$1" fails=0 metric kind cur base
   for f in BENCH_route serve_load; do
@@ -95,6 +107,15 @@ run_gate() {
       return 1
     fi
   fi
+  # Same deal for the E28 multi-tenant isolation metrics.
+  local tenants=0
+  if [[ -f "$BASE/serve_tenants.json" ]]; then
+    tenants=1
+    if [[ ! -f "$results/serve_tenants.json" ]]; then
+      echo "bench_gate: missing $results/serve_tenants.json (run exp_serve_tenants first)" >&2
+      return 1
+    fi
+  fi
 
   declare -A baseline
   while read -r metric kind base; do
@@ -103,6 +124,7 @@ run_gate() {
     rows_route "$BASE/BENCH_route.json"
     rows_serve "$BASE/serve_load.json"
     [[ $hedging == 1 ]] && rows_hedging "$BASE/serve_hedging.json"
+    [[ $tenants == 1 ]] && rows_tenants "$BASE/serve_tenants.json"
   )
 
   printf '%-42s %-5s %14s %14s  %s\n' metric kind current baseline verdict
@@ -122,6 +144,7 @@ run_gate() {
     rows_route "$results/BENCH_route.json"
     rows_serve "$results/serve_load.json"
     [[ $hedging == 1 ]] && rows_hedging "$results/serve_hedging.json"
+    [[ $tenants == 1 ]] && rows_tenants "$results/serve_tenants.json"
   )
 
   if [[ $fails -gt 0 ]]; then
@@ -149,6 +172,8 @@ self_test() {
   # so the self-test exercises them too.
   local hedging=0
   [[ -f "$BASE/serve_hedging.json" ]] && hedging=1
+  local tenants=0
+  [[ -f "$BASE/serve_tenants.json" ]] && tenants=1
 
   # 25% throughput regression on every metric: the gate MUST fail.
   jq '(.configs[].paths_per_sec) *= 0.75' "$BASE/BENCH_route.json" > "$tmp/BENCH_route.json"
@@ -158,6 +183,9 @@ self_test() {
   [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
     | .tail_reduction_vs_none *= 0.75' \
     "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
+  [[ $tenants == 1 ]] && jq -c 'select(.type == "report")
+    | .b_goodput_ratio *= 0.75' \
+    "$BASE/serve_tenants.json" > "$tmp/serve_tenants.json"
   if run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a synthetic 25% throughput regression passed the gate" >&2
     return 1
@@ -171,6 +199,9 @@ self_test() {
   [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
     | .hedged_p999_ms *= 1.4' \
     "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
+  [[ $tenants == 1 ]] && jq -c 'select(.type == "report")
+    | .b_contended_p99_ms *= 1.4' \
+    "$BASE/serve_tenants.json" > "$tmp/serve_tenants.json"
   if run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a synthetic 40% p99 inflation passed the gate" >&2
     return 1
@@ -187,6 +218,9 @@ self_test() {
   [[ $hedging == 1 ]] && jq -c 'select(.type == "report")
     | .tail_reduction_vs_none *= 0.9 | .hedged_p999_ms *= 1.1' \
     "$BASE/serve_hedging.json" > "$tmp/serve_hedging.json"
+  [[ $tenants == 1 ]] && jq -c 'select(.type == "report")
+    | .b_goodput_ratio *= 0.9 | .b_contended_p99_ms *= 1.1' \
+    "$BASE/serve_tenants.json" > "$tmp/serve_tenants.json"
   if ! run_gate "$tmp" > /dev/null 2>&1; then
     echo "bench_gate self-test: FAILED — a 10% wobble tripped the gate" >&2
     return 1

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (E1-E27, plus the BENCH_route
+# Regenerates every experiment table (E1-E28, plus the BENCH_route
 # hot-path microbenchmark, whose timings are machine-dependent) into
 # results/.
 # Usage: scripts/run_experiments.sh [--force] [results-dir]
@@ -94,6 +94,7 @@ run exp_serve serve_load     # E24
 run exp_serve_phases         # E25
 run exp_serve_pipeline       # E26
 run exp_serve_hedging serve_hedging  # E27
+run exp_serve_tenants serve_tenants  # E28
 run exp_route_bench BENCH_route  # hot-path ns/path microbenchmark
 
 echo "all experiment outputs written to $out/"

@@ -3,11 +3,8 @@
 //! Hand-rolled (no argument-parsing dependency): the grammar is small and
 //! the parsers are unit-tested below.
 
-use crate::routing::{
-    route_all_metered, AccessTree, Busch2D, BuschD, BuschPadded, BuschTorus, DimOrder,
-    ObliviousRouter, RandomDimOrder, Romm, Valiant,
-};
-use oblivion_mesh::{Coord, Mesh, Topology};
+use crate::routing::{route_all_metered, ObliviousRouter};
+use oblivion_mesh::{Coord, Mesh};
 use oblivion_metrics::{congestion_lower_bound, PathSetMetrics};
 use oblivion_sim::{SchedulingPolicy, Simulation};
 use oblivion_workloads as wl;
@@ -57,36 +54,30 @@ pub fn parse_args(raw: &[String]) -> Result<Args, String> {
             .next()
             .ok_or_else(|| format!("--{key} needs a value"))?
             .clone();
-        options.insert(key.to_string(), value);
+        // `--mesh` is repeatable (multi-tenant serve registers one mesh
+        // per occurrence); repeats are joined with `,`, which no mesh
+        // spec contains. Every other option is last-wins.
+        if key == "mesh" {
+            options
+                .entry("mesh".to_string())
+                .and_modify(|v| {
+                    v.push(',');
+                    v.push_str(&value);
+                })
+                .or_insert(value);
+        } else {
+            options.insert(key.to_string(), value);
+        }
     }
     Ok(Args { command, options })
 }
 
-/// Parses a mesh spec like `64x64`, `16x16x16`, or `32` (1-D).
+/// Parses a mesh spec like `64x64`, `16x16x16`, or `32` (1-D). Shared
+/// with the serve registry's `ADMIN ADD` via `oblivion-core`, so the
+/// command line and the hot-reconfiguration path accept the same specs
+/// and reject bad ones with the same message.
 pub fn parse_mesh_spec(spec: &str, torus: bool) -> Result<Mesh, String> {
-    let dims: Result<Vec<u32>, _> = spec.split('x').map(str::parse::<u32>).collect();
-    let dims = dims.map_err(|e| format!("bad mesh spec `{spec}`: {e}"))?;
-    if dims.is_empty() || dims.len() > oblivion_mesh::MAX_DIM {
-        return Err(format!(
-            "mesh must have 1..={} dimensions",
-            oblivion_mesh::MAX_DIM
-        ));
-    }
-    if dims.contains(&0) {
-        return Err("mesh sides must be positive".into());
-    }
-    let n: u64 = dims.iter().map(|&m| u64::from(m)).product();
-    if n > 1 << 24 {
-        return Err(format!("mesh with {n} nodes is too large for the CLI"));
-    }
-    Ok(Mesh::new(
-        &dims,
-        if torus {
-            Topology::Torus
-        } else {
-            Topology::Mesh
-        },
-    ))
+    crate::routing::parse_mesh_spec(spec, torus)
 }
 
 /// Parses a coordinate like `3,4` against a mesh.
@@ -107,65 +98,15 @@ pub fn parse_coord(spec: &str, mesh: &Mesh) -> Result<Coord, String> {
     Ok(c)
 }
 
-/// The router names the CLI accepts.
-pub const ROUTER_NAMES: &[&str] = &[
-    "busch2d",
-    "buschd",
-    "busch-torus",
-    "busch-padded",
-    "access-tree",
-    "valiant",
-    "romm",
-    "dim-order",
-    "random-dim-order",
-];
+/// The router names the CLI accepts (the shared factory's list, so the
+/// CLI and `ADMIN ADD` agree).
+pub use crate::routing::ROUTER_NAMES;
 
 /// Builds a router by CLI name, validating the mesh shape the algorithm
 /// requires (so the CLI reports an error instead of panicking).
+/// Delegates to the shared factory in `oblivion-core`.
 pub fn make_router(name: &str, mesh: &Mesh) -> Result<Box<dyn ObliviousRouter>, String> {
-    let equal_pow2 = mesh
-        .dims()
-        .iter()
-        .all(|&m| m == mesh.side(0) && m.is_power_of_two());
-    let require = |ok: bool, what: &str| -> Result<(), String> {
-        if ok {
-            Ok(())
-        } else {
-            Err(format!("router `{name}` requires {what}"))
-        }
-    };
-    match name {
-        "busch2d" => require(
-            mesh.dim() == 2 && equal_pow2 && mesh.topology() == Topology::Mesh,
-            "a square power-of-two 2-D mesh",
-        )?,
-        "buschd" | "access-tree" => require(
-            equal_pow2 && mesh.topology() == Topology::Mesh,
-            "an equal-side power-of-two mesh",
-        )?,
-        "busch-torus" => require(
-            equal_pow2 && mesh.topology() == Topology::Torus,
-            "an equal-side power-of-two torus (--torus true)",
-        )?,
-        "busch-padded" => require(mesh.topology() == Topology::Mesh, "a (non-torus) mesh")?,
-        _ => {}
-    }
-    Ok(match name {
-        "busch2d" => Box::new(Busch2D::new(mesh.clone())),
-        "buschd" => Box::new(BuschD::new(mesh.clone())),
-        "busch-torus" => Box::new(BuschTorus::new(mesh.clone())),
-        "busch-padded" => Box::new(BuschPadded::new(mesh.clone())),
-        "access-tree" => Box::new(AccessTree::new(mesh.clone())),
-        "valiant" => Box::new(Valiant::new(mesh.clone())),
-        "romm" => Box::new(Romm::new(mesh.clone())),
-        "dim-order" => Box::new(DimOrder::new(mesh.clone())),
-        "random-dim-order" => Box::new(RandomDimOrder::new(mesh.clone())),
-        other => {
-            return Err(format!(
-                "unknown router `{other}`; choose one of {ROUTER_NAMES:?}"
-            ))
-        }
-    })
+    crate::routing::build_router(name, mesh)
 }
 
 /// The workload names the CLI accepts.
@@ -437,6 +378,16 @@ pub fn help() -> String {
          \u{20}            [--queue 64] [--batch-max 64] [--deadline-ms 1000]\n\
          \u{20}            [--drain-ms 2000] [--health-port P|--no-health]\n\
          \u{20}            [--host 127.0.0.1]\n\
+         \u{20}            multi-tenant: repeat --mesh NxN[:id] to serve many\n\
+         \u{20}            meshes from one daemon (first spec is the default mesh;\n\
+         \u{20}            clients pick one with a `MESH <id> ` line prefix)\n\
+         \u{20}            [--tenant-quota N]  (per-tenant token bucket: N lines/s,\n\
+         \u{20}             burst N, N in flight; an over-quota tenant sheds\n\
+         \u{20}             ERR OVERLOADED for itself alone)\n\
+         \u{20}            ADMIN on the health port, no restart needed:\n\
+         \u{20}            `ADMIN LIST` | `ADMIN ADD <id> <mesh> <router>` |\n\
+         \u{20}            `ADMIN RETIRE <id>`  (retire drains in-flight lines,\n\
+         \u{20}             then answers ERR MESH_RETIRED until the id is re-added)\n\
          \u{20}            [--stats-every MS]  (with --metrics-out: append a JSONL\n\
          \u{20}             stats snapshot every MS ms — a crash loses at most one\n\
          \u{20}             interval of telemetry)\n\
@@ -467,6 +418,10 @@ pub fn help() -> String {
          \u{20}             second connection once the primary is quiet this long;\n\
          \u{20}             first reply wins, loser counted as wasted; needs the\n\
          \u{20}             per-request transport)\n\
+         \u{20}            [--mesh-id ID]  (prefix every request with `MESH ID`)\n\
+         \u{20}            [--tenant-mix a=0.8,b=0.2]  (weighted per-request tenant\n\
+         \u{20}             mix, deterministic in --seed; per-tenant latency and\n\
+         \u{20}             error partitions in the summary)\n\
          \u{20}            (tags every request with a trace id and verifies the\n\
          \u{20}             echo; exit 2 if any request fails or any response is\n\
          \u{20}             malformed)\n\
@@ -1122,9 +1077,42 @@ fn parse_port(args: &Args, key: &str) -> Result<u16, String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<String, String> {
-    use oblivion_serve::{Control, ServeConfig};
-    let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
-    let router = make_router(opt(args, "router", "buschd"), &mesh)?;
+    use oblivion_serve::{Control, Registry, RouterHandle, ServeConfig};
+    let router_name = opt(args, "router", "buschd");
+    // The repeatable `--mesh NxN[:id]` list: the first spec is the
+    // default mesh (what prefix-free requests resolve to), an unnamed
+    // spec gets the id `default`. One router algorithm serves them all;
+    // torus routers imply torus meshes, exactly as `ADMIN ADD` infers.
+    let torus = router_name == "busch-torus";
+    let mut meshes: Vec<(String, Mesh)> = Vec::new();
+    for part in opt(args, "mesh", "16x16").split(',') {
+        let (spec, id) = match part.split_once(':') {
+            Some((spec, id)) => (spec, id),
+            None => (part, "default"),
+        };
+        if meshes.iter().any(|(have, _)| have == id) {
+            return Err(format!("duplicate mesh id `{id}` in --mesh"));
+        }
+        meshes.push((id.to_string(), parse_mesh_spec(spec, torus)?));
+    }
+    // Per-tenant admission quota: every registered mesh gets its own
+    // token bucket of N lines/s (burst N) and N admitted-but-unsettled
+    // lines. 0 is the degenerate "shed everything" knob and is refused.
+    let tenant_quota = match args.options.get("tenant-quota") {
+        Some(_) => Some(parse_nonzero_u64(args, "tenant-quota", "0")?),
+        None => None,
+    };
+    let registry = Registry::new(&meshes[0].0, tenant_quota);
+    let mut router_label = String::new();
+    for (id, mesh) in &meshes {
+        let router = make_router(router_name, mesh)?;
+        if router_label.is_empty() {
+            router_label = router.name();
+        }
+        registry
+            .add(id, RouterHandle::Owned(router))
+            .map_err(|e| format!("--mesh: {e}"))?;
+    }
     let port = parse_port(args, "port")?;
     let threads = usize::try_from(parse_nonzero_u64(args, "threads", "4")?)
         .map_err(|_| "bad --threads: too large".to_string())?;
@@ -1237,9 +1225,13 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     oblivion_signal::install();
     let ctl = Control::new();
     let summary =
-        oblivion_serve::run(router.as_ref(), &cfg, &ctl).map_err(|e| format!("serve: {e}"))?;
+        oblivion_serve::run_registry(&registry, &cfg, &ctl).map_err(|e| format!("serve: {e}"))?;
     let s = &summary.stats;
-    report_field("router_name", router.name().as_str());
+    report_field("router_name", router_label.as_str());
+    report_field("serve_meshes", meshes.len() as u64);
+    if let Some(q) = tenant_quota {
+        report_field("serve_tenant_quota", q);
+    }
     report_field("serve_addr", summary.addr.to_string());
     report_field("serve_threads", threads as u64);
     report_field("serve_queue_cap", queue_cap as u64);
@@ -1269,20 +1261,30 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let _ = writeln!(
         out,
         "  accepted {}  completed {}  bad-request {}  shed {}  deadline {}  \
-         drain-rejected {}  io-errors {}",
+         drain-rejected {}  io-errors {}  unknown-mesh {}  mesh-retired {}",
         s.accepted,
         s.completed,
         s.bad_request,
         s.shed_overloaded,
         s.deadline_exceeded,
         s.drain_rejected,
-        s.io_errors
+        s.io_errors,
+        s.unknown_mesh,
+        s.mesh_retired
     );
     let _ = writeln!(
         out,
         "  max queue depth {}  health probes {}",
         s.max_queue_depth, s.health_probes
     );
+    for t in &s.tenants {
+        let _ = writeln!(
+            out,
+            "  tenant {:<12} accepted {:>6}  completed {:>6}  shed {:>4}  retired {:>4}  \
+             state {} B",
+            t.id, t.accepted, t.completed, t.shed_overloaded, t.mesh_retired, t.state_bytes
+        );
+    }
     for (name, h) in &s.phases {
         if h.count == 0 {
             continue;
@@ -1305,6 +1307,11 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "serve: request counters do not conserve: accepted {} != settled {}\n{out}",
             s.accepted,
             s.settled()
+        ));
+    }
+    if !s.tenants_conserved() {
+        return Err(format!(
+            "serve: per-tenant ledgers do not conserve or over-claim the global ledger\n{out}"
         ));
     }
     if !s.phases_within_accepted() {
@@ -1363,6 +1370,33 @@ fn cmd_top(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Parses `--tenant-mix a=0.8,b=0.2` into weighted `(id, weight)`
+/// pairs: weights must be positive and finite, ids unique.
+fn parse_tenant_mix(raw: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut mix: Vec<(String, f64)> = Vec::new();
+    for part in raw.split(',') {
+        let (id, w) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --tenant-mix entry `{part}`: expected id=weight"))?;
+        if id.is_empty() {
+            return Err(format!("bad --tenant-mix entry `{part}`: empty mesh id"));
+        }
+        let weight: f64 = w
+            .parse()
+            .map_err(|e| format!("bad --tenant-mix weight in `{part}`: {e}"))?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(format!(
+                "--tenant-mix weight for `{id}` must be positive, got `{w}`"
+            ));
+        }
+        if mix.iter().any(|(have, _)| have == id) {
+            return Err(format!("duplicate tenant `{id}` in --tenant-mix"));
+        }
+        mix.push((id.to_string(), weight));
+    }
+    Ok(mix)
+}
+
 fn cmd_loadgen(args: &Args) -> Result<String, String> {
     use oblivion_serve::{HedgeAfter, LoadgenConfig};
     let mesh = parse_mesh_spec(opt(args, "mesh", "16x16"), false)?;
@@ -1417,6 +1451,19 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
             "--hedge-after needs the per-request transport; drop --keep-alive/--pipeline".into(),
         );
     }
+    // Multi-tenant targeting: `--mesh-id` pins every request to one mesh
+    // id; `--tenant-mix a=0.8,b=0.2` draws each request's tenant from a
+    // weighted mix (a pure function of --seed and the request id, so
+    // retries stay on their tenant and reruns reproduce the split).
+    let tenants: Vec<(String, f64)> =
+        match (args.options.get("mesh-id"), args.options.get("tenant-mix")) {
+            (Some(_), Some(_)) => {
+                return Err("--mesh-id and --tenant-mix are mutually exclusive".into())
+            }
+            (Some(id), None) => vec![(id.clone(), 1.0)],
+            (None, Some(raw)) => parse_tenant_mix(raw)?,
+            (None, None) => Vec::new(),
+        };
     let cfg = LoadgenConfig {
         addr: format!("{}:{port}", opt(args, "host", "127.0.0.1")),
         mesh,
@@ -1432,6 +1479,7 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
         open_loop,
         rate: rate.unwrap_or(0.0),
         hedge_after,
+        tenants,
     };
     let report = oblivion_serve::run_loadgen(&cfg);
     report_field("loadgen_keep_alive", if keep_alive { 1u64 } else { 0 });
@@ -1450,6 +1498,14 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
     report_field("loadgen_deadline", report.deadline);
     report_field("loadgen_shutting_down", report.shutting_down);
     report_field("loadgen_transport", report.transport);
+    report_field("loadgen_unknown_mesh", report.unknown_mesh);
+    report_field("loadgen_mesh_retired", report.mesh_retired);
+    for (id, t) in &report.tenants {
+        report_field(&format!("loadgen_tenant_{id}_ok"), t.ok);
+        report_field(&format!("loadgen_tenant_{id}_failed"), t.failed);
+        report_field(&format!("loadgen_tenant_{id}_overloaded"), t.overloaded);
+        report_field(&format!("loadgen_tenant_{id}_p99_ms"), t.latency_ms(0.99));
+    }
     report_field("loadgen_goodput", report.goodput());
     report_field("loadgen_p50_ms", report.latency_ms(0.50));
     report_field("loadgen_p90_ms", report.latency_ms(0.90));
@@ -1471,6 +1527,7 @@ fn cmd_loadgen(args: &Args) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblivion_mesh::Topology;
 
     fn args(v: &[&str]) -> Args {
         parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
@@ -1498,6 +1555,52 @@ mod tests {
         assert_eq!(b.options["trace"], "true");
         // Valued options still require a value even after a flag.
         assert!(parse_args(&["route".into(), "--trace".into(), "--mesh".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_args_mesh_is_repeatable() {
+        let a = args(&["serve", "--mesh", "8x8:a", "--mesh", "4x4:b"]);
+        assert_eq!(a.options["mesh"], "8x8:a,4x4:b");
+        // A single occurrence is untouched; other options stay last-wins.
+        let b = args(&["route", "--mesh", "8x8", "--seed", "1", "--seed", "2"]);
+        assert_eq!(b.options["mesh"], "8x8");
+        assert_eq!(b.options["seed"], "2");
+    }
+
+    #[test]
+    fn tenant_mix_parsing() {
+        let mix = parse_tenant_mix("a=0.8,b=0.2").unwrap();
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[0].0, "a");
+        assert!((mix[0].1 - 0.8).abs() < 1e-12);
+        assert!(parse_tenant_mix("a").is_err());
+        assert!(parse_tenant_mix("=1").is_err());
+        assert!(parse_tenant_mix("a=zero").is_err());
+        assert!(parse_tenant_mix("a=0").is_err());
+        assert!(parse_tenant_mix("a=-1").is_err());
+        assert!(parse_tenant_mix("a=inf").is_err());
+        assert!(parse_tenant_mix("a=1,a=2").is_err());
+    }
+
+    #[test]
+    fn serve_flag_validation_fails_fast() {
+        // All of these must error before any socket is bound (no --port).
+        let dup = run(&args(&["serve", "--mesh", "8x8:a", "--mesh", "8x8:a"]));
+        assert!(dup.unwrap_err().contains("duplicate mesh id"));
+        let bad_id = run(&args(&["serve", "--mesh", "8x8:*"]));
+        assert!(bad_id.unwrap_err().contains("bad mesh id"));
+        let zero_quota = run(&args(&["serve", "--mesh", "8x8", "--tenant-quota", "0"]));
+        assert!(zero_quota.unwrap_err().contains("--tenant-quota"));
+        let exclusive = run(&args(&[
+            "loadgen",
+            "--port",
+            "1",
+            "--mesh-id",
+            "a",
+            "--tenant-mix",
+            "a=1",
+        ]));
+        assert!(exclusive.unwrap_err().contains("mutually exclusive"));
     }
 
     #[test]

@@ -212,6 +212,60 @@ fn serve_rejects_degenerate_knobs_cleanly() {
 }
 
 #[test]
+fn serve_rejects_bad_tenant_flags_cleanly() {
+    // A quota of 0 sheds everything, a duplicate mesh id is ambiguous,
+    // and an invalid id can never appear in a `MESH <id>` prefix — all
+    // refused before a socket is bound.
+    for (context, extra) in [
+        ("--tenant-quota 0", &["--tenant-quota", "0"][..]),
+        ("--tenant-quota -4", &["--tenant-quota", "-4"][..]),
+        ("--tenant-quota junk", &["--tenant-quota", "junk"][..]),
+        (
+            "duplicate mesh id",
+            &["--mesh", "8x8:a", "--mesh", "4x4:a"][..],
+        ),
+        ("invalid mesh id", &["--mesh", "8x8:not/ok"][..]),
+    ] {
+        let mut args = vec!["serve", "--mesh", "8x8", "--port", "4555"];
+        args.extend_from_slice(extra);
+        let out = oblivion(&args);
+        assert_clean_failure(&out, &format!("serve {context}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(extra[0].trim_start_matches('-')) || stderr.contains("mesh id"),
+            "serve {context}: error should name the offending flag: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn loadgen_rejects_bad_tenant_flags_cleanly() {
+    for (context, extra) in [
+        ("malformed --tenant-mix", &["--tenant-mix", "a"][..]),
+        ("empty id in --tenant-mix", &["--tenant-mix", "=1"][..]),
+        ("zero weight", &["--tenant-mix", "a=0"][..]),
+        ("negative weight", &["--tenant-mix", "a=-2"][..]),
+        ("non-finite weight", &["--tenant-mix", "a=NaN"][..]),
+        ("garbage weight", &["--tenant-mix", "a=heavy"][..]),
+        ("duplicate tenant", &["--tenant-mix", "a=1,a=2"][..]),
+        (
+            "--mesh-id with --tenant-mix",
+            &["--mesh-id", "a", "--tenant-mix", "a=1"][..],
+        ),
+    ] {
+        let mut args = vec!["loadgen", "--mesh", "8x8", "--port", "4555"];
+        args.extend_from_slice(extra);
+        let out = oblivion(&args);
+        assert_clean_failure(&out, &format!("loadgen {context}"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("tenant-mix") || stderr.contains("mesh-id"),
+            "loadgen {context}: error should name the offending flag: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn serve_rejects_bad_chaos_flags_cleanly() {
     // Negative/oversized probabilities, zero durations, and a garbage
     // seed are all refused before binding a socket.
