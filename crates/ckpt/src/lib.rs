@@ -8,9 +8,12 @@
 //!
 //! * [`bytes`] — a validating little-endian codec ([`ByteWriter`] /
 //!   [`ByteReader`]) so engine state serializes without serde and corrupt
-//!   payloads decode to typed errors, never panics.
+//!   payloads decode to typed errors, never panics. (Shared via
+//!   `oblivion-wire`; re-exported here so checkpoint callers keep one
+//!   import path.)
 //! * [`mod@crc32`] — standard CRC-32 (IEEE) with a const-built table; every
-//!   snapshot carries a checksum over its metadata and payload.
+//!   snapshot carries a checksum over its metadata and payload. (Also
+//!   re-exported from `oblivion-wire`.)
 //! * [`store`] — a two-generation atomic snapshot [`Store`]: saves go
 //!   write-temp → fsync → rename → fsync-dir, and the previous generation
 //!   is kept so a torn or bit-flipped newest snapshot falls back cleanly.
@@ -29,11 +32,14 @@
 // the shared `oblivion-signal` crate that `signal` re-exports.
 #![deny(unsafe_op_in_unsafe_fn)]
 
-pub mod bytes;
-pub mod crc32;
+pub use oblivion_wire::bytes;
+// Imports the `crc32` module and the `crc32` function in one shot:
+// `oblivion-wire` re-exports the function at its root alongside the
+// module, so both `oblivion_ckpt::crc32(..)` and
+// `oblivion_ckpt::crc32::crc32(..)` keep working.
+pub use oblivion_wire::crc32;
 pub mod signal;
 pub mod store;
 
 pub use bytes::{ByteReader, ByteWriter, CkptError};
-pub use crc32::crc32;
 pub use store::{LoadOutcome, Snapshot, Store};

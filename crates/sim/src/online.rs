@@ -20,7 +20,8 @@
 //! tests in `tests/parallel_online.rs` hold them to that, field for
 //! field, for any thread count.
 
-use crate::checkpoint::{capture_obs, CheckpointCfg, Driver, EngineState, PacketState, StopReason};
+use crate::checkpoint::{capture_obs, CheckpointCfg, EngineState, PacketState, StopReason};
+use crate::stepper::{Adverse, BoundaryScalars, FaultClock, Pending, PhaseTimer, StepObs, Stepper};
 use crate::SchedulingPolicy;
 use oblivion_faults::{FaultPlan, RecoveryPolicy};
 use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
@@ -145,50 +146,6 @@ impl FaultStats {
             failed_nodes: plan.failed_nodes() as u64,
             ..Self::default()
         }
-    }
-}
-
-/// What a packet whose progress was interrupted by a fault does next.
-/// Pure function of `(policy, budget, attempts so far, backoff deadline,
-/// now)` — shared verbatim by both engines so their recovery behaviour
-/// cannot drift apart.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FaultDecision {
-    /// Still inside a backoff window: do nothing this step.
-    Hold,
-    /// Consume one budget unit and sleep until `until`.
-    Backoff { attempts: u32, until: u64 },
-    /// Consume one budget unit and redraw the path (resample policy).
-    Resample { attempts: u32 },
-    /// Budget exhausted: abandon the packet.
-    DeadLetter,
-}
-
-pub(crate) fn fault_decision(
-    recovery: RecoveryPolicy,
-    retry_budget: u32,
-    attempts: u32,
-    backoff_until: u64,
-    now: u64,
-) -> FaultDecision {
-    if now < backoff_until {
-        return FaultDecision::Hold;
-    }
-    let attempts = attempts + 1;
-    if attempts > retry_budget {
-        return FaultDecision::DeadLetter;
-    }
-    match recovery {
-        RecoveryPolicy::Wait => FaultDecision::Backoff {
-            attempts,
-            // Bounded exponential backoff: 1, 2, 4, … capped at 64 steps.
-            until: now + (1u64 << (attempts - 1).min(6)),
-        },
-        RecoveryPolicy::DropAfterBudget => FaultDecision::Backoff {
-            attempts,
-            until: now + 1,
-        },
-        RecoveryPolicy::Resample => FaultDecision::Resample { attempts },
     }
 }
 
@@ -354,10 +311,8 @@ struct Flight {
     /// Injection index: the packet's run-global identity for fault
     /// decisions (drop hashes, resample RNGs).
     inj: u64,
-    /// Budget units consumed so far by fault recovery.
-    attempts: u32,
-    /// Step before which recovery makes no further decision.
-    backoff_until: u64,
+    /// Fault-recovery clock (shared transition rules in `stepper`).
+    clock: FaultClock,
     dead: bool,
 }
 
@@ -379,8 +334,7 @@ fn resample_flight(
     debug_assert!(np.is_valid(mesh), "resampled path invalid");
     f.path = np;
     f.pos = 0;
-    f.attempts = attempts;
-    f.backoff_until = t + 1;
+    f.clock.resampled(attempts, t);
 }
 
 impl<'a> OnlineSim<'a> {
@@ -456,32 +410,18 @@ impl<'a> OnlineSim<'a> {
         resume: Option<&EngineState>,
     ) -> Result<OnlineResult, StopReason> {
         let _span = oblivion_obs::span("online_sim");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sp = Stepper::new(self.rate, self.faults, steps, seed, ckpt, resume);
         let nodes: Vec<Coord> = self.mesh.coords().collect();
         let mut flights: Vec<Flight> = Vec::new();
         let mut active: Vec<usize> = Vec::new();
         let mut latencies: Vec<u64> = Vec::new();
         let mut link_loads = vec![0u64; self.mesh.edge_count()];
-        let mut injected = 0usize;
-        let mut inj_idx = 0u64;
+        let mut pending: Vec<Pending> = Vec::new();
         let mut contenders: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut fstats = self.faults.map(|fx| FaultStats::for_plan(fx.plan));
 
-        let horizon = 2 * steps;
-        let mut t = 0u64;
         if let Some(st) = resume {
-            st.restore_obs();
-            rng = StdRng::from_state(st.rng);
-            t = st.t;
-            injected = st.injected as usize;
-            inj_idx = st.inj_idx;
             latencies = st.latencies.clone();
             link_loads.clone_from(&st.link_loads);
-            if fstats.is_some() {
-                if let Some(fs) = st.fstats {
-                    fstats = Some(fs);
-                }
-            }
             // Rebuild the flight arena at its pre-stop length: live
             // packets in place, inert dummies where delivered/dead ones
             // sat, so post-resume packets get identical indices (ids).
@@ -496,8 +436,7 @@ impl<'a> OnlineSim<'a> {
                         arrived_at: p.arrived,
                         rank: p.rank,
                         inj: p.inj,
-                        attempts: p.attempts,
-                        backoff_until: p.backoff_until,
+                        clock: FaultClock::restore(p.attempts, p.backoff_until),
                         dead: false,
                     });
                     active.push(id);
@@ -509,101 +448,53 @@ impl<'a> OnlineSim<'a> {
                         arrived_at: 0,
                         rank: 0,
                         inj: 0,
-                        attempts: 0,
-                        backoff_until: 0,
+                        clock: FaultClock::default(),
                         dead: true,
                     });
                 }
             }
         }
-        let mut driver = ckpt.map(Driver::new);
-        while t < horizon && (t < steps || !active.is_empty()) {
-            if let Some(d) = driver.as_mut() {
-                let stop = d.at_step(t, || {
-                    capture_sequential(
-                        self.mesh,
-                        t,
-                        &rng,
-                        injected,
-                        inj_idx,
-                        &flights,
-                        &active,
-                        &latencies,
-                        &link_loads,
-                        &fstats,
-                    )
+        let mut timer = PhaseTimer::idle();
+        while sp.running(active.len()) {
+            if let Some(stop) = sp.boundary(|scalars| {
+                capture_sequential(
+                    self.mesh,
+                    scalars,
+                    &flights,
+                    &active,
+                    &latencies,
+                    &link_loads,
+                )
+            }) {
+                return Err(stop);
+            }
+            timer.start();
+            // Injection phase: draw from the main RNG (stepper), then
+            // route each pending inline — its private route RNG is a pure
+            // function of `(seed, idx)`, so routing order is immaterial.
+            sp.draw_injections(self.mesh, &nodes, pattern, &mut pending);
+            let t = sp.t;
+            for pj in &pending {
+                let mut prng = route_rng_for(seed, pj.idx);
+                let path = paths.path(&pj.src, &pj.dst, &mut prng);
+                debug_assert!(path.is_valid(self.mesh));
+                if path.is_empty() {
+                    latencies.push(0);
+                    continue;
+                }
+                flights.push(Flight {
+                    path,
+                    pos: 0,
+                    injected_at: t,
+                    arrived_at: t,
+                    rank: pj.rank,
+                    inj: pj.idx,
+                    clock: FaultClock::default(),
+                    dead: false,
                 });
-                if let Some(stop) = stop {
-                    return Err(stop);
-                }
+                active.push(flights.len() - 1);
             }
-            // Per-step phase timings ride the wall-clock ("runtime")
-            // side of obs, so they never touch the determinism
-            // contract; the timer itself is gated to keep the
-            // uninstrumented hot path at one relaxed load.
-            let phase_started = oblivion_obs::is_enabled().then(std::time::Instant::now);
-            // Injection phase (only during the measurement window).
-            if t < steps {
-                for src in &nodes {
-                    if rng.gen_bool(self.rate) {
-                        let dst = pattern.destination(src, &mut rng);
-                        if dst == *src {
-                            continue;
-                        }
-                        // A dead source injects nothing. Checked before
-                        // any further state changes so the main RNG
-                        // stream matches the no-fault run exactly.
-                        if let Some(fx) = &self.faults {
-                            if fx.plan.node_down(self.mesh.node_id(src)) {
-                                fstats.as_mut().unwrap().src_down_skips += 1;
-                                continue;
-                            }
-                        }
-                        injected += 1;
-                        let rank: u64 = rng.gen();
-                        let mut prng = route_rng_for(seed, inj_idx);
-                        let inj = inj_idx;
-                        inj_idx += 1;
-                        // A packet addressed to a dead node can never be
-                        // delivered: dead-letter it at injection (it still
-                        // counts as injected and consumes its index).
-                        if let Some(fx) = &self.faults {
-                            if fx.plan.node_down(self.mesh.node_id(&dst)) {
-                                let fs = fstats.as_mut().unwrap();
-                                fs.dead_letters += 1;
-                                fs.dead_on_injection += 1;
-                                continue;
-                            }
-                        }
-                        let path = paths.path(src, &dst, &mut prng);
-                        debug_assert!(path.is_valid(self.mesh));
-                        if path.is_empty() {
-                            latencies.push(0);
-                            continue;
-                        }
-                        flights.push(Flight {
-                            path,
-                            pos: 0,
-                            injected_at: t,
-                            arrived_at: t,
-                            rank,
-                            inj,
-                            attempts: 0,
-                            backoff_until: 0,
-                            dead: false,
-                        });
-                        active.push(flights.len() - 1);
-                    }
-                }
-            }
-            let move_started = phase_started.map(|inject_started| {
-                let now = std::time::Instant::now();
-                oblivion_obs::record_runtime(
-                    "online_phase_inject_us",
-                    now.duration_since(inject_started).as_micros() as u64,
-                );
-                now
-            });
+            timer.inject_done();
             // Movement phase. A packet whose next link is down does not
             // contend this step; its recovery policy decides what it
             // does instead.
@@ -614,28 +505,18 @@ impl<'a> OnlineSim<'a> {
                     let p = f.path.nodes();
                     self.mesh.edge_id(&p[f.pos], &p[f.pos + 1])
                 };
-                if let Some(fx) = &self.faults {
+                if let Some(fx) = &sp.faults {
                     if fx.plan.link_down(e, t) {
-                        let fs = fstats.as_mut().unwrap();
+                        let fs = sp.fstats.as_mut().unwrap();
                         fs.blocked += 1;
                         let f = &mut flights[i];
-                        match fault_decision(
-                            fx.recovery,
-                            fx.retry_budget,
-                            f.attempts,
-                            f.backoff_until,
-                            t,
-                        ) {
-                            FaultDecision::Hold => {}
-                            FaultDecision::Backoff { attempts, until } => {
-                                f.attempts = attempts;
-                                f.backoff_until = until;
-                            }
-                            FaultDecision::DeadLetter => {
+                        match f.clock.adverse(fx, t) {
+                            Adverse::Hold => {}
+                            Adverse::DeadLetter => {
                                 f.dead = true;
                                 fs.dead_letters += 1;
                             }
-                            FaultDecision::Resample { attempts } => {
+                            Adverse::Resample { attempts } => {
                                 fs.resamples += 1;
                                 resample_flight(f, fx, paths, self.mesh, attempts, t);
                             }
@@ -645,14 +526,8 @@ impl<'a> OnlineSim<'a> {
                 }
                 contenders.entry(e.0).or_default().push(i);
             }
-            if oblivion_obs::is_enabled() {
-                oblivion_obs::counter_add("online_steps", 1);
-                oblivion_obs::record(
-                    "queue_len_per_step",
-                    contenders.values().map(Vec::len).max().unwrap_or(0) as u64,
-                );
-                oblivion_obs::record("busy_links_per_step", contenders.len() as u64);
-            }
+            let max_group = contenders.values().map(Vec::len).max().unwrap_or(0) as u64;
+            let busy = contenders.len() as u64;
             for (&e, group) in &contenders {
                 let &winner = group
                     .iter()
@@ -671,27 +546,17 @@ impl<'a> OnlineSim<'a> {
                 // The winning traversal can still lose the packet to
                 // per-link drop; the recovery policy then decides
                 // whether it is re-sent (from the same node) or dies.
-                if let Some(fx) = &self.faults {
+                if let Some(fx) = &sp.faults {
                     if fx.plan.drops(EdgeId(e), t, f.inj) {
-                        let fs = fstats.as_mut().unwrap();
+                        let fs = sp.fstats.as_mut().unwrap();
                         fs.drops += 1;
-                        match fault_decision(
-                            fx.recovery,
-                            fx.retry_budget,
-                            f.attempts,
-                            f.backoff_until,
-                            t,
-                        ) {
-                            FaultDecision::Hold => {}
-                            FaultDecision::Backoff { attempts, until } => {
-                                f.attempts = attempts;
-                                f.backoff_until = until;
-                            }
-                            FaultDecision::DeadLetter => {
+                        match f.clock.adverse(fx, t) {
+                            Adverse::Hold => {}
+                            Adverse::DeadLetter => {
                                 f.dead = true;
                                 fs.dead_letters += 1;
                             }
-                            FaultDecision::Resample { attempts } => {
+                            Adverse::Resample { attempts } => {
                                 fs.resamples += 1;
                                 resample_flight(f, fx, paths, self.mesh, attempts, t);
                             }
@@ -699,8 +564,7 @@ impl<'a> OnlineSim<'a> {
                         continue;
                     }
                     // A completed hop clears the recovery state.
-                    f.attempts = 0;
-                    f.backoff_until = 0;
+                    f.clock.progressed();
                 }
                 f.pos += 1;
                 f.arrived_at = t + 1;
@@ -710,34 +574,27 @@ impl<'a> OnlineSim<'a> {
                 }
             }
             active.retain(|&i| !flights[i].dead && flights[i].pos < flights[i].path.len());
-            if let Some(move_started) = move_started {
-                oblivion_obs::record_runtime(
-                    "online_phase_move_us",
-                    move_started.elapsed().as_micros() as u64,
-                );
-                // In-flight packets at the end of the step: a level, and
-                // a pure function of (config, seed) — so it lives on the
-                // deterministic gauge side.
-                oblivion_obs::gauge_set("sim_in_flight", active.len() as i64);
-            }
-            t += 1;
+            timer.move_done();
+            sp.end_step(
+                active.len(),
+                StepObs {
+                    max_group,
+                    busy,
+                    shard: None,
+                },
+            );
         }
 
-        if let (Some(fs), true) = (&fstats, oblivion_obs::is_enabled()) {
-            oblivion_obs::counter_add("online_fault_blocked", fs.blocked);
-            oblivion_obs::counter_add("online_fault_resamples", fs.resamples);
-            oblivion_obs::counter_add("online_fault_drops", fs.drops);
-            oblivion_obs::counter_add("online_dead_letters", fs.dead_letters);
-        }
+        sp.finish(None);
         Ok(OnlineResult::assemble(
             self.mesh,
             steps,
-            injected,
+            sp.injected,
             latencies,
             active.len(),
             link_loads,
             None,
-            fstats,
+            sp.fstats,
         ))
     }
 
@@ -784,25 +641,48 @@ impl<'a> OnlineSim<'a> {
     ) -> Result<OnlineResult, StopReason> {
         crate::sharded::run_sharded_ckpt(self, pattern, paths, steps, seed, threads, ckpt, resume)
     }
+
+    /// Runs the same simulation on the supervised **multi-process**
+    /// engine: this process becomes the supervisor (injection, routing,
+    /// step barrier) and `pcfg.procs` child worker processes step the
+    /// spatial shards, exchanging boundary handoffs over checksummed
+    /// pipes (see [`crate::procs`]).
+    ///
+    /// Deterministic: the outcome matches [`Self::run`] and
+    /// [`Self::run_sharded`] byte for byte at any process count — even
+    /// when a worker dies mid-run and is restored from its shadow
+    /// snapshot, because a worker's state is a pure function of the
+    /// shadow plus the replayed step messages.
+    ///
+    /// # Panics
+    /// Panics if `pcfg.procs == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_procs_ckpt(
+        &self,
+        pattern: &dyn TrafficPattern,
+        paths: &(dyn PathSource + Sync),
+        steps: u64,
+        seed: u64,
+        pcfg: &crate::procs::ProcsCfg,
+        ckpt: Option<&CheckpointCfg<'_>>,
+        resume: Option<&EngineState>,
+    ) -> Result<OnlineResult, StopReason> {
+        crate::procs::run_procs_ckpt(self, pattern, paths, steps, seed, pcfg, ckpt, resume)
+    }
 }
 
 /// Builds the canonical [`EngineState`] of the sequential engine at the
-/// start of step `t`. Latencies are sorted (their order is immaterial to
+/// start of a step. Latencies are sorted (their order is immaterial to
 /// the result) so that, with observability disabled, the bytes match the
 /// sharded engine's capture at the same step (the sharded engine keeps
 /// two extra obs counters and real handoff/imbalance totals).
-#[allow(clippy::too_many_arguments)]
 fn capture_sequential(
     mesh: &Mesh,
-    t: u64,
-    rng: &StdRng,
-    injected: usize,
-    inj_idx: u64,
+    scalars: &BoundaryScalars<'_>,
     flights: &[Flight],
     active: &[usize],
     latencies: &[u64],
     link_loads: &[u64],
-    fstats: &Option<FaultStats>,
 ) -> EngineState {
     let packets = active
         .iter()
@@ -815,8 +695,8 @@ fn capture_sequential(
                 arrived: f.arrived_at,
                 rank: f.rank,
                 pos: f.pos as u64,
-                attempts: f.attempts,
-                backoff_until: f.backoff_until,
+                attempts: f.clock.attempts,
+                backoff_until: f.clock.backoff_until,
                 path: f
                     .path
                     .nodes()
@@ -829,17 +709,17 @@ fn capture_sequential(
     let mut sorted_latencies = latencies.to_vec();
     sorted_latencies.sort_unstable();
     EngineState {
-        t,
-        rng: rng.state(),
-        injected: injected as u64,
-        inj_idx,
+        t: scalars.t,
+        rng: scalars.rng.state(),
+        injected: scalars.injected as u64,
+        inj_idx: scalars.inj_idx,
         arena_len: flights.len() as u64,
         handoffs_total: 0,
         max_imbalance: 0,
         latencies: sorted_latencies,
         link_loads: link_loads.to_vec(),
         packets,
-        fstats: *fstats,
+        fstats: *scalars.fstats,
         obs: capture_obs(),
     }
 }

@@ -25,15 +25,16 @@
 //! The result is byte-for-byte identical to [`OnlineSim::run`] for any
 //! thread count: the pool decides *who* computes, never *what*.
 
-use crate::checkpoint::{capture_obs, CheckpointCfg, Driver, EngineState, PacketState, StopReason};
+use crate::checkpoint::{capture_obs, CheckpointCfg, EngineState, PacketState, StopReason};
 use crate::online::{
-    fault_decision, policy_key, route_rng_for, FaultDecision, FaultStats, Faults, OnlineResult,
-    OnlineSim, PathSource, ShardSummary, TrafficPattern,
+    policy_key, route_rng_for, Faults, OnlineResult, OnlineSim, PathSource, ShardSummary,
+    TrafficPattern,
 };
 use crate::pool;
+use crate::stepper::{
+    Adverse, BoundaryScalars, FaultClock, Pending, PhaseTimer, ShardFinale, StepObs, Stepper,
+};
 use oblivion_mesh::{Coord, EdgeId, Mesh, Path};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -47,11 +48,11 @@ pub const MAX_SHARDS: usize = 16;
 pub struct ShardMap {
     shards: usize,
     /// Shard of each edge, indexed by `EdgeId`.
-    shard_of_edge: Vec<u32>,
+    pub(crate) shard_of_edge: Vec<u32>,
     /// Dense slot of each edge within its shard, indexed by `EdgeId`.
-    slot_of_edge: Vec<u32>,
+    pub(crate) slot_of_edge: Vec<u32>,
     /// Edges per shard.
-    slots: Vec<usize>,
+    pub(crate) slots: Vec<usize>,
 }
 
 impl ShardMap {
@@ -97,60 +98,60 @@ impl ShardMap {
 /// arena is taken for write only when the coordinator appends newly
 /// injected packets between parallel rounds.
 #[derive(Default)]
-struct Arena {
+pub(crate) struct Arena {
     /// Each path sits behind its own (uncontended) mutex: a packet is
     /// owned by exactly one shard per step, and only that shard ever
     /// locks it — needed so `resample` recovery can swap the path in
     /// place without `unsafe`.
-    path: Vec<Mutex<Path>>,
-    injected_at: Vec<u64>,
-    rank: Vec<u64>,
+    pub(crate) path: Vec<Mutex<Path>>,
+    pub(crate) injected_at: Vec<u64>,
+    pub(crate) rank: Vec<u64>,
     /// Global injection index — identity for fault decisions.
-    inj: Vec<u64>,
-    pos: Vec<AtomicUsize>,
-    arrived: Vec<AtomicU64>,
-    cur_edge: Vec<AtomicUsize>,
+    pub(crate) inj: Vec<u64>,
+    pub(crate) pos: Vec<AtomicUsize>,
+    pub(crate) arrived: Vec<AtomicU64>,
+    pub(crate) cur_edge: Vec<AtomicUsize>,
     /// Fault-recovery budget units consumed so far.
-    attempts: Vec<AtomicU32>,
+    pub(crate) attempts: Vec<AtomicU32>,
     /// Step before which fault recovery makes no further decision.
-    backoff: Vec<AtomicU64>,
+    pub(crate) backoff: Vec<AtomicU64>,
 }
 
 /// Tombstone marker in a shard's active list: the packet left the shard
 /// (delivered or handed off) and is skipped at the next scan.
-const GONE: usize = usize::MAX;
+pub(crate) const GONE: usize = usize::MAX;
 
 /// Per-shard mutable state. Locked by whichever worker claims the shard
 /// this step (uncontended: each shard is claimed exactly once per step).
-struct ShardState {
+pub(crate) struct ShardState {
     /// Packets owned by this shard (`GONE` entries are compacted lazily).
-    active: Vec<usize>,
+    pub(crate) active: Vec<usize>,
     /// Live packet count after the last step (excludes tombstones).
-    live: usize,
+    pub(crate) live: usize,
     /// Per-slot winner key `(policy priority, packet id)` this step.
-    best: Vec<(u64, u64)>,
+    pub(crate) best: Vec<(u64, u64)>,
     /// Per-slot winner position in `active` (for tombstoning).
-    best_pos: Vec<u32>,
+    pub(crate) best_pos: Vec<u32>,
     /// Per-slot contender count this step.
-    count: Vec<u32>,
+    pub(crate) count: Vec<u32>,
     /// Slots touched this step (insertion order).
-    touched: Vec<u32>,
+    pub(crate) touched: Vec<u32>,
     /// Per-slot traversal totals (the shard's slice of the link loads).
-    loads: Vec<u64>,
+    pub(crate) loads: Vec<u64>,
     /// Delivery latencies of packets that completed in this shard.
-    latencies: Vec<u64>,
-    step_max_group: u32,
-    step_busy: u32,
-    step_handoffs: u64,
-    step_delivered: u64,
-    step_dead: u64,
-    step_blocked: u64,
-    step_resamples: u64,
-    step_drops: u64,
+    pub(crate) latencies: Vec<u64>,
+    pub(crate) step_max_group: u32,
+    pub(crate) step_busy: u32,
+    pub(crate) step_handoffs: u64,
+    pub(crate) step_delivered: u64,
+    pub(crate) step_dead: u64,
+    pub(crate) step_blocked: u64,
+    pub(crate) step_resamples: u64,
+    pub(crate) step_drops: u64,
 }
 
 impl ShardState {
-    fn new(slots: usize) -> Self {
+    pub(crate) fn new(slots: usize) -> Self {
         Self {
             active: Vec::new(),
             live: 0,
@@ -170,15 +171,6 @@ impl ShardState {
             step_drops: 0,
         }
     }
-}
-
-/// A packet drawn for injection this step, awaiting parallel routing.
-struct Pending {
-    src: Coord,
-    dst: Coord,
-    rank: u64,
-    /// Global injection index — seeds the packet's private route RNG.
-    idx: u64,
 }
 
 /// A routed pending packet: its path and first edge (`GONE` if the path
@@ -209,7 +201,7 @@ pub(crate) fn run_sharded_ckpt(
     assert!(threads >= 1, "need at least one thread");
     let _span = oblivion_obs::span("online_sim_sharded");
     let mesh = sim.mesh();
-    let (policy, rate) = (sim.policy(), sim.rate());
+    let policy = sim.policy();
     let faults = sim.fault_setup();
     let map = ShardMap::new(mesh);
     let shards_n = map.shards();
@@ -291,38 +283,25 @@ pub(crate) fn run_sharded_ckpt(
 
     // ------------------------------------------------------------------
     // The coordinator: injection draws, arena growth, per-step metric
-    // aggregation, termination. Runs strictly between parallel rounds.
+    // aggregation, termination — the shared step protocol lives in the
+    // stepper; this function adds only the shard bookkeeping. Runs
+    // strictly between parallel rounds.
     // ------------------------------------------------------------------
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sp = Stepper::new(sim.rate(), faults, steps, seed, ckpt, resume);
     let nodes: Vec<Coord> = mesh.coords().collect();
-    let horizon = 2 * steps;
-    let mut t = 0u64;
-    let mut injected = 0usize;
-    let mut inj_idx = 0u64;
     let mut alive = 0usize;
     let mut delivered_instant = 0usize;
     let mut handoffs_total = 0u64;
     let mut max_imbalance = 0u64;
-    let mut fstats = faults.map(|fx| FaultStats::for_plan(fx.plan));
 
     // Latencies carried over from a resumed snapshot (includes the zeros
     // of pre-resume instant deliveries); `delivered_instant` counts only
     // post-resume ones.
     let mut base_latencies: Vec<u64> = Vec::new();
     if let Some(st) = resume {
-        st.restore_obs();
-        rng = StdRng::from_state(st.rng);
-        t = st.t;
-        injected = st.injected as usize;
-        inj_idx = st.inj_idx;
         alive = st.packets.len();
         handoffs_total = st.handoffs_total;
         max_imbalance = st.max_imbalance;
-        if fstats.is_some() {
-            if let Some(fs) = st.fstats {
-                fstats = Some(fs);
-            }
-        }
         base_latencies = st.latencies.clone();
         // Rebuild the arena at its pre-stop length: live packets in
         // place, inert dummies where delivered/dead ones sat, so
@@ -374,7 +353,6 @@ pub(crate) fn run_sharded_ckpt(
             locked[map.shard_of_edge[e] as usize].loads[map.slot_of_edge[e] as usize] = load;
         }
     }
-    let mut driver = ckpt.map(Driver::new);
     let mut stopped: Option<StopReason> = None;
 
     #[derive(Clone, Copy, PartialEq)]
@@ -384,101 +362,59 @@ pub(crate) fn run_sharded_ckpt(
         Stepped,
     }
     let mut stage = Stage::Begin;
-    // Per-step phase timers (wall-clock, obs "runtime" side — never part
-    // of the determinism contract). Inject spans Begin→Routed commit
-    // (draw + parallel routing), move spans the STEP phase + harvest, so
-    // the two phases line up with the sequential engine's split.
-    let mut inject_started: Option<std::time::Instant> = None;
-    let mut move_started: Option<std::time::Instant> = None;
+    // Per-step phase timers. Inject spans Begin→Routed commit (draw +
+    // parallel routing), move spans the STEP phase + harvest, so the two
+    // phases line up with the sequential engine's split.
+    let mut timer = PhaseTimer::idle();
 
     let next = || -> bool {
         loop {
             match stage {
                 Stage::Begin => {
-                    if !(t < horizon && (t < steps || alive > 0)) {
+                    if !sp.running(alive) {
                         return false;
                     }
-                    if let Some(d) = driver.as_mut() {
-                        let stop = d.at_step(t, || {
-                            capture_sharded(
-                                mesh,
-                                &map,
-                                &arena,
-                                &shards,
-                                &inboxes,
-                                t,
-                                &rng,
-                                injected,
-                                inj_idx,
-                                &base_latencies,
-                                delivered_instant,
-                                handoffs_total,
-                                max_imbalance,
-                                &fstats,
-                            )
-                        });
-                        if let Some(stop) = stop {
-                            stopped = Some(stop);
-                            return false;
-                        }
+                    let stop = sp.boundary(|scalars| {
+                        capture_sharded(
+                            mesh,
+                            &map,
+                            &arena,
+                            &shards,
+                            &inboxes,
+                            scalars,
+                            &base_latencies,
+                            delivered_instant,
+                            handoffs_total,
+                            max_imbalance,
+                        )
+                    });
+                    if let Some(stop) = stop {
+                        stopped = Some(stop);
+                        return false;
                     }
-                    inject_started = oblivion_obs::is_enabled().then(std::time::Instant::now);
-                    // Clear unconditionally: drain steps must not replay
-                    // the final injection step's pending list.
+                    timer.start();
+                    // Draw this step's injections into the shared pending
+                    // list (cleared by the stepper: drain steps must not
+                    // replay the final injection step's list).
                     let mut pend = pending.write().unwrap();
-                    pend.clear();
-                    if t < steps {
-                        for src in &nodes {
-                            if rng.gen_bool(rate) {
-                                let dst = pattern.destination(src, &mut rng);
-                                if dst == *src {
-                                    continue;
-                                }
-                                // Same fault gating, in the same order, as
-                                // the sequential engine's injection loop.
-                                if let Some(fx) = &faults {
-                                    if fx.plan.node_down(mesh.node_id(src)) {
-                                        fstats.as_mut().unwrap().src_down_skips += 1;
-                                        continue;
-                                    }
-                                }
-                                injected += 1;
-                                let rank: u64 = rng.gen();
-                                let idx = inj_idx;
-                                inj_idx += 1;
-                                if let Some(fx) = &faults {
-                                    if fx.plan.node_down(mesh.node_id(&dst)) {
-                                        let fs = fstats.as_mut().unwrap();
-                                        fs.dead_letters += 1;
-                                        fs.dead_on_injection += 1;
-                                        continue;
-                                    }
-                                }
-                                pend.push(Pending {
-                                    src: *src,
-                                    dst,
-                                    rank,
-                                    idx,
-                                });
-                            }
-                        }
-                        if !pend.is_empty() {
-                            let mut stage_slots = staging.write().unwrap();
-                            stage_slots.clear();
-                            stage_slots.resize_with(pend.len(), || Mutex::new(None));
-                            drop(stage_slots);
-                            drop(pend);
-                            phase.store(ROUTE_PHASE, Ordering::SeqCst);
-                            cursor.store(0, Ordering::SeqCst);
-                            stage = Stage::Routed;
-                            return true;
-                        }
+                    sp.draw_injections(mesh, &nodes, pattern, &mut pend);
+                    if !pend.is_empty() {
+                        let mut stage_slots = staging.write().unwrap();
+                        stage_slots.clear();
+                        stage_slots.resize_with(pend.len(), || Mutex::new(None));
+                        drop(stage_slots);
+                        drop(pend);
+                        phase.store(ROUTE_PHASE, Ordering::SeqCst);
+                        cursor.store(0, Ordering::SeqCst);
+                        stage = Stage::Routed;
+                        return true;
                     }
                     stage = Stage::Routed;
                 }
                 Stage::Routed => {
                     // Commit routed injections into the arena in draw
                     // order (deterministic), then run the step phase.
+                    let t = sp.t;
                     let pend = pending.read().unwrap();
                     if !pend.is_empty() {
                         let stage_slots = staging.read().unwrap();
@@ -506,13 +442,7 @@ pub(crate) fn run_sharded_ckpt(
                         }
                     }
                     drop(pend);
-                    if let Some(started) = inject_started.take() {
-                        oblivion_obs::record_runtime(
-                            "online_phase_inject_us",
-                            started.elapsed().as_micros() as u64,
-                        );
-                        move_started = Some(std::time::Instant::now());
-                    }
+                    timer.inject_done();
                     cur_t.store(t, Ordering::SeqCst);
                     phase.store(STEP_PHASE, Ordering::SeqCst);
                     cursor.store(0, Ordering::SeqCst);
@@ -534,7 +464,7 @@ pub(crate) fn run_sharded_ckpt(
                         step_handoffs += st.step_handoffs;
                         delivered_step += st.step_delivered;
                         dead_step += st.step_dead;
-                        if let Some(fs) = fstats.as_mut() {
+                        if let Some(fs) = sp.fstats.as_mut() {
                             fs.blocked += st.step_blocked;
                             fs.resamples += st.step_resamples;
                             fs.drops += st.step_drops;
@@ -547,24 +477,15 @@ pub(crate) fn run_sharded_ckpt(
                     alive -= (delivered_step + dead_step) as usize;
                     handoffs_total += step_handoffs;
                     max_imbalance = max_imbalance.max(imbalance);
-                    if oblivion_obs::is_enabled() {
-                        oblivion_obs::counter_add("online_steps", 1);
-                        oblivion_obs::record("queue_len_per_step", max_group);
-                        oblivion_obs::record("busy_links_per_step", busy);
-                        oblivion_obs::counter_add("online_shard_handoffs", step_handoffs);
-                        oblivion_obs::record("shard_imbalance_per_step", imbalance);
-                        if let Some(started) = move_started.take() {
-                            oblivion_obs::record_runtime(
-                                "online_phase_move_us",
-                                started.elapsed().as_micros() as u64,
-                            );
-                        }
-                        // End-of-step in-flight count: deterministic, so
-                        // it lives on the gauge side and must match the
-                        // sequential engine step for step.
-                        oblivion_obs::gauge_set("sim_in_flight", alive as i64);
-                    }
-                    t += 1;
+                    timer.move_done();
+                    sp.end_step(
+                        alive,
+                        StepObs {
+                            max_group,
+                            busy,
+                            shard: Some((step_handoffs, imbalance)),
+                        },
+                    );
                     stage = Stage::Begin;
                 }
             }
@@ -577,16 +498,10 @@ pub(crate) fn run_sharded_ckpt(
         return Err(stop);
     }
 
-    if oblivion_obs::is_enabled() {
-        oblivion_obs::counter_add("online_shards", shards_n as u64);
-        oblivion_obs::runtime_counter_add("online_pool_steals", steals.load(Ordering::Relaxed));
-        if let Some(fs) = &fstats {
-            oblivion_obs::counter_add("online_fault_blocked", fs.blocked);
-            oblivion_obs::counter_add("online_fault_resamples", fs.resamples);
-            oblivion_obs::counter_add("online_fault_drops", fs.drops);
-            oblivion_obs::counter_add("online_dead_letters", fs.dead_letters);
-        }
-    }
+    sp.finish(Some(ShardFinale {
+        shards: shards_n,
+        steals: steals.load(Ordering::Relaxed),
+    }));
 
     // ------------------------------------------------------------------
     // Assemble the result: per-shard pieces concatenated in shard order.
@@ -604,7 +519,7 @@ pub(crate) fn run_sharded_ckpt(
     Ok(OnlineResult::assemble(
         mesh,
         steps,
-        injected,
+        sp.injected,
         latencies,
         alive,
         link_loads,
@@ -613,7 +528,7 @@ pub(crate) fn run_sharded_ckpt(
             handoffs: handoffs_total,
             max_imbalance,
         }),
-        fstats,
+        sp.fstats,
     ))
 }
 
@@ -630,16 +545,13 @@ fn capture_sharded(
     arena: &RwLock<Arena>,
     shards: &[Mutex<ShardState>],
     inboxes: &[[Mutex<Vec<usize>>; 2]],
-    t: u64,
-    rng: &StdRng,
-    injected: usize,
-    inj_idx: u64,
+    scalars: &BoundaryScalars<'_>,
     base_latencies: &[u64],
     delivered_instant: usize,
     handoffs_total: u64,
     max_imbalance: u64,
-    fstats: &Option<FaultStats>,
 ) -> EngineState {
+    let t = scalars.t;
     let arena = arena.read().unwrap();
     let mut ids: Vec<usize> = Vec::new();
     for (s, shard) in shards.iter().enumerate() {
@@ -685,16 +597,16 @@ fn capture_sharded(
         .collect();
     EngineState {
         t,
-        rng: rng.state(),
-        injected: injected as u64,
-        inj_idx,
+        rng: scalars.rng.state(),
+        injected: scalars.injected as u64,
+        inj_idx: scalars.inj_idx,
         arena_len: arena.path.len() as u64,
         handoffs_total,
         max_imbalance,
         latencies,
         link_loads,
         packets,
-        fstats: *fstats,
+        fstats: *scalars.fstats,
         obs: capture_obs(),
     }
 }
@@ -728,15 +640,17 @@ fn resample_arena(
     let e2 = mesh.edge_id(&nodes[0], &nodes[1]).0;
     *path = np;
     drop(path);
+    let mut clock = FaultClock::default();
+    clock.resampled(attempts, t);
     arena.pos[i].store(0, Ordering::Relaxed);
-    arena.attempts[i].store(attempts, Ordering::Relaxed);
-    arena.backoff[i].store(t + 1, Ordering::Relaxed);
+    arena.attempts[i].store(clock.attempts, Ordering::Relaxed);
+    arena.backoff[i].store(clock.backoff_until, Ordering::Relaxed);
     arena.cur_edge[i].store(e2, Ordering::Relaxed);
     e2
 }
 
 #[allow(clippy::too_many_arguments)]
-fn step_shard(
+pub(crate) fn step_shard(
     arena: &Arena,
     map: &ShardMap,
     shard: &Mutex<ShardState>,
@@ -774,23 +688,22 @@ fn step_shard(
         if let Some(fx) = &faults {
             if fx.plan.link_down(EdgeId(e), t) {
                 st.step_blocked += 1;
-                match fault_decision(
-                    fx.recovery,
-                    fx.retry_budget,
+                // Round-trip the packet's fault clock through the shared
+                // transition rules (arena atomics are just its storage).
+                let mut clock = FaultClock::restore(
                     arena.attempts[i].load(Ordering::Relaxed),
                     arena.backoff[i].load(Ordering::Relaxed),
-                    t,
-                ) {
-                    FaultDecision::Hold => {}
-                    FaultDecision::Backoff { attempts, until } => {
-                        arena.attempts[i].store(attempts, Ordering::Relaxed);
-                        arena.backoff[i].store(until, Ordering::Relaxed);
+                );
+                match clock.adverse(fx, t) {
+                    Adverse::Hold => {
+                        arena.attempts[i].store(clock.attempts, Ordering::Relaxed);
+                        arena.backoff[i].store(clock.backoff_until, Ordering::Relaxed);
                     }
-                    FaultDecision::DeadLetter => {
+                    Adverse::DeadLetter => {
                         st.step_dead += 1;
                         continue; // drops out of the active list
                     }
-                    FaultDecision::Resample { attempts } => {
+                    Adverse::Resample { attempts } => {
                         st.step_resamples += 1;
                         let e2 = resample_arena(arena, paths, mesh, fx, i, pos, attempts, t);
                         let s2 = map.shard_of_edge[e2] as usize;
@@ -850,24 +763,21 @@ fn step_shard(
             let e = arena.cur_edge[i].load(Ordering::Relaxed);
             if fx.plan.drops(EdgeId(e), t, arena.inj[i]) {
                 st.step_drops += 1;
-                match fault_decision(
-                    fx.recovery,
-                    fx.retry_budget,
+                let mut clock = FaultClock::restore(
                     arena.attempts[i].load(Ordering::Relaxed),
                     arena.backoff[i].load(Ordering::Relaxed),
-                    t,
-                ) {
-                    FaultDecision::Hold => {}
-                    FaultDecision::Backoff { attempts, until } => {
-                        arena.attempts[i].store(attempts, Ordering::Relaxed);
-                        arena.backoff[i].store(until, Ordering::Relaxed);
+                );
+                match clock.adverse(fx, t) {
+                    Adverse::Hold => {
+                        arena.attempts[i].store(clock.attempts, Ordering::Relaxed);
+                        arena.backoff[i].store(clock.backoff_until, Ordering::Relaxed);
                     }
-                    FaultDecision::DeadLetter => {
+                    Adverse::DeadLetter => {
                         st.step_dead += 1;
                         st.active[r] = GONE;
                         tombstoned += 1;
                     }
-                    FaultDecision::Resample { attempts } => {
+                    Adverse::Resample { attempts } => {
                         st.step_resamples += 1;
                         let pos = arena.pos[i].load(Ordering::Relaxed);
                         let e2 = resample_arena(arena, paths, mesh, fx, i, pos, attempts, t);
@@ -882,8 +792,10 @@ fn step_shard(
                 }
                 continue; // no advance, no load
             }
-            arena.attempts[i].store(0, Ordering::Relaxed);
-            arena.backoff[i].store(0, Ordering::Relaxed);
+            // A completed hop clears the recovery state.
+            let cleared = FaultClock::default();
+            arena.attempts[i].store(cleared.attempts, Ordering::Relaxed);
+            arena.backoff[i].store(cleared.backoff_until, Ordering::Relaxed);
         }
         let pos = arena.pos[i].load(Ordering::Relaxed) + 1;
         arena.pos[i].store(pos, Ordering::Relaxed);

@@ -1,0 +1,192 @@
+//! A checksummed single-line message codec.
+//!
+//! The multi-process simulation exchanges binary payloads (packet
+//! states, per-shard tallies) over plain pipes, one message per LF
+//! line so the [`crate::frame::FrameBuf`] framer applies unchanged. A
+//! message is
+//!
+//! ```text
+//! <TAG> <hex payload> <crc32 hex>\n
+//! ```
+//!
+//! where the payload is lowercase hex (`-` when empty) and the CRC-32
+//! covers the tag and the raw payload bytes, so neither a corrupted
+//! payload nor a mislabeled tag decodes silently. Payload *contents*
+//! are typically produced with the [`crate::bytes`] codec, which adds
+//! per-field validation on top of this envelope's integrity check.
+
+use crate::crc32::crc32;
+
+/// A decoded message: its tag and raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// The message tag (first token of the line).
+    pub tag: String,
+    /// The decoded payload bytes (empty for bare messages).
+    pub payload: Vec<u8>,
+}
+
+/// Why a line failed to decode as a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// The line does not have the three `tag payload crc` fields.
+    Malformed(&'static str),
+    /// The payload hex or the CRC field is not valid hex.
+    BadHex,
+    /// The CRC-32 did not match the tag + payload.
+    Checksum {
+        /// CRC computed over the received tag and payload.
+        computed: u32,
+        /// CRC stated on the line.
+        stated: u32,
+    },
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::Malformed(d) => write!(f, "malformed message line: {d}"),
+            MsgError::BadHex => write!(f, "message payload is not valid hex"),
+            MsgError::Checksum { computed, stated } => write!(
+                f,
+                "message checksum mismatch (computed {computed:08x}, stated {stated:08x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+fn crc_of(tag: &str, payload: &[u8]) -> u32 {
+    let mut bytes = Vec::with_capacity(tag.len() + 1 + payload.len());
+    bytes.extend_from_slice(tag.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(payload);
+    crc32(&bytes)
+}
+
+/// Encodes a tag + payload as one LF-terminated message line.
+///
+/// # Panics
+/// Panics if `tag` is empty or contains whitespace (tags are protocol
+/// constants, so this is a programming error, not an input error).
+pub fn encode_msg(tag: &str, payload: &[u8]) -> String {
+    assert!(
+        !tag.is_empty() && !tag.contains(char::is_whitespace),
+        "message tag must be a single non-empty token"
+    );
+    use std::fmt::Write;
+    let crc = crc_of(tag, payload);
+    let mut line = String::with_capacity(tag.len() + 2 * payload.len() + 12);
+    line.push_str(tag);
+    line.push(' ');
+    if payload.is_empty() {
+        line.push('-');
+    } else {
+        for b in payload {
+            let _ = write!(line, "{b:02x}");
+        }
+    }
+    let _ = write!(line, " {crc:08x}");
+    line.push('\n');
+    line
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decodes one message line (without its trailing LF), verifying the
+/// CRC over the tag and payload.
+pub fn decode_msg(line: &str) -> Result<Msg, MsgError> {
+    let mut parts = line.split(' ');
+    let tag = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or(MsgError::Malformed("empty line"))?;
+    let hex = parts.next().ok_or(MsgError::Malformed("missing payload"))?;
+    let crc_hex = parts.next().ok_or(MsgError::Malformed("missing crc"))?;
+    if parts.next().is_some() {
+        return Err(MsgError::Malformed("trailing fields"));
+    }
+    let payload = if hex == "-" {
+        Vec::new()
+    } else {
+        let bytes = hex.as_bytes();
+        if bytes.len() % 2 != 0 {
+            return Err(MsgError::BadHex);
+        }
+        let mut out = Vec::with_capacity(bytes.len() / 2);
+        for pair in bytes.chunks_exact(2) {
+            let (hi, lo) = (hex_val(pair[0]), hex_val(pair[1]));
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => out.push((hi << 4) | lo),
+                _ => return Err(MsgError::BadHex),
+            }
+        }
+        out
+    };
+    if crc_hex.len() != 8 {
+        return Err(MsgError::BadHex);
+    }
+    let stated = u32::from_str_radix(crc_hex, 16).map_err(|_| MsgError::BadHex)?;
+    let computed = crc_of(tag, &payload);
+    if computed != stated {
+        return Err(MsgError::Checksum { computed, stated });
+    }
+    Ok(Msg {
+        tag: tag.to_string(),
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_and_without_payload() {
+        for payload in [&[][..], &[0u8, 1, 2, 0xFF, 0x7E]] {
+            let line = encode_msg("STEP", payload);
+            assert!(line.ends_with('\n'));
+            let msg = decode_msg(line.trim_end()).unwrap();
+            assert_eq!(msg.tag, "STEP");
+            assert_eq!(msg.payload, payload);
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let line = encode_msg("DONE", &[0xAB, 0xCD]);
+        let corrupted = line.trim_end().replacen("abcd", "abcc", 1);
+        assert!(matches!(
+            decode_msg(&corrupted),
+            Err(MsgError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_is_covered_by_the_checksum() {
+        let line = encode_msg("SNAP", &[1, 2, 3]);
+        let retagged = line.trim_end().replacen("SNAP", "STEP", 1);
+        assert!(matches!(
+            decode_msg(&retagged),
+            Err(MsgError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(decode_msg("").is_err());
+        assert!(decode_msg("STEP").is_err());
+        assert!(decode_msg("STEP abc").is_err());
+        assert!(decode_msg("STEP xyz 00000000").is_err());
+        assert!(decode_msg("STEP - 0000000").is_err());
+        assert!(decode_msg("STEP - 00000000 extra").is_err());
+    }
+}

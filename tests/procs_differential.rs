@@ -1,0 +1,220 @@
+//! Differential tests for the multi-process engine: `--procs N` must be
+//! byte-identical to `--threads K` and to the sequential engine — same
+//! stdout, same deterministic metrics, same snapshot bytes — and a
+//! worker process killed at a random step boundary must recover without
+//! perturbing any of it.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fault-heavy configuration, so the run exercises resamples, drops,
+/// retries, and the worker-side router instrumentation they emit.
+const RUN: [&str; 19] = [
+    "online",
+    "--mesh",
+    "8x8",
+    "--router",
+    "buschd",
+    "--rate",
+    "0.08",
+    "--steps",
+    "40",
+    "--seed",
+    "7",
+    "--fault-links",
+    "0.08",
+    "--fault-mode",
+    "transient",
+    "--recovery",
+    "resample",
+    "--drop-prob",
+    "0.01",
+];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "oblivion_procs_{tag}_{}_{}",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn oblivion(args: &[&str], crash: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_oblivion"));
+    cmd.args(args);
+    match crash {
+        Some(directive) => cmd.env("OBLIVION_PROC_CRASH", directive),
+        None => cmd.env_remove("OBLIVION_PROC_CRASH"),
+    };
+    cmd.output().expect("spawn oblivion")
+}
+
+fn run_ok(args: &[&str], crash: Option<&str>) -> Output {
+    let out = oblivion(args, crash);
+    assert!(
+        out.status.success(),
+        "oblivion {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// The deterministic lines of a metrics file (everything but wall-clock
+/// spans and the scheduling-dependent `runtime_` family).
+fn deterministic_lines(path: &PathBuf) -> String {
+    let text = std::fs::read_to_string(path).expect("read metrics file");
+    text.lines()
+        .filter(|l| {
+            !l.starts_with("{\"type\":\"span\"")
+                && !l.starts_with("{\"type\":\"span_event\"")
+                && !l.starts_with("{\"type\":\"runtime_")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn procs_matches_threads_and_sequential() {
+    let dir = tmp_dir("diff");
+    let ckpt = dir.join("ckpt");
+    let m_seq = dir.join("seq.json");
+    let m_thr = dir.join("thr.json");
+    let m_prc = dir.join("prc.json");
+    let mut seq: Vec<&str> = RUN.to_vec();
+    seq.extend_from_slice(&["--metrics-out", m_seq.to_str().unwrap()]);
+    let mut thr: Vec<&str> = RUN.to_vec();
+    thr.extend_from_slice(&["--threads", "8", "--metrics-out", m_thr.to_str().unwrap()]);
+    let mut prc: Vec<&str> = RUN.to_vec();
+    prc.extend_from_slice(&[
+        "--procs",
+        "4",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--metrics-out",
+        m_prc.to_str().unwrap(),
+    ]);
+    let out_seq = run_ok(&seq, None);
+    let out_thr = run_ok(&thr, None);
+    let out_prc = run_ok(&prc, None);
+    assert_eq!(
+        String::from_utf8_lossy(&out_seq.stdout),
+        String::from_utf8_lossy(&out_thr.stdout),
+        "sequential vs --threads 8 stdout"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out_seq.stdout),
+        String::from_utf8_lossy(&out_prc.stdout),
+        "sequential vs --procs 4 stdout"
+    );
+    assert_eq!(
+        deterministic_lines(&m_thr),
+        deterministic_lines(&m_prc),
+        "--threads 8 vs --procs 4 deterministic metrics"
+    );
+    assert_eq!(
+        deterministic_lines(&m_seq),
+        deterministic_lines(&m_prc),
+        "sequential vs --procs 4 deterministic metrics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn procs_snapshots_match_thread_engine_byte_for_byte() {
+    // Stop both engines at the same uncheckpointed step so the snapshot
+    // directory survives (a run that *finishes* clears it), then compare
+    // the snapshot files raw. This pins down the cross-process obs
+    // shipment: worker-side resample instrumentation must land in the
+    // supervisor's registry before each save.
+    let dir = tmp_dir("snap");
+    let ckpt_thr = dir.join("thr");
+    let ckpt_prc = dir.join("prc");
+    let mut thr: Vec<&str> = RUN.to_vec();
+    thr.extend_from_slice(&[
+        "--threads",
+        "8",
+        "--checkpoint-dir",
+        ckpt_thr.to_str().unwrap(),
+        "--checkpoint-every",
+        "10",
+        "--ckpt-stop-at",
+        "25",
+    ]);
+    let mut prc: Vec<&str> = RUN.to_vec();
+    prc.extend_from_slice(&[
+        "--procs",
+        "2",
+        "--checkpoint-dir",
+        ckpt_prc.to_str().unwrap(),
+        "--checkpoint-every",
+        "10",
+        "--ckpt-stop-at",
+        "25",
+    ]);
+    assert_eq!(
+        oblivion(&thr, None).status.code(),
+        Some(2),
+        "stop-at exits 2"
+    );
+    assert_eq!(
+        oblivion(&prc, None).status.code(),
+        Some(2),
+        "stop-at exits 2"
+    );
+    let mut names: Vec<String> = std::fs::read_dir(&ckpt_thr)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "thread engine saved no snapshots");
+    for name in &names {
+        let a = std::fs::read(ckpt_thr.join(name)).unwrap();
+        let b = std::fs::read(ckpt_prc.join(name))
+            .unwrap_or_else(|e| panic!("procs engine missing snapshot {name}: {e}"));
+        assert_eq!(a, b, "snapshot {name} differs between engines");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Kill one of two workers (SIGKILL stand-in: `abort()` on receipt
+    /// of a chosen STEP) at a proptest-chosen step boundary. The
+    /// supervisor must restore it from its shadow, replay the journal,
+    /// and finish with stdout byte-identical to an unkilled run.
+    #[test]
+    fn killed_shard_recovers_byte_identically(worker in 0usize..2, step in 1u64..35) {
+        let dir = tmp_dir("kill");
+        let ckpt_a = dir.join("a");
+        let ckpt_b = dir.join("b");
+        let mut base: Vec<&str> = RUN.to_vec();
+        base.extend_from_slice(&["--procs", "2", "--checkpoint-dir", ckpt_a.to_str().unwrap()]);
+        let baseline = run_ok(&base, None);
+        let mut killed: Vec<&str> = RUN.to_vec();
+        killed.extend_from_slice(&["--procs", "2", "--checkpoint-dir", ckpt_b.to_str().unwrap()]);
+        let directive = format!("{worker}:{step}");
+        let out = run_ok(&killed, Some(&directive));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        prop_assert!(
+            stderr.contains(&format!("proc worker {worker} died")),
+            "stderr should report the death: {stderr}"
+        );
+        prop_assert!(
+            stderr.contains(&format!("proc worker {worker} recovered")),
+            "stderr should report the recovery: {stderr}"
+        );
+        prop_assert_eq!(
+            String::from_utf8_lossy(&baseline.stdout),
+            String::from_utf8_lossy(&out.stdout),
+            "a killed-and-recovered shard must not perturb the result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
